@@ -1,0 +1,64 @@
+// Figure 4: distribution of differences between adjacent pixels with and
+// without the high-frequency mask (Eq. 3). Prints both histograms and their
+// variances: masking must concentrate the distribution (smaller variance,
+// higher probability of near-identical neighbour pairs).
+#include "bench_util.h"
+
+using namespace dcdiff;
+using namespace dcdiff::bench;
+
+int main() {
+  print_header("Figure 4: neighbour-difference distribution w/ and w/o mask");
+
+  const float threshold = 10.0f;  // paper's selected T
+  std::vector<double> no_mask_prob(33, 0.0), mask_prob(33, 0.0);
+  double var_plain = 0, var_masked = 0;
+  double p2_plain = 0, p2_masked = 0;
+  int count = 0;
+
+  for (data::DatasetId id :
+       {data::DatasetId::kKodak, data::DatasetId::kUrban100}) {
+    const int n = images_for(id);
+    for (int i = 0; i < n; ++i) {
+      const Image img = data::dataset_image(id, i, eval_size());
+      jpeg::CoeffImage ci = jpeg::forward_transform(img, 50);
+      for (auto& comp : ci.comps) {
+        for (auto& block : comp.blocks) block[0] = 0;
+      }
+      const Image tilde = jpeg::tilde_image(ci);
+      std::vector<float> mask(tilde.plane(0).size());
+      for (size_t k = 0; k < mask.size(); ++k) {
+        mask[k] = std::abs(tilde.plane(0)[k]) <= threshold ? 1.0f : 0.0f;
+      }
+      const auto plain = metrics::neighbor_diff_histogram(img, nullptr, 16);
+      const auto masked = metrics::neighbor_diff_histogram(img, &mask, 16);
+      for (size_t k = 0; k < no_mask_prob.size(); ++k) {
+        no_mask_prob[k] += plain.prob[k];
+        mask_prob[k] += masked.prob[k];
+      }
+      var_plain += plain.variance;
+      var_masked += masked.variance;
+      p2_plain += plain.mass_within(2);
+      p2_masked += masked.mass_within(2);
+      ++count;
+    }
+  }
+  for (auto& v : no_mask_prob) v /= count;
+  for (auto& v : mask_prob) v /= count;
+
+  std::printf("\n diff   P(w/o mask)  P(w/ mask)\n");
+  for (int d = -16; d <= 16; d += 2) {
+    const size_t k = static_cast<size_t>(d + 16);
+    std::printf("  %3d %11.4f %11.4f  %s\n", d, no_mask_prob[k], mask_prob[k],
+                std::string(static_cast<size_t>(80 * mask_prob[k]), '#')
+                    .c_str());
+  }
+  std::printf("\nvariance: w/o mask %.2f  ->  w/ mask %.2f (T=%.0f)\n",
+              var_plain / count, var_masked / count, threshold);
+  std::printf("P(|diff|<=2): %.3f -> %.3f\n", p2_plain / count,
+              p2_masked / count);
+  std::printf("(mask removes the heavy tails caused by sharp edges /\n"
+              " complex textures, so the Laplacian property holds tightly\n"
+              " exactly where the MLD loss is applied)\n");
+  return 0;
+}

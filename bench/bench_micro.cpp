@@ -1,0 +1,144 @@
+// Microbenchmarks (google-benchmark) of the primitives behind the
+// experiment harnesses: DCT, quantization, Huffman entropy coding, full
+// encode, baseline recovery, and the NN building blocks.
+#include <benchmark/benchmark.h>
+
+#include "baselines/dc_recovery.h"
+#include "data/datasets.h"
+#include "jpeg/codec.h"
+#include "jpeg/dcdrop.h"
+#include "jpeg/dct.h"
+#include "nn/modules.h"
+#include "nn/ops.h"
+
+using namespace dcdiff;
+
+namespace {
+
+jpeg::PixelBlock sample_block() {
+  jpeg::PixelBlock b;
+  Rng rng(1);
+  for (float& v : b) v = rng.uniform(-128.0f, 127.0f);
+  return b;
+}
+
+void BM_Fdct8x8(benchmark::State& state) {
+  const jpeg::PixelBlock px = sample_block();
+  jpeg::CoefBlock cf;
+  for (auto _ : state) {
+    jpeg::fdct8x8(px, cf);
+    benchmark::DoNotOptimize(cf);
+  }
+}
+BENCHMARK(BM_Fdct8x8);
+
+void BM_Fdct8x8Fast(benchmark::State& state) {
+  const jpeg::PixelBlock px = sample_block();
+  jpeg::CoefBlock cf;
+  for (auto _ : state) {
+    jpeg::fdct8x8_fast(px, cf);
+    benchmark::DoNotOptimize(cf);
+  }
+}
+BENCHMARK(BM_Fdct8x8Fast);
+
+void BM_Idct8x8(benchmark::State& state) {
+  jpeg::CoefBlock cf;
+  Rng rng(2);
+  for (float& v : cf) v = rng.uniform(-200.0f, 200.0f);
+  jpeg::PixelBlock px;
+  for (auto _ : state) {
+    jpeg::idct8x8(cf, px);
+    benchmark::DoNotOptimize(px);
+  }
+}
+BENCHMARK(BM_Idct8x8);
+
+void BM_JpegEncode(benchmark::State& state) {
+  const Image img = data::dataset_image(data::DatasetId::kKodak, 0,
+                                        static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    auto result = jpeg::jpeg_encode(img, 50);
+    benchmark::DoNotOptimize(result.bytes);
+  }
+  state.SetBytesProcessed(state.iterations() * img.width() * img.height() *
+                          3);
+}
+BENCHMARK(BM_JpegEncode)->Arg(64)->Arg(128);
+
+void BM_JpegEncodeDropDC(benchmark::State& state) {
+  const Image img = data::dataset_image(data::DatasetId::kKodak, 0,
+                                        static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    auto coeffs = jpeg::forward_transform(img, 50);
+    jpeg::drop_dc(coeffs);
+    auto bytes = jpeg::encode_jfif(coeffs);
+    benchmark::DoNotOptimize(bytes);
+  }
+  state.SetBytesProcessed(state.iterations() * img.width() * img.height() *
+                          3);
+}
+BENCHMARK(BM_JpegEncodeDropDC)->Arg(64)->Arg(128);
+
+void BM_JpegDecode(benchmark::State& state) {
+  const Image img = data::dataset_image(data::DatasetId::kKodak, 1, 64);
+  const auto bytes = jpeg::jpeg_encode(img, 50).bytes;
+  for (auto _ : state) {
+    Image out = jpeg::jpeg_decode(bytes);
+    benchmark::DoNotOptimize(out);
+  }
+}
+BENCHMARK(BM_JpegDecode);
+
+void BM_BaselineRecovery(benchmark::State& state) {
+  const Image img = data::dataset_image(data::DatasetId::kKodak, 2, 64);
+  jpeg::CoeffImage dropped = jpeg::forward_transform(img, 50);
+  jpeg::drop_dc(dropped);
+  const auto method =
+      static_cast<baselines::RecoveryMethod>(state.range(0));
+  for (auto _ : state) {
+    Image out = baselines::recover_dc(dropped, method);
+    benchmark::DoNotOptimize(out);
+  }
+}
+BENCHMARK(BM_BaselineRecovery)->Arg(0)->Arg(1)->Arg(2);
+
+void BM_Conv2dForward(benchmark::State& state) {
+  Rng rng(3);
+  nn::Conv2d conv(16, 16, 3, 1, 1, rng);
+  const nn::Tensor x = nn::Tensor::full({1, 16, 32, 32}, 0.5f);
+  nn::NoGradGuard no_grad;
+  for (auto _ : state) {
+    nn::Tensor y = conv(x);
+    benchmark::DoNotOptimize(y);
+  }
+}
+BENCHMARK(BM_Conv2dForward);
+
+void BM_Conv2dTrainStep(benchmark::State& state) {
+  Rng rng(4);
+  nn::Conv2d conv(8, 8, 3, 1, 1, rng);
+  const nn::Tensor x = nn::Tensor::full({1, 8, 16, 16}, 0.5f);
+  const nn::Tensor target = nn::Tensor::full({1, 8, 16, 16}, 0.25f);
+  for (auto _ : state) {
+    nn::Tensor loss = nn::mse_loss(conv(x), target);
+    loss.backward();
+    benchmark::DoNotOptimize(loss);
+  }
+}
+BENCHMARK(BM_Conv2dTrainStep);
+
+void BM_GroupNorm(benchmark::State& state) {
+  nn::GroupNorm gn(32, 8);
+  const nn::Tensor x = nn::Tensor::full({2, 32, 16, 16}, 1.5f);
+  nn::NoGradGuard no_grad;
+  for (auto _ : state) {
+    nn::Tensor y = gn(x);
+    benchmark::DoNotOptimize(y);
+  }
+}
+BENCHMARK(BM_GroupNorm);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,39 @@
+// Table I: quantitative comparison of DCDiff with the 3 baselines on 6
+// datasets (PSNR / SSIM / MS-SSIM / LPIPS), Q50, DC dropped except the 4
+// corner anchors. Prints one block per dataset in the paper's layout.
+#include "bench_util.h"
+
+using namespace dcdiff;
+using namespace dcdiff::bench;
+
+int main() {
+  print_header(
+      "Table I: DCDiff vs 3 baselines on 6 datasets (Q50, DC dropped)");
+
+  // Warm the shared models once so per-dataset timings are comparable.
+  core::shared_model();
+  baselines::shared_corrector();
+
+  std::printf("\n%-12s %-20s %8s %8s %9s %8s\n", "Dataset", "Method", "PSNR",
+              "SSIM", "MS-SSIM", "LPIPS");
+  for (data::DatasetId id : data::all_datasets()) {
+    double best_psnr = -1.0;
+    std::vector<std::pair<Method, metrics::QualityReport>> rows;
+    for (Method m : all_methods()) {
+      const metrics::QualityReport r = evaluate_method_on_dataset(m, id);
+      best_psnr = std::max(best_psnr, r.psnr);
+      rows.emplace_back(m, r);
+    }
+    for (const auto& [m, r] : rows) {
+      std::printf("%-12s %-20s %7.2f%s %8.4f %9.4f %8.4f\n",
+                  data::dataset_name(id), method_label(m), r.psnr,
+                  r.psnr == best_psnr ? "*" : " ", r.ssim, r.ms_ssim,
+                  r.lpips);
+    }
+    std::printf("\n");
+  }
+  std::printf("(* = best PSNR per dataset; %d-%d images per dataset)\n",
+              images_for(data::DatasetId::kSet5),
+              images_for(data::DatasetId::kKodak));
+  return 0;
+}

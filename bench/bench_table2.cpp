@@ -1,0 +1,93 @@
+// Table II: compression ratio of DC-dropped JPEG vs standard JPEG.
+//
+// Upper block: same Q-table (Q50) — ratio of entropy-coded bits after
+// dropping DC (4 corner anchors kept) to standard JPEG bits; min/max/avg per
+// dataset. Lower block: the Q-table of standard JPEG is tuned down until its
+// decoded quality (LPIPS) matches the quality DCDiff reconstructs at the
+// receiver; the ratio then compares DCDiff's dropped-DC bits at Q50 against
+// standard JPEG at that matched quality.
+#include <array>
+
+#include "bench_util.h"
+
+using namespace dcdiff;
+using namespace dcdiff::bench;
+
+namespace {
+
+struct MinMaxAvg {
+  double min = 1e9, max = -1e9, sum = 0;
+  int n = 0;
+  void add(double v) {
+    min = std::min(min, v);
+    max = std::max(max, v);
+    sum += v;
+    ++n;
+  }
+  double avg() const { return n ? sum / n : 0.0; }
+};
+
+// Finds the standard-JPEG quality whose decode matches `target_lpips` for
+// this image (monotone scan; JPEG quality 5..50).
+int quality_matching_lpips(const Image& original, double target_lpips) {
+  int best_q = 50;
+  for (int q = 50; q >= 5; q -= 5) {
+    const Image decoded = jpeg::jpeg_roundtrip(original, q);
+    if (metrics::lpips_proxy(original, decoded) >= target_lpips) {
+      best_q = q;
+      break;
+    }
+    best_q = q;
+  }
+  return best_q;
+}
+
+}  // namespace
+
+int main() {
+  print_header("Table II: compression ratio vs standard JPEG");
+  core::shared_model();
+
+  std::printf("\n-- Same Q-table (Q50): dropped-DC bits / standard bits --\n");
+  std::printf("%-10s %8s %8s %8s\n", "Dataset", "min", "max", "avg");
+  for (data::DatasetId id : data::all_datasets()) {
+    MinMaxAvg stats;
+    const int n = images_for(id);
+    for (int i = 0; i < n; ++i) {
+      const Image img = data::dataset_image(id, i, eval_size());
+      const auto s = jpeg::measure_drop(jpeg::forward_transform(img, 50));
+      stats.add(100.0 * s.ratio());
+    }
+    std::printf("%-10s %7.2f%% %7.2f%% %7.2f%%\n", data::dataset_name(id),
+                stats.min, stats.max, stats.avg());
+  }
+
+  std::printf("\n-- Q tuned for similar LPIPS to DCDiff reconstruction --\n");
+  std::printf("%-10s %8s %8s %8s %10s\n", "Dataset", "min", "max", "avg",
+              "avg Q used");
+  for (data::DatasetId id : data::all_datasets()) {
+    MinMaxAvg stats;
+    double qsum = 0;
+    const int n = images_for(id);
+    for (int i = 0; i < n; ++i) {
+      const Image img = data::dataset_image(id, i, eval_size());
+      jpeg::CoeffImage coeffs = jpeg::forward_transform(img, 50);
+      const size_t dropped_bits =
+          jpeg::entropy_bit_count(jpeg::with_dropped_dc(coeffs));
+      jpeg::CoeffImage dc_dropped = jpeg::with_dropped_dc(coeffs);
+      const Image rec = core::shared_model().reconstruct(dc_dropped);
+      const double target = metrics::lpips_proxy(img, rec);
+      const int q = quality_matching_lpips(img, target);
+      qsum += q;
+      const size_t std_bits =
+          jpeg::entropy_bit_count(jpeg::forward_transform(img, q));
+      stats.add(100.0 * static_cast<double>(dropped_bits) /
+                static_cast<double>(std_bits));
+    }
+    std::printf("%-10s %7.2f%% %7.2f%% %7.2f%% %9.1f\n",
+                data::dataset_name(id), stats.min, stats.max, stats.avg(),
+                qsum / n);
+  }
+  std::printf("\n(<100%% means DCDiff transmits fewer bits)\n");
+  return 0;
+}

@@ -1,0 +1,78 @@
+// Table III: ablation study on Kodak and Inria.
+//   * w/o MLD  — stage 2 retrained without the masked Laplacian loss.
+//   * w/o FMPP — the full model sampled with fixed s = b = 1.
+//   * mask threshold sweep T in {0, 5, 10, 15} — stage 2 retrained per T
+//     (T = 10 is the default/full model).
+// Variants reuse the cached stage-1 autoencoder; each variant's stage-2
+// weights are cached, so re-runs are cheap.
+//
+// Extension ablation (Section 6 of DESIGN.md): DDIM step-count sweep on the
+// full model, showing the sampling-cost/quality trade-off.
+#include <memory>
+
+#include "bench_util.h"
+
+using namespace dcdiff;
+using namespace dcdiff::bench;
+
+namespace {
+
+metrics::QualityReport eval_model(const core::DCDiffModel& model,
+                                  data::DatasetId id, bool use_fmpp,
+                                  int ddim_steps = 0) {
+  std::vector<metrics::QualityReport> reports;
+  const int n = images_for(id);
+  for (int i = 0; i < n; ++i) {
+    const Image original = data::dataset_image(id, i, eval_size());
+    jpeg::CoeffImage coeffs = jpeg::forward_transform(original, 50);
+    jpeg::drop_dc(coeffs);
+    reports.push_back(metrics::evaluate(
+        original, model.reconstruct(coeffs, use_fmpp, ddim_steps)));
+  }
+  return metrics::average(reports);
+}
+
+void print_row(const char* label, const metrics::QualityReport& r) {
+  std::printf("  %-12s %7.2f %8.4f %9.4f %8.4f\n", label, r.psnr, r.ssim,
+              r.ms_ssim, r.lpips);
+}
+
+}  // namespace
+
+int main() {
+  print_header("Table III: ablations (w/o MLD, w/o FMPP, mask threshold T)");
+
+  const core::DCDiffModel& full = core::shared_model();
+  std::unique_ptr<core::DCDiffModel> womld =
+      core::make_variant_model(/*use_mld=*/false, 10.0f);
+  std::unique_ptr<core::DCDiffModel> t0 = core::make_variant_model(true, 0.0f);
+  std::unique_ptr<core::DCDiffModel> t5 = core::make_variant_model(true, 5.0f);
+  std::unique_ptr<core::DCDiffModel> t15 =
+      core::make_variant_model(true, 15.0f);
+  // T = 10 variant (same schedule as the other T rows, so the sweep is
+  // apples-to-apples even though the full model also uses T = 10).
+  std::unique_ptr<core::DCDiffModel> t10 =
+      core::make_variant_model(true, 10.0f);
+
+  for (data::DatasetId id :
+       {data::DatasetId::kKodak, data::DatasetId::kInria}) {
+    std::printf("\nDataset: %s\n", data::dataset_name(id));
+    std::printf("  %-12s %7s %8s %9s %8s\n", "Variant", "PSNR", "SSIM",
+                "MS-SSIM", "LPIPS");
+    print_row("full", eval_model(full, id, true));
+    print_row("w/o MLD", eval_model(*womld, id, true));
+    print_row("w/o FMPP", eval_model(full, id, /*use_fmpp=*/false));
+    print_row("T=0", eval_model(*t0, id, true));
+    print_row("T=5", eval_model(*t5, id, true));
+    print_row("T=10", eval_model(*t10, id, true));
+    print_row("T=15", eval_model(*t15, id, true));
+  }
+
+  std::printf("\nExtension: DDIM step-count sweep (full model, Kodak)\n");
+  std::printf("  %-12s %7s %8s\n", "steps", "PSNR", "LPIPS");
+  for (int steps : {2, 6, 12}) {
+    const auto r = eval_model(full, data::DatasetId::kKodak, true, steps);
+    std::printf("  %-12d %7.2f %8.4f\n", steps, r.psnr, r.lpips);
+  }
+  return 0;
+}

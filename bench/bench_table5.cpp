@@ -1,0 +1,38 @@
+// Table V: post-processing influence on a remote-sensing classification
+// task. The same trained classifier sees (a) clean images and (b) images
+// that went through sender-side DC drop + each receiver-side recovery
+// method; the accuracy reduction per method is reported.
+#include "bench_util.h"
+#include "downstream/classifier.h"
+
+using namespace dcdiff;
+using namespace dcdiff::bench;
+
+int main() {
+  print_header("Table V: downstream remote-sensing classification accuracy");
+
+  downstream::RSClassifier clf;
+  clf.train_or_load();
+  core::shared_model();
+  baselines::shared_corrector();
+
+  const int size = eval_size();
+  const int start = 700000;  // held-out index range
+  const int count = env_int("DCDIFF_TABLE5_N", 40);
+
+  const double clean = downstream::clean_accuracy(clf, start, count, size);
+  std::printf("\n%-22s ACC: %.2f%%\n", "Original", 100.0 * clean);
+
+  for (Method m : all_methods()) {
+    const double acc = clf.accuracy(start, count, size, [&](const Image& img) {
+      jpeg::CoeffImage coeffs = jpeg::forward_transform(img, 50);
+      jpeg::drop_dc(coeffs);
+      return run_method(m, coeffs);
+    });
+    std::printf("%-22s ACC: %.2f%%  (drop %.2f pp)\n", method_label(m),
+                100.0 * acc, 100.0 * (clean - acc));
+  }
+  std::printf("\n(%d held-out images, %d classes)\n", count,
+              data::kRemoteSensingClasses);
+  return 0;
+}

@@ -1,0 +1,99 @@
+// Shared helpers for the experiment harnesses (one binary per paper table /
+// figure). Each harness prints the same rows/series the paper reports.
+//
+// Runtime knobs (environment variables):
+//   DCDIFF_BENCH_N      images per dataset (default: dataset_default_count)
+//   DCDIFF_EVAL_SIZE    evaluation image size (default 64; paper uses 256
+//                       crops -- everything here is scaled 4x down, see
+//                       DESIGN.md)
+//   DCDIFF_CACHE_DIR    weight cache (shared with examples)
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "baselines/dc_recovery.h"
+#include "baselines/tii2021.h"
+#include "core/pipeline.h"
+#include "data/datasets.h"
+#include "jpeg/dcdrop.h"
+#include "metrics/metrics.h"
+
+namespace dcdiff::bench {
+
+inline int env_int(const char* name, int fallback) {
+  const char* v = std::getenv(name);
+  return v ? std::atoi(v) : fallback;
+}
+
+inline int eval_size() { return env_int("DCDIFF_EVAL_SIZE", 64); }
+
+inline int images_for(data::DatasetId id) {
+  const int n = env_int("DCDIFF_BENCH_N", 0);
+  return n > 0 ? std::min(n, data::dataset_full_count(id))
+               : data::dataset_default_count(id);
+}
+
+// The four compared methods, in the paper's table order.
+enum class Method { kSmartCom2019, kTII2021, kICIP2022, kDCDiff };
+
+inline const char* method_label(Method m) {
+  switch (m) {
+    case Method::kSmartCom2019: return "SmartCom 2019 [18]";
+    case Method::kTII2021: return "IEEE TII 2021 [19]";
+    case Method::kICIP2022: return "ICIP 2022 [20]";
+    case Method::kDCDiff: return "DCDiff";
+  }
+  return "?";
+}
+
+inline std::vector<Method> all_methods() {
+  return {Method::kSmartCom2019, Method::kTII2021, Method::kICIP2022,
+          Method::kDCDiff};
+}
+
+// Runs one method's receiver on a DC-dropped coefficient image.
+inline Image run_method(Method m, const jpeg::CoeffImage& dropped) {
+  switch (m) {
+    case Method::kSmartCom2019:
+      return baselines::recover_dc(dropped,
+                                   baselines::RecoveryMethod::kSmartCom2019);
+    case Method::kTII2021:
+      return baselines::recover_tii2021(dropped,
+                                        baselines::shared_corrector());
+    case Method::kICIP2022:
+      return baselines::recover_dc(dropped,
+                                   baselines::RecoveryMethod::kICIP2022);
+    case Method::kDCDiff:
+      return core::shared_model().reconstruct(dropped);
+  }
+  throw std::logic_error("run_method: bad method");
+}
+
+// Full sender -> receiver evaluation of one method on one dataset.
+inline metrics::QualityReport evaluate_method_on_dataset(
+    Method m, data::DatasetId id, int quality = 50) {
+  std::vector<metrics::QualityReport> reports;
+  const int n = images_for(id);
+  for (int i = 0; i < n; ++i) {
+    const Image original = data::dataset_image(id, i, eval_size());
+    jpeg::CoeffImage coeffs = jpeg::forward_transform(original, quality);
+    jpeg::drop_dc(coeffs);
+    reports.push_back(metrics::evaluate(original, run_method(m, coeffs)));
+  }
+  return metrics::average(reports);
+}
+
+inline void print_header(const char* title) {
+  std::printf("\n================================================================\n");
+  std::printf("%s\n", title);
+  std::printf("(synthetic datasets at %dx%d; shapes comparable to the paper,\n",
+              eval_size(), eval_size());
+  std::printf(" absolute numbers are substrate-dependent -- see EXPERIMENTS.md)\n");
+  std::printf("================================================================\n");
+}
+
+}  // namespace dcdiff::bench

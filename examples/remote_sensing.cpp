@@ -1,0 +1,53 @@
+// Remote-sensing downstream task (Section IV-E): aerial images are
+// compressed with DC drop at the sensor, reconstructed with DCDiff at the
+// ground station, and fed to a land-cover classifier. The example shows
+// that DCDiff's reconstructions barely affect classification accuracy.
+#include <cstdio>
+
+#include "core/pipeline.h"
+#include "data/datasets.h"
+#include "downstream/classifier.h"
+#include "jpeg/dcdrop.h"
+#include "metrics/metrics.h"
+
+using namespace dcdiff;
+
+int main() {
+  downstream::RSClassifier classifier;
+  classifier.train_or_load();
+
+  const int size = 64;
+  const int start = 800000;  // held-out indices
+  const int count = 24;
+
+  const double clean =
+      downstream::clean_accuracy(classifier, start, count, size);
+  std::printf("classifier accuracy on clean aerial images: %.1f%%\n",
+              100.0 * clean);
+
+  const double reconstructed =
+      classifier.accuracy(start, count, size, [](const Image& img) {
+        jpeg::CoeffImage coeffs = jpeg::forward_transform(img, 50);
+        jpeg::drop_dc(coeffs);
+        return core::shared_model().reconstruct(coeffs);
+      });
+  std::printf("accuracy after DC drop + DCDiff reconstruction: %.1f%% "
+              "(drop %.2f pp)\n",
+              100.0 * reconstructed, 100.0 * (clean - reconstructed));
+
+  // Show per-class behaviour on one example each.
+  std::printf("\nper-class spot check:\n");
+  for (int cls = 0; cls < data::kRemoteSensingClasses; ++cls) {
+    const int idx = start + cls;  // labels cycle through classes
+    const Image img = data::remote_sensing_image(idx, size);
+    jpeg::CoeffImage coeffs = jpeg::forward_transform(img, 50);
+    jpeg::drop_dc(coeffs);
+    const Image rec = core::shared_model().reconstruct(coeffs);
+    std::printf("  true=%-9s clean->%-9s dcdiff->%-9s (PSNR %.1f dB)\n",
+                data::remote_sensing_class_name(data::remote_sensing_label(idx)),
+                data::remote_sensing_class_name(classifier.predict(img)),
+                data::remote_sensing_class_name(classifier.predict(rec)),
+                metrics::psnr(img, rec));
+  }
+  return 0;
+}

@@ -1,0 +1,261 @@
+#include "baselines/dc_recovery.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+#include "jpeg/dcdrop.h"
+#include "jpeg/dct.h"
+
+namespace dcdiff::baselines {
+namespace {
+
+using jpeg::CoeffImage;
+using jpeg::kBlockSize;
+
+constexpr float kMaxOffset = 160.0f;  // |DC/8| bound for level-shifted pixels
+
+// Pure-AC pixel plane of one component (DC zeroed everywhere, no level
+// shift): each block's pixels are exactly "signal - mean" of that block.
+std::vector<float> ac_plane(const CoeffImage& ci, int comp, int& pw,
+                            int& ph) {
+  const auto& c = ci.comps[static_cast<size_t>(comp)];
+  pw = c.blocks_w * kBlockSize;
+  ph = c.blocks_h * kBlockSize;
+  std::vector<float> plane(static_cast<size_t>(pw) * ph);
+  jpeg::CoefBlock cf;
+  jpeg::PixelBlock px;
+  for (int by = 0; by < c.blocks_h; ++by) {
+    for (int bx = 0; bx < c.blocks_w; ++bx) {
+      auto block = c.block(by, bx);
+      block[0] = 0;
+      jpeg::dequantize(block, ci.table_for(comp), cf);
+      jpeg::idct8x8(cf, px);
+      for (int y = 0; y < kBlockSize; ++y) {
+        for (int x = 0; x < kBlockSize; ++x) {
+          plane[static_cast<size_t>(by * kBlockSize + y) * pw +
+                bx * kBlockSize + x] = px[y * kBlockSize + x];
+        }
+      }
+    }
+  }
+  return plane;
+}
+
+struct Boundary {
+  // For one direction: the neighbour's nearest and second-nearest boundary
+  // lines (AC-only values; the neighbour's offset is added by the caller)
+  // and the current block's AC-only boundary line. 8 samples each.
+  std::array<float, kBlockSize> n1, n2, cur;
+};
+
+enum Dir { kLeft = 0, kRight = 1, kUp = 2, kDown = 3 };
+
+Boundary boundary_for(const std::vector<float>& plane, int pw, int by, int bx,
+                      Dir dir) {
+  Boundary b{};
+  const int x0 = bx * kBlockSize;
+  const int y0 = by * kBlockSize;
+  auto at = [&](int y, int x) {
+    return plane[static_cast<size_t>(y) * pw + x];
+  };
+  for (int i = 0; i < kBlockSize; ++i) {
+    switch (dir) {
+      case kLeft:
+        b.n1[i] = at(y0 + i, x0 - 1);
+        b.n2[i] = at(y0 + i, x0 - 2);
+        b.cur[i] = at(y0 + i, x0);
+        break;
+      case kRight:
+        b.n1[i] = at(y0 + i, x0 + kBlockSize);
+        b.n2[i] = at(y0 + i, x0 + kBlockSize + 1);
+        b.cur[i] = at(y0 + i, x0 + kBlockSize - 1);
+        break;
+      case kUp:
+        b.n1[i] = at(y0 - 1, x0 + i);
+        b.n2[i] = at(y0 - 2, x0 + i);
+        b.cur[i] = at(y0, x0 + i);
+        break;
+      case kDown:
+        b.n1[i] = at(y0 + kBlockSize, x0 + i);
+        b.n2[i] = at(y0 + kBlockSize + 1, x0 + i);
+        b.cur[i] = at(y0 + kBlockSize - 1, x0 + i);
+        break;
+    }
+  }
+  return b;
+}
+
+struct DirEstimate {
+  float mean = 0.0f;
+  float variance = 0.0f;
+  std::array<float, kBlockSize> per_pixel{};
+};
+
+// Per-direction estimate of the current block's offset given the neighbour's
+// recovered offset. `extrapolate` selects the SmartCom trend predictor.
+DirEstimate estimate_direction(const Boundary& b, float neighbor_offset,
+                               bool extrapolate) {
+  DirEstimate e;
+  float sum = 0.0f;
+  for (int i = 0; i < kBlockSize; ++i) {
+    const float pred = extrapolate ? (2.0f * b.n1[i] - b.n2[i])
+                                   : b.n1[i];
+    e.per_pixel[i] = pred + neighbor_offset - b.cur[i];
+    sum += e.per_pixel[i];
+  }
+  e.mean = sum / kBlockSize;
+  float var = 0.0f;
+  for (int i = 0; i < kBlockSize; ++i) {
+    const float d = e.per_pixel[i] - e.mean;
+    var += d * d;
+  }
+  e.variance = var / kBlockSize;
+  return e;
+}
+
+float combine_uehara(const std::vector<DirEstimate>& dirs) {
+  float acc = 0.0f;
+  for (const auto& d : dirs) acc += d.mean;
+  return acc / static_cast<float>(dirs.size());
+}
+
+float combine_smartcom(const std::vector<DirEstimate>& dirs) {
+  // Direction with the most internally-consistent (lowest variance) trend.
+  const DirEstimate* best = &dirs[0];
+  for (const auto& d : dirs) {
+    if (d.variance < best->variance) best = &d;
+  }
+  return best->mean;
+}
+
+float combine_icip(const std::vector<DirEstimate>& dirs) {
+  // Pool all per-pixel estimates across directions, reject the deviating
+  // quartiles, average the rest (per-pixel direction-adaptive selection).
+  std::vector<float> pool;
+  pool.reserve(dirs.size() * kBlockSize);
+  for (const auto& d : dirs) {
+    pool.insert(pool.end(), d.per_pixel.begin(), d.per_pixel.end());
+  }
+  std::sort(pool.begin(), pool.end());
+  const size_t lo = pool.size() / 4;
+  const size_t hi = pool.size() - lo;
+  double acc = 0.0;
+  for (size_t i = lo; i < hi; ++i) acc += pool[i];
+  return static_cast<float>(acc / static_cast<double>(hi - lo));
+}
+
+}  // namespace
+
+const char* method_name(RecoveryMethod m) {
+  switch (m) {
+    case RecoveryMethod::kUehara2006: return "TIP 2006";
+    case RecoveryMethod::kSmartCom2019: return "SmartCom 2019";
+    case RecoveryMethod::kICIP2022: return "ICIP 2022";
+  }
+  return "?";
+}
+
+std::vector<float> recover_offsets(const CoeffImage& dropped, int comp,
+                                   RecoveryMethod method) {
+  const auto& c = dropped.comps[static_cast<size_t>(comp)];
+  const int bw = c.blocks_w, bh = c.blocks_h;
+  int pw = 0, ph = 0;
+  const std::vector<float> plane = ac_plane(dropped, comp, pw, ph);
+  const float qdc = static_cast<float>(dropped.table_for(comp).q[0]);
+
+  std::vector<float> offset(static_cast<size_t>(bw) * bh, 0.0f);
+  std::vector<bool> known(offset.size(), false);
+  auto idx = [&](int by, int bx) {
+    return static_cast<size_t>(by) * bw + bx;
+  };
+  // Anchors: the four corner blocks kept their DC; offset = DC/8.
+  for (int by = 0; by < bh; ++by) {
+    for (int bx = 0; bx < bw; ++bx) {
+      if (jpeg::is_corner_block(c, by, bx)) {
+        offset[idx(by, bx)] =
+            static_cast<float>(c.block(by, bx)[0]) * qdc / 8.0f;
+        known[idx(by, bx)] = true;
+      }
+    }
+  }
+
+  // Visit blocks in increasing Manhattan distance to the nearest corner, so
+  // every visited block has at least one already-known 4-neighbour.
+  std::vector<std::pair<int, int>> order;  // (distance, block index)
+  order.reserve(offset.size());
+  const int cys[4] = {0, 0, bh - 1, bh - 1};
+  const int cxs[4] = {0, bw - 1, 0, bw - 1};
+  for (int by = 0; by < bh; ++by) {
+    for (int bx = 0; bx < bw; ++bx) {
+      if (known[idx(by, bx)]) continue;
+      int dist = bw + bh;
+      for (int k = 0; k < 4; ++k) {
+        dist = std::min(dist, std::abs(by - cys[k]) + std::abs(bx - cxs[k]));
+      }
+      order.emplace_back(dist, by * bw + bx);
+    }
+  }
+  std::sort(order.begin(), order.end());
+
+  const bool extrapolate = method != RecoveryMethod::kUehara2006;
+  for (const auto& [dist, bi] : order) {
+    const int by = bi / bw;
+    const int bx = bi % bw;
+    std::vector<DirEstimate> dirs;
+    auto try_dir = [&](Dir d, int nby, int nbx) {
+      if (nby < 0 || nby >= bh || nbx < 0 || nbx >= bw) return;
+      if (!known[idx(nby, nbx)]) return;
+      const Boundary b = boundary_for(plane, pw, by, bx, d);
+      dirs.push_back(
+          estimate_direction(b, offset[idx(nby, nbx)], extrapolate));
+    };
+    try_dir(kLeft, by, bx - 1);
+    try_dir(kRight, by, bx + 1);
+    try_dir(kUp, by - 1, bx);
+    try_dir(kDown, by + 1, bx);
+    if (dirs.empty()) {
+      // Isolated block (cannot happen with 4 corner anchors, but keep the
+      // invariant robust): fall back to zero offset.
+      known[idx(by, bx)] = true;
+      continue;
+    }
+    float o = 0.0f;
+    switch (method) {
+      case RecoveryMethod::kUehara2006: o = combine_uehara(dirs); break;
+      case RecoveryMethod::kSmartCom2019: o = combine_smartcom(dirs); break;
+      case RecoveryMethod::kICIP2022: o = combine_icip(dirs); break;
+    }
+    offset[idx(by, bx)] = std::clamp(o, -kMaxOffset, kMaxOffset);
+    known[idx(by, bx)] = true;
+  }
+  return offset;
+}
+
+Image recover_dc(const CoeffImage& dropped, RecoveryMethod method) {
+  CoeffImage restored = dropped;
+  for (size_t comp = 0; comp < dropped.comps.size(); ++comp) {
+    const std::vector<float> offsets =
+        recover_offsets(dropped, static_cast<int>(comp), method);
+    std::vector<float> dc(offsets.size());
+    for (size_t i = 0; i < offsets.size(); ++i) dc[i] = offsets[i] * 8.0f;
+    // Keep the exact anchor DCs.
+    const auto& c = dropped.comps[comp];
+    const float qdc = static_cast<float>(dropped.table_for(
+        static_cast<int>(comp)).q[0]);
+    for (int by = 0; by < c.blocks_h; ++by) {
+      for (int bx = 0; bx < c.blocks_w; ++bx) {
+        if (jpeg::is_corner_block(c, by, bx)) {
+          dc[static_cast<size_t>(by) * c.blocks_w + bx] =
+              static_cast<float>(c.block(by, bx)[0]) * qdc;
+        }
+      }
+    }
+    jpeg::set_dc_plane(restored, static_cast<int>(comp), dc);
+  }
+  return jpeg::inverse_transform(restored);
+}
+
+}  // namespace dcdiff::baselines

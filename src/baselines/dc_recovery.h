@@ -1,0 +1,47 @@
+// Receiver-side DC recovery baselines (the paper's comparison set).
+//
+// All three methods share the same iterative scaffolding: starting from the
+// four corner blocks whose DC survived, blocks are visited in breadth-first
+// order of distance to the nearest anchor, and each block's DC (equivalently
+// its constant pixel offset, DC/8) is estimated from already-recovered
+// neighbours via the Laplacian smoothness assumption. They differ in the
+// boundary predictor:
+//
+//  * Uehara TIP-2006 [22]  - mean boundary matching per direction, averaged.
+//  * SmartCom-2019 [18]    - linear extrapolation of the neighbour's last two
+//                            boundary lines ("distribution trend"), choosing
+//                            the direction with the most consistent estimate.
+//  * ICIP-2022 [20]        - direction-adaptive pixel-pair selection: every
+//                            boundary pixel contributes an estimate from its
+//                            best direction and a trimmed mean rejects
+//                            deviating pairs (convex-relaxation surrogate).
+//
+// Because estimation is iterative block-to-block, one deviating region biases
+// every block downstream of it: the error-propagation failure mode the paper
+// targets (and which DCDiff avoids by predicting all pixels at once).
+#pragma once
+
+#include "image/image.h"
+#include "jpeg/codec.h"
+
+namespace dcdiff::baselines {
+
+enum class RecoveryMethod {
+  kUehara2006,
+  kSmartCom2019,
+  kICIP2022,
+};
+
+const char* method_name(RecoveryMethod m);
+
+// Estimates the DC plane of every component of `dropped` (a CoeffImage whose
+// DC was zeroed except the 4 corner anchors), writes the recovered DC back,
+// and returns the decoded image (RGB or Gray).
+Image recover_dc(const jpeg::CoeffImage& dropped, RecoveryMethod method);
+
+// Lower-level: recovered per-block pixel offsets (DC/8) for one component.
+// Exposed for unit tests and for the TII-2021 corrector.
+std::vector<float> recover_offsets(const jpeg::CoeffImage& dropped, int comp,
+                                   RecoveryMethod method);
+
+}  // namespace dcdiff::baselines

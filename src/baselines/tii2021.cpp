@@ -1,0 +1,122 @@
+#include "baselines/tii2021.h"
+
+#include <cmath>
+
+#include "data/datasets.h"
+#include "jpeg/dcdrop.h"
+#include "nn/cache.h"
+#include "nn/optim.h"
+#include "nn/serialize.h"
+
+namespace dcdiff::baselines {
+namespace {
+
+// Packs an RGB image into a (1,3,H,W) tensor scaled to [0,1].
+nn::Tensor image_to_tensor(const Image& rgb) {
+  const int h = rgb.height(), w = rgb.width();
+  std::vector<float> data(static_cast<size_t>(3) * h * w);
+  for (int c = 0; c < 3; ++c) {
+    const auto& plane = rgb.plane(c);
+    for (size_t i = 0; i < plane.size(); ++i) {
+      data[static_cast<size_t>(c) * h * w + i] = plane[i] / 255.0f;
+    }
+  }
+  return nn::Tensor::from_data({1, 3, h, w}, std::move(data));
+}
+
+Image tensor_to_image(const nn::Tensor& t) {
+  const int h = t.dim(2), w = t.dim(3);
+  Image out(w, h, ColorSpace::kRGB);
+  const auto& v = t.value();
+  for (int c = 0; c < 3; ++c) {
+    auto& plane = out.plane(c);
+    for (size_t i = 0; i < plane.size(); ++i) {
+      plane[i] = v[static_cast<size_t>(c) * h * w + i] * 255.0f;
+    }
+  }
+  out.clamp();
+  return out;
+}
+
+}  // namespace
+
+ResidualCorrector::ResidualCorrector(int channels, uint64_t seed) {
+  Rng rng(seed);
+  conv1_ = nn::Conv2d(3, channels, 3, 1, 1, rng);
+  conv2_ = nn::Conv2d(channels, channels, 3, 1, 1, rng);
+  conv3_ = nn::Conv2d(channels, 3, 3, 1, 1, rng);
+}
+
+std::vector<nn::Tensor> ResidualCorrector::params() const {
+  std::vector<nn::Tensor> p;
+  conv1_.collect(p);
+  conv2_.collect(p);
+  conv3_.collect(p);
+  return p;
+}
+
+nn::Tensor ResidualCorrector::forward(const nn::Tensor& x) const {
+  nn::Tensor h = nn::relu(conv1_(x));
+  h = nn::relu(conv2_(h));
+  h = conv3_(h);
+  return nn::add(x, h);
+}
+
+Image ResidualCorrector::apply(const Image& rgb) const {
+  nn::NoGradGuard no_grad;
+  return tensor_to_image(forward(image_to_tensor(rgb)));
+}
+
+void ResidualCorrector::train(int steps, int image_size, int quality,
+                              uint64_t seed) {
+  nn::Adam opt(params(), 1e-3f);
+  Rng rng(seed);
+  for (int step = 0; step < steps; ++step) {
+    const int index = rng.uniform_int(0, 1 << 20);
+    const Image original = data::training_image(index, image_size);
+    // Sender: JPEG + DC drop. Receiver: SmartCom recovery.
+    auto coeffs = jpeg::forward_transform(original, quality);
+    jpeg::drop_dc(coeffs);
+    const Image recovered =
+        recover_dc(coeffs, RecoveryMethod::kSmartCom2019);
+    const nn::Tensor x = image_to_tensor(recovered);
+    const nn::Tensor target = image_to_tensor(original);
+    nn::Tensor loss = nn::mse_loss(forward(x), target);
+    opt.zero_grad();
+    loss.backward();
+    opt.step();
+  }
+}
+
+std::string ResidualCorrector::train_or_load(int steps, int image_size,
+                                             int quality) {
+  const std::string path = nn::cache_path("tii2021_corrector.bin");
+  std::vector<nn::Tensor> p = params();
+  if (!nn::load_params(p, path)) {
+    train(steps, image_size, quality, /*seed=*/2021);
+    nn::save_params(p, path);
+  }
+  return path;
+}
+
+Image recover_tii2021(const jpeg::CoeffImage& dropped,
+                      const ResidualCorrector& corrector) {
+  const Image recovered =
+      recover_dc(dropped, RecoveryMethod::kSmartCom2019);
+  if (recovered.color_space() != ColorSpace::kRGB) {
+    // Grayscale inputs skip the (3-channel) corrector gracefully.
+    return recovered;
+  }
+  return corrector.apply(recovered);
+}
+
+const ResidualCorrector& shared_corrector() {
+  static ResidualCorrector corrector = [] {
+    ResidualCorrector c;
+    c.train_or_load();
+    return c;
+  }();
+  return corrector;
+}
+
+}  // namespace dcdiff::baselines

@@ -1,0 +1,50 @@
+// IEEE TII 2021 baseline [19]: iterative DC recovery (SmartCom-2019
+// predictor) followed by a residual CNN that revises the recovered image.
+// Trained with plain MSE, which is exactly what produces the over-smoothing
+// / high-LPIPS behaviour Table I attributes to this method.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "baselines/dc_recovery.h"
+#include "image/image.h"
+#include "jpeg/codec.h"
+#include "nn/modules.h"
+
+namespace dcdiff::baselines {
+
+// Small residual corrector: conv(3->C) - ReLU - conv(C->C) - ReLU -
+// conv(C->3), output added to the input (global residual learning).
+class ResidualCorrector {
+ public:
+  explicit ResidualCorrector(int channels = 16, uint64_t seed = 11);
+
+  std::vector<nn::Tensor> params() const;
+
+  // x: (N,3,H,W) in [0,1]. Returns corrected (N,3,H,W).
+  nn::Tensor forward(const nn::Tensor& x) const;
+
+  // Applies the corrector to an RGB image ([0,255] convention).
+  Image apply(const Image& rgb) const;
+
+  // Trains on synthetic (recovered, original) pairs with MSE; see .cpp for
+  // the workload. Deterministic given the seed.
+  void train(int steps, int image_size, int quality, uint64_t seed);
+
+  // Loads cached weights or trains and caches. Returns the path used.
+  std::string train_or_load(int steps = 120, int image_size = 64,
+                            int quality = 50);
+
+ private:
+  nn::Conv2d conv1_, conv2_, conv3_;
+};
+
+// Full TII-2021 pipeline on a DC-dropped coefficient image.
+Image recover_tii2021(const jpeg::CoeffImage& dropped,
+                      const ResidualCorrector& corrector);
+
+// Process-wide corrector trained/loaded on first use (shared by benches).
+const ResidualCorrector& shared_corrector();
+
+}  // namespace dcdiff::baselines

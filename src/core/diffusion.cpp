@@ -1,0 +1,221 @@
+#include "core/diffusion.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace dcdiff::core {
+
+using namespace dcdiff::nn;
+
+DiffusionSchedule DiffusionSchedule::linear(int T, float beta_start,
+                                            float beta_end) {
+  DiffusionSchedule s;
+  s.T = T;
+  s.beta.resize(static_cast<size_t>(T));
+  s.alpha_bar.resize(static_cast<size_t>(T));
+  s.sqrt_ab.resize(static_cast<size_t>(T));
+  s.sqrt_one_m_ab.resize(static_cast<size_t>(T));
+  double ab = 1.0;
+  for (int t = 0; t < T; ++t) {
+    const float b = beta_start + (beta_end - beta_start) *
+                                     static_cast<float>(t) /
+                                     static_cast<float>(T - 1);
+    s.beta[static_cast<size_t>(t)] = b;
+    ab *= 1.0 - b;
+    s.sqrt_ab[static_cast<size_t>(t)] = static_cast<float>(std::sqrt(ab));
+  }
+  // Zero-terminal-SNR rescaling: a short linear-beta schedule leaves
+  // alpha_bar(T) well above zero, so q(z_T|z0) would still carry signal
+  // while sampling starts from pure noise -- a train/test mismatch that
+  // wrecks low-step DDIM. Shift/rescale sqrt(alpha_bar) so the final step
+  // is exactly signal-free (Lin et al.'s "zero terminal SNR" fix).
+  {
+    const float s0 = s.sqrt_ab[0];
+    const float sT = s.sqrt_ab[static_cast<size_t>(T - 1)];
+    const float denom = std::max(1e-6f, s0 - sT);
+    for (int t = 0; t < T; ++t) {
+      float& v = s.sqrt_ab[static_cast<size_t>(t)];
+      v = (v - sT) * s0 / denom;
+    }
+  }
+  for (int t = 0; t < T; ++t) {
+    const float sab = s.sqrt_ab[static_cast<size_t>(t)];
+    s.alpha_bar[static_cast<size_t>(t)] = sab * sab;
+    s.sqrt_one_m_ab[static_cast<size_t>(t)] =
+        static_cast<float>(std::sqrt(std::max(0.0f, 1.0f - sab * sab)));
+  }
+  return s;
+}
+
+namespace {
+int gn_groups(int channels) {
+  for (int g = 8; g > 1; --g) {
+    if (channels % g == 0) return g;
+  }
+  return 1;
+}
+}  // namespace
+
+ControlModule::ControlModule(const UNetConfig& cfg, uint64_t seed) {
+  Rng rng(seed ^ 0xC0117701ull);
+  in_ = Conv2d(3, cfg.base / 2, 3, 2, 1, rng);
+  n1_ = GroupNorm(cfg.base / 2, gn_groups(cfg.base / 2));
+  down_ = Conv2d(cfg.base / 2, cfg.base, 3, 2, 1, rng);
+  n2_ = GroupNorm(cfg.base, gn_groups(cfg.base));
+  proj1_ = Conv2d(cfg.base, cfg.base, 3, 1, 1, rng);
+  proj2_ = Conv2d(cfg.base, 2 * cfg.base, 3, 2, 1, rng);
+}
+
+ControlModule::Features ControlModule::forward(const Tensor& tilde) const {
+  Tensor h = silu(n1_(in_(tilde)));
+  h = silu(n2_(down_(h)));
+  Features f;
+  f.c1 = proj1_(h);
+  f.c2 = proj2_(h);
+  return f;
+}
+
+std::vector<Tensor> ControlModule::params() const {
+  std::vector<Tensor> p;
+  in_.collect(p);
+  n1_.collect(p);
+  down_.collect(p);
+  n2_.collect(p);
+  proj1_.collect(p);
+  proj2_.collect(p);
+  return p;
+}
+
+UNet::UNet(const UNetConfig& cfg, uint64_t seed) : cfg_(cfg) {
+  Rng rng(seed ^ 0x0DD51ull);
+  temb1_ = Linear(cfg.temb_dim, cfg.temb_dim, rng);
+  temb2_ = Linear(cfg.temb_dim, cfg.temb_dim, rng);
+  conv_in_ = Conv2d(cfg.z_channels, cfg.base, 3, 1, 1, rng);
+  res_down_ = ResBlock(cfg.base, cfg.base, cfg.temb_dim, rng);
+  downsample_ = Conv2d(cfg.base, cfg.base, 3, 2, 1, rng);
+  res_mid1_ = ResBlock(cfg.base, 2 * cfg.base, cfg.temb_dim, rng);
+  if (cfg.mid_attention) mid_attn_ = AttnBlock(2 * cfg.base, rng);
+  res_mid2_ = ResBlock(2 * cfg.base, 2 * cfg.base, cfg.temb_dim, rng);
+  res_up_ = ResBlock(3 * cfg.base, cfg.base, cfg.temb_dim, rng);
+  norm_out_ = GroupNorm(cfg.base, gn_groups(cfg.base));
+  conv_out_ = Conv2d(cfg.base, cfg.z_channels, 3, 1, 1, rng);
+}
+
+Tensor UNet::forward(const Tensor& z_t, const std::vector<int>& t,
+                     const ControlModule::Features& ctrl, const Tensor& s,
+                     const Tensor& b) const {
+  if (static_cast<int>(t.size()) != z_t.dim(0)) {
+    throw std::invalid_argument("UNet: timestep count != batch");
+  }
+  Tensor temb = timestep_embedding(t, cfg_.temb_dim);
+  temb = temb2_(silu(temb1_(temb)));
+
+  Tensor h0 = add(conv_in_(z_t), ctrl.c1);
+  Tensor skip = res_down_(h0, temb);
+  Tensor hd = downsample_(skip);
+  Tensor hm = add(res_mid1_(hd, temb), ctrl.c2);
+  if (cfg_.mid_attention) hm = mid_attn_(hm);
+  hm = res_mid2_(hm, temb);
+  Tensor backbone = upsample_nearest2x(hm);
+  // FreeU-style frequency modulation: re-weight backbone vs skip features.
+  if (s.defined()) backbone = mul_per_sample(backbone, s);
+  Tensor skip_mod = b.defined() ? mul_per_sample(skip, b) : skip;
+  Tensor hu = res_up_(concat_channels(skip_mod, backbone), temb);
+  return conv_out_(silu(norm_out_(hu)));
+}
+
+std::vector<Tensor> UNet::params() const {
+  std::vector<Tensor> p;
+  temb1_.collect(p);
+  temb2_.collect(p);
+  conv_in_.collect(p);
+  res_down_.collect(p);
+  downsample_.collect(p);
+  res_mid1_.collect(p);
+  if (cfg_.mid_attention) mid_attn_.collect(p);
+  res_mid2_.collect(p);
+  res_up_.collect(p);
+  norm_out_.collect(p);
+  conv_out_.collect(p);
+  return p;
+}
+
+Tensor predict_z0(const Tensor& z_t, const Tensor& eps,
+                  const DiffusionSchedule& sched, const std::vector<int>& t) {
+  const int n = z_t.dim(0);
+  std::vector<float> inv_sab(static_cast<size_t>(n));
+  std::vector<float> ratio(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    const int ti = t[static_cast<size_t>(i)];
+    // Guard the zero-terminal-SNR endpoint (sqrt_ab == 0 at t = T-1).
+    const float sab = std::max(1e-4f, sched.sqrt_ab[static_cast<size_t>(ti)]);
+    inv_sab[static_cast<size_t>(i)] = 1.0f / sab;
+    ratio[static_cast<size_t>(i)] =
+        sched.sqrt_one_m_ab[static_cast<size_t>(ti)] / sab;
+  }
+  const Tensor a = mul_per_sample(z_t, Tensor::from_data({n}, inv_sab));
+  const Tensor e = mul_per_sample(eps, Tensor::from_data({n}, ratio));
+  return sub(a, e);
+}
+
+Tensor eps_from_z0(const Tensor& z_t, const Tensor& z0,
+                   const DiffusionSchedule& sched, const std::vector<int>& t) {
+  const int n = z_t.dim(0);
+  std::vector<float> inv_s1m(static_cast<size_t>(n));
+  std::vector<float> ratio(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    const int ti = t[static_cast<size_t>(i)];
+    const float s1m = std::max(1e-4f,
+                               sched.sqrt_one_m_ab[static_cast<size_t>(ti)]);
+    inv_s1m[static_cast<size_t>(i)] = 1.0f / s1m;
+    ratio[static_cast<size_t>(i)] =
+        sched.sqrt_ab[static_cast<size_t>(ti)] / s1m;
+  }
+  const Tensor a = mul_per_sample(z_t, Tensor::from_data({n}, inv_s1m));
+  const Tensor b = mul_per_sample(z0, Tensor::from_data({n}, ratio));
+  return sub(a, b);
+}
+
+Tensor ddim_sample(const UNet& unet, const DiffusionSchedule& sched,
+                   const ControlModule::Features& ctrl, const Tensor& noise,
+                   int steps, const Tensor& s, const Tensor& b,
+                   Prediction prediction) {
+  NoGradGuard no_grad;
+  const int n = noise.dim(0);
+  if (steps < 1 || steps > sched.T) {
+    throw std::invalid_argument("ddim_sample: bad step count");
+  }
+  // Evenly spaced timestep subsequence (descending).
+  std::vector<int> ts(static_cast<size_t>(steps));
+  for (int i = 0; i < steps; ++i) {
+    ts[static_cast<size_t>(i)] =
+        static_cast<int>(static_cast<int64_t>(sched.T - 1) * i / std::max(1, steps - 1));
+  }
+  Tensor z = noise;
+  for (int k = steps - 1; k >= 0; --k) {
+    const int t = ts[static_cast<size_t>(k)];
+    const std::vector<int> tvec(static_cast<size_t>(n), t);
+    const Tensor pred = unet.forward(z, tvec, ctrl, s, b);
+    Tensor z0, eps;
+    if (prediction == Prediction::kEps) {
+      eps = pred;
+      z0 = predict_z0(z, eps, sched, tvec);
+    } else {
+      z0 = pred;
+    }
+    // Latents are tanh-bounded by the DC encoder; clamp the estimate.
+    for (float& v : z0.value()) v = std::clamp(v, -1.2f, 1.2f);
+    if (prediction == Prediction::kX0) eps = eps_from_z0(z, z0, sched, tvec);
+    if (k == 0) {
+      z = z0;
+      break;
+    }
+    const int t_prev = ts[static_cast<size_t>(k - 1)];
+    const float sab = sched.sqrt_ab[static_cast<size_t>(t_prev)];
+    const float s1m = sched.sqrt_one_m_ab[static_cast<size_t>(t_prev)];
+    z = add(scale(z0, sab), scale(eps, s1m));
+  }
+  return z;
+}
+
+}  // namespace dcdiff::core

@@ -1,0 +1,110 @@
+// Latent diffusion machinery (Section III-B/D): DDPM schedule, the noise
+// prediction UNet with its ControlNet-style control module (structure
+// conditioning on x-tilde), and a DDIM sampler with FreeU-style frequency
+// modulation (per-sample backbone/skip scale factors s and b).
+#pragma once
+
+#include <vector>
+
+#include "nn/modules.h"
+
+namespace dcdiff::core {
+
+// Linear-beta DDPM schedule with precomputed cumulative products.
+struct DiffusionSchedule {
+  int T = 0;
+  std::vector<float> beta;
+  std::vector<float> alpha_bar;      // prod (1 - beta)
+  std::vector<float> sqrt_ab;        // sqrt(alpha_bar)
+  std::vector<float> sqrt_one_m_ab;  // sqrt(1 - alpha_bar)
+
+  static DiffusionSchedule linear(int T, float beta_start = 1e-4f,
+                                  float beta_end = 2e-2f);
+};
+
+struct UNetConfig {
+  int z_channels = 4;
+  int base = 32;     // channel width at latent resolution
+  int temb_dim = 64;
+  // Optional single-head self-attention in the mid block (the SD UNet's
+  // mid-attention). Off by default: at this latent size the conv path
+  // already sees the whole field, and disabling keeps weight caches stable.
+  bool mid_attention = false;
+};
+
+// Control module: extracts structure features from x-tilde at the two UNet
+// resolutions. Injected additively (zero-impact at init is approximated by
+// the small random init of the projection convs).
+class ControlModule {
+ public:
+  ControlModule(const UNetConfig& cfg, uint64_t seed);
+  struct Features {
+    nn::Tensor c1;  // (N, base,   H/4, W/4)
+    nn::Tensor c2;  // (N, 2*base, H/8, W/8)
+  };
+  Features forward(const nn::Tensor& tilde) const;
+  std::vector<nn::Tensor> params() const;
+
+ private:
+  nn::Conv2d in_, down_, proj1_, proj2_;
+  nn::GroupNorm n1_, n2_;
+};
+
+// Two-level UNet over the latent. The up-path concatenation applies the
+// FreeU-style modulation: backbone features scaled by `s`, skip features by
+// `b` (per-sample scalars; pass undefined tensors for the unmodulated s=b=1).
+class UNet {
+ public:
+  UNet(const UNetConfig& cfg, uint64_t seed);
+
+  nn::Tensor forward(const nn::Tensor& z_t, const std::vector<int>& t,
+                     const ControlModule::Features& ctrl,
+                     const nn::Tensor& s = nn::Tensor(),
+                     const nn::Tensor& b = nn::Tensor()) const;
+  std::vector<nn::Tensor> params() const;
+  const UNetConfig& config() const { return cfg_; }
+
+ private:
+  UNetConfig cfg_;
+  nn::Linear temb1_, temb2_;
+  nn::Conv2d conv_in_;
+  nn::ResBlock res_down_;
+  nn::Conv2d downsample_;
+  nn::ResBlock res_mid1_, res_mid2_;
+  nn::AttnBlock mid_attn_;  // used only when cfg.mid_attention
+  nn::ResBlock res_up_;
+  nn::GroupNorm norm_out_;
+  nn::Conv2d conv_out_;
+};
+
+// What the noise-prediction network's output parameterizes.
+enum class Prediction {
+  kEps,  // classic DDPM epsilon-prediction
+  kX0,   // direct z0-prediction (x0-parameterization); more accurate at low
+         // step counts for strongly-conditioned latents, used by default
+};
+
+// DDIM sampling (eta = 0) of a z0 latent. `steps` evenly-spaced timesteps;
+// `noise` is the initial z_T (shape (N, z_channels, h, w)); s/b as in
+// UNet::forward. Runs under NoGradGuard.
+nn::Tensor ddim_sample(const UNet& unet, const DiffusionSchedule& sched,
+                       const ControlModule::Features& ctrl,
+                       const nn::Tensor& noise, int steps,
+                       const nn::Tensor& s = nn::Tensor(),
+                       const nn::Tensor& b = nn::Tensor(),
+                       Prediction prediction = Prediction::kEps);
+
+// Recovers z0 from (z_t, predicted eps) at timestep t:
+//   z0 = (z_t - sqrt(1-ab_t) eps) / sqrt(ab_t)     (per-sample t)
+// Differentiable; used by the stage-2 MLD projection.
+nn::Tensor predict_z0(const nn::Tensor& z_t, const nn::Tensor& eps,
+                      const DiffusionSchedule& sched,
+                      const std::vector<int>& t);
+
+// Inverse relation for the x0-parameterization:
+//   eps = (z_t - sqrt(ab_t) z0) / sqrt(1-ab_t)
+nn::Tensor eps_from_z0(const nn::Tensor& z_t, const nn::Tensor& z0,
+                       const DiffusionSchedule& sched,
+                       const std::vector<int>& t);
+
+}  // namespace dcdiff::core

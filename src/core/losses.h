@@ -1,0 +1,39 @@
+// DCDiff's training losses.
+//
+// * Masked Laplacian distribution (MLD) loss — Eq. 4 of the paper: penalizes
+//   the second differences of the reconstruction in low-frequency regions
+//   selected by the spatial mask of Eq. 3 (|x-tilde| <= T), so the generated
+//   DC field satisfies the Laplacian neighbour-difference property exactly
+//   where natural images do.
+// * Corner-anchor loss — the content-consistency constraint against the four
+//   corner blocks whose DC is retained (Section III-C): a masked MSE between
+//   the reconstruction and the known corner-block pixels.
+// * Gradient L1 — the stage-1 perceptual term (L_per): L1 distance between
+//   horizontal/vertical image gradients, sensitive to structure rather than
+//   absolute intensity.
+#pragma once
+
+#include "image/image.h"
+#include "nn/tensor.h"
+
+namespace dcdiff::core {
+
+// Eq. 3: 1 where |luma of tilde| <= threshold, 0 elsewhere. Returned as a
+// constant (no-grad) (1,1,H,W) tensor aligned with the model input.
+nn::Tensor laplacian_mask(const Image& tilde, float threshold);
+
+// Eq. 4 on xhat (N,C,H,W) with mask (N,1,H,W) or (1,1,H,W) shared across the
+// batch; mean over the masked second differences of all channels.
+nn::Tensor mld_loss(const nn::Tensor& xhat, const nn::Tensor& mask);
+
+// (1,1,H,W) tensor that is 1 inside the four 8x8 corner blocks.
+nn::Tensor corner_mask(int height, int width, int block = 8);
+
+// Mean squared error restricted to mask (same broadcasting as mld_loss).
+nn::Tensor masked_mse(const nn::Tensor& a, const nn::Tensor& b,
+                      const nn::Tensor& mask);
+
+// L1 between horizontal+vertical forward differences of a and b (N,C,H,W).
+nn::Tensor gradient_l1_loss(const nn::Tensor& a, const nn::Tensor& b);
+
+}  // namespace dcdiff::core

@@ -1,0 +1,397 @@
+#include "core/pipeline.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "core/losses.h"
+#include "core/postprocess.h"
+#include "core/tensor_image.h"
+#include "data/datasets.h"
+#include "jpeg/dcdrop.h"
+#include "nn/cache.h"
+#include "nn/optim.h"
+#include "nn/serialize.h"
+
+namespace dcdiff::core {
+
+using namespace dcdiff::nn;
+
+struct DCDiffModel::Sample {
+  Tensor x0;     // (1,3,H,W) in [-1,1]
+  Tensor tilde;  // (1,3,H,W) x-tilde / 128
+  Tensor mask;   // (1,1,H,W) Eq. 3 mask
+};
+
+DCDiffModel::DCDiffModel(const DCDiffConfig& cfg)
+    : cfg_(cfg), sched_(DiffusionSchedule::linear(cfg.diffusion_T)) {
+  ae_ = std::make_unique<Autoencoder>(cfg.ae, cfg.seed);
+  disc_ = std::make_unique<PatchDiscriminator>(cfg.seed ^ 0xD15Cull);
+  control_ = std::make_unique<ControlModule>(cfg.unet, cfg.seed);
+  unet_ = std::make_unique<UNet>(cfg.unet, cfg.seed);
+  fmpp_ = std::make_unique<FMPP>(cfg.seed);
+}
+
+DCDiffModel::Sample DCDiffModel::make_sample(int index) const {
+  Sample s;
+  const Image x0 = data::training_image(index, cfg_.image_size);
+  auto coeffs = jpeg::forward_transform(x0, cfg_.quality);
+  jpeg::drop_dc(coeffs);
+  const Image tilde = jpeg::tilde_image(coeffs);
+  s.x0 = rgb_to_tensor(x0);
+  s.tilde = tilde_to_tensor(tilde);
+  s.mask = laplacian_mask(tilde, cfg_.mask_threshold);
+  return s;
+}
+
+namespace {
+
+Tensor randn_like_shape(std::vector<int> shape, Rng& rng) {
+  std::vector<float> data(shape_numel(shape));
+  for (float& v : data) v = rng.normal();
+  return Tensor::from_data(std::move(shape), std::move(data));
+}
+
+void set_requires_grad(const std::vector<Tensor>& params, bool value) {
+  for (Tensor p : params) p.set_requires_grad(value);
+}
+
+}  // namespace
+
+void DCDiffModel::train_stage1() {
+  set_requires_grad(ae_->params(), true);
+  Adam opt(ae_->params(), 1e-3f);
+  Adam dopt(disc_->params(), 1e-3f);
+  Rng rng(cfg_.seed ^ 0x57A6E1ull);
+  const int gan_start = cfg_.stage1_steps / 3;
+  for (int step = 0; step < cfg_.stage1_steps; ++step) {
+    if (step == (3 * cfg_.stage1_steps) / 5) opt.set_lr(opt.lr() * 0.4f);
+    std::vector<Tensor> x0s, tildes;
+    for (int i = 0; i < cfg_.batch; ++i) {
+      const Sample s = make_sample(rng.uniform_int(0, 1 << 20));
+      x0s.push_back(s.x0);
+      tildes.push_back(s.tilde);
+    }
+    const Tensor x0 = stack_batch(x0s);
+    const Tensor tilde = stack_batch(tildes);
+
+    const Tensor z = ae_->encode_dc(x0);
+    const ACFeatures ac = ae_->encode_ac(tilde);
+    const Tensor xhat = ae_->decode(z, ac);
+
+    // L_fir = L_rec + L_per + L_dis (Eq. 5), plus the DC-fidelity term
+    // (block-mean MSE): E^DC exists to carry the DC field, so the
+    // reconstruction's 8x8 means are the quantity that must be right.
+    Tensor loss = add(l1_loss(xhat, x0),
+                      scale(gradient_l1_loss(xhat, x0), 0.5f));
+    loss = add(loss, scale(mse_loss(avg_pool2d(xhat, 8), avg_pool2d(x0, 8)),
+                           cfg_.dc_weight));
+    const bool gan = step >= gan_start;
+    if (gan) {
+      loss = add(loss, scale(hinge_g_loss(disc_->forward(xhat)), 0.05f));
+    }
+    opt.zero_grad();
+    dopt.zero_grad();  // generator pass also touches disc grads
+    loss.backward();
+    opt.step();
+    if (cfg_.verbose && step % 100 == 0) {
+      std::fprintf(stderr, "[stage1 %4d/%d] loss %.4f\n", step,
+                   cfg_.stage1_steps, loss.item());
+    }
+
+    if (gan) {
+      const Tensor d_real = disc_->forward(x0);
+      const Tensor d_fake = disc_->forward(xhat.detach());
+      Tensor d_loss = hinge_d_loss(d_real, d_fake);
+      dopt.zero_grad();
+      d_loss.backward();
+      dopt.step();
+    }
+  }
+}
+
+void DCDiffModel::train_stage2() {
+  // Stage 2 freezes E^DC, E^AC and D (paper Section III-E) and trains the
+  // noise prediction network + control module.
+  set_requires_grad(ae_->params(), false);
+  std::vector<Tensor> params = unet_->params();
+  {
+    auto cp = control_->params();
+    params.insert(params.end(), cp.begin(), cp.end());
+  }
+  set_requires_grad(params, true);
+  Adam opt(params, 1e-3f);
+  Rng rng(cfg_.seed ^ 0xD1FFu);
+  // Paper: finetune with L_ldm first, then add the pixel-space terms.
+  // The decode branch (DC fidelity + corner anchor) always runs in the
+  // second phase; only the MLD term itself is gated by use_mld, so the
+  // "w/o MLD" ablation isolates exactly that loss.
+  const int decode_start = cfg_.stage2_steps / 4;
+  for (int step = 0; step < cfg_.stage2_steps; ++step) {
+    if (step == (7 * cfg_.stage2_steps) / 10) opt.set_lr(opt.lr() * 0.4f);
+    std::vector<Tensor> x0s, tildes, masks;
+    for (int i = 0; i < cfg_.batch; ++i) {
+      const Sample s = make_sample(rng.uniform_int(0, 1 << 20));
+      x0s.push_back(s.x0);
+      tildes.push_back(s.tilde);
+      masks.push_back(s.mask);
+    }
+    const Tensor x0 = stack_batch(x0s);
+    const Tensor tilde = stack_batch(tildes);
+    const Tensor mask = stack_batch(masks);
+
+    Tensor z0;
+    ACFeatures acfeat;
+    {
+      NoGradGuard no_grad;
+      z0 = ae_->encode_dc(x0);
+      acfeat = ae_->encode_ac(tilde);
+    }
+    const int n = z0.dim(0);
+    std::vector<int> t(static_cast<size_t>(n));
+    std::vector<float> sab(static_cast<size_t>(n)),
+        s1m(static_cast<size_t>(n));
+    for (int i = 0; i < n; ++i) {
+      t[static_cast<size_t>(i)] = rng.uniform_int(0, sched_.T - 1);
+      sab[static_cast<size_t>(i)] =
+          sched_.sqrt_ab[static_cast<size_t>(t[static_cast<size_t>(i)])];
+      s1m[static_cast<size_t>(i)] = sched_.sqrt_one_m_ab[static_cast<size_t>(
+          t[static_cast<size_t>(i)])];
+    }
+    const Tensor eps = randn_like_shape(z0.shape(), rng);
+    const Tensor z_t =
+        add(mul_per_sample(z0, Tensor::from_data({n}, sab)),
+            mul_per_sample(eps, Tensor::from_data({n}, s1m)));
+
+    const ControlModule::Features ctrl = control_->forward(tilde);
+    const Tensor pred = unet_->forward(z_t, t, ctrl);
+    // L_ldm: match the network's parameterization target.
+    Tensor loss = cfg_.prediction == Prediction::kEps ? mse_loss(pred, eps)
+                                                      : mse_loss(pred, z0);
+    const float ldm_value = loss.item();
+    if (step >= decode_start) {
+      // Project to z0, decode to pixel space (Markov projection of III-E).
+      const Tensor z0_pred = cfg_.prediction == Prediction::kEps
+                                 ? predict_z0(z_t, pred, sched_, t)
+                                 : pred;
+      const Tensor xhat = ae_->decode(z0_pred, acfeat);
+      const Tensor corners = corner_mask(cfg_.image_size, cfg_.image_size);
+      loss = add(loss, scale(masked_mse(xhat, x0, corners),
+                             cfg_.corner_weight));
+      loss = add(loss,
+                 scale(mse_loss(avg_pool2d(xhat, 8), avg_pool2d(x0, 8)),
+                       cfg_.dc_weight));
+      if (cfg_.use_mld) {
+        loss = add(loss, scale(mld_loss(xhat, mask), cfg_.mld_weight));
+      }
+    }
+    opt.zero_grad();
+    loss.backward();
+    opt.step();
+    if (cfg_.verbose && step % 100 == 0) {
+      std::fprintf(stderr, "[stage2 %4d/%d] loss %.4f (ldm %.4f)\n", step,
+                   cfg_.stage2_steps, loss.item(), ldm_value);
+    }
+  }
+}
+
+void DCDiffModel::train_fmpp() {
+  set_requires_grad(ae_->params(), false);
+  set_requires_grad(unet_->params(), false);
+  set_requires_grad(control_->params(), false);
+  set_requires_grad(fmpp_->params(), true);
+  Adam opt(fmpp_->params(), 1e-3f);
+  Rng rng(cfg_.seed ^ 0xF4997ull);
+  const int steps = std::max(2, cfg_.ddim_steps / 2);  // cheaper inner loop
+  for (int step = 0; step < cfg_.fmpp_steps; ++step) {
+    const Sample s = make_sample(rng.uniform_int(0, 1 << 20));
+    ACFeatures acfeat;
+    ControlModule::Features ctrl;
+    {
+      NoGradGuard no_grad;
+      acfeat = ae_->encode_ac(s.tilde);
+      ctrl = control_->forward(s.tilde);
+    }
+    const FMPP::Factors f = fmpp_->forward(s.tilde);
+
+    // DDIM down to the final step without a tape, final step with gradients
+    // flowing through the modulation factors (truncated backprop; the full
+    // chain is CPU-infeasible -- see DESIGN.md).
+    std::vector<int> ts(static_cast<size_t>(steps));
+    for (int i = 0; i < steps; ++i) {
+      ts[static_cast<size_t>(i)] = static_cast<int>(
+          static_cast<int64_t>(sched_.T - 1) * i / std::max(1, steps - 1));
+    }
+    Tensor z = randn_like_shape(
+        {1, cfg_.unet.z_channels, cfg_.image_size / 4, cfg_.image_size / 4},
+        rng);
+    const bool x0_mode = cfg_.prediction == Prediction::kX0;
+    {
+      NoGradGuard no_grad;
+      for (int k = steps - 1; k >= 1; --k) {
+        const std::vector<int> tvec(1, ts[static_cast<size_t>(k)]);
+        const Tensor pred = unet_->forward(z, tvec, ctrl, f.s, f.b);
+        Tensor z0 = x0_mode ? pred : predict_z0(z, pred, sched_, tvec);
+        for (float& v : z0.value()) v = std::clamp(v, -1.2f, 1.2f);
+        const Tensor eps =
+            x0_mode ? eps_from_z0(z, z0, sched_, tvec) : pred;
+        const int t_prev = ts[static_cast<size_t>(k - 1)];
+        z = add(scale(z0, sched_.sqrt_ab[static_cast<size_t>(t_prev)]),
+                scale(eps,
+                      sched_.sqrt_one_m_ab[static_cast<size_t>(t_prev)]));
+      }
+    }
+    const std::vector<int> t0(1, ts[0]);
+    const Tensor pred = unet_->forward(z, t0, ctrl, f.s, f.b);
+    const Tensor z0_pred =
+        x0_mode ? pred : predict_z0(z, pred, sched_, t0);
+    const Tensor xhat = ae_->decode(z0_pred, acfeat);
+    Tensor loss = mse_loss(xhat, s.x0);
+    opt.zero_grad();
+    loss.backward();
+    opt.step();
+  }
+}
+
+void DCDiffModel::train_or_load() {
+  const std::string ae_path = cache_path("dcdiff_" + cfg_.ae_tag + ".bin");
+  {
+    std::vector<Tensor> p = ae_->params();
+    if (!load_params(p, ae_path)) {
+      train_stage1();
+      save_params(ae_->params(), ae_path);
+    }
+  }
+  const std::string diff_path = cache_path("dcdiff_" + cfg_.tag + "_diff.bin");
+  {
+    std::vector<Tensor> p = unet_->params();
+    auto cp = control_->params();
+    p.insert(p.end(), cp.begin(), cp.end());
+    if (!load_params(p, diff_path)) {
+      train_stage2();
+      std::vector<Tensor> all = unet_->params();
+      auto cp2 = control_->params();
+      all.insert(all.end(), cp2.begin(), cp2.end());
+      save_params(all, diff_path);
+    }
+  }
+  const std::string fmpp_path = cache_path("dcdiff_" + cfg_.tag + "_fmpp.bin");
+  {
+    std::vector<Tensor> p = fmpp_->params();
+    if (!load_params(p, fmpp_path)) {
+      train_fmpp();
+      save_params(fmpp_->params(), fmpp_path);
+    }
+  }
+  // Inference-ready: no parameter needs a tape.
+  set_requires_grad(ae_->params(), false);
+  set_requires_grad(unet_->params(), false);
+  set_requires_grad(control_->params(), false);
+  set_requires_grad(fmpp_->params(), false);
+  set_requires_grad(disc_->params(), false);
+}
+
+namespace {
+
+
+
+}  // namespace
+
+Image DCDiffModel::reconstruct(const jpeg::CoeffImage& dropped, bool use_fmpp,
+                               int ddim_steps) const {
+  NoGradGuard no_grad;
+  const Image tilde_raw = jpeg::tilde_image(dropped);
+  // Convs need dims divisible by 8 (latent /4, one UNet downsample).
+  const Image tilde = pad_to_multiple(tilde_raw, 8);
+  const Tensor tilde_t = tilde_to_tensor(tilde);
+
+  const ControlModule::Features ctrl = control_->forward(tilde_t);
+  const ACFeatures acfeat = ae_->encode_ac(tilde_t);
+  Tensor s, b;
+  if (use_fmpp) {
+    const FMPP::Factors f = fmpp_->forward(tilde_t);
+    s = f.s;
+    b = f.b;
+  }
+  Rng rng(cfg_.seed ^ 0x5A3D1Eull);
+  const int steps = ddim_steps > 0 ? ddim_steps : cfg_.ddim_steps;
+  // Posterior-mean estimate: average the z0 samples of a small ensemble of
+  // independent noise seeds (deterministic: seeds derive from the config).
+  const int ensemble = std::max(1, cfg_.sample_ensemble);
+  Tensor z0;
+  for (int e = 0; e < ensemble; ++e) {
+    const Tensor noise = randn_like_shape(
+        {1, cfg_.unet.z_channels, tilde.height() / 4, tilde.width() / 4},
+        rng);
+    const Tensor sample = ddim_sample(*unet_, sched_, ctrl, noise, steps, s,
+                                      b, cfg_.prediction);
+    z0 = e == 0 ? sample : add(z0, sample);
+  }
+  if (ensemble > 1) z0 = scale(z0, 1.0f / static_cast<float>(ensemble));
+  const Tensor xhat_t = ae_->decode(z0, acfeat);
+  Image rgb = tensor_to_rgb(xhat_t);
+  rgb = anchor_to_corners(rgb, tilde);
+  if (rgb.width() != dropped.width || rgb.height() != dropped.height) {
+    rgb = crop(rgb, 0, 0, dropped.width, dropped.height);
+  }
+  return project_onto_known_ac(rgb, dropped);
+}
+
+Image DCDiffModel::autoencode(const Image& original,
+                              const jpeg::CoeffImage& dropped) const {
+  NoGradGuard no_grad;
+  const Image tilde = pad_to_multiple(jpeg::tilde_image(dropped), 8);
+  const Image padded = pad_to_multiple(original, 8);
+  const Tensor z = ae_->encode_dc(rgb_to_tensor(padded));
+  const ACFeatures ac = ae_->encode_ac(tilde_to_tensor(tilde));
+  Image rgb = tensor_to_rgb(ae_->decode(z, ac));
+  if (rgb.width() != original.width() || rgb.height() != original.height()) {
+    rgb = crop(rgb, 0, 0, original.width(), original.height());
+  }
+  return rgb;
+}
+
+SenderOutput sender_encode(const Image& rgb, int quality) {
+  SenderOutput out;
+  auto coeffs = jpeg::forward_transform(rgb, quality);
+  out.standard_bits = jpeg::entropy_bit_count(coeffs);
+  jpeg::drop_dc(coeffs);
+  out.dropped_bits = jpeg::entropy_bit_count(coeffs);
+  out.bytes = jpeg::encode_jfif(coeffs);
+  return out;
+}
+
+Image receiver_reconstruct(const std::vector<uint8_t>& bytes,
+                           const DCDiffModel& model) {
+  return model.reconstruct(jpeg::decode_jfif(bytes));
+}
+
+const DCDiffModel& shared_model() {
+  static DCDiffModel* model = [] {
+    auto* m = new DCDiffModel(DCDiffConfig{});
+    m->train_or_load();
+    return m;
+  }();
+  return *model;
+}
+
+std::unique_ptr<DCDiffModel> make_variant_model(bool use_mld,
+                                                float mask_threshold) {
+  DCDiffConfig cfg;
+  cfg.use_mld = use_mld;
+  cfg.mask_threshold = mask_threshold;
+  // Variants reuse the default stage-1 AE and retrain stage 2 only (shorter
+  // schedule: ablation trends, not headline numbers).
+  cfg.stage2_steps = 150;
+  cfg.fmpp_steps = 8;
+  if (!use_mld) {
+    cfg.tag = "womld";
+  } else {
+    cfg.tag = "T" + std::to_string(static_cast<int>(mask_threshold));
+  }
+  auto model = std::make_unique<DCDiffModel>(cfg);
+  model->train_or_load();
+  return model;
+}
+
+}  // namespace dcdiff::core

@@ -1,0 +1,130 @@
+// DCDiff end-to-end pipeline: the library's primary public API.
+//
+// Sender (any fixed-function JPEG encoder):
+//   coeffs = jpeg::forward_transform(image, Q);  jpeg::drop_dc(coeffs);
+//   bytes  = jpeg::encode_jfif(coeffs);                 // ~25% fewer bits
+// Receiver (this model):
+//   image  = model.reconstruct(jpeg::decode_jfif(bytes));
+//
+// The model holds the stage-1 autoencoder (E^DC, E^AC, D), the stage-2
+// latent-diffusion UNet + control module, and the FMPP sampler-modulation
+// predictor. Training is CPU-scale (see DESIGN.md substitution table):
+// every component trains once and is cached on disk; `train_or_load`
+// returns instantly on later runs.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/autoencoder.h"
+#include "core/diffusion.h"
+#include "core/fmpp.h"
+#include "image/image.h"
+#include "jpeg/codec.h"
+
+namespace dcdiff::core {
+
+struct DCDiffConfig {
+  // Data / JPEG settings.
+  int image_size = 64;      // training crop size
+  int quality = 50;         // Q-table used during training
+  // Model.
+  AutoencoderConfig ae;
+  UNetConfig unet;
+  int diffusion_T = 100;
+  int ddim_steps = 12;
+  // Number of independent noise seeds averaged at sampling time (posterior
+  // mean estimate; 1 = single draw).
+  int sample_ensemble = 2;
+  // x0-parameterization by default: far more sample-efficient for this
+  // strongly-conditioned latent at CPU-scale training (see DESIGN.md).
+  Prediction prediction = Prediction::kX0;
+  // Masked Laplacian distribution loss (Eq. 3/4).
+  bool use_mld = true;
+  float mask_threshold = 10.0f;   // T of Eq. 3, in pixel units of x-tilde
+  float mld_weight = 0.1f;        // sigma (rescaled: our loss is a mean)
+  float corner_weight = 0.3f;     // corner-block content-consistency term
+  // DC-fidelity term: MSE between 8x8 block means of reconstruction and
+  // original. The paper's entire objective is accurate DC estimation; this
+  // makes that target explicit in both training stages.
+  float dc_weight = 3.0f;
+  // Training schedule (kept small: single-core CPU substrate).
+  int stage1_steps = 800;
+  int stage2_steps = 900;
+  int fmpp_steps = 30;
+  int batch = 2;
+  uint64_t seed = 1234;
+  bool verbose = false;  // print running losses to stderr during training
+  // Cache identities. Ablation variants share the stage-1 AE.
+  std::string ae_tag = "ae_default";
+  std::string tag = "default";
+};
+
+class DCDiffModel {
+ public:
+  explicit DCDiffModel(const DCDiffConfig& cfg);
+
+  const DCDiffConfig& config() const { return cfg_; }
+
+  // --- training ---
+  void train_stage1();           // E^DC, E^AC, D (+ discriminator)
+  void train_stage2();           // UNet + control module (L_ldm [+ MLD])
+  void train_fmpp();             // FMPP (truncated backprop through DDIM)
+  // Loads each component from cache or trains and caches it.
+  void train_or_load();
+
+  // --- inference (receiver side) ---
+  // Reconstructs from a DC-dropped coefficient image. `use_fmpp=false`
+  // reproduces the "w/o FMPP" ablation (s = b = 1). ddim_steps <= 0 uses the
+  // configured default.
+  Image reconstruct(const jpeg::CoeffImage& dropped, bool use_fmpp = true,
+                    int ddim_steps = 0) const;
+
+  // Stage-1-only reconstruction (oracle z0 from the original image); used by
+  // tests to bound achievable quality.
+  Image autoencode(const Image& original,
+                   const jpeg::CoeffImage& dropped) const;
+
+  // Access for tests/benches.
+  const Autoencoder& autoencoder() const { return *ae_; }
+  const UNet& unet() const { return *unet_; }
+  const DiffusionSchedule& schedule() const { return sched_; }
+
+ private:
+  struct Sample;  // training sample (x0, tilde, mask)
+  Sample make_sample(int index) const;
+
+  DCDiffConfig cfg_;
+  DiffusionSchedule sched_;
+  std::unique_ptr<Autoencoder> ae_;
+  std::unique_ptr<PatchDiscriminator> disc_;
+  std::unique_ptr<ControlModule> control_;
+  std::unique_ptr<UNet> unet_;
+  std::unique_ptr<FMPP> fmpp_;
+};
+
+// ----- sender/receiver convenience API -----
+
+struct SenderOutput {
+  std::vector<uint8_t> bytes;   // DC-dropped JFIF file
+  size_t standard_bits = 0;     // entropy bits of standard JPEG
+  size_t dropped_bits = 0;      // entropy bits after DC drop
+};
+
+// Encodes with the given quality and drops DC (4 corner anchors kept).
+SenderOutput sender_encode(const Image& rgb, int quality = 50);
+
+// Decodes the bitstream and runs DCDiff reconstruction.
+Image receiver_reconstruct(const std::vector<uint8_t>& bytes,
+                           const DCDiffModel& model);
+
+// Process-wide default model (trained or loaded on first use).
+const DCDiffModel& shared_model();
+// Variant helper used by the ablation bench: returns a model whose stage-2
+// was trained with the given MLD setting/threshold (cached per variant).
+std::unique_ptr<DCDiffModel> make_variant_model(bool use_mld,
+                                                float mask_threshold);
+
+}  // namespace dcdiff::core

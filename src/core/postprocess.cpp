@@ -1,0 +1,90 @@
+#include "core/postprocess.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "jpeg/dcdrop.h"
+
+namespace dcdiff::core {
+
+Image anchor_to_corners(const Image& reconstructed_rgb, const Image& tilde) {
+  Image ycc = rgb_to_ycbcr(reconstructed_rgb);
+  const int h = ycc.height(), w = ycc.width();
+  const int last_by = ((h + 7) / 8 - 1) * 8;
+  const int last_bx = ((w + 7) / 8 - 1) * 8;
+  const int y0s[4] = {0, 0, last_by, last_by};          // TL TR BL BR
+  const int x0s[4] = {0, last_bx, 0, last_bx};
+  for (int c = 0; c < 3; ++c) {
+    // Per-corner mean deltas, bilinearly interpolated across the image:
+    // the four anchors pin both the global offset and its gradient.
+    float delta[4] = {0, 0, 0, 0};
+    bool valid = true;
+    for (int k = 0; k < 4; ++k) {
+      double acc = 0.0;
+      int count = 0;
+      for (int y = y0s[k]; y < std::min(h, y0s[k] + 8); ++y) {
+        for (int x = x0s[k]; x < std::min(w, x0s[k] + 8); ++x) {
+          const float known = tilde.at(c, y, x) + 128.0f;
+          acc += known - ycc.at(c, y, x);
+          ++count;
+        }
+      }
+      if (count == 0) {
+        valid = false;
+        break;
+      }
+      delta[k] = static_cast<float>(acc / count);
+    }
+    if (!valid) continue;
+    const float inv_h = h > 1 ? 1.0f / (h - 1) : 0.0f;
+    const float inv_w = w > 1 ? 1.0f / (w - 1) : 0.0f;
+    for (int y = 0; y < h; ++y) {
+      const float ty = y * inv_h;
+      for (int x = 0; x < w; ++x) {
+        const float tx = x * inv_w;
+        const float top = delta[0] + (delta[1] - delta[0]) * tx;
+        const float bottom = delta[2] + (delta[3] - delta[2]) * tx;
+        ycc.at(c, y, x) += top + (bottom - top) * ty;
+      }
+    }
+  }
+  ycc.clamp();
+  return ycbcr_to_rgb(ycc);
+}
+
+Image project_onto_known_ac(const Image& generated_rgb,
+                            const jpeg::CoeffImage& dropped) {
+  const Image ycc = rgb_to_ycbcr(generated_rgb);
+  jpeg::CoeffImage restored = dropped;
+  for (size_t comp = 0; comp < dropped.comps.size(); ++comp) {
+    const auto& c = dropped.comps[comp];
+    // Chroma planes of 4:2:0 images live at half resolution.
+    const bool sub = dropped.format == jpeg::ChromaFormat::k420 && comp > 0;
+    std::vector<float> dc(c.blocks.size());
+    const float qdc =
+        static_cast<float>(dropped.table_for(static_cast<int>(comp)).q[0]);
+    for (int by = 0; by < c.blocks_h; ++by) {
+      for (int bx = 0; bx < c.blocks_w; ++bx) {
+        const size_t bi = static_cast<size_t>(by) * c.blocks_w + bx;
+        if (jpeg::is_corner_block(c, by, bx)) {
+          dc[bi] = static_cast<float>(c.block(by, bx)[0]) * qdc;
+          continue;
+        }
+        double mean = 0.0;
+        for (int y = 0; y < 8; ++y) {
+          for (int x = 0; x < 8; ++x) {
+            const int py = sub ? 2 * (by * 8 + y) : by * 8 + y;
+            const int px = sub ? 2 * (bx * 8 + x) : bx * 8 + x;
+            mean += ycc.at_clamped(static_cast<int>(comp), py, px);
+          }
+        }
+        mean /= 64.0;
+        dc[bi] = 8.0f * (static_cast<float>(mean) - 128.0f);
+      }
+    }
+    jpeg::set_dc_plane(restored, static_cast<int>(comp), dc);
+  }
+  return jpeg::inverse_transform(restored);
+}
+
+}  // namespace dcdiff::core

@@ -1,0 +1,28 @@
+// Receiver-side post-processing shared by every generative DC estimator
+// (the diffusion pipeline and the Section-V "any other generative model"
+// variants):
+//
+// * anchor_to_corners — content-consistency anchoring against the four
+//   corner blocks whose DC survived (Section III-C): a bilinear offset
+//   field, per channel, pinned to the corners' exactly-known pixels.
+// * project_onto_known_ac — the DC-estimation contract: every AC coefficient
+//   arrived intact, so the generated image contributes only its 8x8 block
+//   means (the DC estimate); transmitted ACs are kept verbatim.
+#pragma once
+
+#include "image/image.h"
+#include "jpeg/codec.h"
+
+namespace dcdiff::core {
+
+// reconstructed_rgb: the generator's output; tilde: the signed AC-only
+// YCbCr field (jpeg::tilde_image of the received coefficients), same dims.
+Image anchor_to_corners(const Image& reconstructed_rgb, const Image& tilde);
+
+// generated_rgb may be larger than the coefficient image (padding); block
+// means are taken from the top-left region. Corner anchors keep their exact
+// transmitted DC.
+Image project_onto_known_ac(const Image& generated_rgb,
+                            const jpeg::CoeffImage& dropped);
+
+}  // namespace dcdiff::core

@@ -1,0 +1,99 @@
+#include "core/regression.h"
+
+#include "core/postprocess.h"
+#include "core/tensor_image.h"
+#include "data/datasets.h"
+#include "jpeg/dcdrop.h"
+#include "nn/cache.h"
+#include "nn/optim.h"
+#include "nn/serialize.h"
+
+namespace dcdiff::core {
+
+using namespace dcdiff::nn;
+
+RegressionEstimator::RegressionEstimator(const Autoencoder& ae,
+                                         const UNetConfig& cfg, uint64_t seed)
+    : ae_(ae) {
+  Rng rng(seed ^ 0x4E64ull);
+  control_ = std::make_unique<ControlModule>(cfg, seed ^ 0x4E65ull);
+  res1_ = ResBlock(cfg.base, cfg.base, /*temb_dim=*/0, rng);
+  res2_ = ResBlock(cfg.base, cfg.base, 0, rng);
+  out_ = Conv2d(cfg.base, cfg.z_channels, 3, 1, 1, rng);
+}
+
+Tensor RegressionEstimator::predict_z0(const Tensor& tilde) const {
+  const ControlModule::Features f = control_->forward(tilde);
+  Tensor h = res1_(f.c1);
+  h = res2_(h);
+  return tanh_op(out_(h));
+}
+
+std::vector<Tensor> RegressionEstimator::params() const {
+  std::vector<Tensor> p = control_->params();
+  res1_.collect(p);
+  res2_.collect(p);
+  out_.collect(p);
+  return p;
+}
+
+void RegressionEstimator::train(int steps, int image_size, int quality,
+                                uint64_t seed) {
+  for (Tensor p : ae_.params()) p.set_requires_grad(false);
+  for (Tensor p : params()) p.set_requires_grad(true);
+  Adam opt(params(), 1e-3f);
+  Rng rng(seed);
+  for (int step = 0; step < steps; ++step) {
+    if (step == (7 * steps) / 10) opt.set_lr(opt.lr() * 0.4f);
+    const Image x0 = data::training_image(rng.uniform_int(0, 1 << 20),
+                                          image_size);
+    auto coeffs = jpeg::forward_transform(x0, quality);
+    jpeg::drop_dc(coeffs);
+    const Tensor x0_t = rgb_to_tensor(x0);
+    const Tensor tilde = tilde_to_tensor(jpeg::tilde_image(coeffs));
+
+    Tensor z0;
+    ACFeatures acfeat;
+    {
+      NoGradGuard no_grad;
+      z0 = ae_.encode_dc(x0_t);
+      acfeat = ae_.encode_ac(tilde);
+    }
+    const Tensor pred = predict_z0(tilde);
+    const Tensor xhat = ae_.decode(pred, acfeat);
+    Tensor loss = add(mse_loss(pred, z0),
+                      scale(mse_loss(avg_pool2d(xhat, 8),
+                                     avg_pool2d(x0_t, 8)),
+                            2.0f));
+    opt.zero_grad();
+    loss.backward();
+    opt.step();
+  }
+}
+
+std::string RegressionEstimator::train_or_load(int steps, int image_size,
+                                               int quality) {
+  const std::string path = cache_path("regression_estimator.bin");
+  std::vector<Tensor> p = params();
+  if (!load_params(p, path)) {
+    train(steps, image_size, quality, /*seed=*/4242);
+    save_params(params(), path);
+  }
+  return path;
+}
+
+Image RegressionEstimator::reconstruct(const jpeg::CoeffImage& dropped) const {
+  NoGradGuard no_grad;
+  const Image tilde = pad_to_multiple(jpeg::tilde_image(dropped), 8);
+  const Tensor tilde_t = tilde_to_tensor(tilde);
+  const Tensor z0 = predict_z0(tilde_t);
+  const ACFeatures acfeat = ae_.encode_ac(tilde_t);
+  Image rgb = tensor_to_rgb(ae_.decode(z0, acfeat));
+  rgb = anchor_to_corners(rgb, tilde);
+  if (rgb.width() != dropped.width || rgb.height() != dropped.height) {
+    rgb = crop(rgb, 0, 0, dropped.width, dropped.height);
+  }
+  return project_onto_known_ac(rgb, dropped);
+}
+
+}  // namespace dcdiff::core

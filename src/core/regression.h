@@ -1,0 +1,50 @@
+// Section-V extension: "DCDiff uses the diffusion model ... but it can be
+// replaced as any other generative models as long as they can be trained to
+// get rid of deviation-induced errors."
+//
+// This module implements that swap with the simplest alternative generator:
+// a one-shot regression network that predicts the DC latent z0 directly from
+// the control features of x-tilde (no iterative denoising). It reuses the
+// frozen stage-1 autoencoder and the same receiver post-processing, so the
+// comparison against the diffusion generator (bench_ablation_generator)
+// isolates exactly the generative-model choice.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "core/autoencoder.h"
+#include "core/diffusion.h"
+#include "image/image.h"
+#include "jpeg/codec.h"
+
+namespace dcdiff::core {
+
+class RegressionEstimator {
+ public:
+  // `ae` must outlive this object (typically DCDiffModel::autoencoder()).
+  RegressionEstimator(const Autoencoder& ae, const UNetConfig& cfg,
+                      uint64_t seed = 77);
+
+  // tilde: (N,3,H,W) normalized x-tilde -> predicted z0 (N,zc,H/4,W/4).
+  nn::Tensor predict_z0(const nn::Tensor& tilde) const;
+
+  std::vector<nn::Tensor> params() const;
+
+  // Trains on the same synthetic corpus as the diffusion stage 2 (MSE to the
+  // DC-encoder latent plus the decoded DC-fidelity term).
+  void train(int steps, int image_size, int quality, uint64_t seed);
+  std::string train_or_load(int steps = 400, int image_size = 64,
+                            int quality = 50);
+
+  // Full receiver: predict z0, decode with AC features, anchor, project.
+  Image reconstruct(const jpeg::CoeffImage& dropped) const;
+
+ private:
+  const Autoencoder& ae_;
+  std::unique_ptr<ControlModule> control_;
+  nn::ResBlock res1_, res2_;
+  nn::Conv2d out_;
+};
+
+}  // namespace dcdiff::core

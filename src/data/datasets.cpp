@@ -1,0 +1,442 @@
+#include "data/datasets.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace dcdiff::data {
+namespace {
+
+using dcdiff::Rng;
+
+// ----- drawing primitives (all operate on RGB images, [0,255]) -----
+
+struct Color {
+  float r, g, b;
+};
+
+Color random_color(Rng& rng, float lo = 20.0f, float hi = 235.0f) {
+  return {rng.uniform(lo, hi), rng.uniform(lo, hi), rng.uniform(lo, hi)};
+}
+
+Color mix(const Color& a, const Color& b, float t) {
+  return {a.r + (b.r - a.r) * t, a.g + (b.g - a.g) * t,
+          a.b + (b.b - a.b) * t};
+}
+
+void fill_gradient(Image& img, Rng& rng) {
+  const Color c0 = random_color(rng);
+  const Color c1 = random_color(rng);
+  const float angle = rng.uniform(0.0f, 6.2831853f);
+  const float dx = std::cos(angle), dy = std::sin(angle);
+  const float span = static_cast<float>(img.width() + img.height());
+  for (int y = 0; y < img.height(); ++y) {
+    for (int x = 0; x < img.width(); ++x) {
+      float t = (x * dx + y * dy) / span + 0.5f;
+      t = std::clamp(t, 0.0f, 1.0f);
+      const Color c = mix(c0, c1, t);
+      img.at(0, y, x) = c.r;
+      img.at(1, y, x) = c.g;
+      img.at(2, y, x) = c.b;
+    }
+  }
+}
+
+// Soft elliptical blob blended over the background.
+void add_blob(Image& img, Rng& rng, float softness) {
+  const float cx = rng.uniform(0.1f, 0.9f) * img.width();
+  const float cy = rng.uniform(0.1f, 0.9f) * img.height();
+  const float rx = rng.uniform(0.08f, 0.35f) * img.width();
+  const float ry = rng.uniform(0.08f, 0.35f) * img.height();
+  const Color c = random_color(rng);
+  for (int y = 0; y < img.height(); ++y) {
+    for (int x = 0; x < img.width(); ++x) {
+      const float u = (x - cx) / rx;
+      const float v = (y - cy) / ry;
+      const float d = u * u + v * v;
+      if (d > 4.0f) continue;
+      // softness ~0: hard edge; ~1: very soft falloff.
+      const float edge = std::max(softness, 0.02f);
+      const float a = std::clamp((1.0f - d) / edge + 0.5f, 0.0f, 1.0f);
+      if (a <= 0.0f) continue;
+      img.at(0, y, x) += a * (c.r - img.at(0, y, x));
+      img.at(1, y, x) += a * (c.g - img.at(1, y, x));
+      img.at(2, y, x) += a * (c.b - img.at(2, y, x));
+    }
+  }
+}
+
+void add_rect(Image& img, Rng& rng, const Color& c, int x0, int y0, int w,
+              int h) {
+  (void)rng;
+  for (int y = std::max(0, y0); y < std::min(img.height(), y0 + h); ++y) {
+    for (int x = std::max(0, x0); x < std::min(img.width(), x0 + w); ++x) {
+      img.at(0, y, x) = c.r;
+      img.at(1, y, x) = c.g;
+      img.at(2, y, x) = c.b;
+    }
+  }
+}
+
+void add_random_rect(Image& img, Rng& rng) {
+  const int w = rng.uniform_int(img.width() / 10, img.width() / 3);
+  const int h = rng.uniform_int(img.height() / 10, img.height() / 3);
+  const int x0 = rng.uniform_int(0, img.width() - 1);
+  const int y0 = rng.uniform_int(0, img.height() - 1);
+  add_rect(img, rng, random_color(rng), x0, y0, w, h);
+}
+
+// Smooth "value noise": coarse random grid bilinearly upsampled, added with
+// the given amplitude. cell controls the spatial frequency.
+void add_value_noise(Image& img, Rng& rng, int cell, float amplitude,
+                     bool per_channel) {
+  const int gw = img.width() / cell + 2;
+  const int gh = img.height() / cell + 2;
+  std::vector<float> grid(static_cast<size_t>(gw) * gh * 3);
+  for (auto& v : grid) v = rng.uniform(-1.0f, 1.0f);
+  for (int y = 0; y < img.height(); ++y) {
+    for (int x = 0; x < img.width(); ++x) {
+      const float fx = static_cast<float>(x) / cell;
+      const float fy = static_cast<float>(y) / cell;
+      const int ix = static_cast<int>(fx), iy = static_cast<int>(fy);
+      const float tx = fx - ix, ty = fy - iy;
+      for (int c = 0; c < 3; ++c) {
+        const int cc = per_channel ? c : 0;
+        auto g = [&](int yy, int xx) {
+          return grid[(static_cast<size_t>(yy) * gw + xx) * 3 + cc];
+        };
+        const float v = (1 - tx) * (1 - ty) * g(iy, ix) +
+                        tx * (1 - ty) * g(iy, ix + 1) +
+                        (1 - tx) * ty * g(iy + 1, ix) +
+                        tx * ty * g(iy + 1, ix + 1);
+        img.at(c, y, x) += amplitude * v;
+      }
+    }
+  }
+}
+
+// Sinusoidal plaid texture (complex texture regions which deviate from the
+// Laplacian model -- the error sources the paper's mask targets).
+void add_plaid(Image& img, Rng& rng, float amplitude) {
+  const float fx = rng.uniform(0.2f, 1.2f);
+  const float fy = rng.uniform(0.2f, 1.2f);
+  const float px = rng.uniform(0.0f, 6.28f);
+  const float py = rng.uniform(0.0f, 6.28f);
+  const int x0 = rng.uniform_int(0, img.width() / 2);
+  const int y0 = rng.uniform_int(0, img.height() / 2);
+  const int w = rng.uniform_int(img.width() / 4, img.width() - x0);
+  const int h = rng.uniform_int(img.height() / 4, img.height() - y0);
+  for (int y = y0; y < std::min(img.height(), y0 + h); ++y) {
+    for (int x = x0; x < std::min(img.width(), x0 + w); ++x) {
+      const float v = std::sin(fx * x + px) * std::sin(fy * y + py);
+      for (int c = 0; c < 3; ++c) img.at(c, y, x) += amplitude * v;
+    }
+  }
+}
+
+// Straight thick line (roads in aerial imagery; poles/edges in street views).
+void add_line(Image& img, Rng& rng, const Color& c, float thickness) {
+  const float x1 = rng.uniform(0.0f, 1.0f) * img.width();
+  const float y1 = rng.uniform(0.0f, 1.0f) * img.height();
+  const float angle = rng.uniform(0.0f, 6.2831853f);
+  const float nx = -std::sin(angle), ny = std::cos(angle);
+  for (int y = 0; y < img.height(); ++y) {
+    for (int x = 0; x < img.width(); ++x) {
+      const float d = std::abs((x - x1) * nx + (y - y1) * ny);
+      if (d < thickness) {
+        img.at(0, y, x) = c.r;
+        img.at(1, y, x) = c.g;
+        img.at(2, y, x) = c.b;
+      }
+    }
+  }
+}
+
+// Window grid on a building facade (Urban100's signature content).
+void add_facade(Image& img, Rng& rng) {
+  const int fw = rng.uniform_int(img.width() / 2, img.width() - 4);
+  const int fh = rng.uniform_int(img.height() / 2, img.height() - 4);
+  const int x0 = rng.uniform_int(0, img.width() - fw);
+  const int y0 = rng.uniform_int(0, img.height() - fh);
+  const Color wall = random_color(rng, 90.0f, 220.0f);
+  add_rect(img, rng, wall, x0, y0, fw, fh);
+  const Color win = random_color(rng, 10.0f, 90.0f);
+  const int cw = rng.uniform_int(6, 12);
+  const int ch = rng.uniform_int(6, 12);
+  const int ww = std::max(2, cw / 2);
+  const int wh = std::max(2, ch / 2);
+  for (int y = y0 + 2; y + wh < y0 + fh; y += ch) {
+    for (int x = x0 + 2; x + ww < x0 + fw; x += cw) {
+      add_rect(img, rng, win, x, y, ww, wh);
+    }
+  }
+}
+
+// Field patchwork for aerial imagery.
+void add_fields(Image& img, Rng& rng) {
+  int x = 0;
+  while (x < img.width()) {
+    const int w = rng.uniform_int(img.width() / 8, img.width() / 3);
+    int y = 0;
+    while (y < img.height()) {
+      const int h = rng.uniform_int(img.height() / 8, img.height() / 3);
+      // Earth-toned palette.
+      Color c;
+      switch (rng.uniform_int(0, 3)) {
+        case 0: c = {rng.uniform(60, 110), rng.uniform(120, 180), rng.uniform(50, 90)}; break;
+        case 1: c = {rng.uniform(130, 180), rng.uniform(110, 150), rng.uniform(60, 100)}; break;
+        case 2: c = {rng.uniform(160, 210), rng.uniform(160, 200), rng.uniform(110, 150)}; break;
+        default: c = {rng.uniform(40, 80), rng.uniform(90, 130), rng.uniform(40, 80)}; break;
+      }
+      add_rect(img, rng, c, x, y, w, h);
+      y += h;
+    }
+    x += w;
+  }
+}
+
+// Fine per-pixel sensor grain: present in every real photograph, and the
+// statistic that makes boundary-trend extrapolation noisy for iterative DC
+// recovery (each pixel pair deviates slightly from the smooth model).
+void add_grain(Image& img, Rng& rng, float sigma) {
+  for (int c = 0; c < 3; ++c) {
+    for (float& v : img.plane(c)) v += rng.normal(0.0f, sigma);
+  }
+}
+
+uint64_t seed_for(int domain, int index) {
+  return 0xD0C0FFEEull * 1315423911ull + static_cast<uint64_t>(domain) * 2654435761ull +
+         static_cast<uint64_t>(index) * 40503ull + 17ull;
+}
+
+Image blank(int size) { return Image(size, size, ColorSpace::kRGB, 128.0f); }
+
+Image gen_set5_like(Rng& rng, int size) {
+  // Few large smooth objects, soft edges, low texture energy.
+  Image img = blank(size);
+  fill_gradient(img, rng);
+  const int blobs = rng.uniform_int(2, 4);
+  for (int i = 0; i < blobs; ++i) add_blob(img, rng, rng.uniform(0.2f, 0.8f));
+  add_value_noise(img, rng, size / 4, 12.0f, false);
+  add_plaid(img, rng, 8.0f);
+  add_grain(img, rng, 2.5f);
+  img.clamp();
+  return img;
+}
+
+Image gen_set14_like(Rng& rng, int size) {
+  Image img = blank(size);
+  fill_gradient(img, rng);
+  const int blobs = rng.uniform_int(2, 4);
+  for (int i = 0; i < blobs; ++i) add_blob(img, rng, rng.uniform(0.3f, 0.9f));
+  add_random_rect(img, rng);
+  if (rng.uniform() < 0.5f) add_random_rect(img, rng);
+  add_value_noise(img, rng, size / 6, 14.0f, false);
+  add_plaid(img, rng, 10.0f);
+  add_plaid(img, rng, 7.0f);
+  add_grain(img, rng, 2.5f);
+  img.clamp();
+  return img;
+}
+
+Image gen_kodak_like(Rng& rng, int size) {
+  // Mixed natural content: gradients, objects, textures, a few hard edges.
+  Image img = blank(size);
+  fill_gradient(img, rng);
+  const int blobs = rng.uniform_int(2, 5);
+  for (int i = 0; i < blobs; ++i) add_blob(img, rng, rng.uniform(0.1f, 0.9f));
+  const int rects = rng.uniform_int(1, 3);
+  for (int i = 0; i < rects; ++i) add_random_rect(img, rng);
+  add_value_noise(img, rng, size / 8, 16.0f, true);
+  add_value_noise(img, rng, std::max(2, size / 24), 8.0f, false);
+  add_plaid(img, rng, 11.0f);
+  if (rng.uniform() < 0.7f) add_plaid(img, rng, 8.0f);
+  if (rng.uniform() < 0.6f) {
+    add_line(img, rng, random_color(rng, 10.0f, 120.0f), rng.uniform(1.0f, 2.5f));
+  }
+  add_grain(img, rng, 2.5f);
+  img.clamp();
+  return img;
+}
+
+Image gen_bsds_like(Rng& rng, int size) {
+  // Higher texture energy and clutter than Kodak.
+  Image img = blank(size);
+  fill_gradient(img, rng);
+  const int blobs = rng.uniform_int(3, 6);
+  for (int i = 0; i < blobs; ++i) add_blob(img, rng, rng.uniform(0.05f, 0.6f));
+  add_value_noise(img, rng, size / 12, 20.0f, true);
+  add_value_noise(img, rng, std::max(2, size / 32), 10.0f, false);
+  add_plaid(img, rng, 13.0f);
+  add_plaid(img, rng, 9.0f);
+  add_random_rect(img, rng);
+  add_grain(img, rng, 2.5f);
+  img.clamp();
+  return img;
+}
+
+Image gen_urban_like(Rng& rng, int size) {
+  // Rectilinear high-contrast structure: facades with window grids.
+  Image img = blank(size);
+  fill_gradient(img, rng);
+  const int facades = rng.uniform_int(2, 3);
+  for (int i = 0; i < facades; ++i) add_facade(img, rng);
+  add_value_noise(img, rng, size / 6, 9.0f, false);
+  add_value_noise(img, rng, std::max(2, size / 24), 6.0f, false);
+  add_grain(img, rng, 2.5f);
+  img.clamp();
+  return img;
+}
+
+Image gen_inria_like(Rng& rng, int size) {
+  // Aerial: field patchwork, roads, roof rectangles.
+  Image img = blank(size);
+  add_fields(img, rng);
+  const int roads = rng.uniform_int(1, 3);
+  for (int i = 0; i < roads; ++i) {
+    add_line(img, rng, {70.0f, 70.0f, 75.0f}, rng.uniform(1.5f, 3.0f));
+  }
+  const int roofs = rng.uniform_int(6, 14);
+  for (int i = 0; i < roofs; ++i) {
+    const int w = rng.uniform_int(4, size / 6);
+    const int h = rng.uniform_int(4, size / 6);
+    add_rect(img, rng, random_color(rng, 120.0f, 230.0f),
+             rng.uniform_int(0, size - w), rng.uniform_int(0, size - h), w, h);
+  }
+  add_value_noise(img, rng, size / 10, 12.0f, true);
+  add_value_noise(img, rng, std::max(2, size / 28), 7.0f, false);
+  add_grain(img, rng, 2.5f);
+  img.clamp();
+  return img;
+}
+
+}  // namespace
+
+const char* dataset_name(DatasetId id) {
+  switch (id) {
+    case DatasetId::kSet5: return "Set5";
+    case DatasetId::kSet14: return "Set14";
+    case DatasetId::kKodak: return "Kodak";
+    case DatasetId::kBSDS200: return "BSDS200";
+    case DatasetId::kUrban100: return "Urban100";
+    case DatasetId::kInria: return "Inria";
+  }
+  return "?";
+}
+
+std::vector<DatasetId> all_datasets() {
+  return {DatasetId::kSet5,     DatasetId::kSet14,    DatasetId::kKodak,
+          DatasetId::kBSDS200,  DatasetId::kUrban100, DatasetId::kInria};
+}
+
+int dataset_full_count(DatasetId id) {
+  switch (id) {
+    case DatasetId::kSet5: return 5;
+    case DatasetId::kSet14: return 14;
+    case DatasetId::kKodak: return 24;
+    case DatasetId::kBSDS200: return 200;
+    case DatasetId::kUrban100: return 100;
+    case DatasetId::kInria: return 36;
+  }
+  return 0;
+}
+
+int dataset_default_count(DatasetId id) {
+  switch (id) {
+    case DatasetId::kSet5: return 5;
+    case DatasetId::kSet14: return 6;
+    case DatasetId::kKodak: return 6;
+    case DatasetId::kBSDS200: return 6;
+    case DatasetId::kUrban100: return 6;
+    case DatasetId::kInria: return 6;
+  }
+  return 0;
+}
+
+Image dataset_image(DatasetId id, int index, int size) {
+  Rng rng(seed_for(static_cast<int>(id) + 100, index));
+  switch (id) {
+    case DatasetId::kSet5: return gen_set5_like(rng, size);
+    case DatasetId::kSet14: return gen_set14_like(rng, size);
+    case DatasetId::kKodak: return gen_kodak_like(rng, size);
+    case DatasetId::kBSDS200: return gen_bsds_like(rng, size);
+    case DatasetId::kUrban100: return gen_urban_like(rng, size);
+    case DatasetId::kInria: return gen_inria_like(rng, size);
+  }
+  throw std::invalid_argument("dataset_image: bad id");
+}
+
+Image training_image(int index, int size) {
+  Rng rng(seed_for(7, index));
+  switch (index % 6) {
+    case 0: return gen_set5_like(rng, size);
+    case 1: return gen_set14_like(rng, size);
+    case 2: return gen_kodak_like(rng, size);
+    case 3: return gen_bsds_like(rng, size);
+    case 4: return gen_urban_like(rng, size);
+    default: return gen_inria_like(rng, size);
+  }
+}
+
+const char* remote_sensing_class_name(int cls) {
+  switch (cls) {
+    case 0: return "water";
+    case 1: return "forest";
+    case 2: return "farmland";
+    case 3: return "urban";
+  }
+  return "?";
+}
+
+Image remote_sensing_image(int index, int size) {
+  Rng rng(seed_for(42, index));
+  const int cls = remote_sensing_label(index);
+  Image img = blank(size);
+  switch (cls) {
+    case 0: {  // water: smooth blue with gentle waves
+      const Color deep{rng.uniform(10, 40), rng.uniform(40, 90),
+                       rng.uniform(110, 180)};
+      add_rect(img, rng, deep, 0, 0, size, size);
+      add_value_noise(img, rng, size / 3, 10.0f, false);
+      add_plaid(img, rng, 4.0f);
+      break;
+    }
+    case 1: {  // forest: green high-frequency canopy texture
+      const Color green{rng.uniform(20, 60), rng.uniform(90, 150),
+                        rng.uniform(20, 60)};
+      add_rect(img, rng, green, 0, 0, size, size);
+      add_value_noise(img, rng, std::max(2, size / 20), 22.0f, true);
+      add_value_noise(img, rng, std::max(2, size / 8), 14.0f, false);
+      break;
+    }
+    case 2: {  // farmland: striped fields
+      add_fields(img, rng);
+      add_value_noise(img, rng, size / 8, 8.0f, false);
+      break;
+    }
+    default: {  // urban: road grid + roofs
+      const Color ground{rng.uniform(100, 140), rng.uniform(100, 140),
+                         rng.uniform(100, 140)};
+      add_rect(img, rng, ground, 0, 0, size, size);
+      for (int i = 0; i < 3; ++i) {
+        add_line(img, rng, {60, 60, 65}, rng.uniform(1.5f, 2.5f));
+      }
+      const int roofs = rng.uniform_int(6, 14);
+      for (int i = 0; i < roofs; ++i) {
+        const int w = rng.uniform_int(4, size / 5);
+        const int h = rng.uniform_int(4, size / 5);
+        add_rect(img, rng, random_color(rng, 90.0f, 230.0f),
+                 rng.uniform_int(0, size - w), rng.uniform_int(0, size - h),
+                 w, h);
+      }
+      add_value_noise(img, rng, size / 10, 6.0f, false);
+      break;
+    }
+  }
+  img.clamp();
+  return img;
+}
+
+int remote_sensing_label(int index) { return index % kRemoteSensingClasses; }
+
+}  // namespace dcdiff::data

@@ -1,0 +1,106 @@
+#include "downstream/classifier.h"
+
+#include <algorithm>
+
+#include "data/datasets.h"
+#include "nn/cache.h"
+#include "nn/optim.h"
+#include "nn/serialize.h"
+
+namespace dcdiff::downstream {
+
+using namespace dcdiff::nn;
+
+namespace {
+
+Tensor image_to_tensor(const Image& rgb) {
+  const int h = rgb.height(), w = rgb.width();
+  std::vector<float> data(static_cast<size_t>(3) * h * w);
+  for (int c = 0; c < 3; ++c) {
+    const auto& plane = rgb.plane(c);
+    for (size_t i = 0; i < plane.size(); ++i) {
+      data[static_cast<size_t>(c) * h * w + i] = plane[i] / 127.5f - 1.0f;
+    }
+  }
+  return Tensor::from_data({1, 3, h, w}, std::move(data));
+}
+
+}  // namespace
+
+RSClassifier::RSClassifier(uint64_t seed) {
+  Rng rng(seed);
+  c1_ = Conv2d(3, 16, 3, 2, 1, rng);
+  n1_ = GroupNorm(16, 4);
+  c2_ = Conv2d(16, 32, 3, 2, 1, rng);
+  n2_ = GroupNorm(32, 8);
+  c3_ = Conv2d(32, 32, 3, 2, 1, rng);
+  n3_ = GroupNorm(32, 8);
+  fc_ = Linear(32, data::kRemoteSensingClasses, rng);
+}
+
+Tensor RSClassifier::forward(const Tensor& x) const {
+  Tensor h = relu(n1_(c1_(x)));
+  h = relu(n2_(c2_(h)));
+  h = relu(n3_(c3_(h)));
+  return fc_(global_avg_pool(h));
+}
+
+std::vector<Tensor> RSClassifier::params() const {
+  std::vector<Tensor> p;
+  c1_.collect(p);
+  n1_.collect(p);
+  c2_.collect(p);
+  n2_.collect(p);
+  c3_.collect(p);
+  n3_.collect(p);
+  fc_.collect(p);
+  return p;
+}
+
+int RSClassifier::predict(const Image& rgb) const {
+  NoGradGuard no_grad;
+  const Tensor logits = forward(image_to_tensor(rgb));
+  const auto& v = logits.value();
+  return static_cast<int>(std::max_element(v.begin(), v.end()) - v.begin());
+}
+
+void RSClassifier::train(int steps, int image_size, uint64_t seed) {
+  Adam opt(params(), 1e-3f);
+  Rng rng(seed);
+  const int batch = 4;
+  for (int step = 0; step < steps; ++step) {
+    std::vector<float> data;
+    std::vector<int> targets;
+    for (int i = 0; i < batch; ++i) {
+      const int idx = rng.uniform_int(0, 100000);
+      const Image img = data::remote_sensing_image(idx, image_size);
+      const Tensor t = image_to_tensor(img);
+      data.insert(data.end(), t.value().begin(), t.value().end());
+      targets.push_back(data::remote_sensing_label(idx));
+    }
+    const Tensor x = Tensor::from_data({batch, 3, image_size, image_size},
+                                       std::move(data));
+    Tensor loss = cross_entropy(forward(x), targets);
+    opt.zero_grad();
+    loss.backward();
+    opt.step();
+  }
+}
+
+std::string RSClassifier::train_or_load(int steps, int image_size) {
+  const std::string path = cache_path("rs_classifier.bin");
+  std::vector<Tensor> p = params();
+  if (!load_params(p, path)) {
+    train(steps, image_size, /*seed=*/35);
+    save_params(params(), path);
+  }
+  return path;
+}
+
+double clean_accuracy(const RSClassifier& clf, int start, int count,
+                      int image_size) {
+  return clf.accuracy(start, count, image_size,
+                      [](const Image& img) { return img; });
+}
+
+}  // namespace dcdiff::downstream

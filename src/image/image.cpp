@@ -1,0 +1,201 @@
+#include "image/image.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+
+namespace dcdiff {
+
+int channel_count(ColorSpace cs) { return cs == ColorSpace::kGray ? 1 : 3; }
+
+Image::Image(int width, int height, ColorSpace cs, float fill)
+    : width_(width), height_(height), cs_(cs) {
+  if (width <= 0 || height <= 0) {
+    throw std::invalid_argument("Image: non-positive dimensions");
+  }
+  planes_.assign(static_cast<size_t>(channel_count(cs)),
+                 std::vector<float>(static_cast<size_t>(width) * height,
+                                    fill));
+}
+
+void Image::set_color_space(ColorSpace cs) {
+  if (channel_count(cs) != channels()) {
+    throw std::invalid_argument("set_color_space: channel count mismatch");
+  }
+  cs_ = cs;
+}
+
+float Image::at_clamped(int c, int y, int x) const {
+  y = std::clamp(y, 0, height_ - 1);
+  x = std::clamp(x, 0, width_ - 1);
+  return at(c, y, x);
+}
+
+void Image::clamp(float lo, float hi) {
+  for (auto& plane : planes_) {
+    for (float& v : plane) v = std::clamp(v, lo, hi);
+  }
+}
+
+Image rgb_to_ycbcr(const Image& rgb) {
+  if (rgb.color_space() != ColorSpace::kRGB) {
+    throw std::invalid_argument("rgb_to_ycbcr: input is not RGB");
+  }
+  Image out(rgb.width(), rgb.height(), ColorSpace::kYCbCr);
+  const size_t n = static_cast<size_t>(rgb.width()) * rgb.height();
+  const float* r = rgb.plane(0).data();
+  const float* g = rgb.plane(1).data();
+  const float* b = rgb.plane(2).data();
+  float* y = out.plane(0).data();
+  float* cb = out.plane(1).data();
+  float* cr = out.plane(2).data();
+  for (size_t i = 0; i < n; ++i) {
+    y[i] = 0.299f * r[i] + 0.587f * g[i] + 0.114f * b[i];
+    cb[i] = -0.168736f * r[i] - 0.331264f * g[i] + 0.5f * b[i] + 128.0f;
+    cr[i] = 0.5f * r[i] - 0.418688f * g[i] - 0.081312f * b[i] + 128.0f;
+  }
+  return out;
+}
+
+Image ycbcr_to_rgb(const Image& ycc) {
+  if (ycc.color_space() != ColorSpace::kYCbCr) {
+    throw std::invalid_argument("ycbcr_to_rgb: input is not YCbCr");
+  }
+  Image out(ycc.width(), ycc.height(), ColorSpace::kRGB);
+  const size_t n = static_cast<size_t>(ycc.width()) * ycc.height();
+  const float* y = ycc.plane(0).data();
+  const float* cb = ycc.plane(1).data();
+  const float* cr = ycc.plane(2).data();
+  float* r = out.plane(0).data();
+  float* g = out.plane(1).data();
+  float* b = out.plane(2).data();
+  for (size_t i = 0; i < n; ++i) {
+    const float crv = cr[i] - 128.0f;
+    const float cbv = cb[i] - 128.0f;
+    r[i] = std::clamp(y[i] + 1.402f * crv, 0.0f, 255.0f);
+    g[i] = std::clamp(y[i] - 0.344136f * cbv - 0.714136f * crv, 0.0f, 255.0f);
+    b[i] = std::clamp(y[i] + 1.772f * cbv, 0.0f, 255.0f);
+  }
+  return out;
+}
+
+Image to_gray(const Image& img) {
+  if (img.color_space() == ColorSpace::kGray) return img;
+  Image src = img.color_space() == ColorSpace::kRGB ? rgb_to_ycbcr(img) : img;
+  Image out(img.width(), img.height(), ColorSpace::kGray);
+  out.plane(0) = src.plane(0);
+  return out;
+}
+
+Image crop(const Image& img, int x0, int y0, int w, int h) {
+  if (x0 < 0 || y0 < 0 || x0 + w > img.width() || y0 + h > img.height()) {
+    throw std::out_of_range("crop: rectangle outside image");
+  }
+  Image out(w, h, img.color_space());
+  for (int c = 0; c < img.channels(); ++c) {
+    for (int y = 0; y < h; ++y) {
+      for (int x = 0; x < w; ++x) out.at(c, y, x) = img.at(c, y0 + y, x0 + x);
+    }
+  }
+  return out;
+}
+
+Image pad_to_multiple(const Image& img, int multiple) {
+  const int w = ((img.width() + multiple - 1) / multiple) * multiple;
+  const int h = ((img.height() + multiple - 1) / multiple) * multiple;
+  if (w == img.width() && h == img.height()) return img;
+  Image out(w, h, img.color_space());
+  for (int c = 0; c < img.channels(); ++c) {
+    for (int y = 0; y < h; ++y) {
+      for (int x = 0; x < w; ++x) out.at(c, y, x) = img.at_clamped(c, y, x);
+    }
+  }
+  return out;
+}
+
+Image downscale2x(const Image& img) {
+  const int w = std::max(1, img.width() / 2);
+  const int h = std::max(1, img.height() / 2);
+  Image out(w, h, img.color_space());
+  for (int c = 0; c < img.channels(); ++c) {
+    for (int y = 0; y < h; ++y) {
+      for (int x = 0; x < w; ++x) {
+        const float sum = img.at_clamped(c, 2 * y, 2 * x) +
+                          img.at_clamped(c, 2 * y, 2 * x + 1) +
+                          img.at_clamped(c, 2 * y + 1, 2 * x) +
+                          img.at_clamped(c, 2 * y + 1, 2 * x + 1);
+        out.at(c, y, x) = 0.25f * sum;
+      }
+    }
+  }
+  return out;
+}
+
+Image upscale2x(const Image& img, int target_w, int target_h) {
+  Image out(target_w, target_h, img.color_space());
+  for (int c = 0; c < img.channels(); ++c) {
+    for (int y = 0; y < target_h; ++y) {
+      for (int x = 0; x < target_w; ++x) {
+        out.at(c, y, x) = img.at_clamped(c, y / 2, x / 2);
+      }
+    }
+  }
+  return out;
+}
+
+void write_pnm(const Image& img, const std::string& path) {
+  std::ofstream f(path, std::ios::binary);
+  if (!f) throw std::runtime_error("write_pnm: cannot open " + path);
+  Image rgb = img;
+  if (img.color_space() == ColorSpace::kYCbCr) rgb = ycbcr_to_rgb(img);
+  const bool gray = rgb.color_space() == ColorSpace::kGray;
+  f << (gray ? "P5" : "P6") << "\n"
+    << rgb.width() << " " << rgb.height() << "\n255\n";
+  std::vector<uint8_t> row(static_cast<size_t>(rgb.width()) *
+                           (gray ? 1 : 3));
+  for (int y = 0; y < rgb.height(); ++y) {
+    size_t k = 0;
+    for (int x = 0; x < rgb.width(); ++x) {
+      for (int c = 0; c < rgb.channels(); ++c) {
+        const float v = std::clamp(rgb.at(c, y, x), 0.0f, 255.0f);
+        row[k++] = static_cast<uint8_t>(std::lround(v));
+      }
+    }
+    f.write(reinterpret_cast<const char*>(row.data()),
+            static_cast<std::streamsize>(row.size()));
+  }
+}
+
+Image read_pnm(const std::string& path) {
+  std::ifstream f(path, std::ios::binary);
+  if (!f) throw std::runtime_error("read_pnm: cannot open " + path);
+  std::string magic;
+  f >> magic;
+  if (magic != "P5" && magic != "P6") {
+    throw std::runtime_error("read_pnm: unsupported magic " + magic);
+  }
+  int w = 0, h = 0, maxval = 0;
+  f >> w >> h >> maxval;
+  if (maxval != 255 || w <= 0 || h <= 0) {
+    throw std::runtime_error("read_pnm: unsupported header");
+  }
+  f.get();  // single whitespace after header
+  const bool gray = magic == "P5";
+  Image out(w, h, gray ? ColorSpace::kGray : ColorSpace::kRGB);
+  std::vector<uint8_t> row(static_cast<size_t>(w) * (gray ? 1 : 3));
+  for (int y = 0; y < h; ++y) {
+    f.read(reinterpret_cast<char*>(row.data()),
+           static_cast<std::streamsize>(row.size()));
+    if (!f) throw std::runtime_error("read_pnm: truncated file");
+    size_t k = 0;
+    for (int x = 0; x < w; ++x) {
+      for (int c = 0; c < out.channels(); ++c) {
+        out.at(c, y, x) = static_cast<float>(row[k++]);
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace dcdiff

@@ -1,0 +1,107 @@
+// Planar floating-point image container used throughout the DCDiff library.
+//
+// Pixel values follow the JPEG sample convention: nominal range [0, 255]
+// stored as float. Channel 0..2 are either R,G,B or Y,Cb,Cr depending on the
+// color space tag carried by the image. All algorithms in this repository
+// (codec, baselines, diffusion pipeline) operate on this type.
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace dcdiff {
+
+enum class ColorSpace {
+  kGray,   // 1 channel
+  kRGB,    // 3 channels, R,G,B
+  kYCbCr,  // 3 channels, Y,Cb,Cr (JFIF/BT.601 full range)
+};
+
+// Returns the number of channels implied by a color space.
+int channel_count(ColorSpace cs);
+
+// Planar image: each channel is a contiguous row-major plane of floats.
+class Image {
+ public:
+  Image() = default;
+  Image(int width, int height, ColorSpace cs, float fill = 0.0f);
+
+  int width() const { return width_; }
+  int height() const { return height_; }
+  int channels() const { return static_cast<int>(planes_.size()); }
+  ColorSpace color_space() const { return cs_; }
+  void set_color_space(ColorSpace cs);
+
+  bool empty() const { return planes_.empty(); }
+
+  // Plane access (bounds asserted in debug builds).
+  float& at(int c, int y, int x) {
+    assert(in_bounds(c, y, x));
+    return planes_[static_cast<size_t>(c)]
+                  [static_cast<size_t>(y) * width_ + x];
+  }
+  float at(int c, int y, int x) const {
+    assert(in_bounds(c, y, x));
+    return planes_[static_cast<size_t>(c)]
+                  [static_cast<size_t>(y) * width_ + x];
+  }
+  // Clamped read: out-of-bounds coordinates are clamped to the edge
+  // (replicate padding), the convention used by the codec and estimators.
+  float at_clamped(int c, int y, int x) const;
+
+  std::vector<float>& plane(int c) { return planes_[static_cast<size_t>(c)]; }
+  const std::vector<float>& plane(int c) const {
+    return planes_[static_cast<size_t>(c)];
+  }
+
+  // Total number of samples across all planes.
+  size_t sample_count() const {
+    return planes_.size() * static_cast<size_t>(width_) * height_;
+  }
+
+  // Clamps every sample into [lo, hi].
+  void clamp(float lo = 0.0f, float hi = 255.0f);
+
+ private:
+  bool in_bounds(int c, int y, int x) const {
+    return c >= 0 && c < channels() && y >= 0 && y < height_ && x >= 0 &&
+           x < width_;
+  }
+
+  int width_ = 0;
+  int height_ = 0;
+  ColorSpace cs_ = ColorSpace::kGray;
+  std::vector<std::vector<float>> planes_;
+};
+
+// ----- Color conversion (JFIF / BT.601 full-range) -----
+
+// RGB -> YCbCr. Input must be kRGB; output is kYCbCr, same dimensions.
+Image rgb_to_ycbcr(const Image& rgb);
+// YCbCr -> RGB. Input must be kYCbCr; output is kRGB, clamped to [0,255].
+Image ycbcr_to_rgb(const Image& ycc);
+// Extracts the luma plane (or the single plane of a gray image) as kGray.
+Image to_gray(const Image& img);
+
+// ----- Geometry -----
+
+// Crops the rectangle [x0, x0+w) x [y0, y0+h); must be fully inside.
+Image crop(const Image& img, int x0, int y0, int w, int h);
+// Pads width/height up to multiples of `multiple` with edge replication.
+Image pad_to_multiple(const Image& img, int multiple);
+// Box-filter downscale by an integer factor (used for MS-SSIM pyramids and
+// 4:2:0 chroma subsampling).
+Image downscale2x(const Image& img);
+// Nearest-neighbour upscale by 2 (chroma upsampling).
+Image upscale2x(const Image& img, int target_w, int target_h);
+
+// ----- I/O (binary PPM/PGM, maxval 255) -----
+
+void write_pnm(const Image& img, const std::string& path);
+Image read_pnm(const std::string& path);
+
+}  // namespace dcdiff

@@ -1,0 +1,61 @@
+#include "jpeg/bitio.h"
+
+namespace dcdiff::jpeg {
+
+void BitWriter::emit_byte(uint8_t b) {
+  bytes_.push_back(b);
+  if (b == 0xFF) bytes_.push_back(0x00);  // byte stuffing
+}
+
+void BitWriter::put_bits(uint32_t bits, int count) {
+  if (count < 0 || count > 24) throw std::invalid_argument("put_bits: count");
+  if (count == 0) return;
+  bits &= (count == 32) ? 0xFFFFFFFFu : ((1u << count) - 1u);
+  acc_ = (acc_ << count) | bits;
+  acc_bits_ += count;
+  bit_count_ += static_cast<size_t>(count);
+  while (acc_bits_ >= 8) {
+    emit_byte(static_cast<uint8_t>((acc_ >> (acc_bits_ - 8)) & 0xFF));
+    acc_bits_ -= 8;
+  }
+}
+
+std::vector<uint8_t> BitWriter::finish() {
+  if (acc_bits_ > 0) {
+    const int pad = 8 - acc_bits_;
+    acc_ = (acc_ << pad) | ((1u << pad) - 1u);  // pad with 1-bits
+    emit_byte(static_cast<uint8_t>(acc_ & 0xFF));
+    acc_bits_ = 0;
+  }
+  return std::move(bytes_);
+}
+
+int BitReader::next_byte() {
+  if (pos_ >= size_) throw std::runtime_error("BitReader: out of data");
+  const uint8_t b = data_[pos_++];
+  if (b == 0xFF) {
+    if (pos_ >= size_) throw std::runtime_error("BitReader: truncated stuff");
+    const uint8_t next = data_[pos_];
+    if (next == 0x00) {
+      ++pos_;  // stuffed byte
+    } else {
+      // A marker inside entropy data: treat as end of stream.
+      throw std::runtime_error("BitReader: unexpected marker in scan");
+    }
+  }
+  return b;
+}
+
+uint32_t BitReader::get_bits(int count) {
+  if (count < 0 || count > 24) throw std::invalid_argument("get_bits: count");
+  while (acc_bits_ < count) {
+    acc_ = (acc_ << 8) | static_cast<uint32_t>(next_byte());
+    acc_bits_ += 8;
+  }
+  const uint32_t out =
+      (count == 0) ? 0u : ((acc_ >> (acc_bits_ - count)) & ((1u << count) - 1u));
+  acc_bits_ -= count;
+  return out;
+}
+
+}  // namespace dcdiff::jpeg

@@ -1,0 +1,50 @@
+// Bit-level I/O for the JPEG entropy-coded segment, with the T.81 byte
+// stuffing rule: every 0xFF byte emitted into the stream is followed by 0x00.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <stdexcept>
+#include <vector>
+
+namespace dcdiff::jpeg {
+
+class BitWriter {
+ public:
+  // Writes the low `count` bits of `bits`, MSB first. count in [0, 24].
+  void put_bits(uint32_t bits, int count);
+  // Pads the final partial byte with 1-bits (T.81 rule) and returns bytes.
+  std::vector<uint8_t> finish();
+  // Total bits written so far (before padding).
+  size_t bit_count() const { return bit_count_; }
+
+ private:
+  void emit_byte(uint8_t b);
+
+  std::vector<uint8_t> bytes_;
+  uint32_t acc_ = 0;  // bit accumulator, MSB-aligned within low bits
+  int acc_bits_ = 0;
+  size_t bit_count_ = 0;
+};
+
+class BitReader {
+ public:
+  BitReader(const uint8_t* data, size_t size) : data_(data), size_(size) {}
+
+  // Reads `count` bits MSB first. Throws on exhausted input.
+  uint32_t get_bits(int count);
+  uint32_t get_bit() { return get_bits(1); }
+  // Byte offset of the next unread byte (for locating trailing markers).
+  size_t byte_pos() const { return pos_; }
+
+ private:
+  int next_byte();
+
+  const uint8_t* data_;
+  size_t size_;
+  size_t pos_ = 0;
+  uint32_t acc_ = 0;
+  int acc_bits_ = 0;
+};
+
+}  // namespace dcdiff::jpeg

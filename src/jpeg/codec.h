@@ -1,0 +1,109 @@
+// Baseline JPEG codec (ITU-T T.81, sequential DCT, Huffman entropy coding).
+//
+// The codec exposes the coefficient domain explicitly: an image is first
+// transformed to a `CoeffImage` (quantized DCT coefficients per component),
+// which can then be entropy-coded to a JFIF bitstream or manipulated (the
+// DC-drop transform in dcdrop.h operates on this representation, exactly as
+// the paper's sender does on a standard encoder's output).
+//
+// Supported: grayscale and color (4:4:4 and 4:2:0), quality-scaled Annex-K
+// quantization tables, standard Annex-K Huffman tables. Not supported:
+// progressive scans (not needed by any experiment). Restart intervals are
+// supported, including decoder-side error containment.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "image/image.h"
+#include "jpeg/quant.h"
+
+namespace dcdiff::jpeg {
+
+enum class ChromaFormat {
+  k444,  // no chroma subsampling
+  k420,  // 2x2 chroma subsampling
+};
+
+// One component's quantized coefficients, natural (row-major) order per block.
+struct CoefComponent {
+  int blocks_w = 0;
+  int blocks_h = 0;
+  std::vector<std::array<int16_t, kBlockSamples>> blocks;
+
+  std::array<int16_t, kBlockSamples>& block(int by, int bx) {
+    return blocks[static_cast<size_t>(by) * blocks_w + bx];
+  }
+  const std::array<int16_t, kBlockSamples>& block(int by, int bx) const {
+    return blocks[static_cast<size_t>(by) * blocks_w + bx];
+  }
+};
+
+// Quantized-coefficient representation of an image.
+struct CoeffImage {
+  int width = 0;   // original pixel width
+  int height = 0;  // original pixel height
+  ChromaFormat format = ChromaFormat::k444;
+  int quality = 50;
+  QuantTable qluma;
+  QuantTable qchroma;
+  // Restart interval in MCUs (0 = none). When set, the encoder emits
+  // DRI/RSTn markers and the decoder contains bitstream errors to the
+  // damaged segment instead of losing the rest of the scan.
+  int restart_interval = 0;
+  std::vector<CoefComponent> comps;  // size 1 (gray) or 3 (Y, Cb, Cr)
+
+  bool gray() const { return comps.size() == 1; }
+  const QuantTable& table_for(int comp) const {
+    return comp == 0 ? qluma : qchroma;
+  }
+};
+
+// Color-convert (if RGB), level-shift, block, FDCT, quantize.
+CoeffImage forward_transform(const Image& src, int quality,
+                             ChromaFormat fmt = ChromaFormat::k444);
+
+// Dequantize, IDCT, level-shift back; returns RGB (or Gray), clamped,
+// cropped to the original dimensions.
+Image inverse_transform(const CoeffImage& ci);
+
+// Like inverse_transform but *without* the +128 level shift or clamping and
+// without converting out of YCbCr: this is the paper's x-tilde, the signed
+// AC-only pixel field the receiver sees after IDCT when DC was dropped.
+// (For blocks whose DC was retained the true signal minus 128 appears.)
+Image tilde_image(const CoeffImage& ci);
+
+// ----- Entropy coding / JFIF container -----
+
+// Serializes to a complete JFIF file (SOI..EOI) with standard tables.
+std::vector<uint8_t> encode_jfif(const CoeffImage& ci);
+
+// Parses a JFIF file produced by encode_jfif (baseline sequential).
+CoeffImage decode_jfif(const std::vector<uint8_t>& bytes);
+
+// Number of bits of entropy-coded data (excludes all headers/markers): the
+// quantity compression-ratio experiments compare, isolating coefficient cost
+// from fixed container overhead.
+size_t entropy_bit_count(const CoeffImage& ci);
+
+// Same, but with per-image optimized Huffman tables (IJG-style two-pass
+// optimization; see huffman.h). Quantifies the "better coding techniques"
+// headroom the paper's Section V notes is orthogonal to DC dropping.
+size_t entropy_bit_count_optimized(const CoeffImage& ci);
+
+// ----- Convenience round trips -----
+
+struct JpegResult {
+  std::vector<uint8_t> bytes;  // full JFIF file
+  CoeffImage coeffs;
+};
+
+JpegResult jpeg_encode(const Image& src, int quality,
+                       ChromaFormat fmt = ChromaFormat::k444);
+Image jpeg_decode(const std::vector<uint8_t>& bytes);
+// encode + decode at the given quality (standard JPEG distortion).
+Image jpeg_roundtrip(const Image& src, int quality,
+                     ChromaFormat fmt = ChromaFormat::k444);
+
+}  // namespace dcdiff::jpeg

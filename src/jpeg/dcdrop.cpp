@@ -1,0 +1,61 @@
+#include "jpeg/dcdrop.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace dcdiff::jpeg {
+
+bool is_corner_block(const CoefComponent& comp, int by, int bx) {
+  const bool top = by == 0;
+  const bool bottom = by == comp.blocks_h - 1;
+  const bool left = bx == 0;
+  const bool right = bx == comp.blocks_w - 1;
+  return (top || bottom) && (left || right);
+}
+
+void drop_dc(CoeffImage& ci, bool keep_corners) {
+  for (auto& comp : ci.comps) {
+    for (int by = 0; by < comp.blocks_h; ++by) {
+      for (int bx = 0; bx < comp.blocks_w; ++bx) {
+        if (keep_corners && is_corner_block(comp, by, bx)) continue;
+        comp.block(by, bx)[0] = 0;
+      }
+    }
+  }
+}
+
+CoeffImage with_dropped_dc(const CoeffImage& ci, bool keep_corners) {
+  CoeffImage out = ci;
+  drop_dc(out, keep_corners);
+  return out;
+}
+
+DropStats measure_drop(const CoeffImage& ci, bool keep_corners) {
+  DropStats s;
+  s.full_bits = entropy_bit_count(ci);
+  s.dropped_bits = entropy_bit_count(with_dropped_dc(ci, keep_corners));
+  return s;
+}
+
+std::vector<float> true_dc_plane(const CoeffImage& ci, int comp) {
+  const CoefComponent& c = ci.comps[static_cast<size_t>(comp)];
+  const float step = static_cast<float>(ci.table_for(comp).q[0]);
+  std::vector<float> dc(c.blocks.size());
+  for (size_t i = 0; i < c.blocks.size(); ++i) {
+    dc[i] = static_cast<float>(c.blocks[i][0]) * step;
+  }
+  return dc;
+}
+
+void set_dc_plane(CoeffImage& ci, int comp, const std::vector<float>& dc) {
+  CoefComponent& c = ci.comps[static_cast<size_t>(comp)];
+  if (dc.size() != c.blocks.size()) {
+    throw std::invalid_argument("set_dc_plane: size mismatch");
+  }
+  const float step = static_cast<float>(ci.table_for(comp).q[0]);
+  for (size_t i = 0; i < c.blocks.size(); ++i) {
+    c.blocks[i][0] = static_cast<int16_t>(std::lround(dc[i] / step));
+  }
+}
+
+}  // namespace dcdiff::jpeg

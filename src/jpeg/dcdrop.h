@@ -1,0 +1,47 @@
+// The sender-side DC-drop transform the paper builds on (Section II-B):
+// zero every block's DC coefficient except the four corner blocks, which are
+// retained as anchors for receiver-side recovery. Operates purely on the
+// quantized coefficient representation, i.e. requires no change to the JPEG
+// implementation — exactly the property that makes the scheme deployable on
+// fixed-function encoders.
+#pragma once
+
+#include <cstdint>
+
+#include "jpeg/codec.h"
+
+namespace dcdiff::jpeg {
+
+// True when (by, bx) is one of the four corner blocks of the component.
+bool is_corner_block(const CoefComponent& comp, int by, int bx);
+
+// Zeroes DC in every block of every component; when keep_corners is set the
+// four corner blocks of each component keep their DC (paper's setting).
+void drop_dc(CoeffImage& ci, bool keep_corners = true);
+
+// Returns a copy with DC dropped.
+CoeffImage with_dropped_dc(const CoeffImage& ci, bool keep_corners = true);
+
+// Byte/bit accounting for the compression-ratio experiments (Table II).
+struct DropStats {
+  size_t full_bits = 0;      // entropy bits with all coefficients
+  size_t dropped_bits = 0;   // entropy bits after DC drop
+  double ratio() const {     // dropped/full: the paper's "compression ratio"
+    return full_bits == 0 ? 0.0
+                          : static_cast<double>(dropped_bits) /
+                                static_cast<double>(full_bits);
+  }
+};
+
+DropStats measure_drop(const CoeffImage& ci, bool keep_corners = true);
+
+// The true quantized DC plane of a component (used as ground truth by the
+// baseline-recovery evaluation): dc[by*blocks_w + bx], dequantized to the
+// coefficient domain (i.e. multiplied by the DC quantizer step).
+std::vector<float> true_dc_plane(const CoeffImage& ci, int comp);
+
+// Replaces the DC coefficients of component `comp` with the given
+// dequantized values (they are re-quantized by the DC step).
+void set_dc_plane(CoeffImage& ci, int comp, const std::vector<float>& dc);
+
+}  // namespace dcdiff::jpeg

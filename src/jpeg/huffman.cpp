@@ -1,0 +1,218 @@
+#include "jpeg/huffman.h"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+
+namespace dcdiff::jpeg {
+namespace {
+
+HuffSpec make_spec(std::array<uint8_t, 16> bits, std::vector<uint8_t> vals) {
+  const size_t total = std::accumulate(bits.begin(), bits.end(), size_t{0});
+  if (total != vals.size()) {
+    throw std::logic_error("HuffSpec: bits/vals mismatch");
+  }
+  return HuffSpec{bits, std::move(vals)};
+}
+
+}  // namespace
+
+const HuffSpec& std_dc_luma() {
+  static const HuffSpec spec = make_spec(
+      {0, 1, 5, 1, 1, 1, 1, 1, 1, 0, 0, 0, 0, 0, 0, 0},
+      {0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11});
+  return spec;
+}
+
+const HuffSpec& std_dc_chroma() {
+  static const HuffSpec spec = make_spec(
+      {0, 3, 1, 1, 1, 1, 1, 1, 1, 1, 1, 0, 0, 0, 0, 0},
+      {0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11});
+  return spec;
+}
+
+const HuffSpec& std_ac_luma() {
+  static const HuffSpec spec = make_spec(
+      {0, 2, 1, 3, 3, 2, 4, 3, 5, 5, 4, 4, 0, 0, 1, 0x7d},
+      {0x01, 0x02, 0x03, 0x00, 0x04, 0x11, 0x05, 0x12, 0x21, 0x31, 0x41,
+       0x06, 0x13, 0x51, 0x61, 0x07, 0x22, 0x71, 0x14, 0x32, 0x81, 0x91,
+       0xa1, 0x08, 0x23, 0x42, 0xb1, 0xc1, 0x15, 0x52, 0xd1, 0xf0, 0x24,
+       0x33, 0x62, 0x72, 0x82, 0x09, 0x0a, 0x16, 0x17, 0x18, 0x19, 0x1a,
+       0x25, 0x26, 0x27, 0x28, 0x29, 0x2a, 0x34, 0x35, 0x36, 0x37, 0x38,
+       0x39, 0x3a, 0x43, 0x44, 0x45, 0x46, 0x47, 0x48, 0x49, 0x4a, 0x53,
+       0x54, 0x55, 0x56, 0x57, 0x58, 0x59, 0x5a, 0x63, 0x64, 0x65, 0x66,
+       0x67, 0x68, 0x69, 0x6a, 0x73, 0x74, 0x75, 0x76, 0x77, 0x78, 0x79,
+       0x7a, 0x83, 0x84, 0x85, 0x86, 0x87, 0x88, 0x89, 0x8a, 0x92, 0x93,
+       0x94, 0x95, 0x96, 0x97, 0x98, 0x99, 0x9a, 0xa2, 0xa3, 0xa4, 0xa5,
+       0xa6, 0xa7, 0xa8, 0xa9, 0xaa, 0xb2, 0xb3, 0xb4, 0xb5, 0xb6, 0xb7,
+       0xb8, 0xb9, 0xba, 0xc2, 0xc3, 0xc4, 0xc5, 0xc6, 0xc7, 0xc8, 0xc9,
+       0xca, 0xd2, 0xd3, 0xd4, 0xd5, 0xd6, 0xd7, 0xd8, 0xd9, 0xda, 0xe1,
+       0xe2, 0xe3, 0xe4, 0xe5, 0xe6, 0xe7, 0xe8, 0xe9, 0xea, 0xf1, 0xf2,
+       0xf3, 0xf4, 0xf5, 0xf6, 0xf7, 0xf8, 0xf9, 0xfa});
+  return spec;
+}
+
+const HuffSpec& std_ac_chroma() {
+  static const HuffSpec spec = make_spec(
+      {0, 2, 1, 2, 4, 4, 3, 4, 7, 5, 4, 4, 0, 1, 2, 0x77},
+      {0x00, 0x01, 0x02, 0x03, 0x11, 0x04, 0x05, 0x21, 0x31, 0x06, 0x12,
+       0x41, 0x51, 0x07, 0x61, 0x71, 0x13, 0x22, 0x32, 0x81, 0x08, 0x14,
+       0x42, 0x91, 0xa1, 0xb1, 0xc1, 0x09, 0x23, 0x33, 0x52, 0xf0, 0x15,
+       0x62, 0x72, 0xd1, 0x0a, 0x16, 0x24, 0x34, 0xe1, 0x25, 0xf1, 0x17,
+       0x18, 0x19, 0x1a, 0x26, 0x27, 0x28, 0x29, 0x2a, 0x35, 0x36, 0x37,
+       0x38, 0x39, 0x3a, 0x43, 0x44, 0x45, 0x46, 0x47, 0x48, 0x49, 0x4a,
+       0x53, 0x54, 0x55, 0x56, 0x57, 0x58, 0x59, 0x5a, 0x63, 0x64, 0x65,
+       0x66, 0x67, 0x68, 0x69, 0x6a, 0x73, 0x74, 0x75, 0x76, 0x77, 0x78,
+       0x79, 0x7a, 0x82, 0x83, 0x84, 0x85, 0x86, 0x87, 0x88, 0x89, 0x8a,
+       0x92, 0x93, 0x94, 0x95, 0x96, 0x97, 0x98, 0x99, 0x9a, 0xa2, 0xa3,
+       0xa4, 0xa5, 0xa6, 0xa7, 0xa8, 0xa9, 0xaa, 0xb2, 0xb3, 0xb4, 0xb5,
+       0xb6, 0xb7, 0xb8, 0xb9, 0xba, 0xc2, 0xc3, 0xc4, 0xc5, 0xc6, 0xc7,
+       0xc8, 0xc9, 0xca, 0xd2, 0xd3, 0xd4, 0xd5, 0xd6, 0xd7, 0xd8, 0xd9,
+       0xda, 0xe2, 0xe3, 0xe4, 0xe5, 0xe6, 0xe7, 0xe8, 0xe9, 0xea, 0xf2,
+       0xf3, 0xf4, 0xf5, 0xf6, 0xf7, 0xf8, 0xf9, 0xfa});
+  return spec;
+}
+
+HuffEncoder::HuffEncoder(const HuffSpec& spec) {
+  len_.fill(0);
+  uint16_t code = 0;
+  size_t k = 0;
+  for (int length = 1; length <= 16; ++length) {
+    for (int i = 0; i < spec.bits[static_cast<size_t>(length - 1)]; ++i) {
+      const uint8_t sym = spec.vals[k++];
+      code_[sym] = code;
+      len_[sym] = static_cast<int8_t>(length);
+      ++code;
+    }
+    code = static_cast<uint16_t>(code << 1);
+  }
+}
+
+void HuffEncoder::encode(BitWriter& bw, uint8_t symbol) const {
+  const int length = len_[symbol];
+  if (length == 0) {
+    throw std::runtime_error("HuffEncoder: symbol has no code");
+  }
+  bw.put_bits(code_[symbol], length);
+}
+
+HuffDecoder::HuffDecoder(const HuffSpec& spec) : vals_(spec.vals) {
+  int32_t code = 0;
+  int32_t k = 0;
+  for (int length = 1; length <= 16; ++length) {
+    const int count = spec.bits[static_cast<size_t>(length - 1)];
+    if (count == 0) {
+      mincode_[length] = 0;
+      maxcode_[length] = -1;
+      valptr_[length] = 0;
+    } else {
+      valptr_[length] = k;
+      mincode_[length] = code;
+      code += count;
+      k += count;
+      maxcode_[length] = code - 1;
+    }
+    code <<= 1;
+  }
+}
+
+uint8_t HuffDecoder::decode(BitReader& br) const {
+  int32_t code = static_cast<int32_t>(br.get_bit());
+  for (int length = 1; length <= 16; ++length) {
+    if (maxcode_[length] >= 0 && code <= maxcode_[length]) {
+      const int32_t idx = valptr_[length] + (code - mincode_[length]);
+      return vals_[static_cast<size_t>(idx)];
+    }
+    code = (code << 1) | static_cast<int32_t>(br.get_bit());
+  }
+  throw std::runtime_error("HuffDecoder: invalid code");
+}
+
+HuffSpec build_optimized_spec(const std::array<uint64_t, 256>& freq) {
+  // IJG-style optimization (jpeg_gen_optimal_table): package-merge-free
+  // pairwise merging with the reserved 256th symbol to avoid all-ones codes.
+  std::array<int64_t, 257> f{};
+  std::array<int, 257> others{};
+  std::array<int, 257> codesize{};
+  others.fill(-1);
+  bool any = false;
+  for (int i = 0; i < 256; ++i) {
+    f[i] = static_cast<int64_t>(freq[static_cast<size_t>(i)]);
+    any = any || f[i] > 0;
+  }
+  if (!any) throw std::invalid_argument("build_optimized_spec: empty freq");
+  f[256] = 1;  // reserved symbol guaranteeing no real all-ones code
+
+  for (;;) {
+    int c1 = -1, c2 = -1;
+    int64_t v1 = INT64_MAX, v2 = INT64_MAX;
+    for (int i = 0; i <= 256; ++i) {
+      if (f[i] > 0 && f[i] <= v1) {
+        v2 = v1;
+        c2 = c1;
+        v1 = f[i];
+        c1 = i;
+      } else if (f[i] > 0 && f[i] <= v2) {
+        v2 = f[i];
+        c2 = i;
+      }
+    }
+    if (c2 < 0) break;  // single tree remains
+    f[c1] += f[c2];
+    f[c2] = 0;
+    ++codesize[c1];
+    while (others[c1] >= 0) {
+      c1 = others[c1];
+      ++codesize[c1];
+    }
+    others[c1] = c2;
+    ++codesize[c2];
+    while (others[c2] >= 0) {
+      c2 = others[c2];
+      ++codesize[c2];
+    }
+  }
+
+  std::array<int, 33> bits{};
+  for (int i = 0; i <= 256; ++i) {
+    if (codesize[i] > 0) {
+      if (codesize[i] > 32) throw std::logic_error("codesize overflow");
+      ++bits[codesize[i]];
+    }
+  }
+  // Limit code lengths to 16 (T.81 constraint), the IJG way.
+  for (int i = 32; i > 16; --i) {
+    while (bits[i] > 0) {
+      int j = i - 2;
+      while (bits[j] == 0) --j;
+      bits[i] -= 2;
+      ++bits[i - 1];
+      bits[j + 1] += 2;
+      --bits[j];
+    }
+  }
+  // Remove the reserved symbol's code slot.
+  int longest = 16;
+  while (longest > 0 && bits[longest] == 0) --longest;
+  if (longest > 0) --bits[longest];
+
+  HuffSpec spec;
+  for (int i = 1; i <= 16; ++i) {
+    spec.bits[static_cast<size_t>(i - 1)] = static_cast<uint8_t>(bits[i]);
+  }
+  for (int length = 1; length <= 32; ++length) {
+    for (int i = 0; i < 256; ++i) {
+      if (codesize[i] == length) {
+        spec.vals.push_back(static_cast<uint8_t>(i));
+      }
+    }
+  }
+  // The length-limiting pass can shorten codes without reordering vals;
+  // vals order (by original codesize, then symbol) matches IJG behaviour.
+  const size_t total =
+      std::accumulate(spec.bits.begin(), spec.bits.end(), size_t{0});
+  spec.vals.resize(total);
+  return spec;
+}
+
+}  // namespace dcdiff::jpeg

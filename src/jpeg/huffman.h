@@ -1,0 +1,60 @@
+// Huffman coding for JPEG baseline entropy coding.
+//
+// Tables are specified in the T.81 BITS/HUFFVAL form (16 length counts plus a
+// value list) and converted to canonical codes. The four standard Annex-K
+// tables (DC/AC x luma/chroma) are provided; the encoder can also derive an
+// optimized table from symbol frequencies (used by the "future coding
+// techniques" ablation the paper mentions in Section V).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "jpeg/bitio.h"
+
+namespace dcdiff::jpeg {
+
+// BITS/HUFFVAL specification of a Huffman table.
+struct HuffSpec {
+  std::array<uint8_t, 16> bits{};  // bits[i] = #codes of length i+1
+  std::vector<uint8_t> vals;       // symbols in code order
+};
+
+const HuffSpec& std_dc_luma();
+const HuffSpec& std_dc_chroma();
+const HuffSpec& std_ac_luma();
+const HuffSpec& std_ac_chroma();
+
+// Encoder-side table: symbol -> (code, length).
+class HuffEncoder {
+ public:
+  explicit HuffEncoder(const HuffSpec& spec);
+  void encode(BitWriter& bw, uint8_t symbol) const;
+  // Code length in bits for a symbol (0 if the symbol has no code).
+  int code_length(uint8_t symbol) const { return len_[symbol]; }
+
+ private:
+  std::array<uint16_t, 256> code_{};
+  std::array<int8_t, 256> len_{};
+};
+
+// Decoder-side table using the T.81 MINCODE/MAXCODE/VALPTR algorithm.
+class HuffDecoder {
+ public:
+  explicit HuffDecoder(const HuffSpec& spec);
+  uint8_t decode(BitReader& br) const;
+
+ private:
+  std::array<int32_t, 17> mincode_{};
+  std::array<int32_t, 17> maxcode_{};  // -1 where no codes of that length
+  std::array<int32_t, 17> valptr_{};
+  std::vector<uint8_t> vals_;
+};
+
+// Builds a length-limited (16 bit) Huffman spec from symbol frequencies,
+// following the IJG optimization procedure. Symbols with zero frequency get
+// no code. Requires at least one nonzero frequency.
+HuffSpec build_optimized_spec(const std::array<uint64_t, 256>& freq);
+
+}  // namespace dcdiff::jpeg

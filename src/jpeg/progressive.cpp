@@ -1,0 +1,442 @@
+#include "jpeg/progressive.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "jpeg/bitio.h"
+#include "jpeg/huffman.h"
+
+namespace dcdiff::jpeg {
+namespace {
+
+int bit_category(int v) {
+  int a = std::abs(v);
+  int s = 0;
+  while (a > 0) {
+    a >>= 1;
+    ++s;
+  }
+  return s;
+}
+
+uint32_t magnitude_bits(int v, int category) {
+  if (v < 0) v += (1 << category) - 1;
+  return static_cast<uint32_t>(v);
+}
+
+int extend_value(uint32_t bits, int category) {
+  if (category == 0) return 0;
+  const int v = static_cast<int>(bits);
+  if (v < (1 << (category - 1))) return v - (1 << category) + 1;
+  return v;
+}
+
+struct McuLayout {
+  int mcus_w = 0, mcus_h = 0;
+  std::vector<std::pair<int, int>> sampling;  // (h, v) per component
+};
+
+McuLayout layout_for(const CoeffImage& ci) {
+  McuLayout g;
+  if (ci.gray()) {
+    g.mcus_w = ci.comps[0].blocks_w;
+    g.mcus_h = ci.comps[0].blocks_h;
+    g.sampling = {{1, 1}};
+  } else if (ci.format == ChromaFormat::k444) {
+    g.mcus_w = ci.comps[0].blocks_w;
+    g.mcus_h = ci.comps[0].blocks_h;
+    g.sampling = {{1, 1}, {1, 1}, {1, 1}};
+  } else {
+    g.mcus_w = ci.comps[0].blocks_w / 2;
+    g.mcus_h = ci.comps[0].blocks_h / 2;
+    g.sampling = {{2, 2}, {1, 1}, {1, 1}};
+  }
+  return g;
+}
+
+void put_u16(std::vector<uint8_t>& out, uint16_t v) {
+  out.push_back(static_cast<uint8_t>(v >> 8));
+  out.push_back(static_cast<uint8_t>(v & 0xFF));
+}
+
+void put_marker(std::vector<uint8_t>& out, uint8_t code) {
+  out.push_back(0xFF);
+  out.push_back(code);
+}
+
+void put_dqt(std::vector<uint8_t>& out, const QuantTable& qt, int id) {
+  put_marker(out, 0xDB);
+  put_u16(out, 2 + 1 + 64);
+  out.push_back(static_cast<uint8_t>(id));
+  const auto& zz = zigzag_order();
+  for (int k = 0; k < kBlockSamples; ++k) {
+    out.push_back(static_cast<uint8_t>(qt.q[zz[k]]));
+  }
+}
+
+void put_dht(std::vector<uint8_t>& out, const HuffSpec& spec, int cls,
+             int id) {
+  put_marker(out, 0xC4);
+  put_u16(out, static_cast<uint16_t>(2 + 1 + 16 + spec.vals.size()));
+  out.push_back(static_cast<uint8_t>((cls << 4) | id));
+  for (int i = 0; i < 16; ++i) out.push_back(spec.bits[i]);
+  out.insert(out.end(), spec.vals.begin(), spec.vals.end());
+}
+
+void put_sos_header(std::vector<uint8_t>& out, int ncomp_in_scan,
+                    const int* comp_ids, const int* dc_tab, const int* ac_tab,
+                    int ss, int se) {
+  put_marker(out, 0xDA);
+  put_u16(out, static_cast<uint16_t>(6 + 2 * ncomp_in_scan));
+  out.push_back(static_cast<uint8_t>(ncomp_in_scan));
+  for (int i = 0; i < ncomp_in_scan; ++i) {
+    out.push_back(static_cast<uint8_t>(comp_ids[i] + 1));
+    out.push_back(static_cast<uint8_t>((dc_tab[i] << 4) | ac_tab[i]));
+  }
+  out.push_back(static_cast<uint8_t>(ss));
+  out.push_back(static_cast<uint8_t>(se));
+  out.push_back(0);  // Ah/Al: no successive approximation
+}
+
+}  // namespace
+
+bool is_progressive(const std::vector<uint8_t>& bytes) {
+  for (size_t i = 0; i + 1 < bytes.size(); ++i) {
+    if (bytes[i] == 0xFF && bytes[i + 1] == 0xC2) return true;
+    if (bytes[i] == 0xFF && bytes[i + 1] == 0xDA) break;
+  }
+  return false;
+}
+
+std::vector<uint8_t> encode_progressive(const CoeffImage& ci,
+                                        const ProgressiveConfig& cfg) {
+  // Validate the band tiling.
+  {
+    int expect = 1;
+    for (const auto& [ss, se] : cfg.ac_bands) {
+      if (ss != expect || se < ss || se > 63) {
+        throw std::invalid_argument("encode_progressive: bad AC bands");
+      }
+      expect = se + 1;
+    }
+    if (expect != 64) {
+      throw std::invalid_argument("encode_progressive: bands must tile 1..63");
+    }
+  }
+
+  std::vector<uint8_t> out;
+  put_marker(out, 0xD8);
+  put_dqt(out, ci.qluma, 0);
+  if (!ci.gray()) put_dqt(out, ci.qchroma, 1);
+
+  // SOF2 (progressive DCT).
+  put_marker(out, 0xC2);
+  const int ncomp = static_cast<int>(ci.comps.size());
+  put_u16(out, static_cast<uint16_t>(8 + 3 * ncomp));
+  out.push_back(8);
+  put_u16(out, static_cast<uint16_t>(ci.height));
+  put_u16(out, static_cast<uint16_t>(ci.width));
+  out.push_back(static_cast<uint8_t>(ncomp));
+  const bool sub420 = !ci.gray() && ci.format == ChromaFormat::k420;
+  for (int c = 0; c < ncomp; ++c) {
+    out.push_back(static_cast<uint8_t>(c + 1));
+    out.push_back(static_cast<uint8_t>((c == 0 && sub420) ? 0x22 : 0x11));
+    out.push_back(static_cast<uint8_t>(c == 0 ? 0 : 1));
+  }
+
+  put_dht(out, std_dc_luma(), 0, 0);
+  put_dht(out, std_ac_luma(), 1, 0);
+  if (!ci.gray()) {
+    put_dht(out, std_dc_chroma(), 0, 1);
+    put_dht(out, std_ac_chroma(), 1, 1);
+  }
+
+  const McuLayout g = layout_for(ci);
+  const auto& zz = zigzag_order();
+
+  // ----- Scan 1: interleaved DC scan -----
+  {
+    std::vector<int> ids(static_cast<size_t>(ncomp));
+    std::vector<int> dct(static_cast<size_t>(ncomp)),
+        act(static_cast<size_t>(ncomp), 0);
+    for (int c = 0; c < ncomp; ++c) {
+      ids[static_cast<size_t>(c)] = c;
+      dct[static_cast<size_t>(c)] = c == 0 ? 0 : 1;
+    }
+    put_sos_header(out, ncomp, ids.data(), dct.data(), act.data(), 0, 0);
+    const HuffEncoder dcl(std_dc_luma()), dcc(std_dc_chroma());
+    std::vector<int> pred(static_cast<size_t>(ncomp), 0);
+    BitWriter bw;
+    for (int my = 0; my < g.mcus_h; ++my) {
+      for (int mx = 0; mx < g.mcus_w; ++mx) {
+        for (int c = 0; c < ncomp; ++c) {
+          const auto [h, v] = g.sampling[static_cast<size_t>(c)];
+          const HuffEncoder& enc = c == 0 ? dcl : dcc;
+          for (int bv = 0; bv < v; ++bv) {
+            for (int bh = 0; bh < h; ++bh) {
+              const int dc =
+                  ci.comps[static_cast<size_t>(c)].block(my * v + bv,
+                                                         mx * h + bh)[0];
+              const int diff = dc - pred[static_cast<size_t>(c)];
+              pred[static_cast<size_t>(c)] = dc;
+              const int s = bit_category(diff);
+              enc.encode(bw, static_cast<uint8_t>(s));
+              if (s > 0) bw.put_bits(magnitude_bits(diff, s), s);
+            }
+          }
+        }
+      }
+    }
+    const auto seg = bw.finish();
+    out.insert(out.end(), seg.begin(), seg.end());
+  }
+
+  // ----- AC band scans: one scan per (component, band), non-interleaved ---
+  for (int c = 0; c < ncomp; ++c) {
+    const HuffEncoder ac(c == 0 ? std_ac_luma() : std_ac_chroma());
+    const int actab = c == 0 ? 0 : 1;
+    for (const auto& [ss, se] : cfg.ac_bands) {
+      const int zero = 0;
+      put_sos_header(out, 1, &c, &zero, &actab, ss, se);
+      BitWriter bw;
+      const auto& comp = ci.comps[static_cast<size_t>(c)];
+      // Per-block EOB (run length 1): the Annex-K baseline tables carry no
+      // EOBn symbols, so longer EOB runs are not expressible with them. The
+      // decoder below accepts general EOBn streams regardless.
+      for (const auto& block : comp.blocks) {
+        int r = 0;
+        bool wrote = false;
+        for (int k = ss; k <= se; ++k) {
+          const int v = block[zz[k]];
+          if (v == 0) {
+            ++r;
+            continue;
+          }
+          while (r > 15) {
+            ac.encode(bw, 0xF0);  // ZRL
+            r -= 16;
+          }
+          const int s = bit_category(v);
+          ac.encode(bw, static_cast<uint8_t>((r << 4) | s));
+          bw.put_bits(magnitude_bits(v, s), s);
+          r = 0;
+          wrote = true;
+        }
+        if (r > 0 || !wrote) ac.encode(bw, 0x00);  // EOB for this block
+      }
+      const auto seg = bw.finish();
+      out.insert(out.end(), seg.begin(), seg.end());
+    }
+  }
+  put_marker(out, 0xD9);
+  return out;
+}
+
+namespace {
+
+// Shared progressive parser. Stops after the first scan when preview_only.
+CoeffImage parse_progressive(const std::vector<uint8_t>& bytes,
+                             bool preview_only) {
+  if (bytes.size() < 4 || bytes[0] != 0xFF || bytes[1] != 0xD8) {
+    throw std::runtime_error("decode_progressive: missing SOI");
+  }
+  size_t p = 2;
+  CoeffImage ci;
+  int ncomp = 0;
+  bool sub420 = false;
+  std::array<QuantTable, 4> qtabs{};
+  std::array<HuffSpec, 4> dc_specs{}, ac_specs{};
+  std::array<int, 3> comp_qtab{};
+  bool have_frame = false;
+
+  auto u16 = [&](size_t at) {
+    return static_cast<uint16_t>((bytes[at] << 8) | bytes[at + 1]);
+  };
+
+  while (p + 4 <= bytes.size()) {
+    if (bytes[p] != 0xFF) {
+      throw std::runtime_error("decode_progressive: bad marker");
+    }
+    const uint8_t code = bytes[p + 1];
+    p += 2;
+    if (code == 0xD9) break;
+    if (p + 2 > bytes.size()) {
+      throw std::runtime_error("decode_progressive: truncated");
+    }
+    const size_t seg_end = p + u16(p);
+    if (seg_end > bytes.size()) {
+      throw std::runtime_error("decode_progressive: segment length");
+    }
+    size_t q = p + 2;
+    if (code == 0xDB) {
+      while (q < seg_end) {
+        const int id = bytes[q++] & 0x0F;
+        if (id > 3 || q + 64 > seg_end) {
+          throw std::runtime_error("decode_progressive: DQT");
+        }
+        const auto& zz = zigzag_order();
+        for (int k = 0; k < kBlockSamples; ++k) {
+          qtabs[static_cast<size_t>(id)].q[zz[k]] = bytes[q++];
+        }
+      }
+      p = seg_end;
+    } else if (code == 0xC2) {
+      ci.height = u16(q + 1);
+      ci.width = u16(q + 3);
+      ncomp = bytes[q + 5];
+      if (ncomp != 1 && ncomp != 3) {
+        throw std::runtime_error("decode_progressive: ncomp");
+      }
+      for (int c = 0; c < ncomp; ++c) {
+        const uint8_t hv = bytes[q + 6 + 3 * c + 1];
+        if (c == 0 && hv == 0x22) sub420 = true;
+        comp_qtab[static_cast<size_t>(c)] = bytes[q + 6 + 3 * c + 2] & 3;
+      }
+      ci.format = sub420 ? ChromaFormat::k420 : ChromaFormat::k444;
+      const int mcu = sub420 ? 16 : 8;
+      const int mcus_w = (ci.width + mcu - 1) / mcu;
+      const int mcus_h = (ci.height + mcu - 1) / mcu;
+      for (int c = 0; c < ncomp; ++c) {
+        CoefComponent comp;
+        const int fac = (c == 0 && sub420) ? 2 : 1;
+        comp.blocks_w = mcus_w * fac;
+        comp.blocks_h = mcus_h * fac;
+        comp.blocks.resize(static_cast<size_t>(comp.blocks_w) *
+                           comp.blocks_h);
+        ci.comps.push_back(std::move(comp));
+      }
+      have_frame = true;
+      p = seg_end;
+    } else if (code == 0xC4) {
+      while (q < seg_end) {
+        const uint8_t tc_th = bytes[q++];
+        const int cls = tc_th >> 4, id = tc_th & 0x0F;
+        if (cls > 1 || id > 3) {
+          throw std::runtime_error("decode_progressive: DHT id");
+        }
+        HuffSpec spec;
+        size_t total = 0;
+        for (int i = 0; i < 16; ++i) {
+          spec.bits[i] = bytes[q++];
+          total += spec.bits[i];
+        }
+        if (q + total > seg_end) {
+          throw std::runtime_error("decode_progressive: DHT");
+        }
+        spec.vals.assign(bytes.begin() + static_cast<long>(q),
+                         bytes.begin() + static_cast<long>(q + total));
+        q += total;
+        (cls == 0 ? dc_specs : ac_specs)[static_cast<size_t>(id)] =
+            std::move(spec);
+      }
+      p = seg_end;
+    } else if (code == 0xDA) {
+      if (!have_frame) throw std::runtime_error("decode_progressive: SOS");
+      const int ns = bytes[q++];
+      std::vector<int> scan_comps;
+      std::vector<int> dct(static_cast<size_t>(ns)),
+          act(static_cast<size_t>(ns));
+      for (int i = 0; i < ns; ++i) {
+        scan_comps.push_back(bytes[q] - 1);
+        dct[static_cast<size_t>(i)] = bytes[q + 1] >> 4;
+        act[static_cast<size_t>(i)] = bytes[q + 1] & 0x0F;
+        q += 2;
+      }
+      const int ss = bytes[q], se = bytes[q + 1];
+      q += 3;
+      // Entropy data: runs until the next non-stuffed marker.
+      size_t data_end = q;
+      while (data_end + 1 < bytes.size()) {
+        if (bytes[data_end] == 0xFF && bytes[data_end + 1] != 0x00) break;
+        ++data_end;
+      }
+      BitReader br(bytes.data() + q, data_end - q);
+      const auto& zz = zigzag_order();
+      if (ss == 0) {
+        // Interleaved DC scan.
+        McuLayout g = layout_for(ci);
+        std::vector<HuffDecoder> dec;
+        for (int i = 0; i < ns; ++i) {
+          dec.emplace_back(dc_specs[static_cast<size_t>(
+              dct[static_cast<size_t>(i)])]);
+        }
+        std::vector<int> pred(static_cast<size_t>(ns), 0);
+        for (int my = 0; my < g.mcus_h; ++my) {
+          for (int mx = 0; mx < g.mcus_w; ++mx) {
+            for (int i = 0; i < ns; ++i) {
+              const int c = scan_comps[static_cast<size_t>(i)];
+              const auto [h, v] = g.sampling[static_cast<size_t>(c)];
+              for (int bv = 0; bv < v; ++bv) {
+                for (int bh = 0; bh < h; ++bh) {
+                  const int s = dec[static_cast<size_t>(i)].decode(br);
+                  const int diff =
+                      s > 0 ? extend_value(br.get_bits(s), s) : 0;
+                  pred[static_cast<size_t>(i)] += diff;
+                  ci.comps[static_cast<size_t>(c)].block(
+                      my * v + bv, mx * h + bh)[0] =
+                      static_cast<int16_t>(pred[static_cast<size_t>(i)]);
+                }
+              }
+            }
+          }
+        }
+      } else {
+        // Non-interleaved AC band scan with EOB runs.
+        if (ns != 1) throw std::runtime_error("progressive AC scan ncomp");
+        const int c = scan_comps[0];
+        HuffDecoder dec(ac_specs[static_cast<size_t>(act[0])]);
+        auto& comp = ci.comps[static_cast<size_t>(c)];
+        int eobrun = 0;
+        for (auto& block : comp.blocks) {
+          if (eobrun > 0) {
+            --eobrun;
+            continue;
+          }
+          int k = ss;
+          while (k <= se) {
+            const uint8_t sym = dec.decode(br);
+            const int r = sym >> 4, s = sym & 0x0F;
+            if (s == 0) {
+              if (r == 15) {
+                k += 16;  // ZRL
+                continue;
+              }
+              eobrun = (1 << r) - 1 +
+                       (r > 0 ? static_cast<int>(br.get_bits(r)) : 0);
+              break;
+            }
+            k += r;
+            if (k > se) {
+              throw std::runtime_error("progressive AC overrun");
+            }
+            block[zz[k]] =
+                static_cast<int16_t>(extend_value(br.get_bits(s), s));
+            ++k;
+          }
+        }
+      }
+      p = data_end;
+      if (preview_only && ss == 0) break;
+    } else {
+      p = seg_end;
+    }
+  }
+  if (!have_frame) throw std::runtime_error("decode_progressive: no frame");
+  ci.qluma = qtabs[static_cast<size_t>(comp_qtab[0])];
+  ci.qchroma = ncomp == 3 ? qtabs[static_cast<size_t>(comp_qtab[1])]
+                          : qtabs[0];
+  ci.quality = 0;
+  return ci;
+}
+
+}  // namespace
+
+CoeffImage decode_progressive(const std::vector<uint8_t>& bytes) {
+  return parse_progressive(bytes, /*preview_only=*/false);
+}
+
+CoeffImage decode_progressive_preview(const std::vector<uint8_t>& bytes) {
+  return parse_progressive(bytes, /*preview_only=*/true);
+}
+
+}  // namespace dcdiff::jpeg

@@ -1,0 +1,41 @@
+// Progressive JPEG (spectral selection, ITU-T T.81 SOF2) encoder/decoder.
+//
+// The stream carries one interleaved DC scan followed by per-component AC
+// band scans, so a receiver can render a coarse preview from the first scan
+// alone. (Conceptually the inverse of the paper's DC-drop: progressive sends
+// DC *first* because it carries the gross image; DC-drop omits it entirely
+// and re-estimates it.) Successive approximation is not implemented; spectral
+// selection uses the standard progressive AC entropy coding with EOB runs.
+//
+// The coefficient representation is the same CoeffImage as the baseline
+// codec, so the two formats are freely interconvertible.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "jpeg/codec.h"
+
+namespace dcdiff::jpeg {
+
+// Spectral bands used for the AC scans (after the DC scan). Each entry is an
+// inclusive [ss, se] zigzag range; bands must tile [1, 63].
+struct ProgressiveConfig {
+  std::vector<std::pair<int, int>> ac_bands = {{1, 5}, {6, 63}};
+};
+
+// Serializes to a progressive JFIF file (SOF2, multiple scans).
+std::vector<uint8_t> encode_progressive(
+    const CoeffImage& ci, const ProgressiveConfig& cfg = ProgressiveConfig());
+
+// Parses a progressive file produced by encode_progressive.
+CoeffImage decode_progressive(const std::vector<uint8_t>& bytes);
+
+// Decodes only the first (DC) scan: the coarse preview a progressive
+// receiver can show immediately. AC coefficients are zero.
+CoeffImage decode_progressive_preview(const std::vector<uint8_t>& bytes);
+
+// True if the bytes look like a progressive (SOF2) JPEG.
+bool is_progressive(const std::vector<uint8_t>& bytes);
+
+}  // namespace dcdiff::jpeg

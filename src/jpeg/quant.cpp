@@ -1,0 +1,89 @@
+#include "jpeg/quant.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace dcdiff::jpeg {
+
+const QuantTable& base_luma_table() {
+  static const QuantTable t{{{
+      16, 11, 10, 16, 24,  40,  51,  61,   //
+      12, 12, 14, 19, 26,  58,  60,  55,   //
+      14, 13, 16, 24, 40,  57,  69,  56,   //
+      14, 17, 22, 29, 51,  87,  80,  62,   //
+      18, 22, 37, 56, 68,  109, 103, 77,   //
+      24, 35, 55, 64, 81,  104, 113, 92,   //
+      49, 64, 78, 87, 103, 121, 120, 101,  //
+      72, 92, 95, 98, 112, 100, 103, 99,
+  }}};
+  return t;
+}
+
+const QuantTable& base_chroma_table() {
+  static const QuantTable t{{{
+      17, 18, 24, 47, 99, 99, 99, 99,  //
+      18, 21, 26, 66, 99, 99, 99, 99,  //
+      24, 26, 56, 99, 99, 99, 99, 99,  //
+      47, 66, 99, 99, 99, 99, 99, 99,  //
+      99, 99, 99, 99, 99, 99, 99, 99,  //
+      99, 99, 99, 99, 99, 99, 99, 99,  //
+      99, 99, 99, 99, 99, 99, 99, 99,  //
+      99, 99, 99, 99, 99, 99, 99, 99,
+  }}};
+  return t;
+}
+
+QuantTable scale_table(const QuantTable& base, int quality) {
+  quality = std::clamp(quality, 1, 100);
+  const int scale = quality < 50 ? 5000 / quality : 200 - 2 * quality;
+  QuantTable out;
+  for (int i = 0; i < kBlockSamples; ++i) {
+    const int v = (base.q[i] * scale + 50) / 100;
+    out.q[i] = static_cast<uint16_t>(std::clamp(v, 1, 255));
+  }
+  return out;
+}
+
+QuantTable luma_table(int quality) {
+  return scale_table(base_luma_table(), quality);
+}
+
+QuantTable chroma_table(int quality) {
+  return scale_table(base_chroma_table(), quality);
+}
+
+void quantize(const CoefBlock& in, const QuantTable& qt,
+              std::array<int16_t, kBlockSamples>& out) {
+  for (int i = 0; i < kBlockSamples; ++i) {
+    out[i] = static_cast<int16_t>(
+        std::lround(in[i] / static_cast<float>(qt.q[i])));
+  }
+}
+
+void dequantize(const std::array<int16_t, kBlockSamples>& in,
+                const QuantTable& qt, CoefBlock& out) {
+  for (int i = 0; i < kBlockSamples; ++i) {
+    out[i] = static_cast<float>(in[i]) * static_cast<float>(qt.q[i]);
+  }
+}
+
+const std::array<int, kBlockSamples>& zigzag_order() {
+  static const std::array<int, kBlockSamples> order = {
+      0,  1,  8,  16, 9,  2,  3,  10, 17, 24, 32, 25, 18, 11, 4,  5,
+      12, 19, 26, 33, 40, 48, 41, 34, 27, 20, 13, 6,  7,  14, 21, 28,
+      35, 42, 49, 56, 57, 50, 43, 36, 29, 22, 15, 23, 30, 37, 44, 51,
+      58, 59, 52, 45, 38, 31, 39, 46, 53, 60, 61, 54, 47, 55, 62, 63};
+  return order;
+}
+
+const std::array<int, kBlockSamples>& natural_to_zigzag() {
+  static const std::array<int, kBlockSamples> inv = [] {
+    std::array<int, kBlockSamples> out{};
+    const auto& order = zigzag_order();
+    for (int k = 0; k < kBlockSamples; ++k) out[order[k]] = k;
+    return out;
+  }();
+  return inv;
+}
+
+}  // namespace dcdiff::jpeg

@@ -1,0 +1,39 @@
+// Quantization tables (ITU-T T.81 Annex K) with IJG quality scaling, plus the
+// zigzag scan order shared by the entropy coder.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "jpeg/dct.h"
+
+namespace dcdiff::jpeg {
+
+// Natural (row-major) order quantization table.
+struct QuantTable {
+  std::array<uint16_t, kBlockSamples> q{};
+};
+
+// Annex-K base tables in natural order.
+const QuantTable& base_luma_table();
+const QuantTable& base_chroma_table();
+
+// IJG quality scaling: quality in [1, 100]; 50 returns the base table.
+QuantTable scale_table(const QuantTable& base, int quality);
+
+// Convenience: Annex-K table scaled to `quality` (Q50 == base).
+QuantTable luma_table(int quality);
+QuantTable chroma_table(int quality);
+
+// Quantize: round(coef / q). Dequantize: coef * q.
+void quantize(const CoefBlock& in, const QuantTable& qt,
+              std::array<int16_t, kBlockSamples>& out);
+void dequantize(const std::array<int16_t, kBlockSamples>& in,
+                const QuantTable& qt, CoefBlock& out);
+
+// zigzag_order[k] = natural index of the k-th zigzag coefficient.
+const std::array<int, kBlockSamples>& zigzag_order();
+// natural_to_zigzag[n] = zigzag position of natural index n.
+const std::array<int, kBlockSamples>& natural_to_zigzag();
+
+}  // namespace dcdiff::jpeg

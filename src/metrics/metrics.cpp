@@ -1,0 +1,357 @@
+#include "metrics/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace dcdiff::metrics {
+namespace {
+
+void check_match(const Image& a, const Image& b, const char* op) {
+  if (a.width() != b.width() || a.height() != b.height() ||
+      a.channels() != b.channels()) {
+    throw std::invalid_argument(std::string(op) + ": dimension mismatch");
+  }
+}
+
+// 11-tap Gaussian (sigma = 1.5), normalized.
+const std::vector<float>& gauss11() {
+  static const std::vector<float> k = [] {
+    std::vector<float> v(11);
+    float sum = 0.0f;
+    for (int i = 0; i < 11; ++i) {
+      const float x = static_cast<float>(i - 5);
+      v[i] = std::exp(-x * x / (2.0f * 1.5f * 1.5f));
+      sum += v[i];
+    }
+    for (float& x : v) x /= sum;
+    return v;
+  }();
+  return k;
+}
+
+// Separable Gaussian blur of a single-channel float field.
+std::vector<float> blur(const std::vector<float>& in, int w, int h) {
+  const auto& k = gauss11();
+  std::vector<float> tmp(in.size()), out(in.size());
+  for (int y = 0; y < h; ++y) {
+    for (int x = 0; x < w; ++x) {
+      float acc = 0.0f;
+      for (int i = -5; i <= 5; ++i) {
+        const int xx = std::clamp(x + i, 0, w - 1);
+        acc += k[static_cast<size_t>(i + 5)] * in[static_cast<size_t>(y) * w + xx];
+      }
+      tmp[static_cast<size_t>(y) * w + x] = acc;
+    }
+  }
+  for (int y = 0; y < h; ++y) {
+    for (int x = 0; x < w; ++x) {
+      float acc = 0.0f;
+      for (int i = -5; i <= 5; ++i) {
+        const int yy = std::clamp(y + i, 0, h - 1);
+        acc += k[static_cast<size_t>(i + 5)] * tmp[static_cast<size_t>(yy) * w + x];
+      }
+      out[static_cast<size_t>(y) * w + x] = acc;
+    }
+  }
+  return out;
+}
+
+// SSIM map mean and contrast-structure (cs) mean on luma planes.
+void ssim_components(const std::vector<float>& x, const std::vector<float>& y,
+                     int w, int h, double& mean_ssim, double& mean_cs) {
+  constexpr double c1 = 6.5025;   // (0.01*255)^2
+  constexpr double c2 = 58.5225;  // (0.03*255)^2
+  const std::vector<float> mx = blur(x, w, h);
+  const std::vector<float> my = blur(y, w, h);
+  std::vector<float> xx(x.size()), yy(x.size()), xy(x.size());
+  for (size_t i = 0; i < x.size(); ++i) {
+    xx[i] = x[i] * x[i];
+    yy[i] = y[i] * y[i];
+    xy[i] = x[i] * y[i];
+  }
+  const std::vector<float> mxx = blur(xx, w, h);
+  const std::vector<float> myy = blur(yy, w, h);
+  const std::vector<float> mxy = blur(xy, w, h);
+  double ssim_acc = 0.0, cs_acc = 0.0;
+  for (size_t i = 0; i < x.size(); ++i) {
+    const double mu_x = mx[i], mu_y = my[i];
+    const double var_x = std::max(0.0, static_cast<double>(mxx[i]) - mu_x * mu_x);
+    const double var_y = std::max(0.0, static_cast<double>(myy[i]) - mu_y * mu_y);
+    const double cov = static_cast<double>(mxy[i]) - mu_x * mu_y;
+    const double cs = (2.0 * cov + c2) / (var_x + var_y + c2);
+    const double l = (2.0 * mu_x * mu_y + c1) / (mu_x * mu_x + mu_y * mu_y + c1);
+    ssim_acc += l * cs;
+    cs_acc += cs;
+  }
+  mean_ssim = ssim_acc / static_cast<double>(x.size());
+  mean_cs = cs_acc / static_cast<double>(x.size());
+}
+
+std::vector<float> luma_plane(const Image& img) {
+  return to_gray(img).plane(0);
+}
+
+}  // namespace
+
+double psnr(const Image& a, const Image& b) {
+  check_match(a, b, "psnr");
+  double mse = 0.0;
+  size_t n = 0;
+  for (int c = 0; c < a.channels(); ++c) {
+    const auto& pa = a.plane(c);
+    const auto& pb = b.plane(c);
+    for (size_t i = 0; i < pa.size(); ++i) {
+      const double d = static_cast<double>(pa[i]) - pb[i];
+      mse += d * d;
+    }
+    n += pa.size();
+  }
+  mse /= static_cast<double>(n);
+  if (mse <= 1e-12) return 99.0;
+  return 10.0 * std::log10(255.0 * 255.0 / mse);
+}
+
+double ssim(const Image& a, const Image& b) {
+  check_match(a, b, "ssim");
+  double s = 0, cs = 0;
+  ssim_components(luma_plane(a), luma_plane(b), a.width(), a.height(), s, cs);
+  return s;
+}
+
+double ms_ssim(const Image& a, const Image& b) {
+  check_match(a, b, "ms_ssim");
+  static const double weights[5] = {0.0448, 0.2856, 0.3001, 0.2363, 0.1333};
+  Image xa = to_gray(a);
+  Image xb = to_gray(b);
+  double result = 1.0;
+  int scales = 5;
+  // Guard: each scale halves the image; need at least 11 px for the window.
+  for (int s = 1; s < 5; ++s) {
+    if ((a.width() >> s) < 11 || (a.height() >> s) < 11) {
+      scales = s;
+      break;
+    }
+  }
+  double weight_sum = 0.0;
+  for (int s = 0; s < scales; ++s) weight_sum += weights[s];
+  for (int s = 0; s < scales; ++s) {
+    double mean_ssim = 0, mean_cs = 0;
+    ssim_components(xa.plane(0), xb.plane(0), xa.width(), xa.height(),
+                    mean_ssim, mean_cs);
+    const double w = weights[s] / weight_sum;
+    const double term = (s == scales - 1) ? mean_ssim : mean_cs;
+    result *= std::pow(std::max(term, 1e-6), w);
+    if (s + 1 < scales) {
+      xa = downscale2x(xa);
+      xb = downscale2x(xb);
+    }
+  }
+  return result;
+}
+
+namespace {
+
+// 3x3 binomial pre-filter: suppresses pixel noise the way the pooling of a
+// learned feature extractor does, without removing the structure the
+// oriented filters respond to.
+std::vector<float> binomial3(const std::vector<float>& in, int w, int h) {
+  static const float k[3] = {0.25f, 0.5f, 0.25f};
+  std::vector<float> tmp(in.size()), out(in.size());
+  for (int y = 0; y < h; ++y) {
+    for (int x = 0; x < w; ++x) {
+      float acc = 0.0f;
+      for (int i = -1; i <= 1; ++i) {
+        const int xx = std::clamp(x + i, 0, w - 1);
+        acc += k[i + 1] * in[static_cast<size_t>(y) * w + xx];
+      }
+      tmp[static_cast<size_t>(y) * w + x] = acc;
+    }
+  }
+  for (int y = 0; y < h; ++y) {
+    for (int x = 0; x < w; ++x) {
+      float acc = 0.0f;
+      for (int i = -1; i <= 1; ++i) {
+        const int yy = std::clamp(y + i, 0, h - 1);
+        acc += k[i + 1] * tmp[static_cast<size_t>(yy) * w + x];
+      }
+      out[static_cast<size_t>(y) * w + x] = acc;
+    }
+  }
+  return out;
+}
+
+// Feature maps for the perceptual proxy: 4 oriented derivative-of-Gaussian
+// responses plus a Laplacian, at the given scale, on luma.
+std::vector<std::vector<float>> proxy_features(const Image& gray) {
+  const int w = gray.width(), h = gray.height();
+  const std::vector<float> p = binomial3(gray.plane(0), w, h);
+  auto at = [&](int y, int x) {
+    y = std::clamp(y, 0, h - 1);
+    x = std::clamp(x, 0, w - 1);
+    return p[static_cast<size_t>(y) * w + x];
+  };
+  std::vector<std::vector<float>> feats(
+      5, std::vector<float>(static_cast<size_t>(w) * h));
+  for (int y = 0; y < h; ++y) {
+    for (int x = 0; x < w; ++x) {
+      const size_t i = static_cast<size_t>(y) * w + x;
+      const float gx = at(y, x + 1) - at(y, x - 1);
+      const float gy = at(y + 1, x) - at(y - 1, x);
+      const float d1 = at(y + 1, x + 1) - at(y - 1, x - 1);
+      const float d2 = at(y + 1, x - 1) - at(y - 1, x + 1);
+      const float lap = at(y, x + 1) + at(y, x - 1) + at(y + 1, x) +
+                        at(y - 1, x) - 4.0f * at(y, x);
+      feats[0][i] = gx;
+      feats[1][i] = gy;
+      feats[2][i] = d1;
+      feats[3][i] = d2;
+      feats[4][i] = lap;
+    }
+  }
+  return feats;
+}
+
+double proxy_distance_single_scale(const Image& ga, const Image& gb) {
+  const auto fa = proxy_features(ga);
+  const auto fb = proxy_features(gb);
+  const size_t n = fa[0].size();
+  // Normalised feature-difference energy: a squared feature discrepancy
+  // divided by (shared energy + stabiliser). Losing texture entirely (blur /
+  // over-smoothing) drives the ratio toward 1 wherever the reference had
+  // structure, matching LPIPS's sensitivity to detail removal, while small
+  // additive noise stays near 0 thanks to the stabiliser.
+  constexpr double kStabilizer = 24.0 * 24.0;
+  double acc = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    double diff = 0.0, energy = 0.0;
+    for (int k = 0; k < 5; ++k) {
+      const double da = fa[k][i];
+      const double db = fb[k][i];
+      diff += (da - db) * (da - db);
+      energy += da * da + db * db;
+    }
+    acc += diff / (energy + kStabilizer);
+  }
+  return acc / static_cast<double>(n);
+}
+
+}  // namespace
+
+double lpips_proxy(const Image& a, const Image& b) {
+  check_match(a, b, "lpips_proxy");
+  Image ga = to_gray(a);
+  Image gb = to_gray(b);
+  double total = 0.0;
+  double wsum = 0.0;
+  const double scale_weights[3] = {0.4, 0.35, 0.25};
+  for (int s = 0; s < 3; ++s) {
+    if (ga.width() < 8 || ga.height() < 8) break;
+    total += scale_weights[s] * proxy_distance_single_scale(ga, gb);
+    wsum += scale_weights[s];
+    ga = downscale2x(ga);
+    gb = downscale2x(gb);
+  }
+  // Also include a small mean-color term so large uniform color errors
+  // register (chroma matters in Table I's U/V-error analysis).
+  double color = 0.0;
+  if (a.channels() == 3) {
+    for (int c = 1; c < 3; ++c) {
+      double d = 0.0;
+      const Image ya = rgb_to_ycbcr(a), yb = rgb_to_ycbcr(b);
+      const auto& pa = ya.plane(c);
+      const auto& pb = yb.plane(c);
+      for (size_t i = 0; i < pa.size(); ++i) {
+        d += std::abs(static_cast<double>(pa[i]) - pb[i]);
+      }
+      color += d / (255.0 * static_cast<double>(pa.size()));
+    }
+  }
+  return total / std::max(wsum, 1e-9) + 0.05 * color;
+}
+
+QualityReport evaluate(const Image& reference, const Image& reconstructed) {
+  QualityReport r;
+  r.psnr = psnr(reference, reconstructed);
+  r.ssim = ssim(reference, reconstructed);
+  r.ms_ssim = ms_ssim(reference, reconstructed);
+  r.lpips = lpips_proxy(reference, reconstructed);
+  return r;
+}
+
+QualityReport average(const std::vector<QualityReport>& reports) {
+  QualityReport avg;
+  if (reports.empty()) return avg;
+  for (const auto& r : reports) {
+    avg.psnr += r.psnr;
+    avg.ssim += r.ssim;
+    avg.ms_ssim += r.ms_ssim;
+    avg.lpips += r.lpips;
+  }
+  const double n = static_cast<double>(reports.size());
+  avg.psnr /= n;
+  avg.ssim /= n;
+  avg.ms_ssim /= n;
+  avg.lpips /= n;
+  return avg;
+}
+
+double DiffHistogram::mass_within(int radius) const {
+  double acc = 0.0;
+  for (size_t i = 0; i < prob.size(); ++i) {
+    const int v = min_diff + static_cast<int>(i);
+    if (std::abs(v) <= radius) acc += prob[i];
+  }
+  return acc;
+}
+
+DiffHistogram neighbor_diff_histogram(const Image& img,
+                                      const std::vector<float>* mask,
+                                      int max_abs_diff) {
+  const Image gray = to_gray(img);
+  const int w = gray.width(), h = gray.height();
+  const auto& p = gray.plane(0);
+  if (mask && mask->size() != p.size()) {
+    throw std::invalid_argument("neighbor_diff_histogram: mask size");
+  }
+  DiffHistogram out;
+  out.min_diff = -max_abs_diff;
+  out.prob.assign(static_cast<size_t>(2 * max_abs_diff + 1), 0.0);
+  auto keep = [&](int y, int x) {
+    return !mask || (*mask)[static_cast<size_t>(y) * w + x] != 0.0f;
+  };
+  size_t count = 0;
+  double sum = 0.0, sum2 = 0.0;
+  auto record = [&](float a, float b) {
+    const int d = std::clamp(static_cast<int>(std::lround(a - b)),
+                             -max_abs_diff, max_abs_diff);
+    out.prob[static_cast<size_t>(d + max_abs_diff)] += 1.0;
+    sum += d;
+    sum2 += static_cast<double>(d) * d;
+    ++count;
+  };
+  for (int y = 0; y < h; ++y) {
+    for (int x = 0; x + 1 < w; ++x) {
+      if (keep(y, x) && keep(y, x + 1)) {
+        record(p[static_cast<size_t>(y) * w + x + 1],
+               p[static_cast<size_t>(y) * w + x]);
+      }
+    }
+  }
+  for (int y = 0; y + 1 < h; ++y) {
+    for (int x = 0; x < w; ++x) {
+      if (keep(y, x) && keep(y + 1, x)) {
+        record(p[(static_cast<size_t>(y) + 1) * w + x],
+               p[static_cast<size_t>(y) * w + x]);
+      }
+    }
+  }
+  if (count > 0) {
+    for (double& v : out.prob) v /= static_cast<double>(count);
+    const double mean = sum / static_cast<double>(count);
+    out.variance = sum2 / static_cast<double>(count) - mean * mean;
+  }
+  return out;
+}
+
+}  // namespace dcdiff::metrics

@@ -1,0 +1,59 @@
+// Image-quality metrics used by every experiment: PSNR, SSIM, MS-SSIM, and a
+// perceptual distance standing in for LPIPS, plus the Laplacian
+// neighbour-difference statistics behind Figures 2 and 4.
+//
+// LPIPS substitution: the paper's LPIPS compares deep AlexNet features; with
+// no pretrained network available offline, `lpips_proxy` computes a
+// unit-normalised multi-scale oriented-filter (Gabor + Laplacian) feature
+// distance. Like LPIPS it penalises structural/texture discrepancies far more
+// than small uniform shifts, so over-smoothed reconstructions (the TII-2021
+// failure mode) rank strictly worse than detail-preserving ones.
+#pragma once
+
+#include <vector>
+
+#include "image/image.h"
+
+namespace dcdiff::metrics {
+
+// Peak signal-to-noise ratio in dB over all channels (peak 255).
+double psnr(const Image& a, const Image& b);
+
+// Structural similarity (Wang et al. 2004), 11x11 Gaussian window with
+// sigma 1.5, computed on luma.
+double ssim(const Image& a, const Image& b);
+
+// Multi-scale SSIM (Wang et al. 2003) with the standard 5 scale weights.
+double ms_ssim(const Image& a, const Image& b);
+
+// Perceptual distance proxy in [0, ~1]; lower is better.
+double lpips_proxy(const Image& a, const Image& b);
+
+// Aggregate of all four metrics, as reported in Table I rows.
+struct QualityReport {
+  double psnr = 0;
+  double ssim = 0;
+  double ms_ssim = 0;
+  double lpips = 0;
+};
+QualityReport evaluate(const Image& reference, const Image& reconstructed);
+// Element-wise running mean over reports.
+QualityReport average(const std::vector<QualityReport>& reports);
+
+// ----- Laplacian neighbour-difference statistics (Figures 2 & 4) -----
+
+struct DiffHistogram {
+  std::vector<double> prob;  // probability mass per difference bin
+  int min_diff = 0;          // value of bin 0
+  double variance = 0;       // variance of the (signed) differences
+  double mass_within(int radius) const;  // P(|diff| <= radius)
+};
+
+// Histogram of horizontal+vertical neighbour differences of the luma plane.
+// `mask` (optional, same dims) restricts to pixels where both neighbours are
+// unmasked (mask value != 0 keeps a pixel).
+DiffHistogram neighbor_diff_histogram(const Image& img,
+                                      const std::vector<float>* mask = nullptr,
+                                      int max_abs_diff = 64);
+
+}  // namespace dcdiff::metrics

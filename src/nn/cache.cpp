@@ -1,0 +1,19 @@
+#include "nn/cache.h"
+
+#include <cstdlib>
+#include <filesystem>
+
+namespace dcdiff::nn {
+
+std::string cache_dir() {
+  const char* env = std::getenv("DCDIFF_CACHE_DIR");
+  const std::string dir = env ? env : "dcdiff_weights";
+  std::filesystem::create_directories(dir);
+  return dir;
+}
+
+std::string cache_path(const std::string& name) {
+  return cache_dir() + "/" + name;
+}
+
+}  // namespace dcdiff::nn

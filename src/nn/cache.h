@@ -1,0 +1,18 @@
+// Shared on-disk cache for trained weights. Training on this CPU-only
+// substrate takes seconds-to-minutes per model, so every trainable component
+// trains once and caches its parameters; benches and examples then share the
+// cached weights. Override the location with DCDIFF_CACHE_DIR.
+#pragma once
+
+#include <string>
+
+namespace dcdiff::nn {
+
+// Cache directory (created on demand); default "dcdiff_weights" under the
+// current working directory.
+std::string cache_dir();
+
+// Full path for a named weight file inside the cache.
+std::string cache_path(const std::string& name);
+
+}  // namespace dcdiff::nn

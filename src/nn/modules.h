@@ -1,0 +1,89 @@
+// Small layer structs composing the networks used in this repository.
+//
+// Layers own their parameter tensors (created with requires_grad) and expose
+// `collect` to gather them for the optimizer / serializer. Parameter order in
+// `collect` defines the serialization order, so it must stay stable.
+#pragma once
+
+#include <vector>
+
+#include "nn/ops.h"
+#include "nn/rng.h"
+#include "nn/tensor.h"
+
+namespace dcdiff::nn {
+
+// Fills a parameter tensor with U(-1/sqrt(fan_in), 1/sqrt(fan_in)).
+void init_uniform_fan_in(Tensor& t, int fan_in, Rng& rng);
+
+struct Conv2d {
+  Tensor w, b;
+  int stride = 1;
+  int pad = 1;
+
+  Conv2d() = default;
+  Conv2d(int cin, int cout, int k, int stride, int pad, Rng& rng);
+
+  Tensor operator()(const Tensor& x) const {
+    return conv2d(x, w, b, stride, pad);
+  }
+  void collect(std::vector<Tensor>& out) const;
+};
+
+struct Linear {
+  Tensor w, b;
+
+  Linear() = default;
+  Linear(int in, int out, Rng& rng);
+
+  Tensor operator()(const Tensor& x) const { return linear(x, w, b); }
+  void collect(std::vector<Tensor>& out) const;
+};
+
+struct GroupNorm {
+  Tensor gamma, beta;
+  int groups = 1;
+
+  GroupNorm() = default;
+  GroupNorm(int channels, int groups);
+
+  Tensor operator()(const Tensor& x) const {
+    return group_norm(x, gamma, beta, groups);
+  }
+  void collect(std::vector<Tensor>& out) const;
+};
+
+// Pre-activation residual block: GN -> SiLU -> conv -> GN -> SiLU -> conv,
+// with an optional 1x1 shortcut when channel counts differ and an optional
+// timestep-embedding injection (added per channel after the first conv).
+struct ResBlock {
+  GroupNorm norm1, norm2;
+  Conv2d conv1, conv2;
+  Conv2d shortcut;  // 1x1; undefined weights when cin == cout
+  Linear temb_proj;  // undefined when temb_dim == 0
+  bool has_shortcut = false;
+  bool has_temb = false;
+
+  ResBlock() = default;
+  ResBlock(int cin, int cout, int temb_dim, Rng& rng);
+
+  // temb: (N, temb_dim) or undefined.
+  Tensor operator()(const Tensor& x, const Tensor& temb) const;
+  Tensor operator()(const Tensor& x) const { return (*this)(x, Tensor()); }
+  void collect(std::vector<Tensor>& out) const;
+};
+
+// Single-head spatial self-attention block (Stable-Diffusion style):
+// GN -> 1x1 q/k/v -> attention -> 1x1 proj, residual around the whole block.
+struct AttnBlock {
+  GroupNorm norm;
+  Conv2d q, k, v, proj;
+
+  AttnBlock() = default;
+  AttnBlock(int channels, Rng& rng);
+
+  Tensor operator()(const Tensor& x) const;
+  void collect(std::vector<Tensor>& out) const;
+};
+
+}  // namespace dcdiff::nn

@@ -1,0 +1,1085 @@
+#include "nn/ops.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "nn/threadpool.h"
+
+namespace dcdiff::nn {
+namespace {
+
+void accumulate(TensorNode& parent, const std::vector<float>& delta) {
+  parent.ensure_grad();
+  for (size_t i = 0; i < delta.size(); ++i) parent.grad[i] += delta[i];
+}
+
+bool wants_grad(const Tensor& t) { return t.requires_grad(); }
+
+int conv_out_dim(int in, int k, int stride, int pad) {
+  return (in + 2 * pad - k) / stride + 1;
+}
+
+}  // namespace
+
+// ---------- Elementwise ----------
+
+Tensor add(const Tensor& a, const Tensor& b) {
+  check_same_shape(a, b, "add");
+  std::vector<float> out(a.numel());
+  const auto& av = a.value();
+  const auto& bv = b.value();
+  for (size_t i = 0; i < out.size(); ++i) out[i] = av[i] + bv[i];
+  return make_result(a.shape(), std::move(out), {a, b},
+                     [a, b](TensorNode& self) {
+                       if (wants_grad(a)) accumulate(*a.node(), self.grad);
+                       if (wants_grad(b)) accumulate(*b.node(), self.grad);
+                     });
+}
+
+Tensor sub(const Tensor& a, const Tensor& b) {
+  check_same_shape(a, b, "sub");
+  std::vector<float> out(a.numel());
+  const auto& av = a.value();
+  const auto& bv = b.value();
+  for (size_t i = 0; i < out.size(); ++i) out[i] = av[i] - bv[i];
+  return make_result(a.shape(), std::move(out), {a, b},
+                     [a, b](TensorNode& self) {
+                       if (wants_grad(a)) accumulate(*a.node(), self.grad);
+                       if (wants_grad(b)) {
+                         auto& g = *b.node();
+                         g.ensure_grad();
+                         for (size_t i = 0; i < self.grad.size(); ++i) {
+                           g.grad[i] -= self.grad[i];
+                         }
+                       }
+                     });
+}
+
+Tensor mul(const Tensor& a, const Tensor& b) {
+  check_same_shape(a, b, "mul");
+  std::vector<float> out(a.numel());
+  const auto& av = a.value();
+  const auto& bv = b.value();
+  for (size_t i = 0; i < out.size(); ++i) out[i] = av[i] * bv[i];
+  return make_result(a.shape(), std::move(out), {a, b},
+                     [a, b](TensorNode& self) {
+                       if (wants_grad(a)) {
+                         auto& g = *a.node();
+                         g.ensure_grad();
+                         const auto& bv2 = b.value();
+                         for (size_t i = 0; i < self.grad.size(); ++i) {
+                           g.grad[i] += self.grad[i] * bv2[i];
+                         }
+                       }
+                       if (wants_grad(b)) {
+                         auto& g = *b.node();
+                         g.ensure_grad();
+                         const auto& av2 = a.value();
+                         for (size_t i = 0; i < self.grad.size(); ++i) {
+                           g.grad[i] += self.grad[i] * av2[i];
+                         }
+                       }
+                     });
+}
+
+Tensor scale(const Tensor& a, float s) {
+  std::vector<float> out(a.numel());
+  const auto& av = a.value();
+  for (size_t i = 0; i < out.size(); ++i) out[i] = av[i] * s;
+  return make_result(a.shape(), std::move(out), {a},
+                     [a, s](TensorNode& self) {
+                       if (!wants_grad(a)) return;
+                       auto& g = *a.node();
+                       g.ensure_grad();
+                       for (size_t i = 0; i < self.grad.size(); ++i) {
+                         g.grad[i] += self.grad[i] * s;
+                       }
+                     });
+}
+
+Tensor add_scalar(const Tensor& a, float s) {
+  std::vector<float> out(a.numel());
+  const auto& av = a.value();
+  for (size_t i = 0; i < out.size(); ++i) out[i] = av[i] + s;
+  return make_result(a.shape(), std::move(out), {a},
+                     [a](TensorNode& self) {
+                       if (wants_grad(a)) accumulate(*a.node(), self.grad);
+                     });
+}
+
+Tensor neg(const Tensor& a) { return scale(a, -1.0f); }
+
+Tensor relu(const Tensor& a) {
+  std::vector<float> out(a.numel());
+  const auto& av = a.value();
+  for (size_t i = 0; i < out.size(); ++i) out[i] = av[i] > 0 ? av[i] : 0.0f;
+  return make_result(a.shape(), std::move(out), {a},
+                     [a](TensorNode& self) {
+                       if (!wants_grad(a)) return;
+                       auto& g = *a.node();
+                       g.ensure_grad();
+                       const auto& av2 = a.value();
+                       for (size_t i = 0; i < self.grad.size(); ++i) {
+                         if (av2[i] > 0) g.grad[i] += self.grad[i];
+                       }
+                     });
+}
+
+Tensor sigmoid(const Tensor& a) {
+  std::vector<float> out(a.numel());
+  const auto& av = a.value();
+  for (size_t i = 0; i < out.size(); ++i) {
+    out[i] = 1.0f / (1.0f + std::exp(-av[i]));
+  }
+  return make_result(a.shape(), std::move(out), {a},
+                     [a](TensorNode& self) {
+                       if (!wants_grad(a)) return;
+                       auto& g = *a.node();
+                       g.ensure_grad();
+                       for (size_t i = 0; i < self.grad.size(); ++i) {
+                         const float y = self.value[i];
+                         g.grad[i] += self.grad[i] * y * (1.0f - y);
+                       }
+                     });
+}
+
+Tensor silu(const Tensor& a) {
+  std::vector<float> out(a.numel());
+  const auto& av = a.value();
+  for (size_t i = 0; i < out.size(); ++i) {
+    out[i] = av[i] / (1.0f + std::exp(-av[i]));
+  }
+  return make_result(a.shape(), std::move(out), {a},
+                     [a](TensorNode& self) {
+                       if (!wants_grad(a)) return;
+                       auto& g = *a.node();
+                       g.ensure_grad();
+                       const auto& av2 = a.value();
+                       for (size_t i = 0; i < self.grad.size(); ++i) {
+                         const float s = 1.0f / (1.0f + std::exp(-av2[i]));
+                         g.grad[i] +=
+                             self.grad[i] * (s * (1.0f + av2[i] * (1.0f - s)));
+                       }
+                     });
+}
+
+Tensor tanh_op(const Tensor& a) {
+  std::vector<float> out(a.numel());
+  const auto& av = a.value();
+  for (size_t i = 0; i < out.size(); ++i) out[i] = std::tanh(av[i]);
+  return make_result(a.shape(), std::move(out), {a},
+                     [a](TensorNode& self) {
+                       if (!wants_grad(a)) return;
+                       auto& g = *a.node();
+                       g.ensure_grad();
+                       for (size_t i = 0; i < self.grad.size(); ++i) {
+                         const float y = self.value[i];
+                         g.grad[i] += self.grad[i] * (1.0f - y * y);
+                       }
+                     });
+}
+
+// ---------- Broadcast helpers ----------
+
+Tensor add_bias(const Tensor& x, const Tensor& bias) {
+  if (bias.ndim() != 1) throw std::invalid_argument("add_bias: bias not 1-D");
+  const int c_dim = x.ndim() >= 2 ? x.dim(1) : -1;
+  if (c_dim != bias.dim(0)) {
+    throw std::invalid_argument("add_bias: channel mismatch");
+  }
+  const size_t inner = x.numel() / (static_cast<size_t>(x.dim(0)) *
+                                    static_cast<size_t>(c_dim));
+  std::vector<float> out(x.numel());
+  const auto& xv = x.value();
+  const auto& bv = bias.value();
+  const size_t per_sample = static_cast<size_t>(c_dim) * inner;
+  for (size_t i = 0; i < out.size(); ++i) {
+    const size_t c = (i % per_sample) / inner;
+    out[i] = xv[i] + bv[c];
+  }
+  return make_result(
+      x.shape(), std::move(out), {x, bias},
+      [x, bias, inner, per_sample](TensorNode& self) {
+        if (wants_grad(x)) accumulate(*x.node(), self.grad);
+        if (wants_grad(bias)) {
+          auto& g = *bias.node();
+          g.ensure_grad();
+          for (size_t i = 0; i < self.grad.size(); ++i) {
+            const size_t c = (i % per_sample) / inner;
+            g.grad[c] += self.grad[i];
+          }
+        }
+      });
+}
+
+Tensor mul_per_sample(const Tensor& x, const Tensor& s) {
+  if (s.ndim() != 1 || s.dim(0) != x.dim(0)) {
+    throw std::invalid_argument("mul_per_sample: s must be (N)");
+  }
+  const size_t per = x.numel() / static_cast<size_t>(x.dim(0));
+  std::vector<float> out(x.numel());
+  const auto& xv = x.value();
+  const auto& sv = s.value();
+  for (size_t i = 0; i < out.size(); ++i) out[i] = xv[i] * sv[i / per];
+  return make_result(
+      x.shape(), std::move(out), {x, s}, [x, s, per](TensorNode& self) {
+        if (wants_grad(x)) {
+          auto& g = *x.node();
+          g.ensure_grad();
+          const auto& sv2 = s.value();
+          for (size_t i = 0; i < self.grad.size(); ++i) {
+            g.grad[i] += self.grad[i] * sv2[i / per];
+          }
+        }
+        if (wants_grad(s)) {
+          auto& g = *s.node();
+          g.ensure_grad();
+          const auto& xv2 = x.value();
+          for (size_t i = 0; i < self.grad.size(); ++i) {
+            g.grad[i / per] += self.grad[i] * xv2[i];
+          }
+        }
+      });
+}
+
+Tensor add_sample_channel_bias(const Tensor& x, const Tensor& b) {
+  if (x.ndim() != 4 || b.ndim() != 2 || b.dim(0) != x.dim(0) ||
+      b.dim(1) != x.dim(1)) {
+    throw std::invalid_argument("add_sample_channel_bias: shape");
+  }
+  const size_t inner = static_cast<size_t>(x.dim(2)) * x.dim(3);
+  std::vector<float> out(x.numel());
+  const auto& xv = x.value();
+  const auto& bv = b.value();
+  for (size_t i = 0; i < out.size(); ++i) out[i] = xv[i] + bv[i / inner];
+  return make_result(x.shape(), std::move(out), {x, b},
+                     [x, b, inner](TensorNode& self) {
+                       if (wants_grad(x)) accumulate(*x.node(), self.grad);
+                       if (wants_grad(b)) {
+                         auto& g = *b.node();
+                         g.ensure_grad();
+                         for (size_t i = 0; i < self.grad.size(); ++i) {
+                           g.grad[i / inner] += self.grad[i];
+                         }
+                       }
+                     });
+}
+
+// ---------- Reductions / losses ----------
+
+Tensor sum(const Tensor& a) {
+  double acc = 0.0;
+  for (float v : a.value()) acc += v;
+  return make_result({1}, {static_cast<float>(acc)}, {a},
+                     [a](TensorNode& self) {
+                       if (!wants_grad(a)) return;
+                       auto& g = *a.node();
+                       g.ensure_grad();
+                       const float go = self.grad[0];
+                       for (float& gi : g.grad) gi += go;
+                     });
+}
+
+Tensor mean(const Tensor& a) {
+  return scale(sum(a), 1.0f / static_cast<float>(a.numel()));
+}
+
+Tensor mse_loss(const Tensor& a, const Tensor& b) {
+  check_same_shape(a, b, "mse_loss");
+  double acc = 0.0;
+  const auto& av = a.value();
+  const auto& bv = b.value();
+  for (size_t i = 0; i < av.size(); ++i) {
+    const double d = static_cast<double>(av[i]) - bv[i];
+    acc += d * d;
+  }
+  const float n = static_cast<float>(a.numel());
+  return make_result(
+      {1}, {static_cast<float>(acc / n)}, {a, b},
+      [a, b, n](TensorNode& self) {
+        const float c = 2.0f * self.grad[0] / n;
+        const auto& av2 = a.value();
+        const auto& bv2 = b.value();
+        if (wants_grad(a)) {
+          auto& g = *a.node();
+          g.ensure_grad();
+          for (size_t i = 0; i < av2.size(); ++i) {
+            g.grad[i] += c * (av2[i] - bv2[i]);
+          }
+        }
+        if (wants_grad(b)) {
+          auto& g = *b.node();
+          g.ensure_grad();
+          for (size_t i = 0; i < av2.size(); ++i) {
+            g.grad[i] -= c * (av2[i] - bv2[i]);
+          }
+        }
+      });
+}
+
+Tensor l1_loss(const Tensor& a, const Tensor& b) {
+  check_same_shape(a, b, "l1_loss");
+  double acc = 0.0;
+  const auto& av = a.value();
+  const auto& bv = b.value();
+  for (size_t i = 0; i < av.size(); ++i) {
+    acc += std::abs(static_cast<double>(av[i]) - bv[i]);
+  }
+  const float n = static_cast<float>(a.numel());
+  return make_result(
+      {1}, {static_cast<float>(acc / n)}, {a, b},
+      [a, b, n](TensorNode& self) {
+        const float c = self.grad[0] / n;
+        const auto& av2 = a.value();
+        const auto& bv2 = b.value();
+        if (wants_grad(a)) {
+          auto& g = *a.node();
+          g.ensure_grad();
+          for (size_t i = 0; i < av2.size(); ++i) {
+            const float s = av2[i] > bv2[i] ? 1.0f : (av2[i] < bv2[i] ? -1.0f : 0.0f);
+            g.grad[i] += c * s;
+          }
+        }
+        if (wants_grad(b)) {
+          auto& g = *b.node();
+          g.ensure_grad();
+          for (size_t i = 0; i < av2.size(); ++i) {
+            const float s = av2[i] > bv2[i] ? 1.0f : (av2[i] < bv2[i] ? -1.0f : 0.0f);
+            g.grad[i] -= c * s;
+          }
+        }
+      });
+}
+
+Tensor cross_entropy(const Tensor& x, const std::vector<int>& targets) {
+  if (x.ndim() != 2) throw std::invalid_argument("cross_entropy: x not 2-D");
+  const int n = x.dim(0);
+  const int k = x.dim(1);
+  if (static_cast<int>(targets.size()) != n) {
+    throw std::invalid_argument("cross_entropy: target count");
+  }
+  // Forward: stable log-softmax, mean NLL. Save softmax for backward.
+  auto probs = std::make_shared<std::vector<float>>(x.numel());
+  const auto& xv = x.value();
+  double loss = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const float* row = xv.data() + static_cast<size_t>(i) * k;
+    float* prow = probs->data() + static_cast<size_t>(i) * k;
+    float mx = row[0];
+    for (int j = 1; j < k; ++j) mx = std::max(mx, row[j]);
+    double z = 0.0;
+    for (int j = 0; j < k; ++j) z += std::exp(static_cast<double>(row[j] - mx));
+    const double logz = std::log(z) + mx;
+    for (int j = 0; j < k; ++j) {
+      prow[j] = static_cast<float>(std::exp(row[j] - logz));
+    }
+    loss -= static_cast<double>(row[targets[static_cast<size_t>(i)]]) - logz;
+  }
+  return make_result(
+      {1}, {static_cast<float>(loss / n)}, {x},
+      [x, probs, targets, n, k](TensorNode& self) {
+        if (!wants_grad(x)) return;
+        auto& g = *x.node();
+        g.ensure_grad();
+        const float c = self.grad[0] / static_cast<float>(n);
+        for (int i = 0; i < n; ++i) {
+          const float* prow = probs->data() + static_cast<size_t>(i) * k;
+          float* grow = g.grad.data() + static_cast<size_t>(i) * k;
+          for (int j = 0; j < k; ++j) {
+            const float ind = j == targets[static_cast<size_t>(i)] ? 1.0f : 0.0f;
+            grow[j] += c * (prow[j] - ind);
+          }
+        }
+      });
+}
+
+// ---------- Shape ----------
+
+Tensor reshape(const Tensor& a, std::vector<int> new_shape) {
+  if (shape_numel(new_shape) != a.numel()) {
+    throw std::invalid_argument("reshape: numel mismatch");
+  }
+  std::vector<float> out = a.value();
+  return make_result(std::move(new_shape), std::move(out), {a},
+                     [a](TensorNode& self) {
+                       if (wants_grad(a)) accumulate(*a.node(), self.grad);
+                     });
+}
+
+Tensor concat_channels(const Tensor& a, const Tensor& b) {
+  if (a.ndim() != b.ndim() || a.ndim() < 2) {
+    throw std::invalid_argument("concat_channels: rank mismatch");
+  }
+  for (int d = 0; d < a.ndim(); ++d) {
+    if (d != 1 && a.dim(d) != b.dim(d)) {
+      throw std::invalid_argument("concat_channels: dim mismatch");
+    }
+  }
+  const int n = a.dim(0);
+  const int ca = a.dim(1), cb = b.dim(1);
+  const size_t inner_a = a.numel() / (static_cast<size_t>(n) * ca);
+  std::vector<int> out_shape = a.shape();
+  out_shape[1] = ca + cb;
+  std::vector<float> out(shape_numel(out_shape));
+  const size_t sa = static_cast<size_t>(ca) * inner_a;
+  const size_t sb = static_cast<size_t>(cb) * inner_a;
+  for (int i = 0; i < n; ++i) {
+    std::copy_n(a.value().data() + i * sa, sa, out.data() + i * (sa + sb));
+    std::copy_n(b.value().data() + i * sb, sb,
+                out.data() + i * (sa + sb) + sa);
+  }
+  return make_result(
+      std::move(out_shape), std::move(out), {a, b},
+      [a, b, n, sa, sb](TensorNode& self) {
+        if (wants_grad(a)) {
+          auto& g = *a.node();
+          g.ensure_grad();
+          for (int i = 0; i < n; ++i) {
+            const float* src = self.grad.data() + i * (sa + sb);
+            float* dst = g.grad.data() + i * sa;
+            for (size_t j = 0; j < sa; ++j) dst[j] += src[j];
+          }
+        }
+        if (wants_grad(b)) {
+          auto& g = *b.node();
+          g.ensure_grad();
+          for (int i = 0; i < n; ++i) {
+            const float* src = self.grad.data() + i * (sa + sb) + sa;
+            float* dst = g.grad.data() + i * sb;
+            for (size_t j = 0; j < sb; ++j) dst[j] += src[j];
+          }
+        }
+      });
+}
+
+Tensor slice_channels(const Tensor& a, int c0, int c1) {
+  if (a.ndim() < 2 || c0 < 0 || c1 > a.dim(1) || c0 >= c1) {
+    throw std::invalid_argument("slice_channels: bad range");
+  }
+  const int n = a.dim(0);
+  const int c = a.dim(1);
+  const size_t inner = a.numel() / (static_cast<size_t>(n) * c);
+  std::vector<int> out_shape = a.shape();
+  out_shape[1] = c1 - c0;
+  std::vector<float> out(shape_numel(out_shape));
+  const size_t stride_in = static_cast<size_t>(c) * inner;
+  const size_t stride_out = static_cast<size_t>(c1 - c0) * inner;
+  for (int i = 0; i < n; ++i) {
+    std::copy_n(a.value().data() + i * stride_in + c0 * inner, stride_out,
+                out.data() + i * stride_out);
+  }
+  return make_result(
+      std::move(out_shape), std::move(out), {a},
+      [a, n, c0, inner, stride_in, stride_out](TensorNode& self) {
+        if (!wants_grad(a)) return;
+        auto& g = *a.node();
+        g.ensure_grad();
+        for (int i = 0; i < n; ++i) {
+          const float* src = self.grad.data() + i * stride_out;
+          float* dst = g.grad.data() + i * stride_in + c0 * inner;
+          for (size_t j = 0; j < stride_out; ++j) dst[j] += src[j];
+        }
+      });
+}
+
+// ---------- Linear ----------
+
+Tensor linear(const Tensor& x, const Tensor& w, const Tensor& b) {
+  if (x.ndim() != 2 || w.ndim() != 2 || x.dim(1) != w.dim(1)) {
+    throw std::invalid_argument("linear: shape mismatch");
+  }
+  const int n = x.dim(0), kk = x.dim(1), m = w.dim(0);
+  if (b.defined() && (b.ndim() != 1 || b.dim(0) != m)) {
+    throw std::invalid_argument("linear: bias mismatch");
+  }
+  std::vector<float> out(static_cast<size_t>(n) * m);
+  const float* xv = x.value().data();
+  const float* wv = w.value().data();
+  const float* bv = b.defined() ? b.value().data() : nullptr;
+  parallel_for_ranges(n, [&](int64_t r0, int64_t r1) {
+    for (int64_t i = r0; i < r1; ++i) {
+      const float* xrow = xv + i * kk;
+      float* orow = out.data() + i * m;
+      for (int j = 0; j < m; ++j) {
+        const float* wrow = wv + static_cast<size_t>(j) * kk;
+        float acc = bv ? bv[j] : 0.0f;
+        for (int t = 0; t < kk; ++t) acc += xrow[t] * wrow[t];
+        orow[j] = acc;
+      }
+    }
+  });
+  std::vector<Tensor> parents = b.defined()
+                                    ? std::vector<Tensor>{x, w, b}
+                                    : std::vector<Tensor>{x, w};
+  return make_result(
+      {n, m}, std::move(out), std::move(parents),
+      [x, w, b, n, kk, m](TensorNode& self) {
+        const float* go = self.grad.data();
+        if (wants_grad(x)) {
+          auto& g = *x.node();
+          g.ensure_grad();
+          const float* wv2 = w.value().data();
+          parallel_for_ranges(n, [&](int64_t r0, int64_t r1) {
+            for (int64_t i = r0; i < r1; ++i) {
+              float* grow = g.grad.data() + i * kk;
+              const float* gorow = go + i * m;
+              for (int j = 0; j < m; ++j) {
+                const float gj = gorow[j];
+                const float* wrow = wv2 + static_cast<size_t>(j) * kk;
+                for (int t = 0; t < kk; ++t) grow[t] += gj * wrow[t];
+              }
+            }
+          });
+        }
+        if (wants_grad(w)) {
+          auto& g = *w.node();
+          g.ensure_grad();
+          const float* xv2 = x.value().data();
+          parallel_for_ranges(m, [&](int64_t j0, int64_t j1) {
+            for (int64_t j = j0; j < j1; ++j) {
+              float* grow = g.grad.data() + j * kk;
+              for (int i = 0; i < n; ++i) {
+                const float gj = go[static_cast<size_t>(i) * m + j];
+                const float* xrow = xv2 + static_cast<size_t>(i) * kk;
+                for (int t = 0; t < kk; ++t) grow[t] += gj * xrow[t];
+              }
+            }
+          });
+        }
+        if (b.defined() && wants_grad(b)) {
+          auto& g = *b.node();
+          g.ensure_grad();
+          for (int i = 0; i < n; ++i) {
+            for (int j = 0; j < m; ++j) {
+              g.grad[static_cast<size_t>(j)] +=
+                  go[static_cast<size_t>(i) * m + j];
+            }
+          }
+        }
+      });
+}
+
+// ---------- Convolutional ----------
+
+Tensor conv2d(const Tensor& x, const Tensor& w, const Tensor& b, int stride,
+              int pad) {
+  if (x.ndim() != 4 || w.ndim() != 4 || x.dim(1) != w.dim(1)) {
+    throw std::invalid_argument("conv2d: shape mismatch");
+  }
+  const int n = x.dim(0), c = x.dim(1), h = x.dim(2), ww = x.dim(3);
+  const int f = w.dim(0), kh = w.dim(2), kw = w.dim(3);
+  const int ho = conv_out_dim(h, kh, stride, pad);
+  const int wo = conv_out_dim(ww, kw, stride, pad);
+  if (ho <= 0 || wo <= 0) throw std::invalid_argument("conv2d: empty output");
+  if (b.defined() && (b.ndim() != 1 || b.dim(0) != f)) {
+    throw std::invalid_argument("conv2d: bias mismatch");
+  }
+  std::vector<float> out(static_cast<size_t>(n) * f * ho * wo);
+  const float* xv = x.value().data();
+  const float* wv = w.value().data();
+  const float* bv = b.defined() ? b.value().data() : nullptr;
+
+  parallel_for_ranges(static_cast<int64_t>(n) * f, [&](int64_t t0,
+                                                       int64_t t1) {
+    for (int64_t t = t0; t < t1; ++t) {
+      const int ni = static_cast<int>(t / f);
+      const int fi = static_cast<int>(t % f);
+      float* oplane = out.data() + t * ho * wo;
+      const float* wbase = wv + static_cast<size_t>(fi) * c * kh * kw;
+      const float bias = bv ? bv[fi] : 0.0f;
+      for (int oy = 0; oy < ho; ++oy) {
+        for (int ox = 0; ox < wo; ++ox) {
+          float acc = bias;
+          const int iy0 = oy * stride - pad;
+          const int ix0 = ox * stride - pad;
+          for (int ci = 0; ci < c; ++ci) {
+            const float* xplane =
+                xv + (static_cast<size_t>(ni) * c + ci) * h * ww;
+            const float* wplane = wbase + static_cast<size_t>(ci) * kh * kw;
+            for (int ky = 0; ky < kh; ++ky) {
+              const int iy = iy0 + ky;
+              if (iy < 0 || iy >= h) continue;
+              for (int kx = 0; kx < kw; ++kx) {
+                const int ix = ix0 + kx;
+                if (ix < 0 || ix >= ww) continue;
+                acc += xplane[iy * ww + ix] * wplane[ky * kw + kx];
+              }
+            }
+          }
+          oplane[oy * wo + ox] = acc;
+        }
+      }
+    }
+  });
+
+  std::vector<Tensor> parents = b.defined()
+                                    ? std::vector<Tensor>{x, w, b}
+                                    : std::vector<Tensor>{x, w};
+  return make_result(
+      {n, f, ho, wo}, std::move(out), std::move(parents),
+      [x, w, b, n, c, h, ww, f, kh, kw, ho, wo, stride,
+       pad](TensorNode& self) {
+        const float* go = self.grad.data();
+        if (wants_grad(x)) {
+          auto& g = *x.node();
+          g.ensure_grad();
+          const float* wv2 = w.value().data();
+          parallel_for_ranges(static_cast<int64_t>(n) * c, [&](int64_t t0,
+                                                               int64_t t1) {
+            for (int64_t t = t0; t < t1; ++t) {
+              const int ni = static_cast<int>(t / c);
+              const int ci = static_cast<int>(t % c);
+              float* gplane = g.grad.data() + t * h * ww;
+              for (int iy = 0; iy < h; ++iy) {
+                for (int ix = 0; ix < ww; ++ix) {
+                  float acc = 0.0f;
+                  for (int ky = 0; ky < kh; ++ky) {
+                    const int oy_num = iy + pad - ky;
+                    if (oy_num < 0 || oy_num % stride) continue;
+                    const int oy = oy_num / stride;
+                    if (oy >= ho) continue;
+                    for (int kx = 0; kx < kw; ++kx) {
+                      const int ox_num = ix + pad - kx;
+                      if (ox_num < 0 || ox_num % stride) continue;
+                      const int ox = ox_num / stride;
+                      if (ox >= wo) continue;
+                      for (int fi = 0; fi < f; ++fi) {
+                        const float wval =
+                            wv2[((static_cast<size_t>(fi) * c + ci) * kh +
+                                 ky) *
+                                    kw +
+                                kx];
+                        const float gval =
+                            go[((static_cast<size_t>(ni) * f + fi) * ho +
+                                oy) *
+                                   wo +
+                               ox];
+                        acc += wval * gval;
+                      }
+                    }
+                  }
+                  gplane[iy * ww + ix] += acc;
+                }
+              }
+            }
+          });
+        }
+        if (wants_grad(w)) {
+          auto& g = *w.node();
+          g.ensure_grad();
+          const float* xv2 = x.value().data();
+          parallel_for_ranges(f, [&](int64_t f0, int64_t f1) {
+            for (int64_t fi = f0; fi < f1; ++fi) {
+              float* gw = g.grad.data() + fi * c * kh * kw;
+              for (int ni = 0; ni < n; ++ni) {
+                const float* gplane =
+                    go + (static_cast<size_t>(ni) * f + fi) * ho * wo;
+                for (int ci = 0; ci < c; ++ci) {
+                  const float* xplane =
+                      xv2 + (static_cast<size_t>(ni) * c + ci) * h * ww;
+                  for (int ky = 0; ky < kh; ++ky) {
+                    for (int kx = 0; kx < kw; ++kx) {
+                      float acc = 0.0f;
+                      for (int oy = 0; oy < ho; ++oy) {
+                        const int iy = oy * stride - pad + ky;
+                        if (iy < 0 || iy >= h) continue;
+                        for (int ox = 0; ox < wo; ++ox) {
+                          const int ix = ox * stride - pad + kx;
+                          if (ix < 0 || ix >= ww) continue;
+                          acc += xplane[iy * ww + ix] * gplane[oy * wo + ox];
+                        }
+                      }
+                      gw[(static_cast<size_t>(ci) * kh + ky) * kw + kx] += acc;
+                    }
+                  }
+                }
+              }
+            }
+          });
+        }
+        if (b.defined() && wants_grad(b)) {
+          auto& g = *b.node();
+          g.ensure_grad();
+          for (int ni = 0; ni < n; ++ni) {
+            for (int fi = 0; fi < f; ++fi) {
+              const float* gplane =
+                  go + (static_cast<size_t>(ni) * f + fi) * ho * wo;
+              float acc = 0.0f;
+              for (int i = 0; i < ho * wo; ++i) acc += gplane[i];
+              g.grad[static_cast<size_t>(fi)] += acc;
+            }
+          }
+        }
+      });
+}
+
+Tensor avg_pool2d(const Tensor& x, int k) {
+  if (x.ndim() != 4) throw std::invalid_argument("avg_pool2d: x not 4-D");
+  const int n = x.dim(0), c = x.dim(1), h = x.dim(2), w = x.dim(3);
+  if (h % k || w % k) throw std::invalid_argument("avg_pool2d: not divisible");
+  const int ho = h / k, wo = w / k;
+  std::vector<float> out(static_cast<size_t>(n) * c * ho * wo);
+  const auto& xv = x.value();
+  const float inv = 1.0f / static_cast<float>(k * k);
+  for (int t = 0; t < n * c; ++t) {
+    const float* xp = xv.data() + static_cast<size_t>(t) * h * w;
+    float* op = out.data() + static_cast<size_t>(t) * ho * wo;
+    for (int oy = 0; oy < ho; ++oy) {
+      for (int ox = 0; ox < wo; ++ox) {
+        float acc = 0.0f;
+        for (int dy = 0; dy < k; ++dy) {
+          for (int dx = 0; dx < k; ++dx) {
+            acc += xp[(oy * k + dy) * w + ox * k + dx];
+          }
+        }
+        op[oy * wo + ox] = acc * inv;
+      }
+    }
+  }
+  return make_result(
+      {n, c, ho, wo}, std::move(out), {x},
+      [x, n, c, h, w, ho, wo, k, inv](TensorNode& self) {
+        if (!wants_grad(x)) return;
+        auto& g = *x.node();
+        g.ensure_grad();
+        for (int t = 0; t < n * c; ++t) {
+          float* gp = g.grad.data() + static_cast<size_t>(t) * h * w;
+          const float* sp = self.grad.data() + static_cast<size_t>(t) * ho * wo;
+          for (int oy = 0; oy < ho; ++oy) {
+            for (int ox = 0; ox < wo; ++ox) {
+              const float v = sp[oy * wo + ox] * inv;
+              for (int dy = 0; dy < k; ++dy) {
+                for (int dx = 0; dx < k; ++dx) {
+                  gp[(oy * k + dy) * w + ox * k + dx] += v;
+                }
+              }
+            }
+          }
+        }
+      });
+}
+
+Tensor global_avg_pool(const Tensor& x) {
+  if (x.ndim() != 4) throw std::invalid_argument("global_avg_pool: not 4-D");
+  const int n = x.dim(0), c = x.dim(1), h = x.dim(2), w = x.dim(3);
+  std::vector<float> out(static_cast<size_t>(n) * c);
+  const float inv = 1.0f / static_cast<float>(h * w);
+  for (int t = 0; t < n * c; ++t) {
+    const float* xp = x.value().data() + static_cast<size_t>(t) * h * w;
+    float acc = 0.0f;
+    for (int i = 0; i < h * w; ++i) acc += xp[i];
+    out[static_cast<size_t>(t)] = acc * inv;
+  }
+  return make_result({n, c}, std::move(out), {x},
+                     [x, n, c, h, w, inv](TensorNode& self) {
+                       if (!wants_grad(x)) return;
+                       auto& g = *x.node();
+                       g.ensure_grad();
+                       for (int t = 0; t < n * c; ++t) {
+                         const float v = self.grad[static_cast<size_t>(t)] * inv;
+                         float* gp =
+                             g.grad.data() + static_cast<size_t>(t) * h * w;
+                         for (int i = 0; i < h * w; ++i) gp[i] += v;
+                       }
+                     });
+}
+
+Tensor upsample_nearest2x(const Tensor& x) {
+  if (x.ndim() != 4) throw std::invalid_argument("upsample: x not 4-D");
+  const int n = x.dim(0), c = x.dim(1), h = x.dim(2), w = x.dim(3);
+  const int ho = h * 2, wo = w * 2;
+  std::vector<float> out(static_cast<size_t>(n) * c * ho * wo);
+  for (int t = 0; t < n * c; ++t) {
+    const float* xp = x.value().data() + static_cast<size_t>(t) * h * w;
+    float* op = out.data() + static_cast<size_t>(t) * ho * wo;
+    for (int oy = 0; oy < ho; ++oy) {
+      for (int ox = 0; ox < wo; ++ox) {
+        op[oy * wo + ox] = xp[(oy / 2) * w + ox / 2];
+      }
+    }
+  }
+  return make_result({n, c, ho, wo}, std::move(out), {x},
+                     [x, n, c, h, w, ho, wo](TensorNode& self) {
+                       if (!wants_grad(x)) return;
+                       auto& g = *x.node();
+                       g.ensure_grad();
+                       for (int t = 0; t < n * c; ++t) {
+                         float* gp =
+                             g.grad.data() + static_cast<size_t>(t) * h * w;
+                         const float* sp = self.grad.data() +
+                                           static_cast<size_t>(t) * ho * wo;
+                         for (int oy = 0; oy < ho; ++oy) {
+                           for (int ox = 0; ox < wo; ++ox) {
+                             gp[(oy / 2) * w + ox / 2] += sp[oy * wo + ox];
+                           }
+                         }
+                       }
+                     });
+}
+
+Tensor spatial_attention(const Tensor& q, const Tensor& k, const Tensor& v) {
+  check_same_shape(q, k, "spatial_attention");
+  check_same_shape(q, v, "spatial_attention");
+  if (q.ndim() != 4) throw std::invalid_argument("spatial_attention: rank");
+  const int n = q.dim(0), c = q.dim(1);
+  const int l = q.dim(2) * q.dim(3);
+  const float scale_f = 1.0f / std::sqrt(static_cast<float>(c));
+
+  // Per-sample attention weights, kept for the backward pass.
+  auto attn = std::make_shared<std::vector<float>>(
+      static_cast<size_t>(n) * l * l);
+  std::vector<float> out(q.numel());
+  const float* qv = q.value().data();
+  const float* kv = k.value().data();
+  const float* vv = v.value().data();
+  auto feat = [c, l](const float* base, int ni, int ci, int i) {
+    return base[(static_cast<size_t>(ni) * c + ci) * l + i];
+  };
+  for (int ni = 0; ni < n; ++ni) {
+    float* a = attn->data() + static_cast<size_t>(ni) * l * l;
+    for (int i = 0; i < l; ++i) {
+      float mx = -1e30f;
+      for (int j = 0; j < l; ++j) {
+        float s = 0.0f;
+        for (int ci = 0; ci < c; ++ci) {
+          s += feat(qv, ni, ci, i) * feat(kv, ni, ci, j);
+        }
+        s *= scale_f;
+        a[static_cast<size_t>(i) * l + j] = s;
+        mx = std::max(mx, s);
+      }
+      float z = 0.0f;
+      for (int j = 0; j < l; ++j) {
+        float& e = a[static_cast<size_t>(i) * l + j];
+        e = std::exp(e - mx);
+        z += e;
+      }
+      for (int j = 0; j < l; ++j) a[static_cast<size_t>(i) * l + j] /= z;
+    }
+    for (int ci = 0; ci < c; ++ci) {
+      for (int i = 0; i < l; ++i) {
+        float acc = 0.0f;
+        for (int j = 0; j < l; ++j) {
+          acc += a[static_cast<size_t>(i) * l + j] * feat(vv, ni, ci, j);
+        }
+        out[(static_cast<size_t>(ni) * c + ci) * l + i] = acc;
+      }
+    }
+  }
+  return make_result(
+      q.shape(), std::move(out), {q, k, v},
+      [q, k, v, attn, n, c, l, scale_f](TensorNode& self) {
+        const float* go = self.grad.data();
+        const float* qv2 = q.value().data();
+        const float* kv2 = k.value().data();
+        const float* vv2 = v.value().data();
+        auto feat = [c, l](const float* base, int ni, int ci, int i) {
+          return base[(static_cast<size_t>(ni) * c + ci) * l + i];
+        };
+        for (int ni = 0; ni < n; ++ni) {
+          const float* a = attn->data() + static_cast<size_t>(ni) * l * l;
+          // dA[i][j] = sum_c go[c,i] * v[c,j]
+          std::vector<float> dA(static_cast<size_t>(l) * l, 0.0f);
+          for (int i = 0; i < l; ++i) {
+            for (int j = 0; j < l; ++j) {
+              float acc = 0.0f;
+              for (int ci = 0; ci < c; ++ci) {
+                acc += feat(go, ni, ci, i) * feat(vv2, ni, ci, j);
+              }
+              dA[static_cast<size_t>(i) * l + j] = acc;
+            }
+          }
+          // Softmax backward per row: dS = A * (dA - sum_j dA*A)
+          std::vector<float> dS(static_cast<size_t>(l) * l);
+          for (int i = 0; i < l; ++i) {
+            float dot = 0.0f;
+            for (int j = 0; j < l; ++j) {
+              dot += dA[static_cast<size_t>(i) * l + j] *
+                     a[static_cast<size_t>(i) * l + j];
+            }
+            for (int j = 0; j < l; ++j) {
+              dS[static_cast<size_t>(i) * l + j] =
+                  a[static_cast<size_t>(i) * l + j] *
+                  (dA[static_cast<size_t>(i) * l + j] - dot);
+            }
+          }
+          if (q.requires_grad()) {
+            auto& g = *q.node();
+            g.ensure_grad();
+            for (int ci = 0; ci < c; ++ci) {
+              for (int i = 0; i < l; ++i) {
+                float acc = 0.0f;
+                for (int j = 0; j < l; ++j) {
+                  acc += dS[static_cast<size_t>(i) * l + j] *
+                         feat(kv2, ni, ci, j);
+                }
+                g.grad[(static_cast<size_t>(ni) * c + ci) * l + i] +=
+                    scale_f * acc;
+              }
+            }
+          }
+          if (k.requires_grad()) {
+            auto& g = *k.node();
+            g.ensure_grad();
+            for (int ci = 0; ci < c; ++ci) {
+              for (int j = 0; j < l; ++j) {
+                float acc = 0.0f;
+                for (int i = 0; i < l; ++i) {
+                  acc += dS[static_cast<size_t>(i) * l + j] *
+                         feat(qv2, ni, ci, i);
+                }
+                g.grad[(static_cast<size_t>(ni) * c + ci) * l + j] +=
+                    scale_f * acc;
+              }
+            }
+          }
+          if (v.requires_grad()) {
+            auto& g = *v.node();
+            g.ensure_grad();
+            for (int ci = 0; ci < c; ++ci) {
+              for (int j = 0; j < l; ++j) {
+                float acc = 0.0f;
+                for (int i = 0; i < l; ++i) {
+                  acc += feat(go, ni, ci, i) *
+                         a[static_cast<size_t>(i) * l + j];
+                }
+                g.grad[(static_cast<size_t>(ni) * c + ci) * l + j] += acc;
+              }
+            }
+          }
+        }
+      });
+}
+
+Tensor group_norm(const Tensor& x, const Tensor& gamma, const Tensor& beta,
+                  int groups, float eps) {
+  if (x.ndim() < 2) throw std::invalid_argument("group_norm: rank");
+  const int n = x.dim(0), c = x.dim(1);
+  if (c % groups) throw std::invalid_argument("group_norm: C % groups != 0");
+  if (gamma.ndim() != 1 || gamma.dim(0) != c || beta.ndim() != 1 ||
+      beta.dim(0) != c) {
+    throw std::invalid_argument("group_norm: affine shape");
+  }
+  const size_t inner = x.numel() / (static_cast<size_t>(n) * c);
+  const int cpg = c / groups;
+  const size_t gsize = static_cast<size_t>(cpg) * inner;
+
+  auto xhat = std::make_shared<std::vector<float>>(x.numel());
+  auto istd = std::make_shared<std::vector<float>>(
+      static_cast<size_t>(n) * groups);
+  std::vector<float> out(x.numel());
+  const float* xv = x.value().data();
+  const float* gv = gamma.value().data();
+  const float* bv = beta.value().data();
+  for (int ni = 0; ni < n; ++ni) {
+    for (int gi = 0; gi < groups; ++gi) {
+      const size_t base =
+          (static_cast<size_t>(ni) * c + static_cast<size_t>(gi) * cpg) *
+          inner;
+      double mu = 0.0;
+      for (size_t i = 0; i < gsize; ++i) mu += xv[base + i];
+      mu /= static_cast<double>(gsize);
+      double var = 0.0;
+      for (size_t i = 0; i < gsize; ++i) {
+        const double d = xv[base + i] - mu;
+        var += d * d;
+      }
+      var /= static_cast<double>(gsize);
+      const float is = static_cast<float>(1.0 / std::sqrt(var + eps));
+      (*istd)[static_cast<size_t>(ni) * groups + gi] = is;
+      for (size_t i = 0; i < gsize; ++i) {
+        const float xh = (xv[base + i] - static_cast<float>(mu)) * is;
+        (*xhat)[base + i] = xh;
+        const size_t ch = static_cast<size_t>(gi) * cpg + i / inner;
+        out[base + i] = gv[ch] * xh + bv[ch];
+      }
+    }
+  }
+  return make_result(
+      x.shape(), std::move(out), {x, gamma, beta},
+      [x, gamma, beta, xhat, istd, n, c, groups, cpg, inner,
+       gsize](TensorNode& self) {
+        const float* go = self.grad.data();
+        const float* gv2 = gamma.value().data();
+        if (wants_grad(gamma)) {
+          auto& g = *gamma.node();
+          g.ensure_grad();
+          for (int ni = 0; ni < n; ++ni) {
+            for (int ch = 0; ch < c; ++ch) {
+              const size_t base =
+                  (static_cast<size_t>(ni) * c + ch) * inner;
+              float acc = 0.0f;
+              for (size_t i = 0; i < inner; ++i) {
+                acc += go[base + i] * (*xhat)[base + i];
+              }
+              g.grad[static_cast<size_t>(ch)] += acc;
+            }
+          }
+        }
+        if (wants_grad(beta)) {
+          auto& g = *beta.node();
+          g.ensure_grad();
+          for (int ni = 0; ni < n; ++ni) {
+            for (int ch = 0; ch < c; ++ch) {
+              const size_t base =
+                  (static_cast<size_t>(ni) * c + ch) * inner;
+              float acc = 0.0f;
+              for (size_t i = 0; i < inner; ++i) acc += go[base + i];
+              g.grad[static_cast<size_t>(ch)] += acc;
+            }
+          }
+        }
+        if (wants_grad(x)) {
+          auto& g = *x.node();
+          g.ensure_grad();
+          for (int ni = 0; ni < n; ++ni) {
+            for (int gi = 0; gi < groups; ++gi) {
+              const size_t base =
+                  (static_cast<size_t>(ni) * c +
+                   static_cast<size_t>(gi) * cpg) *
+                  inner;
+              // dxhat = go * gamma (per channel)
+              double mean_dxhat = 0.0, mean_dxhat_xhat = 0.0;
+              for (size_t i = 0; i < gsize; ++i) {
+                const size_t ch = static_cast<size_t>(gi) * cpg + i / inner;
+                const double d = static_cast<double>(go[base + i]) * gv2[ch];
+                mean_dxhat += d;
+                mean_dxhat_xhat += d * (*xhat)[base + i];
+              }
+              mean_dxhat /= static_cast<double>(gsize);
+              mean_dxhat_xhat /= static_cast<double>(gsize);
+              const float is =
+                  (*istd)[static_cast<size_t>(ni) * groups + gi];
+              for (size_t i = 0; i < gsize; ++i) {
+                const size_t ch = static_cast<size_t>(gi) * cpg + i / inner;
+                const float dxhat = go[base + i] * gv2[ch];
+                g.grad[base + i] +=
+                    is * (dxhat - static_cast<float>(mean_dxhat) -
+                          (*xhat)[base + i] *
+                              static_cast<float>(mean_dxhat_xhat));
+              }
+            }
+          }
+        }
+      });
+}
+
+Tensor timestep_embedding(const std::vector<int>& t, int dim,
+                          float max_period) {
+  const int n = static_cast<int>(t.size());
+  const int half = dim / 2;
+  std::vector<float> out(static_cast<size_t>(n) * dim, 0.0f);
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < half; ++j) {
+      const float freq =
+          std::exp(-std::log(max_period) * static_cast<float>(j) /
+                   static_cast<float>(half));
+      const float arg = static_cast<float>(t[static_cast<size_t>(i)]) * freq;
+      out[static_cast<size_t>(i) * dim + j] = std::cos(arg);
+      out[static_cast<size_t>(i) * dim + half + j] = std::sin(arg);
+    }
+  }
+  return Tensor::from_data({n, dim}, std::move(out));
+}
+
+}  // namespace dcdiff::nn

@@ -1,0 +1,47 @@
+#include "nn/optim.h"
+
+#include <cmath>
+
+namespace dcdiff::nn {
+
+Adam::Adam(std::vector<Tensor> params, float lr, float beta1, float beta2,
+           float eps)
+    : params_(std::move(params)),
+      lr_(lr),
+      beta1_(beta1),
+      beta2_(beta2),
+      eps_(eps) {
+  m_.reserve(params_.size());
+  v_.reserve(params_.size());
+  for (const Tensor& p : params_) {
+    m_.emplace_back(p.numel(), 0.0f);
+    v_.emplace_back(p.numel(), 0.0f);
+  }
+}
+
+void Adam::step() {
+  ++t_;
+  const float bc1 = 1.0f - std::pow(beta1_, static_cast<float>(t_));
+  const float bc2 = 1.0f - std::pow(beta2_, static_cast<float>(t_));
+  for (size_t pi = 0; pi < params_.size(); ++pi) {
+    Tensor& p = params_[pi];
+    const auto& g = p.grad_view();
+    if (g.empty()) continue;  // parameter untouched this step
+    auto& val = p.value();
+    auto& m = m_[pi];
+    auto& v = v_[pi];
+    for (size_t i = 0; i < val.size(); ++i) {
+      m[i] = beta1_ * m[i] + (1.0f - beta1_) * g[i];
+      v[i] = beta2_ * v[i] + (1.0f - beta2_) * g[i] * g[i];
+      const float mhat = m[i] / bc1;
+      const float vhat = v[i] / bc2;
+      val[i] -= lr_ * mhat / (std::sqrt(vhat) + eps_);
+    }
+  }
+}
+
+void Adam::zero_grad() {
+  for (Tensor& p : params_) p.zero_grad();
+}
+
+}  // namespace dcdiff::nn

@@ -1,0 +1,32 @@
+// Adam optimizer (Kingma & Ba) over a flat parameter list.
+#pragma once
+
+#include <vector>
+
+#include "nn/tensor.h"
+
+namespace dcdiff::nn {
+
+class Adam {
+ public:
+  Adam(std::vector<Tensor> params, float lr, float beta1 = 0.9f,
+       float beta2 = 0.999f, float eps = 1e-8f);
+
+  // Applies one update from the accumulated gradients.
+  void step();
+  // Clears gradients of all managed parameters.
+  void zero_grad();
+
+  void set_lr(float lr) { lr_ = lr; }
+  float lr() const { return lr_; }
+  int64_t step_count() const { return t_; }
+
+ private:
+  std::vector<Tensor> params_;
+  std::vector<std::vector<float>> m_;
+  std::vector<std::vector<float>> v_;
+  float lr_, beta1_, beta2_, eps_;
+  int64_t t_ = 0;
+};
+
+}  // namespace dcdiff::nn

@@ -1,0 +1,69 @@
+#include "nn/serialize.h"
+
+#include <cstdint>
+#include <cstring>
+#include <fstream>
+
+namespace dcdiff::nn {
+namespace {
+constexpr char kMagic[4] = {'D', 'C', 'D', 'W'};
+constexpr uint32_t kVersion = 1;
+}  // namespace
+
+void save_params(const std::vector<Tensor>& params, const std::string& path) {
+  std::ofstream f(path, std::ios::binary);
+  if (!f) throw std::runtime_error("save_params: cannot open " + path);
+  f.write(kMagic, 4);
+  f.write(reinterpret_cast<const char*>(&kVersion), sizeof(kVersion));
+  const uint64_t count = params.size();
+  f.write(reinterpret_cast<const char*>(&count), sizeof(count));
+  for (const Tensor& p : params) {
+    const uint32_t ndim = static_cast<uint32_t>(p.ndim());
+    f.write(reinterpret_cast<const char*>(&ndim), sizeof(ndim));
+    for (int d = 0; d < p.ndim(); ++d) {
+      const int32_t dim = p.dim(d);
+      f.write(reinterpret_cast<const char*>(&dim), sizeof(dim));
+    }
+    f.write(reinterpret_cast<const char*>(p.value().data()),
+            static_cast<std::streamsize>(p.numel() * sizeof(float)));
+  }
+  if (!f) throw std::runtime_error("save_params: write failed " + path);
+}
+
+bool load_params(std::vector<Tensor>& params, const std::string& path) {
+  std::ifstream f(path, std::ios::binary);
+  if (!f) return false;
+  char magic[4];
+  uint32_t version = 0;
+  uint64_t count = 0;
+  f.read(magic, 4);
+  f.read(reinterpret_cast<char*>(&version), sizeof(version));
+  f.read(reinterpret_cast<char*>(&count), sizeof(count));
+  if (!f || std::memcmp(magic, kMagic, 4) != 0 || version != kVersion) {
+    throw std::runtime_error("load_params: bad header in " + path);
+  }
+  if (count != params.size()) {
+    throw std::runtime_error("load_params: parameter count mismatch in " +
+                             path);
+  }
+  for (Tensor& p : params) {
+    uint32_t ndim = 0;
+    f.read(reinterpret_cast<char*>(&ndim), sizeof(ndim));
+    if (static_cast<int>(ndim) != p.ndim()) {
+      throw std::runtime_error("load_params: rank mismatch in " + path);
+    }
+    for (int d = 0; d < p.ndim(); ++d) {
+      int32_t dim = 0;
+      f.read(reinterpret_cast<char*>(&dim), sizeof(dim));
+      if (dim != p.dim(d)) {
+        throw std::runtime_error("load_params: shape mismatch in " + path);
+      }
+    }
+    f.read(reinterpret_cast<char*>(p.value().data()),
+           static_cast<std::streamsize>(p.numel() * sizeof(float)));
+  }
+  if (!f) throw std::runtime_error("load_params: truncated file " + path);
+  return true;
+}
+
+}  // namespace dcdiff::nn

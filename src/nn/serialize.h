@@ -1,0 +1,20 @@
+// Binary serialization of parameter lists. Format:
+//   magic "DCDW" | uint32 version | uint64 count |
+//   per tensor: uint32 ndim | int32 dims[] | float32 data[]
+// Loading verifies shapes against the already-constructed parameter list, so
+// a model must be built (same architecture, any seed) before loading.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "nn/tensor.h"
+
+namespace dcdiff::nn {
+
+void save_params(const std::vector<Tensor>& params, const std::string& path);
+
+// Returns false if the file does not exist; throws on format/shape mismatch.
+bool load_params(std::vector<Tensor>& params, const std::string& path);
+
+}  // namespace dcdiff::nn

@@ -1,0 +1,101 @@
+#include "nn/threadpool.h"
+
+#include <algorithm>
+
+namespace dcdiff::nn {
+
+ThreadPool& ThreadPool::instance() {
+  static ThreadPool pool(
+      std::max(1u, std::thread::hardware_concurrency()));
+  return pool;
+}
+
+ThreadPool::ThreadPool(int num_threads) {
+  const int workers = std::max(0, num_threads - 1);
+  tasks_.resize(static_cast<size_t>(workers));
+  task_ready_.assign(static_cast<size_t>(workers), false);
+  workers_.reserve(static_cast<size_t>(workers));
+  for (int i = 0; i < workers; ++i) {
+    workers_.emplace_back([this, i] { worker_loop(i); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (auto& t : workers_) t.join();
+}
+
+void ThreadPool::worker_loop(int worker_index) {
+  uint64_t seen_generation = 0;
+  for (;;) {
+    Task task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [&] {
+        return stop_ || (task_ready_[static_cast<size_t>(worker_index)] &&
+                         generation_ != seen_generation);
+      });
+      if (stop_) return;
+      seen_generation = generation_;
+      task = tasks_[static_cast<size_t>(worker_index)];
+      task_ready_[static_cast<size_t>(worker_index)] = false;
+    }
+    if (task.fn && task.begin < task.end) (*task.fn)(task.begin, task.end);
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (--pending_ == 0) done_cv_.notify_all();
+    }
+  }
+}
+
+void ThreadPool::parallel_ranges(
+    int64_t n, const std::function<void(int64_t, int64_t)>& fn) {
+  if (n <= 0) return;
+  const int total = num_threads();
+  if (total == 1 || n == 1) {
+    fn(0, n);
+    return;
+  }
+  const int parts = static_cast<int>(std::min<int64_t>(total, n));
+  const int64_t chunk = (n + parts - 1) / parts;
+  // Worker i handles [i*chunk, min((i+1)*chunk, n)); caller takes part 0.
+  int launched = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (int i = 1; i < parts; ++i) {
+      const int64_t begin = i * chunk;
+      const int64_t end = std::min<int64_t>(n, begin + chunk);
+      if (begin >= end) break;
+      auto& slot = tasks_[static_cast<size_t>(i - 1)];
+      slot.fn = &fn;
+      slot.begin = begin;
+      slot.end = end;
+      task_ready_[static_cast<size_t>(i - 1)] = true;
+      ++launched;
+    }
+    pending_ += launched;
+    ++generation_;
+  }
+  cv_.notify_all();
+  fn(0, std::min<int64_t>(n, chunk));
+  std::unique_lock<std::mutex> lock(mu_);
+  done_cv_.wait(lock, [&] { return pending_ == 0; });
+}
+
+void parallel_for(int64_t n, const std::function<void(int64_t)>& fn) {
+  ThreadPool::instance().parallel_ranges(
+      n, [&fn](int64_t begin, int64_t end) {
+        for (int64_t i = begin; i < end; ++i) fn(i);
+      });
+}
+
+void parallel_for_ranges(int64_t n,
+                         const std::function<void(int64_t, int64_t)>& fn) {
+  ThreadPool::instance().parallel_ranges(n, fn);
+}
+
+}  // namespace dcdiff::nn

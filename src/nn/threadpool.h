@@ -1,0 +1,61 @@
+// Persistent thread pool with a deterministic parallel_for.
+//
+// Work is split into contiguous index ranges, one per worker, so each output
+// element is written by exactly one thread: results are bit-identical to the
+// serial execution regardless of scheduling.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace dcdiff::nn {
+
+class ThreadPool {
+ public:
+  // Global pool sized to the hardware concurrency (at least 1 worker).
+  static ThreadPool& instance();
+
+  explicit ThreadPool(int num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int num_threads() const { return static_cast<int>(workers_.size()) + 1; }
+
+  // Calls fn(begin, end) on disjoint ranges covering [0, n). The calling
+  // thread participates. Blocks until all ranges are done. Not reentrant.
+  void parallel_ranges(int64_t n,
+                       const std::function<void(int64_t, int64_t)>& fn);
+
+ private:
+  struct Task {
+    const std::function<void(int64_t, int64_t)>* fn = nullptr;
+    int64_t begin = 0;
+    int64_t end = 0;
+  };
+
+  void worker_loop(int worker_index);
+
+  std::vector<std::thread> workers_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::condition_variable done_cv_;
+  std::vector<Task> tasks_;       // one slot per worker
+  std::vector<bool> task_ready_;  // per worker
+  int pending_ = 0;
+  uint64_t generation_ = 0;
+  bool stop_ = false;
+};
+
+// Convenience: parallel loop over [0, n) with per-element fn.
+void parallel_for(int64_t n, const std::function<void(int64_t)>& fn);
+// Range form (preferred for hot loops: avoids per-element std::function call).
+void parallel_for_ranges(int64_t n,
+                         const std::function<void(int64_t, int64_t)>& fn);
+
+}  // namespace dcdiff::nn

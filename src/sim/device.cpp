@@ -1,0 +1,71 @@
+#include "sim/device.h"
+
+#include <chrono>
+
+#include "jpeg/codec.h"
+#include "jpeg/dcdrop.h"
+
+namespace dcdiff::sim {
+
+DeviceProfile raspberry_pi4() {
+  // Cortex-A72 @ 1.5 GHz, single core: roughly 3.0 Gops/s on the mixed
+  // integer/float calibration kernel class.
+  return DeviceProfile{"Raspberry Pi 4", 3000.0};
+}
+
+DeviceProfile cortex_a53() {
+  // Cortex-A53 @ 1.2-1.4 GHz in-order core: roughly half the Pi 4 rate.
+  return DeviceProfile{"ARM Cortex-A53", 1500.0};
+}
+
+double calibrate_host_mops() {
+  // Mixed int/float kernel representative of blocked DCT + bit packing.
+  using clock = std::chrono::steady_clock;
+  volatile float facc = 0.0f;
+  volatile uint32_t iacc = 1u;
+  const int64_t iters = 40'000'000;
+  const auto start = clock::now();
+  float f = 1.0001f;
+  uint32_t x = 0x12345u;
+  for (int64_t i = 0; i < iters; ++i) {
+    f = f * 1.0000001f + 0.5f;
+    x = (x << 1) ^ (x >> 3) ^ static_cast<uint32_t>(i);
+  }
+  facc = facc + f;
+  iacc = iacc + x;
+  (void)facc;
+  (void)iacc;
+  const double secs =
+      std::chrono::duration<double>(clock::now() - start).count();
+  // 4 "ops" per iteration (fmul+fadd, shift/xor pair).
+  return 4.0 * static_cast<double>(iters) / secs / 1e6;
+}
+
+ThroughputResult measure_encoder_throughput(const std::vector<Image>& images,
+                                            bool drop_dc, int quality,
+                                            const DeviceProfile& profile,
+                                            double host_mops, int repeats) {
+  using clock = std::chrono::steady_clock;
+  ThroughputResult r;
+  for (const Image& img : images) {
+    r.input_bits += static_cast<uint64_t>(img.width()) * img.height() * 24;
+  }
+  r.input_bits *= static_cast<uint64_t>(repeats);
+
+  volatile size_t sink = 0;
+  const auto start = clock::now();
+  for (int rep = 0; rep < repeats; ++rep) {
+    for (const Image& img : images) {
+      auto coeffs = jpeg::forward_transform(img, quality);
+      if (drop_dc) jpeg::drop_dc(coeffs);
+      sink += jpeg::encode_jfif(coeffs).size();
+    }
+  }
+  (void)sink;
+  r.seconds = std::chrono::duration<double>(clock::now() - start).count();
+  r.host_gbps = static_cast<double>(r.input_bits) / r.seconds / 1e9;
+  r.device_gbps = r.host_gbps * (profile.device_mops / host_mops);
+  return r;
+}
+
+}  // namespace dcdiff::sim

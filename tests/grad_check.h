@@ -1,0 +1,40 @@
+// Central-difference gradient verification for autograd ops.
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <functional>
+
+#include "nn/tensor.h"
+
+namespace dcdiff::testing_util {
+
+// Checks d(loss)/d(input) for every element of `input` against central
+// differences. `loss_fn` must rebuild the graph from current tensor values
+// and return a scalar tensor.
+inline void check_gradient(nn::Tensor input,
+                           const std::function<nn::Tensor()>& loss_fn,
+                           float eps = 1e-3f, float tol = 2e-2f) {
+  input.set_requires_grad(true);
+  nn::Tensor loss = loss_fn();
+  input.zero_grad();
+  loss.backward();
+  const std::vector<float> analytic = input.grad();
+  for (size_t i = 0; i < input.numel(); ++i) {
+    const float orig = input.value()[i];
+    input.value()[i] = orig + eps;
+    const float plus = loss_fn().item();
+    input.value()[i] = orig - eps;
+    const float minus = loss_fn().item();
+    input.value()[i] = orig;
+    const float numeric = (plus - minus) / (2.0f * eps);
+    const float scale =
+        std::max({1.0f, std::abs(numeric), std::abs(analytic[i])});
+    EXPECT_NEAR(analytic[i], numeric, tol * scale)
+        << "element " << i << " analytic=" << analytic[i]
+        << " numeric=" << numeric;
+  }
+}
+
+}  // namespace dcdiff::testing_util

@@ -1,0 +1,149 @@
+#include "baselines/dc_recovery.h"
+
+#include <gtest/gtest.h>
+
+#include "data/datasets.h"
+#include "jpeg/dcdrop.h"
+#include "metrics/metrics.h"
+
+namespace dcdiff::baselines {
+namespace {
+
+using jpeg::CoeffImage;
+
+CoeffImage dropped_coeffs(const Image& img, int quality = 50) {
+  CoeffImage ci = jpeg::forward_transform(img, quality);
+  jpeg::drop_dc(ci);
+  return ci;
+}
+
+TEST(Baselines, MethodNames) {
+  EXPECT_STREQ(method_name(RecoveryMethod::kUehara2006), "TIP 2006");
+  EXPECT_STREQ(method_name(RecoveryMethod::kSmartCom2019), "SmartCom 2019");
+  EXPECT_STREQ(method_name(RecoveryMethod::kICIP2022), "ICIP 2022");
+}
+
+class AllMethods : public ::testing::TestWithParam<RecoveryMethod> {};
+
+TEST_P(AllMethods, FlatImageRecoveredExactly) {
+  // A uniform image satisfies the Laplacian assumption perfectly: every
+  // method must recover it almost losslessly (up to quantization).
+  Image flat(64, 64, ColorSpace::kRGB, 120.0f);
+  const Image recovered = recover_dc(dropped_coeffs(flat), GetParam());
+  EXPECT_GT(metrics::psnr(flat, recovered), 35.0);
+}
+
+TEST_P(AllMethods, SmoothGradientRecoveredWell) {
+  Image ramp(64, 64, ColorSpace::kRGB);
+  for (int c = 0; c < 3; ++c) {
+    for (int y = 0; y < 64; ++y) {
+      for (int x = 0; x < 64; ++x) {
+        ramp.at(c, y, x) = 40.0f + 1.5f * x + 0.8f * y;
+      }
+    }
+  }
+  const Image recovered = recover_dc(dropped_coeffs(ramp), GetParam());
+  EXPECT_GT(metrics::psnr(ramp, recovered), 26.0);
+}
+
+TEST_P(AllMethods, BeatsNaiveDecodeOnNaturalImages) {
+  const Image img = data::dataset_image(data::DatasetId::kKodak, 0, 64);
+  const CoeffImage dropped = dropped_coeffs(img);
+  const Image naive = jpeg::inverse_transform(dropped);
+  const Image recovered = recover_dc(dropped, GetParam());
+  EXPECT_GT(metrics::psnr(img, recovered), metrics::psnr(img, naive) + 2.0);
+}
+
+TEST_P(AllMethods, OutputDimensionsMatch) {
+  const Image img = data::dataset_image(data::DatasetId::kSet14, 1, 56);
+  const Image recovered = recover_dc(dropped_coeffs(img), GetParam());
+  EXPECT_EQ(recovered.width(), 56);
+  EXPECT_EQ(recovered.height(), 56);
+  EXPECT_EQ(recovered.channels(), 3);
+}
+
+INSTANTIATE_TEST_SUITE_P(Methods, AllMethods,
+                         ::testing::Values(RecoveryMethod::kUehara2006,
+                                           RecoveryMethod::kSmartCom2019,
+                                           RecoveryMethod::kICIP2022));
+
+TEST(Baselines, OffsetsMatchTrueDCOnSmoothContent) {
+  const Image img = data::dataset_image(data::DatasetId::kSet5, 0, 64);
+  const CoeffImage full = jpeg::forward_transform(img, 50);
+  CoeffImage dropped = full;
+  jpeg::drop_dc(dropped);
+  const std::vector<float> offsets =
+      recover_offsets(dropped, 0, RecoveryMethod::kICIP2022);
+  const std::vector<float> true_dc = jpeg::true_dc_plane(full, 0);
+  double mae = 0.0;
+  for (size_t i = 0; i < offsets.size(); ++i) {
+    mae += std::abs(offsets[i] * 8.0f - true_dc[i]);
+  }
+  mae /= static_cast<double>(offsets.size());
+  // DC coefficients live in roughly [-1024, 1016]; mean error well below
+  // the naive all-zero estimate's error.
+  double naive_mae = 0.0;
+  for (float dc : true_dc) naive_mae += std::abs(dc);
+  naive_mae /= static_cast<double>(true_dc.size());
+  EXPECT_LT(mae, 0.5 * naive_mae);
+}
+
+TEST(Baselines, ErrorPropagatesAcrossSharpEdges) {
+  // The failure mode DCDiff targets: blocks *behind* a strong edge (relative
+  // to the corner anchors) inherit a biased DC. Build an image whose center
+  // contains an abrupt bright square and check that recovered offsets in the
+  // interior drift more than near the anchored corners.
+  Image img(96, 96, ColorSpace::kRGB, 60.0f);
+  for (int c = 0; c < 3; ++c) {
+    for (int y = 32; y < 64; ++y) {
+      for (int x = 32; x < 64; ++x) img.at(c, y, x) = 220.0f;
+    }
+  }
+  const CoeffImage full = jpeg::forward_transform(img, 50);
+  CoeffImage dropped = full;
+  jpeg::drop_dc(dropped);
+  const auto offsets =
+      recover_offsets(dropped, 0, RecoveryMethod::kSmartCom2019);
+  const auto true_dc = jpeg::true_dc_plane(full, 0);
+  const int bw = full.comps[0].blocks_w;
+  auto err = [&](int by, int bx) {
+    const size_t i = static_cast<size_t>(by) * bw + bx;
+    return std::abs(offsets[i] * 8.0f - true_dc[i]);
+  };
+  // Near-corner block error vs a block past the edge discontinuity.
+  const double corner_err = err(0, 1) + err(1, 0) + err(1, 1);
+  const double interior_err = err(5, 5) + err(6, 5) + err(5, 6);
+  EXPECT_GT(interior_err, corner_err);
+}
+
+TEST(Baselines, GrayscaleImagesSupported) {
+  const Image gray =
+      to_gray(data::dataset_image(data::DatasetId::kKodak, 2, 64));
+  CoeffImage ci = jpeg::forward_transform(gray, 50);
+  jpeg::drop_dc(ci);
+  const Image recovered = recover_dc(ci, RecoveryMethod::kICIP2022);
+  EXPECT_EQ(recovered.channels(), 1);
+  EXPECT_GT(metrics::psnr(gray, recovered), 15.0);
+}
+
+TEST(Baselines, CornerAnchorsKeptExact) {
+  const Image img = data::dataset_image(data::DatasetId::kInria, 0, 64);
+  const CoeffImage full = jpeg::forward_transform(img, 50);
+  CoeffImage dropped = full;
+  jpeg::drop_dc(dropped);
+  // After recovery, the corner block DCs must equal the originals.
+  const std::vector<float> offsets =
+      recover_offsets(dropped, 0, RecoveryMethod::kUehara2006);
+  const auto true_dc = jpeg::true_dc_plane(full, 0);
+  const auto& comp = full.comps[0];
+  const int bw = comp.blocks_w, bh = comp.blocks_h;
+  const int corners[4][2] = {
+      {0, 0}, {0, bw - 1}, {bh - 1, 0}, {bh - 1, bw - 1}};
+  for (const auto& c : corners) {
+    const size_t i = static_cast<size_t>(c[0]) * bw + c[1];
+    EXPECT_NEAR(offsets[i] * 8.0f, true_dc[i], 1e-3);
+  }
+}
+
+}  // namespace
+}  // namespace dcdiff::baselines

@@ -1,0 +1,96 @@
+#include "jpeg/bitio.h"
+
+#include <gtest/gtest.h>
+
+#include "nn/rng.h"
+
+namespace dcdiff::jpeg {
+namespace {
+
+TEST(BitWriter, SingleByteMSBFirst) {
+  BitWriter bw;
+  bw.put_bits(0b1, 1);
+  bw.put_bits(0b0, 1);
+  bw.put_bits(0b110101, 6);
+  const auto bytes = bw.finish();
+  ASSERT_EQ(bytes.size(), 1u);
+  EXPECT_EQ(bytes[0], 0b10110101);
+}
+
+TEST(BitWriter, PadsWithOnes) {
+  BitWriter bw;
+  bw.put_bits(0b101, 3);
+  const auto bytes = bw.finish();
+  ASSERT_EQ(bytes.size(), 1u);
+  EXPECT_EQ(bytes[0], 0b10111111);
+}
+
+TEST(BitWriter, StuffsZeroAfterFF) {
+  BitWriter bw;
+  bw.put_bits(0xFF, 8);
+  const auto bytes = bw.finish();
+  ASSERT_EQ(bytes.size(), 2u);
+  EXPECT_EQ(bytes[0], 0xFF);
+  EXPECT_EQ(bytes[1], 0x00);
+}
+
+TEST(BitWriter, CountsBits) {
+  BitWriter bw;
+  bw.put_bits(3, 2);
+  bw.put_bits(0, 11);
+  EXPECT_EQ(bw.bit_count(), 13u);
+}
+
+TEST(BitWriter, RejectsBadCount) {
+  BitWriter bw;
+  EXPECT_THROW(bw.put_bits(0, 25), std::invalid_argument);
+  EXPECT_THROW(bw.put_bits(0, -1), std::invalid_argument);
+}
+
+TEST(BitReader, ReadsBackStuffedStream) {
+  BitWriter bw;
+  bw.put_bits(0xFF, 8);
+  bw.put_bits(0xAB, 8);
+  const auto bytes = bw.finish();
+  BitReader br(bytes.data(), bytes.size());
+  EXPECT_EQ(br.get_bits(8), 0xFFu);
+  EXPECT_EQ(br.get_bits(8), 0xABu);
+}
+
+TEST(BitReader, ThrowsOnExhaustion) {
+  const uint8_t data[1] = {0x55};
+  BitReader br(data, 1);
+  br.get_bits(8);
+  EXPECT_THROW(br.get_bits(1), std::runtime_error);
+}
+
+TEST(BitReader, ThrowsOnMarkerInScan) {
+  const uint8_t data[2] = {0xFF, 0xD9};  // EOI inside entropy data
+  BitReader br(data, 2);
+  EXPECT_THROW(br.get_bits(8), std::runtime_error);
+}
+
+class BitIoRoundTrip : public ::testing::TestWithParam<int> {};
+
+TEST_P(BitIoRoundTrip, RandomSequences) {
+  Rng rng(static_cast<uint64_t>(GetParam()));
+  std::vector<std::pair<uint32_t, int>> writes;
+  BitWriter bw;
+  for (int i = 0; i < 500; ++i) {
+    const int count = rng.uniform_int(1, 24);
+    const uint32_t value =
+        static_cast<uint32_t>(rng.uniform_int(0, (1 << count) - 1));
+    writes.emplace_back(value, count);
+    bw.put_bits(value, count);
+  }
+  const auto bytes = bw.finish();
+  BitReader br(bytes.data(), bytes.size());
+  for (const auto& [value, count] : writes) {
+    EXPECT_EQ(br.get_bits(count), value);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BitIoRoundTrip, ::testing::Range(0, 8));
+
+}  // namespace
+}  // namespace dcdiff::jpeg

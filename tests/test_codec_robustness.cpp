@@ -1,0 +1,94 @@
+// Failure-injection tests for the JFIF decoder: a receiver on a lossy
+// network must reject corrupted streams with exceptions, never crash or
+// return silently-wrong data.
+#include <gtest/gtest.h>
+
+#include "data/datasets.h"
+#include "jpeg/codec.h"
+#include "nn/rng.h"
+
+namespace dcdiff::jpeg {
+namespace {
+
+std::vector<uint8_t> valid_file() {
+  const Image img = data::dataset_image(data::DatasetId::kSet14, 0, 32);
+  return encode_jfif(forward_transform(img, 50));
+}
+
+TEST(CodecRobustness, EmptyInputThrows) {
+  EXPECT_THROW(decode_jfif({}), std::runtime_error);
+}
+
+TEST(CodecRobustness, MissingSOIThrows) {
+  auto bytes = valid_file();
+  bytes[1] = 0x00;
+  EXPECT_THROW(decode_jfif(bytes), std::runtime_error);
+}
+
+class Truncation : public ::testing::TestWithParam<double> {};
+
+TEST_P(Truncation, TruncatedFilesThrow) {
+  auto bytes = valid_file();
+  bytes.resize(static_cast<size_t>(bytes.size() * GetParam()));
+  EXPECT_THROW(decode_jfif(bytes), std::runtime_error);
+}
+
+INSTANTIATE_TEST_SUITE_P(Fractions, Truncation,
+                         ::testing::Values(0.05, 0.3, 0.6, 0.9));
+
+TEST(CodecRobustness, HeaderByteFlipsEitherThrowOrParse) {
+  // Flipping bytes in the marker segment region must never crash; either
+  // the parse fails loudly or the flip landed somewhere harmless.
+  const auto original = valid_file();
+  Rng rng(17);
+  for (int trial = 0; trial < 200; ++trial) {
+    auto bytes = original;
+    const size_t pos = static_cast<size_t>(
+        rng.uniform_int(2, static_cast<int>(bytes.size()) - 3));
+    bytes[pos] ^= static_cast<uint8_t>(1 << rng.uniform_int(0, 7));
+    try {
+      const CoeffImage ci = decode_jfif(bytes);
+      // Parsed: basic invariants must still hold.
+      EXPECT_GT(ci.width, 0);
+      EXPECT_GT(ci.height, 0);
+      EXPECT_FALSE(ci.comps.empty());
+    } catch (const std::exception&) {
+      // Loud failure is the expected behaviour for most flips.
+    }
+  }
+}
+
+TEST(CodecRobustness, ScanBitErrorsAreContained) {
+  // Bit errors inside the entropy-coded scan either decode (to wrong but
+  // in-range coefficients) or throw; never UB. Run many trials.
+  const auto original = valid_file();
+  Rng rng(23);
+  // Scan data sits between the SOS payload and the trailing EOI.
+  const size_t scan_lo = original.size() / 2;
+  const size_t scan_hi = original.size() - 3;
+  for (int trial = 0; trial < 200; ++trial) {
+    auto bytes = original;
+    const size_t pos = static_cast<size_t>(rng.uniform_int(
+        static_cast<int>(scan_lo), static_cast<int>(scan_hi)));
+    bytes[pos] ^= static_cast<uint8_t>(1 << rng.uniform_int(0, 7));
+    try {
+      const CoeffImage ci = decode_jfif(bytes);
+      for (const auto& comp : ci.comps) {
+        EXPECT_EQ(comp.blocks.size(),
+                  static_cast<size_t>(comp.blocks_w) * comp.blocks_h);
+      }
+    } catch (const std::exception&) {
+    }
+  }
+}
+
+TEST(CodecRobustness, OversizedSegmentLengthThrows) {
+  auto bytes = valid_file();
+  // APP0 length field is at offset 4..5; blow it past the file end.
+  bytes[4] = 0xFF;
+  bytes[5] = 0xFF;
+  EXPECT_THROW(decode_jfif(bytes), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace dcdiff::jpeg

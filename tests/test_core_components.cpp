@@ -1,0 +1,177 @@
+#include <gtest/gtest.h>
+
+#include "core/autoencoder.h"
+#include "core/fmpp.h"
+#include "core/tensor_image.h"
+#include "data/datasets.h"
+#include "jpeg/codec.h"
+#include "jpeg/dcdrop.h"
+#include "nn/ops.h"
+
+namespace dcdiff::core {
+namespace {
+
+TEST(TensorImage, RgbRoundTrip) {
+  const Image img = data::dataset_image(data::DatasetId::kSet5, 0, 16);
+  const nn::Tensor t = rgb_to_tensor(img);
+  EXPECT_EQ(t.shape(), (std::vector<int>{1, 3, 16, 16}));
+  for (float v : t.value()) {
+    EXPECT_GE(v, -1.0f);
+    EXPECT_LE(v, 1.0f);
+  }
+  const Image back = tensor_to_rgb(t);
+  for (int c = 0; c < 3; ++c) {
+    for (size_t i = 0; i < back.plane(c).size(); ++i) {
+      EXPECT_NEAR(back.plane(c)[i], img.plane(c)[i], 1e-3f);
+    }
+  }
+}
+
+TEST(TensorImage, RejectsWrongColorSpace) {
+  Image gray(8, 8, ColorSpace::kGray);
+  EXPECT_THROW(rgb_to_tensor(gray), std::invalid_argument);
+  EXPECT_THROW(tensor_to_rgb(nn::Tensor::zeros({1, 1, 8, 8})),
+               std::invalid_argument);
+  EXPECT_THROW(tensor_to_rgb(nn::Tensor::zeros({2, 3, 8, 8})),
+               std::invalid_argument);
+}
+
+TEST(TensorImage, TildeScaling) {
+  const Image img = data::dataset_image(data::DatasetId::kKodak, 0, 16);
+  jpeg::CoeffImage ci = jpeg::forward_transform(img, 50);
+  jpeg::drop_dc(ci);
+  const Image tilde = jpeg::tilde_image(ci);
+  const nn::Tensor t = tilde_to_tensor(tilde);
+  EXPECT_EQ(t.shape(), (std::vector<int>{1, 3, 16, 16}));
+  EXPECT_NEAR(t.value()[5], tilde.plane(0)[5] / 128.0f, 1e-6f);
+}
+
+TEST(TensorImage, StackAndTakeSample) {
+  const nn::Tensor a = nn::Tensor::full({1, 2, 2, 2}, 1.0f);
+  const nn::Tensor b = nn::Tensor::full({1, 2, 2, 2}, 2.0f);
+  const nn::Tensor batch = stack_batch({a, b});
+  EXPECT_EQ(batch.shape(), (std::vector<int>{2, 2, 2, 2}));
+  const nn::Tensor s1 = take_sample(batch, 1);
+  EXPECT_EQ(s1.dim(0), 1);
+  EXPECT_FLOAT_EQ(s1.value()[0], 2.0f);
+  EXPECT_THROW(take_sample(batch, 2), std::out_of_range);
+  EXPECT_THROW(stack_batch({}), std::invalid_argument);
+  EXPECT_THROW(stack_batch({a, nn::Tensor::zeros({1, 3, 2, 2})}),
+               std::invalid_argument);
+}
+
+class AutoencoderTest : public ::testing::Test {
+ protected:
+  AutoencoderTest() : ae_(AutoencoderConfig{4, 8, 8}, 3) {}
+  Autoencoder ae_;
+};
+
+TEST_F(AutoencoderTest, LatentShapesAreQuarterResolution) {
+  const nn::Tensor x = nn::Tensor::zeros({2, 3, 32, 32});
+  const nn::Tensor z = ae_.encode_dc(x);
+  EXPECT_EQ(z.shape(), (std::vector<int>{2, 4, 8, 8}));
+  const ACFeatures ac = ae_.encode_ac(x);
+  EXPECT_EQ(ac.quarter.shape(), (std::vector<int>{2, 8, 8, 8}));
+  EXPECT_EQ(ac.half.shape(), (std::vector<int>{2, 8, 16, 16}));
+}
+
+TEST_F(AutoencoderTest, LatentIsTanhBounded) {
+  nn::Tensor x = nn::Tensor::full({1, 3, 16, 16}, 0.9f);
+  const nn::Tensor z = ae_.encode_dc(x);
+  for (float v : z.value()) {
+    EXPECT_GT(v, -1.0f);
+    EXPECT_LT(v, 1.0f);
+  }
+}
+
+TEST_F(AutoencoderTest, DecodeReturnsImageRange) {
+  const nn::Tensor z = nn::Tensor::zeros({1, 4, 8, 8});
+  ACFeatures ac;
+  ac.quarter = nn::Tensor::zeros({1, 8, 8, 8});
+  ac.half = nn::Tensor::zeros({1, 8, 16, 16});
+  const nn::Tensor x = ae_.decode(z, ac);
+  EXPECT_EQ(x.shape(), (std::vector<int>{1, 3, 32, 32}));
+  for (float v : x.value()) {
+    EXPECT_GT(v, -1.0f);
+    EXPECT_LT(v, 1.0f);
+  }
+}
+
+TEST_F(AutoencoderTest, ParameterCountStable) {
+  // Serialization depends on a stable parameter ordering/count.
+  EXPECT_EQ(ae_.params().size(), Autoencoder(AutoencoderConfig{4, 8, 8}, 99)
+                                     .params().size());
+}
+
+TEST_F(AutoencoderTest, GradReachesEveryParam) {
+  const nn::Tensor x =
+      nn::Tensor::full({1, 3, 16, 16}, 0.3f);
+  nn::Tensor loss = nn::mean(ae_.decode(ae_.encode_dc(x), ae_.encode_ac(x)));
+  loss.backward();
+  for (auto& p : ae_.params()) {
+    double g = 0;
+    for (float v : p.grad()) g += std::abs(v);
+    EXPECT_GT(g, 0.0);
+  }
+}
+
+TEST(Discriminator, LogitMapShape) {
+  PatchDiscriminator disc(5);
+  const nn::Tensor logits = disc.forward(nn::Tensor::zeros({2, 3, 32, 32}));
+  EXPECT_EQ(logits.shape(), (std::vector<int>{2, 1, 8, 8}));
+}
+
+TEST(Discriminator, HingeLossesBehave) {
+  // Perfect discrimination (real >> 1, fake << -1) drives d-loss to zero.
+  const nn::Tensor big = nn::Tensor::full({1, 1, 2, 2}, 5.0f);
+  const nn::Tensor small = nn::Tensor::full({1, 1, 2, 2}, -5.0f);
+  EXPECT_FLOAT_EQ(hinge_d_loss(big, small).item(), 0.0f);
+  EXPECT_GT(hinge_d_loss(small, big).item(), 5.0f);
+  // Generator wants d_fake large: loss is its negative mean.
+  EXPECT_FLOAT_EQ(hinge_g_loss(big).item(), -5.0f);
+}
+
+TEST(Fmpp, FactorsInZeroTwoRange) {
+  FMPP fmpp(9);
+  const nn::Tensor tilde = nn::Tensor::full({3, 3, 32, 32}, 0.2f);
+  const FMPP::Factors f = fmpp.forward(tilde);
+  EXPECT_EQ(f.s.shape(), (std::vector<int>{3}));
+  EXPECT_EQ(f.b.shape(), (std::vector<int>{3}));
+  for (float v : f.s.value()) {
+    EXPECT_GT(v, 0.0f);
+    EXPECT_LT(v, 2.0f);
+  }
+  for (float v : f.b.value()) {
+    EXPECT_GT(v, 0.0f);
+    EXPECT_LT(v, 2.0f);
+  }
+}
+
+TEST(Fmpp, DependsOnInputContent) {
+  FMPP fmpp(10);
+  const nn::Tensor flat = nn::Tensor::full({1, 3, 32, 32}, 0.0f);
+  std::vector<float> busy_data(3 * 32 * 32);
+  Rng rng(4);
+  for (float& v : busy_data) v = rng.normal(0.0f, 0.5f);
+  const nn::Tensor busy =
+      nn::Tensor::from_data({1, 3, 32, 32}, std::move(busy_data));
+  const float s_flat = fmpp.forward(flat).s.value()[0];
+  const float s_busy = fmpp.forward(busy).s.value()[0];
+  EXPECT_NE(s_flat, s_busy);
+}
+
+TEST(Fmpp, GradFlowsToParams) {
+  FMPP fmpp(11);
+  const nn::Tensor tilde = nn::Tensor::full({1, 3, 32, 32}, 0.1f);
+  const FMPP::Factors f = fmpp.forward(tilde);
+  nn::Tensor loss = nn::add(nn::sum(f.s), nn::sum(f.b));
+  loss.backward();
+  for (auto& p : fmpp.params()) {
+    double g = 0;
+    for (float v : p.grad()) g += std::abs(v);
+    EXPECT_GT(g, 0.0);
+  }
+}
+
+}  // namespace
+}  // namespace dcdiff::core

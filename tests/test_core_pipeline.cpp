@@ -1,0 +1,205 @@
+#include "core/pipeline.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <filesystem>
+
+#include "data/datasets.h"
+#include "jpeg/dcdrop.h"
+#include "metrics/metrics.h"
+
+namespace dcdiff::core {
+namespace {
+
+// Tiny configuration: exercises every code path in seconds on one core.
+DCDiffConfig tiny_config(const std::string& tag) {
+  DCDiffConfig cfg;
+  cfg.image_size = 32;
+  cfg.stage1_steps = 6;
+  cfg.stage2_steps = 6;
+  cfg.fmpp_steps = 2;
+  cfg.batch = 1;
+  cfg.ddim_steps = 4;
+  cfg.diffusion_T = 50;
+  cfg.ae.base = 8;
+  cfg.ae.ac_channels = 8;
+  cfg.unet.base = 8;
+  cfg.unet.temb_dim = 16;
+  cfg.ae_tag = "test_ae_" + tag;
+  cfg.tag = "test_" + tag;
+  return cfg;
+}
+
+class PipelineTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    cache_dir_ = std::filesystem::temp_directory_path() / "dcdiff_test_cache";
+    std::filesystem::create_directories(cache_dir_);
+    setenv("DCDIFF_CACHE_DIR", cache_dir_.c_str(), 1);
+  }
+  static void TearDownTestSuite() {
+    std::error_code ec;
+    std::filesystem::remove_all(cache_dir_, ec);
+  }
+  static std::filesystem::path cache_dir_;
+};
+
+std::filesystem::path PipelineTest::cache_dir_;
+
+jpeg::CoeffImage dropped_for(const Image& img, int quality = 50) {
+  jpeg::CoeffImage ci = jpeg::forward_transform(img, quality);
+  jpeg::drop_dc(ci);
+  return ci;
+}
+
+TEST_F(PipelineTest, TrainingRunsAndCaches) {
+  DCDiffModel model(tiny_config("a"));
+  model.train_or_load();
+  EXPECT_TRUE(std::filesystem::exists(
+      std::string(std::getenv("DCDIFF_CACHE_DIR")) +
+      "/dcdiff_test_ae_a.bin"));
+  EXPECT_TRUE(std::filesystem::exists(
+      std::string(std::getenv("DCDIFF_CACHE_DIR")) +
+      "/dcdiff_test_a_diff.bin"));
+  EXPECT_TRUE(std::filesystem::exists(
+      std::string(std::getenv("DCDIFF_CACHE_DIR")) +
+      "/dcdiff_test_a_fmpp.bin"));
+}
+
+TEST_F(PipelineTest, CachedModelReproducesReconstruction) {
+  const Image img = data::dataset_image(data::DatasetId::kKodak, 0, 32);
+  const jpeg::CoeffImage dropped = dropped_for(img);
+
+  DCDiffModel m1(tiny_config("a"));
+  m1.train_or_load();  // loads from the cache written above (same tag)
+  const Image r1 = m1.reconstruct(dropped);
+
+  DCDiffModel m2(tiny_config("a"));
+  m2.train_or_load();
+  const Image r2 = m2.reconstruct(dropped);
+
+  ASSERT_EQ(r1.width(), r2.width());
+  for (int c = 0; c < 3; ++c) {
+    for (size_t i = 0; i < r1.plane(c).size(); ++i) {
+      ASSERT_FLOAT_EQ(r1.plane(c)[i], r2.plane(c)[i]);
+    }
+  }
+}
+
+TEST_F(PipelineTest, ReconstructShapesAndRange) {
+  DCDiffModel model(tiny_config("a"));
+  model.train_or_load();
+  const Image img = data::dataset_image(data::DatasetId::kInria, 0, 32);
+  const Image rec = model.reconstruct(dropped_for(img));
+  EXPECT_EQ(rec.width(), 32);
+  EXPECT_EQ(rec.height(), 32);
+  EXPECT_EQ(rec.channels(), 3);
+  for (int c = 0; c < 3; ++c) {
+    for (float v : rec.plane(c)) {
+      ASSERT_GE(v, 0.0f);
+      ASSERT_LE(v, 255.0f);
+    }
+  }
+}
+
+TEST_F(PipelineTest, ReconstructHandlesNonMultipleDimensions) {
+  DCDiffModel model(tiny_config("a"));
+  model.train_or_load();
+  const Image img =
+      crop(data::dataset_image(data::DatasetId::kSet5, 0, 64), 0, 0, 44, 36);
+  const Image rec = model.reconstruct(dropped_for(img));
+  EXPECT_EQ(rec.width(), 44);
+  EXPECT_EQ(rec.height(), 36);
+}
+
+TEST_F(PipelineTest, ReconstructIsDeterministic) {
+  DCDiffModel model(tiny_config("a"));
+  model.train_or_load();
+  const Image img = data::dataset_image(data::DatasetId::kKodak, 1, 32);
+  const Image a = model.reconstruct(dropped_for(img));
+  const Image b = model.reconstruct(dropped_for(img));
+  for (int c = 0; c < 3; ++c) {
+    for (size_t i = 0; i < a.plane(c).size(); ++i) {
+      ASSERT_FLOAT_EQ(a.plane(c)[i], b.plane(c)[i]);
+    }
+  }
+}
+
+TEST_F(PipelineTest, FmppToggleChangesOutput) {
+  DCDiffModel model(tiny_config("a"));
+  model.train_or_load();
+  const Image img = data::dataset_image(data::DatasetId::kUrban100, 0, 32);
+  const jpeg::CoeffImage dropped = dropped_for(img);
+  const Image with = model.reconstruct(dropped, /*use_fmpp=*/true);
+  const Image without = model.reconstruct(dropped, /*use_fmpp=*/false);
+  double diff = 0.0;
+  for (int c = 0; c < 3; ++c) {
+    for (size_t i = 0; i < with.plane(c).size(); ++i) {
+      diff += std::abs(with.plane(c)[i] - without.plane(c)[i]);
+    }
+  }
+  EXPECT_GT(diff, 1e-3);
+}
+
+TEST_F(PipelineTest, AutoencodePathWorks) {
+  DCDiffModel model(tiny_config("a"));
+  model.train_or_load();
+  const Image img = data::dataset_image(data::DatasetId::kBSDS200, 0, 32);
+  const Image rec = model.autoencode(img, dropped_for(img));
+  EXPECT_EQ(rec.width(), img.width());
+  EXPECT_EQ(rec.height(), img.height());
+}
+
+TEST_F(PipelineTest, SenderEncodeSavesBits) {
+  const Image img = data::dataset_image(data::DatasetId::kKodak, 2, 64);
+  const SenderOutput out = sender_encode(img, 50);
+  EXPECT_GT(out.standard_bits, 0u);
+  EXPECT_LT(out.dropped_bits, out.standard_bits);
+  EXPECT_FALSE(out.bytes.empty());
+  // The bitstream must decode back to a valid coefficient image.
+  const jpeg::CoeffImage ci = jpeg::decode_jfif(out.bytes);
+  EXPECT_EQ(ci.width, 64);
+}
+
+TEST_F(PipelineTest, ReceiverReconstructFromBitstream) {
+  DCDiffModel model(tiny_config("a"));
+  model.train_or_load();
+  const Image img = data::dataset_image(data::DatasetId::kSet14, 0, 32);
+  const SenderOutput out = sender_encode(img, 50);
+  const Image rec = receiver_reconstruct(out.bytes, model);
+  EXPECT_EQ(rec.width(), 32);
+  EXPECT_GT(metrics::psnr(img, rec), 8.0);  // sanity: not garbage
+}
+
+TEST_F(PipelineTest, CornerAnchoringFixesGlobalBrightness) {
+  // Even a barely-trained model must land in the right brightness range
+  // because reconstruction is re-anchored to the known corner DCs.
+  DCDiffModel model(tiny_config("a"));
+  model.train_or_load();
+  Image bright(32, 32, ColorSpace::kRGB, 210.0f);
+  const Image rec = model.reconstruct(dropped_for(bright));
+  double mean = 0.0;
+  for (float v : rec.plane(0)) mean += v;
+  mean /= static_cast<double>(rec.plane(0).size());
+  EXPECT_NEAR(mean, 210.0, 25.0);
+}
+
+TEST_F(PipelineTest, MldTrainingPathRuns) {
+  // Covers the MLD branch of stage 2 (mld_start is reached with 6 steps at
+  // 2/5 of the schedule).
+  DCDiffConfig cfg = tiny_config("mld");
+  cfg.use_mld = true;
+  DCDiffModel model(cfg);
+  EXPECT_NO_THROW(model.train_or_load());
+}
+
+TEST_F(PipelineTest, NoMldVariantRuns) {
+  DCDiffConfig cfg = tiny_config("womld");
+  cfg.use_mld = false;
+  DCDiffModel model(cfg);
+  EXPECT_NO_THROW(model.train_or_load());
+}
+
+}  // namespace
+}  // namespace dcdiff::core

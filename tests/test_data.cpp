@@ -1,0 +1,137 @@
+#include "data/datasets.h"
+
+#include <gtest/gtest.h>
+
+#include "metrics/metrics.h"
+
+namespace dcdiff::data {
+namespace {
+
+class EveryDataset : public ::testing::TestWithParam<DatasetId> {};
+
+TEST_P(EveryDataset, DeterministicGeneration) {
+  const DatasetId id = GetParam();
+  const Image a = dataset_image(id, 3, 64);
+  const Image b = dataset_image(id, 3, 64);
+  ASSERT_EQ(a.width(), 64);
+  ASSERT_EQ(a.channels(), 3);
+  for (int c = 0; c < 3; ++c) {
+    for (size_t i = 0; i < a.plane(c).size(); ++i) {
+      ASSERT_FLOAT_EQ(a.plane(c)[i], b.plane(c)[i]);
+    }
+  }
+}
+
+TEST_P(EveryDataset, DistinctIndicesDiffer) {
+  const DatasetId id = GetParam();
+  const Image a = dataset_image(id, 0, 64);
+  const Image b = dataset_image(id, 1, 64);
+  EXPECT_LT(metrics::psnr(a, b), 30.0);  // clearly different content
+}
+
+TEST_P(EveryDataset, PixelRangeValid) {
+  const Image img = dataset_image(GetParam(), 2, 64);
+  for (int c = 0; c < 3; ++c) {
+    for (float v : img.plane(c)) {
+      ASSERT_GE(v, 0.0f);
+      ASSERT_LE(v, 255.0f);
+    }
+  }
+}
+
+TEST_P(EveryDataset, NaturalImageLaplacianProperty) {
+  // The substitution contract: neighbour differences concentrate near zero
+  // (Laplacian-like) for every dataset generator.
+  const Image img = dataset_image(GetParam(), 0, 96);
+  const auto hist = metrics::neighbor_diff_histogram(img);
+  EXPECT_GT(hist.mass_within(8), 0.5) << dataset_name(GetParam());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    All, EveryDataset,
+    ::testing::ValuesIn(all_datasets()),
+    [](const ::testing::TestParamInfo<DatasetId>& info) {
+      return std::string(dataset_name(info.param));
+    });
+
+TEST(Datasets, NamesAndCounts) {
+  EXPECT_STREQ(dataset_name(DatasetId::kSet5), "Set5");
+  EXPECT_EQ(dataset_full_count(DatasetId::kSet5), 5);
+  EXPECT_EQ(dataset_full_count(DatasetId::kKodak), 24);
+  EXPECT_EQ(dataset_full_count(DatasetId::kBSDS200), 200);
+  EXPECT_EQ(dataset_full_count(DatasetId::kUrban100), 100);
+  for (DatasetId id : all_datasets()) {
+    EXPECT_LE(dataset_default_count(id), dataset_full_count(id));
+    EXPECT_GE(dataset_default_count(id), 5);
+  }
+}
+
+TEST(Datasets, UrbanHasMoreSharpEdgesThanSet5) {
+  // Content statistics mirror the real sets: Urban100 (rectilinear facades)
+  // has heavier neighbour-difference tails than Set5 (large smooth objects).
+  double urban_tail = 0.0, set5_tail = 0.0;
+  for (int i = 0; i < 4; ++i) {
+    urban_tail +=
+        1.0 - metrics::neighbor_diff_histogram(
+                  dataset_image(DatasetId::kUrban100, i, 96)).mass_within(12);
+    set5_tail +=
+        1.0 - metrics::neighbor_diff_histogram(
+                  dataset_image(DatasetId::kSet5, i, 96)).mass_within(12);
+  }
+  EXPECT_GT(urban_tail, set5_tail);
+}
+
+TEST(Datasets, MultipleSizesSupported) {
+  for (int size : {32, 48, 64, 96, 128}) {
+    const Image img = dataset_image(DatasetId::kBSDS200, 1, size);
+    EXPECT_EQ(img.width(), size);
+    EXPECT_EQ(img.height(), size);
+  }
+}
+
+TEST(Datasets, SeedsIndependentAcrossDatasets) {
+  // Same index in different datasets must give different images.
+  const Image a = dataset_image(DatasetId::kSet5, 0, 64);
+  const Image b = dataset_image(DatasetId::kSet14, 0, 64);
+  EXPECT_LT(metrics::psnr(a, b), 30.0);
+}
+
+TEST(Datasets, TrainingImagesDifferFromEvalImages) {
+  const Image train = training_image(2, 64);  // index 2 -> Kodak-style
+  const Image eval = dataset_image(DatasetId::kKodak, 2, 64);
+  EXPECT_LT(metrics::psnr(train, eval), 30.0);
+}
+
+TEST(RemoteSensing, LabelsCycleThroughClasses) {
+  EXPECT_EQ(remote_sensing_label(0), 0);
+  EXPECT_EQ(remote_sensing_label(5), 1);
+  EXPECT_EQ(remote_sensing_label(7), 3);
+}
+
+TEST(RemoteSensing, ClassNamesDistinct) {
+  std::set<std::string> names;
+  for (int c = 0; c < kRemoteSensingClasses; ++c) {
+    names.insert(remote_sensing_class_name(c));
+  }
+  EXPECT_EQ(names.size(), static_cast<size_t>(kRemoteSensingClasses));
+}
+
+TEST(RemoteSensing, ClassesAreVisuallyDistinct) {
+  // Forest (class 1) is much more textured than water (class 0).
+  const auto water =
+      metrics::neighbor_diff_histogram(remote_sensing_image(0, 64));
+  const auto forest =
+      metrics::neighbor_diff_histogram(remote_sensing_image(1, 64));
+  EXPECT_GT(forest.variance, water.variance * 2.0);
+}
+
+TEST(RemoteSensing, Deterministic) {
+  const Image a = remote_sensing_image(9, 48);
+  const Image b = remote_sensing_image(9, 48);
+  for (size_t i = 0; i < a.plane(0).size(); ++i) {
+    ASSERT_FLOAT_EQ(a.plane(0)[i], b.plane(0)[i]);
+  }
+}
+
+}  // namespace
+}  // namespace dcdiff::data

@@ -1,0 +1,121 @@
+#include "jpeg/dcdrop.h"
+
+#include <gtest/gtest.h>
+
+#include "data/datasets.h"
+#include "metrics/metrics.h"
+
+namespace dcdiff::jpeg {
+namespace {
+
+Image test_image(int size = 64) {
+  return data::dataset_image(data::DatasetId::kInria, 1, size);
+}
+
+TEST(DcDrop, CornerDetection) {
+  CoefComponent comp;
+  comp.blocks_w = 5;
+  comp.blocks_h = 4;
+  EXPECT_TRUE(is_corner_block(comp, 0, 0));
+  EXPECT_TRUE(is_corner_block(comp, 0, 4));
+  EXPECT_TRUE(is_corner_block(comp, 3, 0));
+  EXPECT_TRUE(is_corner_block(comp, 3, 4));
+  EXPECT_FALSE(is_corner_block(comp, 0, 2));
+  EXPECT_FALSE(is_corner_block(comp, 1, 1));
+}
+
+TEST(DcDrop, ZeroesAllButCorners) {
+  CoeffImage ci = forward_transform(test_image(64), 50);
+  drop_dc(ci, /*keep_corners=*/true);
+  for (const auto& comp : ci.comps) {
+    for (int by = 0; by < comp.blocks_h; ++by) {
+      for (int bx = 0; bx < comp.blocks_w; ++bx) {
+        if (!is_corner_block(comp, by, bx)) {
+          EXPECT_EQ(comp.block(by, bx)[0], 0);
+        }
+      }
+    }
+  }
+}
+
+TEST(DcDrop, KeepCornersPreservesAnchors) {
+  CoeffImage ci = forward_transform(test_image(64), 50);
+  const int16_t original = ci.comps[0].block(0, 0)[0];
+  drop_dc(ci, true);
+  EXPECT_EQ(ci.comps[0].block(0, 0)[0], original);
+}
+
+TEST(DcDrop, DropWithoutCornersZeroesEverything) {
+  CoeffImage ci = forward_transform(test_image(64), 50);
+  drop_dc(ci, false);
+  for (const auto& comp : ci.comps) {
+    for (const auto& block : comp.blocks) EXPECT_EQ(block[0], 0);
+  }
+}
+
+TEST(DcDrop, AcCoefficientsUntouched) {
+  const CoeffImage original = forward_transform(test_image(64), 50);
+  const CoeffImage dropped = with_dropped_dc(original);
+  for (size_t c = 0; c < original.comps.size(); ++c) {
+    for (size_t b = 0; b < original.comps[c].blocks.size(); ++b) {
+      for (int k = 1; k < kBlockSamples; ++k) {
+        ASSERT_EQ(dropped.comps[c].blocks[b][k],
+                  original.comps[c].blocks[b][k]);
+      }
+    }
+  }
+}
+
+class DropSavings : public ::testing::TestWithParam<int> {};
+
+TEST_P(DropSavings, DroppingDCSavesBits) {
+  const Image img = data::dataset_image(data::DatasetId::kKodak, GetParam(),
+                                        64);
+  const DropStats s = measure_drop(forward_transform(img, 50));
+  EXPECT_LT(s.dropped_bits, s.full_bits);
+  // Table II reports ratios roughly in [0.4, 0.95].
+  EXPECT_GT(s.ratio(), 0.3);
+  EXPECT_LT(s.ratio(), 1.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Images, DropSavings, ::testing::Range(0, 6));
+
+TEST(DcDrop, TrueDcPlaneRoundTrip) {
+  CoeffImage ci = forward_transform(test_image(64), 50);
+  const std::vector<float> dc = true_dc_plane(ci, 0);
+  CoeffImage copy = ci;
+  set_dc_plane(copy, 0, dc);
+  for (size_t b = 0; b < ci.comps[0].blocks.size(); ++b) {
+    EXPECT_EQ(copy.comps[0].blocks[b][0], ci.comps[0].blocks[b][0]);
+  }
+}
+
+TEST(DcDrop, SetDcPlaneSizeMismatchThrows) {
+  CoeffImage ci = forward_transform(test_image(64), 50);
+  std::vector<float> wrong(3, 0.0f);
+  EXPECT_THROW(set_dc_plane(ci, 0, wrong), std::invalid_argument);
+}
+
+TEST(DcDrop, NaiveDecodeOfDroppedImageIsPoor) {
+  // Without recovery, the DC-less image is far from the original: the gap
+  // recovery methods must close.
+  const Image img = test_image(64);
+  const CoeffImage dropped = with_dropped_dc(forward_transform(img, 50));
+  const Image naive = inverse_transform(dropped);
+  EXPECT_LT(metrics::psnr(img, naive), 18.0);
+}
+
+TEST(DcDrop, RestoringTrueDcRecoversQuality) {
+  const Image img = test_image(64);
+  const CoeffImage original = forward_transform(img, 50);
+  CoeffImage dropped = with_dropped_dc(original);
+  for (int c = 0; c < 3; ++c) {
+    set_dc_plane(dropped, c, true_dc_plane(original, c));
+  }
+  const Image restored = inverse_transform(dropped);
+  const Image reference = inverse_transform(original);
+  EXPECT_GT(metrics::psnr(reference, restored), 50.0);
+}
+
+}  // namespace
+}  // namespace dcdiff::jpeg

@@ -1,0 +1,68 @@
+#include "downstream/classifier.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <filesystem>
+
+#include "data/datasets.h"
+#include "jpeg/codec.h"
+
+namespace dcdiff::downstream {
+namespace {
+
+class DownstreamTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    const auto dir =
+        std::filesystem::temp_directory_path() / "dcdiff_test_cache_ds";
+    std::filesystem::create_directories(dir);
+    setenv("DCDIFF_CACHE_DIR", dir.c_str(), 1);
+  }
+};
+
+TEST_F(DownstreamTest, ForwardShape) {
+  RSClassifier clf(1);
+  const nn::Tensor logits = clf.forward(nn::Tensor::zeros({2, 3, 32, 32}));
+  EXPECT_EQ(logits.shape(),
+            (std::vector<int>{2, data::kRemoteSensingClasses}));
+}
+
+TEST_F(DownstreamTest, PredictReturnsValidClass) {
+  RSClassifier clf(2);
+  const int cls = clf.predict(data::remote_sensing_image(0, 32));
+  EXPECT_GE(cls, 0);
+  EXPECT_LT(cls, data::kRemoteSensingClasses);
+}
+
+TEST_F(DownstreamTest, ShortTrainingBeatsChance) {
+  RSClassifier clf(3);
+  clf.train(/*steps=*/60, /*image_size=*/32, /*seed=*/3);
+  // Held-out indices far from training draws.
+  const double acc = clean_accuracy(clf, 500000, 40, 32);
+  EXPECT_GT(acc, 1.5 / data::kRemoteSensingClasses);
+}
+
+TEST_F(DownstreamTest, AccuracyTransformHookApplies) {
+  RSClassifier clf(4);
+  clf.train(40, 32, 4);
+  // A transform that blanks the image collapses accuracy to chance-level.
+  const double acc = clf.accuracy(500000, 40, 32, [](const Image& img) {
+    return Image(img.width(), img.height(), ColorSpace::kRGB, 128.0f);
+  });
+  EXPECT_LE(acc, 0.6);
+}
+
+TEST_F(DownstreamTest, JpegCompressionBarelyHurtsTrainedClassifier) {
+  RSClassifier clf(5);
+  clf.train(60, 32, 5);
+  const double clean = clean_accuracy(clf, 600000, 40, 32);
+  const double compressed =
+      clf.accuracy(600000, 40, 32, [](const Image& img) {
+        return jpeg::jpeg_roundtrip(img, 50);
+      });
+  EXPECT_GE(compressed, clean - 0.25);
+}
+
+}  // namespace
+}  // namespace dcdiff::downstream

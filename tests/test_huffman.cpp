@@ -1,0 +1,138 @@
+#include "jpeg/huffman.h"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "nn/rng.h"
+
+namespace dcdiff::jpeg {
+namespace {
+
+const HuffSpec* spec_by_index(int i) {
+  switch (i) {
+    case 0: return &std_dc_luma();
+    case 1: return &std_dc_chroma();
+    case 2: return &std_ac_luma();
+    default: return &std_ac_chroma();
+  }
+}
+
+class StandardTables : public ::testing::TestWithParam<int> {};
+
+TEST_P(StandardTables, BitsSumMatchesValueCount) {
+  const HuffSpec& spec = *spec_by_index(GetParam());
+  const size_t total =
+      std::accumulate(spec.bits.begin(), spec.bits.end(), size_t{0});
+  EXPECT_EQ(total, spec.vals.size());
+}
+
+TEST_P(StandardTables, KraftInequalityHolds) {
+  const HuffSpec& spec = *spec_by_index(GetParam());
+  double kraft = 0.0;
+  for (int length = 1; length <= 16; ++length) {
+    kraft += spec.bits[static_cast<size_t>(length - 1)] /
+             std::pow(2.0, length);
+  }
+  EXPECT_LE(kraft, 1.0 + 1e-12);
+}
+
+TEST_P(StandardTables, EncodeDecodeRoundTripAllSymbols) {
+  const HuffSpec& spec = *spec_by_index(GetParam());
+  const HuffEncoder enc(spec);
+  const HuffDecoder dec(spec);
+  BitWriter bw;
+  for (uint8_t sym : spec.vals) enc.encode(bw, sym);
+  const auto bytes = bw.finish();
+  BitReader br(bytes.data(), bytes.size());
+  for (uint8_t sym : spec.vals) {
+    EXPECT_EQ(dec.decode(br), sym);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllFour, StandardTables, ::testing::Range(0, 4));
+
+TEST(Huffman, DCTableSizes) {
+  EXPECT_EQ(std_dc_luma().vals.size(), 12u);
+  EXPECT_EQ(std_ac_luma().vals.size(), 162u);
+  EXPECT_EQ(std_ac_chroma().vals.size(), 162u);
+}
+
+TEST(Huffman, EncoderRejectsUnknownSymbol) {
+  const HuffEncoder enc(std_dc_luma());
+  BitWriter bw;
+  EXPECT_THROW(enc.encode(bw, 0xEE), std::runtime_error);
+}
+
+TEST(Huffman, FrequentSymbolsGetShortCodes) {
+  const HuffEncoder enc(std_ac_luma());
+  // (run=0,size=1) is the most common AC symbol: 2 bits in Annex K.
+  EXPECT_EQ(enc.code_length(0x01), 2);
+  // ZRL is rarer: much longer.
+  EXPECT_GE(enc.code_length(0xF0), 10);
+}
+
+TEST(OptimizedHuffman, RoundTripRandomDistribution) {
+  Rng rng(4);
+  std::array<uint64_t, 256> freq{};
+  for (int i = 0; i < 40; ++i) {
+    freq[static_cast<size_t>(rng.uniform_int(0, 255))] +=
+        static_cast<uint64_t>(rng.uniform_int(1, 10000));
+  }
+  const HuffSpec spec = build_optimized_spec(freq);
+  const HuffEncoder enc(spec);
+  const HuffDecoder dec(spec);
+  BitWriter bw;
+  std::vector<uint8_t> symbols;
+  for (int i = 0; i < 256; ++i) {
+    if (freq[static_cast<size_t>(i)] > 0) {
+      symbols.push_back(static_cast<uint8_t>(i));
+      enc.encode(bw, static_cast<uint8_t>(i));
+    }
+  }
+  const auto bytes = bw.finish();
+  BitReader br(bytes.data(), bytes.size());
+  for (uint8_t s : symbols) EXPECT_EQ(dec.decode(br), s);
+}
+
+TEST(OptimizedHuffman, BeatsStandardOnSkewedData) {
+  // A stream dominated by one symbol should compress better with an
+  // optimized table than with the generic Annex-K table.
+  std::array<uint64_t, 256> freq{};
+  freq[0x01] = 100000;
+  freq[0x02] = 10;
+  freq[0x00] = 10;
+  const HuffSpec opt = build_optimized_spec(freq);
+  const HuffEncoder opt_enc(opt);
+  const HuffEncoder std_enc(std_ac_luma());
+  EXPECT_LE(opt_enc.code_length(0x01), std_enc.code_length(0x01));
+  EXPECT_EQ(opt_enc.code_length(0x01), 1);
+}
+
+TEST(OptimizedHuffman, MaxCodeLengthSixteen) {
+  // Exponentially-skewed frequencies force long codes; limiter must cap at 16.
+  std::array<uint64_t, 256> freq{};
+  uint64_t f = 1;
+  for (int i = 0; i < 30; ++i) {
+    freq[static_cast<size_t>(i)] = f;
+    f = f * 2 + 1;
+  }
+  const HuffSpec spec = build_optimized_spec(freq);
+  for (size_t i = 0; i < 16; ++i) {
+    SUCCEED();
+  }
+  // All symbols present and decodable.
+  const HuffEncoder enc(spec);
+  for (int i = 0; i < 30; ++i) {
+    EXPECT_GE(enc.code_length(static_cast<uint8_t>(i)), 1);
+    EXPECT_LE(enc.code_length(static_cast<uint8_t>(i)), 16);
+  }
+}
+
+TEST(OptimizedHuffman, EmptyFrequencyThrows) {
+  std::array<uint64_t, 256> freq{};
+  EXPECT_THROW(build_optimized_spec(freq), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace dcdiff::jpeg

@@ -1,0 +1,165 @@
+#include "image/image.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "nn/rng.h"
+
+namespace dcdiff {
+namespace {
+
+TEST(Image, ConstructionAndFill) {
+  Image img(16, 8, ColorSpace::kRGB, 3.0f);
+  EXPECT_EQ(img.width(), 16);
+  EXPECT_EQ(img.height(), 8);
+  EXPECT_EQ(img.channels(), 3);
+  EXPECT_EQ(img.sample_count(), 16u * 8u * 3u);
+  EXPECT_FLOAT_EQ(img.at(2, 7, 15), 3.0f);
+}
+
+TEST(Image, InvalidDimensionsThrow) {
+  EXPECT_THROW(Image(0, 4, ColorSpace::kGray), std::invalid_argument);
+  EXPECT_THROW(Image(4, -1, ColorSpace::kGray), std::invalid_argument);
+}
+
+TEST(Image, ClampedAccessReplicatesEdges) {
+  Image img(4, 4, ColorSpace::kGray);
+  img.at(0, 0, 0) = 7.0f;
+  img.at(0, 3, 3) = 9.0f;
+  EXPECT_FLOAT_EQ(img.at_clamped(0, -5, -5), 7.0f);
+  EXPECT_FLOAT_EQ(img.at_clamped(0, 10, 10), 9.0f);
+}
+
+TEST(Image, ClampLimitsRange) {
+  Image img(2, 2, ColorSpace::kGray);
+  img.at(0, 0, 0) = -50.0f;
+  img.at(0, 1, 1) = 300.0f;
+  img.clamp();
+  EXPECT_FLOAT_EQ(img.at(0, 0, 0), 0.0f);
+  EXPECT_FLOAT_EQ(img.at(0, 1, 1), 255.0f);
+}
+
+TEST(Image, SetColorSpaceRequiresMatchingChannels) {
+  Image rgb(4, 4, ColorSpace::kRGB);
+  EXPECT_NO_THROW(rgb.set_color_space(ColorSpace::kYCbCr));
+  EXPECT_THROW(rgb.set_color_space(ColorSpace::kGray),
+               std::invalid_argument);
+}
+
+TEST(ColorConversion, GrayRGBMapsToLumaOnly) {
+  Image rgb(2, 2, ColorSpace::kRGB, 100.0f);
+  Image ycc = rgb_to_ycbcr(rgb);
+  EXPECT_NEAR(ycc.at(0, 0, 0), 100.0f, 1e-3);
+  EXPECT_NEAR(ycc.at(1, 0, 0), 128.0f, 1e-3);
+  EXPECT_NEAR(ycc.at(2, 0, 0), 128.0f, 1e-3);
+}
+
+TEST(ColorConversion, RoundTripIsNearlyLossless) {
+  Rng rng(1);
+  Image rgb(16, 16, ColorSpace::kRGB);
+  for (int c = 0; c < 3; ++c) {
+    for (float& v : rgb.plane(c)) v = rng.uniform(0.0f, 255.0f);
+  }
+  const Image back = ycbcr_to_rgb(rgb_to_ycbcr(rgb));
+  for (int c = 0; c < 3; ++c) {
+    for (int y = 0; y < 16; ++y) {
+      for (int x = 0; x < 16; ++x) {
+        EXPECT_NEAR(back.at(c, y, x), rgb.at(c, y, x), 0.51f);
+      }
+    }
+  }
+}
+
+TEST(ColorConversion, WrongSpaceThrows) {
+  Image gray(4, 4, ColorSpace::kGray);
+  EXPECT_THROW(rgb_to_ycbcr(gray), std::invalid_argument);
+  Image rgb(4, 4, ColorSpace::kRGB);
+  EXPECT_THROW(ycbcr_to_rgb(rgb), std::invalid_argument);
+}
+
+TEST(Geometry, CropExtractsExactRegion) {
+  Image img(8, 8, ColorSpace::kGray);
+  img.at(0, 2, 3) = 42.0f;
+  const Image c = crop(img, 3, 2, 2, 2);
+  EXPECT_EQ(c.width(), 2);
+  EXPECT_EQ(c.height(), 2);
+  EXPECT_FLOAT_EQ(c.at(0, 0, 0), 42.0f);
+}
+
+TEST(Geometry, CropOutOfBoundsThrows) {
+  Image img(8, 8, ColorSpace::kGray);
+  EXPECT_THROW(crop(img, 4, 4, 8, 8), std::out_of_range);
+}
+
+TEST(Geometry, PadToMultipleReplicatesEdge) {
+  Image img(5, 3, ColorSpace::kGray);
+  img.at(0, 2, 4) = 11.0f;
+  const Image p = pad_to_multiple(img, 8);
+  EXPECT_EQ(p.width(), 8);
+  EXPECT_EQ(p.height(), 8);
+  EXPECT_FLOAT_EQ(p.at(0, 7, 7), 11.0f);
+}
+
+TEST(Geometry, PadNoOpWhenAligned) {
+  Image img(8, 8, ColorSpace::kGray, 5.0f);
+  const Image p = pad_to_multiple(img, 8);
+  EXPECT_EQ(p.width(), 8);
+  EXPECT_EQ(p.height(), 8);
+}
+
+TEST(Geometry, DownscaleAveragesBoxes) {
+  Image img(4, 4, ColorSpace::kGray);
+  img.at(0, 0, 0) = 4.0f;
+  img.at(0, 0, 1) = 8.0f;
+  img.at(0, 1, 0) = 12.0f;
+  img.at(0, 1, 1) = 16.0f;
+  const Image d = downscale2x(img);
+  EXPECT_EQ(d.width(), 2);
+  EXPECT_FLOAT_EQ(d.at(0, 0, 0), 10.0f);
+}
+
+TEST(Geometry, UpscaleNearestDoubles) {
+  Image img(2, 2, ColorSpace::kGray);
+  img.at(0, 0, 0) = 5.0f;
+  const Image u = upscale2x(img, 4, 4);
+  EXPECT_FLOAT_EQ(u.at(0, 1, 1), 5.0f);
+}
+
+TEST(PNM, RoundTripRGB) {
+  Rng rng(7);
+  Image rgb(9, 7, ColorSpace::kRGB);
+  for (int c = 0; c < 3; ++c) {
+    for (float& v : rgb.plane(c)) {
+      v = static_cast<float>(rng.uniform_int(0, 255));
+    }
+  }
+  const std::string path = testing::TempDir() + "/dcdiff_test.ppm";
+  write_pnm(rgb, path);
+  const Image back = read_pnm(path);
+  ASSERT_EQ(back.width(), 9);
+  ASSERT_EQ(back.height(), 7);
+  for (int c = 0; c < 3; ++c) {
+    for (size_t i = 0; i < back.plane(c).size(); ++i) {
+      EXPECT_FLOAT_EQ(back.plane(c)[i], rgb.plane(c)[i]);
+    }
+  }
+  std::remove(path.c_str());
+}
+
+TEST(PNM, RoundTripGray) {
+  Image gray(5, 5, ColorSpace::kGray, 77.0f);
+  const std::string path = testing::TempDir() + "/dcdiff_test.pgm";
+  write_pnm(gray, path);
+  const Image back = read_pnm(path);
+  EXPECT_EQ(back.channels(), 1);
+  EXPECT_FLOAT_EQ(back.at(0, 2, 2), 77.0f);
+  std::remove(path.c_str());
+}
+
+TEST(PNM, MissingFileThrows) {
+  EXPECT_THROW(read_pnm("/nonexistent/nowhere.ppm"), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace dcdiff

@@ -1,0 +1,147 @@
+#include "core/losses.h"
+
+#include <gtest/gtest.h>
+
+#include "grad_check.h"
+#include "nn/ops.h"
+#include "nn/rng.h"
+
+namespace dcdiff::core {
+namespace {
+
+using dcdiff::testing_util::check_gradient;
+using nn::Tensor;
+
+Tensor randn(std::vector<int> shape, Rng& rng, float scale = 1.0f) {
+  std::vector<float> d(nn::shape_numel(shape));
+  for (float& v : d) v = rng.normal(0.0f, scale);
+  return Tensor::from_data(std::move(shape), std::move(d));
+}
+
+TEST(LaplacianMask, ThresholdSelectsLowMagnitude) {
+  Image tilde(4, 4, ColorSpace::kYCbCr);
+  tilde.at(0, 0, 0) = 5.0f;
+  tilde.at(0, 0, 1) = -5.0f;
+  tilde.at(0, 1, 1) = 20.0f;
+  tilde.at(0, 2, 2) = -20.0f;
+  const Tensor m = laplacian_mask(tilde, 10.0f);
+  EXPECT_EQ(m.shape(), (std::vector<int>{1, 1, 4, 4}));
+  EXPECT_FLOAT_EQ(m.value()[0], 1.0f);   // |5| <= 10
+  EXPECT_FLOAT_EQ(m.value()[1], 1.0f);   // |-5| <= 10
+  EXPECT_FLOAT_EQ(m.value()[5], 0.0f);   // |20| > 10
+  EXPECT_FLOAT_EQ(m.value()[10], 0.0f);  // |-20| > 10
+}
+
+TEST(LaplacianMask, ZeroThresholdMasksEverythingNonZero) {
+  Image tilde(2, 2, ColorSpace::kYCbCr);
+  tilde.at(0, 0, 0) = 0.0f;
+  tilde.at(0, 0, 1) = 0.1f;
+  const Tensor m = laplacian_mask(tilde, 0.0f);
+  EXPECT_FLOAT_EQ(m.value()[0], 1.0f);
+  EXPECT_FLOAT_EQ(m.value()[1], 0.0f);
+}
+
+TEST(CornerMask, MarksFourBlocks) {
+  const Tensor m = corner_mask(32, 24, 8);
+  const auto& v = m.value();
+  auto at = [&](int y, int x) { return v[static_cast<size_t>(y) * 24 + x]; };
+  EXPECT_FLOAT_EQ(at(0, 0), 1.0f);
+  EXPECT_FLOAT_EQ(at(7, 23), 1.0f);
+  EXPECT_FLOAT_EQ(at(31, 0), 1.0f);
+  EXPECT_FLOAT_EQ(at(31, 23), 1.0f);
+  EXPECT_FLOAT_EQ(at(15, 12), 0.0f);
+  double total = 0;
+  for (float x : v) total += x;
+  EXPECT_FLOAT_EQ(static_cast<float>(total), 4.0f * 64.0f);
+}
+
+TEST(MldLoss, ZeroForAffineImages) {
+  // A plane (linear ramp) has zero second differences everywhere.
+  const int h = 8, w = 8;
+  std::vector<float> d(static_cast<size_t>(h) * w);
+  for (int y = 0; y < h; ++y) {
+    for (int x = 0; x < w; ++x) {
+      d[static_cast<size_t>(y) * w + x] = 0.3f * x - 0.2f * y + 1.0f;
+    }
+  }
+  const Tensor xhat = Tensor::from_data({1, 1, h, w}, std::move(d));
+  const Tensor mask = Tensor::full({1, 1, h, w}, 1.0f);
+  EXPECT_NEAR(mld_loss(xhat, mask).item(), 0.0f, 1e-8);
+}
+
+TEST(MldLoss, PositiveForCurvedImages) {
+  Rng rng(1);
+  const Tensor xhat = randn({1, 1, 8, 8}, rng);
+  const Tensor mask = Tensor::full({1, 1, 8, 8}, 1.0f);
+  EXPECT_GT(mld_loss(xhat, mask).item(), 0.0f);
+}
+
+TEST(MldLoss, MaskedRegionsDoNotContribute) {
+  Rng rng(2);
+  Tensor xhat = randn({1, 1, 8, 8}, rng, 3.0f);
+  const Tensor ones = Tensor::full({1, 1, 8, 8}, 1.0f);
+  const Tensor zeros = Tensor::zeros({1, 1, 8, 8});
+  EXPECT_GT(mld_loss(xhat, ones).item(), 0.0f);
+  EXPECT_FLOAT_EQ(mld_loss(xhat, zeros).item(), 0.0f);
+}
+
+TEST(MldLoss, GradientMatchesNumeric) {
+  Rng rng(3);
+  Tensor xhat = randn({1, 2, 6, 6}, rng);
+  Tensor mask = Tensor::full({1, 1, 6, 6}, 1.0f);
+  // Punch a hole in the mask to exercise the masked branch.
+  mask.value()[14] = 0.0f;
+  check_gradient(xhat, [&] { return mld_loss(xhat, mask); });
+}
+
+TEST(MldLoss, BadMaskShapeThrows) {
+  const Tensor x = Tensor::zeros({1, 3, 8, 8});
+  EXPECT_THROW(mld_loss(x, Tensor::zeros({1, 2, 8, 8})),
+               std::invalid_argument);
+  EXPECT_THROW(mld_loss(x, Tensor::zeros({1, 1, 4, 4})),
+               std::invalid_argument);
+}
+
+TEST(MaskedMse, RespectsMask) {
+  Tensor a = Tensor::full({1, 1, 2, 2}, 1.0f);
+  Tensor b = Tensor::zeros({1, 1, 2, 2});
+  Tensor m = Tensor::zeros({1, 1, 2, 2});
+  m.value()[0] = 1.0f;
+  // Only the first element differs under the mask: mean over 1 term = 1.
+  EXPECT_FLOAT_EQ(masked_mse(a, b, m).item(), 1.0f);
+}
+
+TEST(MaskedMse, GradientMatchesNumeric) {
+  Rng rng(4);
+  Tensor a = randn({2, 2, 4, 4}, rng);
+  Tensor b = randn({2, 2, 4, 4}, rng);
+  Tensor m = Tensor::zeros({2, 1, 4, 4});
+  for (size_t i = 0; i < m.numel(); i += 2) m.value()[i] = 1.0f;
+  check_gradient(a, [&] { return masked_mse(a, b, m); });
+  check_gradient(b, [&] { return masked_mse(a, b, m); });
+}
+
+TEST(GradientL1, ZeroForShiftedImages) {
+  // A constant offset has identical gradients: loss must be zero.
+  Rng rng(5);
+  const Tensor a = randn({1, 1, 6, 6}, rng);
+  const Tensor b = nn::add_scalar(a, 5.0f);
+  EXPECT_NEAR(gradient_l1_loss(a, b).item(), 0.0f, 1e-6);
+}
+
+TEST(GradientL1, DetectsStructuralDifference) {
+  Rng rng(6);
+  const Tensor a = randn({1, 1, 6, 6}, rng);
+  const Tensor b = randn({1, 1, 6, 6}, rng);
+  EXPECT_GT(gradient_l1_loss(a, b).item(), 0.0f);
+}
+
+TEST(GradientL1, GradientMatchesNumeric) {
+  Rng rng(7);
+  Tensor a = randn({1, 2, 5, 5}, rng);
+  Tensor b = randn({1, 2, 5, 5}, rng);
+  check_gradient(a, [&] { return gradient_l1_loss(a, b); }, 1e-3f, 6e-2f);
+}
+
+}  // namespace
+}  // namespace dcdiff::core

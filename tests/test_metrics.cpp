@@ -1,0 +1,175 @@
+#include "metrics/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include "data/datasets.h"
+#include "jpeg/codec.h"
+#include "nn/rng.h"
+
+namespace dcdiff::metrics {
+namespace {
+
+Image test_image(int idx = 0, int size = 64) {
+  return data::dataset_image(data::DatasetId::kKodak, idx, size);
+}
+
+Image add_noise(const Image& img, float sigma, uint64_t seed) {
+  Rng rng(seed);
+  Image out = img;
+  for (int c = 0; c < out.channels(); ++c) {
+    for (float& v : out.plane(c)) v += rng.normal(0.0f, sigma);
+  }
+  out.clamp();
+  return out;
+}
+
+Image blur(const Image& img) {
+  Image out = img;
+  for (int c = 0; c < img.channels(); ++c) {
+    for (int y = 0; y < img.height(); ++y) {
+      for (int x = 0; x < img.width(); ++x) {
+        float acc = 0.0f;
+        for (int dy = -2; dy <= 2; ++dy) {
+          for (int dx = -2; dx <= 2; ++dx) {
+            acc += img.at_clamped(c, y + dy, x + dx);
+          }
+        }
+        out.at(c, y, x) = acc / 25.0f;
+      }
+    }
+  }
+  return out;
+}
+
+TEST(Psnr, IdenticalImagesAreNearInfinite) {
+  const Image img = test_image();
+  EXPECT_GE(psnr(img, img), 99.0);
+}
+
+TEST(Psnr, KnownValueForUniformError) {
+  Image a(16, 16, ColorSpace::kGray, 100.0f);
+  Image b(16, 16, ColorSpace::kGray, 110.0f);
+  // MSE = 100 -> PSNR = 10 log10(255^2/100) = 28.13 dB.
+  EXPECT_NEAR(psnr(a, b), 28.13, 0.01);
+}
+
+TEST(Psnr, MonotonicInNoise) {
+  const Image img = test_image();
+  EXPECT_GT(psnr(img, add_noise(img, 2.0f, 1)),
+            psnr(img, add_noise(img, 10.0f, 1)));
+}
+
+TEST(Psnr, DimensionMismatchThrows) {
+  Image a(8, 8, ColorSpace::kGray);
+  Image b(9, 8, ColorSpace::kGray);
+  EXPECT_THROW(psnr(a, b), std::invalid_argument);
+}
+
+TEST(Ssim, IdentityIsOne) {
+  const Image img = test_image();
+  EXPECT_NEAR(ssim(img, img), 1.0, 1e-6);
+}
+
+TEST(Ssim, BoundedAndMonotonic) {
+  const Image img = test_image();
+  const double s_low = ssim(img, add_noise(img, 20.0f, 2));
+  const double s_high = ssim(img, add_noise(img, 4.0f, 2));
+  EXPECT_LT(s_low, s_high);
+  EXPECT_GT(s_low, 0.0);
+  EXPECT_LE(s_high, 1.0);
+}
+
+TEST(MsSsim, IdentityIsOne) {
+  const Image img = test_image(1, 96);
+  EXPECT_NEAR(ms_ssim(img, img), 1.0, 1e-6);
+}
+
+TEST(MsSsim, SmallImagesUseFewerScales) {
+  // 32x32 only supports 2 scales; must not crash and stays in (0,1].
+  const Image img = test_image(2, 32);
+  const double v = ms_ssim(img, add_noise(img, 5.0f, 3));
+  EXPECT_GT(v, 0.0);
+  EXPECT_LE(v, 1.0);
+}
+
+TEST(MsSsim, MonotonicInNoise) {
+  const Image img = test_image(0, 96);
+  EXPECT_GT(ms_ssim(img, add_noise(img, 3.0f, 4)),
+            ms_ssim(img, add_noise(img, 15.0f, 4)));
+}
+
+TEST(LpipsProxy, IdentityIsZero) {
+  const Image img = test_image();
+  EXPECT_NEAR(lpips_proxy(img, img), 0.0, 1e-9);
+}
+
+TEST(LpipsProxy, MonotonicInNoise) {
+  const Image img = test_image();
+  EXPECT_LT(lpips_proxy(img, add_noise(img, 3.0f, 5)),
+            lpips_proxy(img, add_noise(img, 15.0f, 5)));
+}
+
+TEST(LpipsProxy, OverSmoothingScoresWorseThanMildNoise) {
+  // The property Table I depends on: an over-smoothed image (TII-2021
+  // failure mode) is perceptually worse than one with slight noise at
+  // comparable PSNR.
+  const Image img = test_image(3, 96);
+  const Image smoothed = blur(img);
+  const Image noisy = add_noise(img, 4.0f, 6);
+  EXPECT_GT(lpips_proxy(img, smoothed), lpips_proxy(img, noisy));
+}
+
+TEST(QualityReport, EvaluateAndAverage) {
+  const Image img = test_image();
+  const Image noisy = add_noise(img, 5.0f, 7);
+  const QualityReport r = evaluate(img, noisy);
+  EXPECT_GT(r.psnr, 20.0);
+  EXPECT_GT(r.ssim, 0.3);
+  const QualityReport avg = average({r, r});
+  EXPECT_DOUBLE_EQ(avg.psnr, r.psnr);
+  EXPECT_DOUBLE_EQ(avg.lpips, r.lpips);
+  EXPECT_DOUBLE_EQ(average({}).psnr, 0.0);
+}
+
+TEST(DiffHistogram, ProbabilitiesSumToOne) {
+  const auto h = neighbor_diff_histogram(test_image());
+  double total = 0.0;
+  for (double p : h.prob) total += p;
+  EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST(DiffHistogram, NaturalImagesConcentrateNearZero) {
+  const auto h = neighbor_diff_histogram(test_image());
+  EXPECT_GT(h.mass_within(4), h.mass_within(1) - 1e-12);
+  EXPECT_GT(h.mass_within(10), 0.5);
+}
+
+TEST(DiffHistogram, PaperMaskReducesVariance) {
+  // Figure 4's claim, reproduced exactly: build the Eq. 3 mask from the
+  // AC-only x-tilde (|x-tilde| <= T keeps low-frequency pixels) and verify
+  // the neighbour-difference distribution shrinks.
+  const Image img =
+      data::dataset_image(data::DatasetId::kUrban100, 0, 96);
+  jpeg::CoeffImage ci = jpeg::forward_transform(img, 50);
+  for (auto& comp : ci.comps) {
+    for (auto& block : comp.blocks) block[0] = 0;
+  }
+  const Image tilde = jpeg::tilde_image(ci);
+  std::vector<float> mask(tilde.plane(0).size());
+  for (size_t i = 0; i < mask.size(); ++i) {
+    mask[i] = std::abs(tilde.plane(0)[i]) <= 10.0f ? 1.0f : 0.0f;
+  }
+  const auto unmasked = neighbor_diff_histogram(img);
+  const auto masked = neighbor_diff_histogram(img, &mask);
+  EXPECT_LT(masked.variance, unmasked.variance);
+  EXPECT_GT(masked.mass_within(2), unmasked.mass_within(2));
+}
+
+TEST(DiffHistogram, MaskSizeMismatchThrows) {
+  std::vector<float> mask(3, 1.0f);
+  EXPECT_THROW(neighbor_diff_histogram(test_image(), &mask),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace dcdiff::metrics

@@ -1,0 +1,196 @@
+#include "nn/modules.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "nn/cache.h"
+#include "nn/optim.h"
+#include "nn/rng.h"
+#include "nn/serialize.h"
+
+namespace dcdiff::nn {
+namespace {
+
+Tensor randn(std::vector<int> shape, Rng& rng) {
+  std::vector<float> d(shape_numel(shape));
+  for (float& v : d) v = rng.normal();
+  return Tensor::from_data(std::move(shape), std::move(d));
+}
+
+TEST(Modules, Conv2dShapesAndParams) {
+  Rng rng(1);
+  Conv2d conv(3, 8, 3, 2, 1, rng);
+  const Tensor y = conv(Tensor::zeros({2, 3, 16, 16}));
+  EXPECT_EQ(y.shape(), (std::vector<int>{2, 8, 8, 8}));
+  std::vector<Tensor> p;
+  conv.collect(p);
+  ASSERT_EQ(p.size(), 2u);
+  EXPECT_TRUE(p[0].requires_grad());
+  EXPECT_EQ(p[0].shape(), (std::vector<int>{8, 3, 3, 3}));
+}
+
+TEST(Modules, InitBoundedByFanIn) {
+  Rng rng(2);
+  Conv2d conv(4, 4, 3, 1, 1, rng);
+  const float bound = 1.0f / std::sqrt(36.0f);
+  for (float v : conv.w.value()) {
+    EXPECT_LE(std::abs(v), bound + 1e-6f);
+  }
+}
+
+TEST(Modules, LinearShapes) {
+  Rng rng(3);
+  Linear fc(10, 5, rng);
+  EXPECT_EQ(fc(Tensor::zeros({4, 10})).shape(), (std::vector<int>{4, 5}));
+}
+
+TEST(Modules, GroupNormIdentityAtInit) {
+  Rng rng(4);
+  GroupNorm gn(8, 4);
+  const Tensor x = randn({1, 8, 4, 4}, rng);
+  const Tensor y = gn(x);
+  // gamma=1, beta=0: output has per-group zero mean.
+  double mean = 0;
+  for (float v : y.value()) mean += v;
+  EXPECT_NEAR(mean / static_cast<double>(y.numel()), 0.0, 1e-4);
+}
+
+TEST(Modules, ResBlockPreservesShapeSameChannels) {
+  Rng rng(5);
+  ResBlock block(8, 8, 0, rng);
+  const Tensor x = randn({1, 8, 8, 8}, rng);
+  EXPECT_EQ(block(x).shape(), x.shape());
+}
+
+TEST(Modules, ResBlockChangesChannelsWithShortcut) {
+  Rng rng(6);
+  ResBlock block(8, 16, 0, rng);
+  EXPECT_TRUE(block.has_shortcut);
+  const Tensor x = randn({2, 8, 4, 4}, rng);
+  EXPECT_EQ(block(x).shape(), (std::vector<int>{2, 16, 4, 4}));
+}
+
+TEST(Modules, ResBlockTimestepInjection) {
+  Rng rng(7);
+  ResBlock block(8, 8, 16, rng);
+  const Tensor x = randn({2, 8, 4, 4}, rng);
+  const Tensor temb = randn({2, 16}, rng);
+  EXPECT_EQ(block(x, temb).shape(), x.shape());
+  // Missing temb must be rejected when the block expects it.
+  EXPECT_THROW(block(x), std::invalid_argument);
+}
+
+TEST(Modules, ResBlockGradFlowsToAllParams) {
+  Rng rng(8);
+  ResBlock block(4, 8, 8, rng);
+  const Tensor x = randn({1, 4, 4, 4}, rng);
+  const Tensor temb = randn({1, 8}, rng);
+  Tensor loss = sum(block(x, temb));
+  loss.backward();
+  std::vector<Tensor> p;
+  block.collect(p);
+  for (Tensor& param : p) {
+    double gnorm = 0;
+    for (float g : param.grad()) gnorm += std::abs(g);
+    EXPECT_GT(gnorm, 0.0) << "a parameter received no gradient";
+  }
+}
+
+TEST(Adam, ConvergesOnQuadratic) {
+  // min (x - 3)^2 elementwise.
+  Tensor x = Tensor::zeros({4}, true);
+  Tensor target = Tensor::full({4}, 3.0f);
+  Adam opt({x}, 0.1f);
+  for (int i = 0; i < 200; ++i) {
+    Tensor loss = mse_loss(x, target);
+    opt.zero_grad();
+    loss.backward();
+    opt.step();
+  }
+  for (float v : x.value()) EXPECT_NEAR(v, 3.0f, 1e-2);
+}
+
+TEST(Adam, LearnsLinearRegression) {
+  Rng rng(9);
+  Linear fc(3, 1, rng);
+  // Ground-truth mapping y = 2a - b + 0.5c + 1.
+  auto make_batch = [&](int n, Tensor& x, Tensor& y) {
+    std::vector<float> xs, ys;
+    for (int i = 0; i < n; ++i) {
+      const float a = rng.uniform(-1, 1), b = rng.uniform(-1, 1),
+                  c = rng.uniform(-1, 1);
+      xs.insert(xs.end(), {a, b, c});
+      ys.push_back(2 * a - b + 0.5f * c + 1.0f);
+    }
+    x = Tensor::from_data({n, 3}, std::move(xs));
+    y = Tensor::from_data({n, 1}, std::move(ys));
+  };
+  std::vector<Tensor> params;
+  fc.collect(params);
+  Adam opt(params, 0.05f);
+  for (int step = 0; step < 300; ++step) {
+    Tensor x, y;
+    make_batch(16, x, y);
+    Tensor loss = mse_loss(fc(x), y);
+    opt.zero_grad();
+    loss.backward();
+    opt.step();
+  }
+  EXPECT_NEAR(fc.w.value()[0], 2.0f, 0.1f);
+  EXPECT_NEAR(fc.w.value()[1], -1.0f, 0.1f);
+  EXPECT_NEAR(fc.w.value()[2], 0.5f, 0.1f);
+  EXPECT_NEAR(fc.b.value()[0], 1.0f, 0.1f);
+}
+
+TEST(Adam, SkipsParamsWithoutGrads) {
+  Tensor x = Tensor::full({2}, 1.0f, true);
+  Adam opt({x}, 0.1f);
+  opt.step();  // no backward happened; must not touch values
+  EXPECT_FLOAT_EQ(x.value()[0], 1.0f);
+}
+
+TEST(Serialize, RoundTripPreservesValues) {
+  Rng rng(10);
+  Conv2d conv(2, 3, 3, 1, 1, rng);
+  std::vector<Tensor> params;
+  conv.collect(params);
+  const std::string path = ::testing::TempDir() + "/dcdiff_params.bin";
+  save_params(params, path);
+
+  Rng rng2(999);
+  Conv2d conv2(2, 3, 3, 1, 1, rng2);
+  std::vector<Tensor> params2;
+  conv2.collect(params2);
+  ASSERT_TRUE(load_params(params2, path));
+  for (size_t i = 0; i < params.size(); ++i) {
+    for (size_t j = 0; j < params[i].numel(); ++j) {
+      EXPECT_FLOAT_EQ(params2[i].value()[j], params[i].value()[j]);
+    }
+  }
+  std::remove(path.c_str());
+}
+
+TEST(Serialize, MissingFileReturnsFalse) {
+  std::vector<Tensor> params = {Tensor::zeros({2})};
+  EXPECT_FALSE(load_params(params, "/nonexistent/none.bin"));
+}
+
+TEST(Serialize, ShapeMismatchThrows) {
+  const std::string path = ::testing::TempDir() + "/dcdiff_mismatch.bin";
+  std::vector<Tensor> a = {Tensor::zeros({4})};
+  save_params(a, path);
+  std::vector<Tensor> b = {Tensor::zeros({5})};
+  EXPECT_THROW(load_params(b, path), std::runtime_error);
+  std::vector<Tensor> c = {Tensor::zeros({4}), Tensor::zeros({1})};
+  EXPECT_THROW(load_params(c, path), std::runtime_error);
+  std::remove(path.c_str());
+}
+
+TEST(Cache, PathsLiveUnderCacheDir) {
+  const std::string p = cache_path("foo.bin");
+  EXPECT_NE(p.find("foo.bin"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace dcdiff::nn

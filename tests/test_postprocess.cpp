@@ -1,0 +1,112 @@
+#include "core/postprocess.h"
+
+#include <gtest/gtest.h>
+
+#include "data/datasets.h"
+#include "jpeg/dcdrop.h"
+#include "metrics/metrics.h"
+
+namespace dcdiff::core {
+namespace {
+
+jpeg::CoeffImage dropped_for(const Image& img) {
+  jpeg::CoeffImage ci = jpeg::forward_transform(img, 50);
+  jpeg::drop_dc(ci);
+  return ci;
+}
+
+TEST(Postprocess, ProjectionPreservesKnownAC) {
+  // Whatever garbage the generator produces, the projected output's AC
+  // coefficients equal the transmitted ones exactly.
+  const Image img = data::dataset_image(data::DatasetId::kKodak, 0, 64);
+  const jpeg::CoeffImage dropped = dropped_for(img);
+  Image garbage(64, 64, ColorSpace::kRGB, 90.0f);
+  const Image projected = project_onto_known_ac(garbage, dropped);
+  const jpeg::CoeffImage reencoded = jpeg::forward_transform(projected, 50);
+  // Compare a sample of AC coefficients (re-quantization may flip a few by
+  // one step; check the overwhelming majority agree).
+  int agree = 0, total = 0;
+  for (size_t c = 0; c < dropped.comps.size(); ++c) {
+    for (size_t b = 0; b < dropped.comps[c].blocks.size(); ++b) {
+      for (int k = 1; k < jpeg::kBlockSamples; ++k) {
+        ++total;
+        if (std::abs(reencoded.comps[c].blocks[b][k] -
+                     dropped.comps[c].blocks[b][k]) <= 1) {
+          ++agree;
+        }
+      }
+    }
+  }
+  EXPECT_GT(static_cast<double>(agree) / total, 0.95);
+}
+
+TEST(Postprocess, ProjectionWithPerfectGeneratorIsNearJpeg) {
+  // Feeding the original image as the "generated" estimate recovers
+  // standard-JPEG quality (DC from true means, AC transmitted).
+  const Image img = data::dataset_image(data::DatasetId::kInria, 0, 64);
+  const jpeg::CoeffImage full = jpeg::forward_transform(img, 50);
+  const Image jpeg_ref = jpeg::inverse_transform(full);
+  const Image projected = project_onto_known_ac(img, dropped_for(img));
+  EXPECT_GT(metrics::psnr(jpeg_ref, projected), 30.0);
+}
+
+TEST(Postprocess, ProjectionKeepsCornerAnchorsExact) {
+  const Image img = data::dataset_image(data::DatasetId::kSet5, 1, 64);
+  const jpeg::CoeffImage dropped = dropped_for(img);
+  Image generated(64, 64, ColorSpace::kRGB, 33.0f);  // wildly wrong means
+  const Image projected = project_onto_known_ac(generated, dropped);
+  const jpeg::CoeffImage re = jpeg::forward_transform(projected, 50);
+  // Corner DCs must survive the round trip (within one quantization step).
+  for (size_t c = 0; c < dropped.comps.size(); ++c) {
+    const auto& comp = dropped.comps[c];
+    EXPECT_NEAR(re.comps[c].block(0, 0)[0], comp.block(0, 0)[0], 1);
+  }
+}
+
+TEST(Postprocess, AnchoringFixesConstantOffset) {
+  // A reconstruction that is uniformly too dark gets pulled back to the
+  // corner-anchored brightness.
+  const Image img = data::dataset_image(data::DatasetId::kBSDS200, 0, 64);
+  const jpeg::CoeffImage dropped = dropped_for(img);
+  const Image tilde = jpeg::tilde_image(dropped);
+  Image dark = img;
+  for (int c = 0; c < 3; ++c) {
+    for (float& v : dark.plane(c)) v = std::max(0.0f, v - 40.0f);
+  }
+  const Image anchored = anchor_to_corners(dark, tilde);
+  EXPECT_GT(metrics::psnr(img, anchored), metrics::psnr(img, dark) + 3.0);
+}
+
+TEST(Postprocess, AnchoringFixesLinearRampError) {
+  // The bilinear field also corrects a brightness *gradient* error, which a
+  // constant-offset anchor could not.
+  const Image img = data::dataset_image(data::DatasetId::kKodak, 2, 64);
+  const jpeg::CoeffImage dropped = dropped_for(img);
+  const Image tilde = jpeg::tilde_image(dropped);
+  Image tilted = img;
+  for (int c = 0; c < 3; ++c) {
+    for (int y = 0; y < 64; ++y) {
+      for (int x = 0; x < 64; ++x) {
+        tilted.at(c, y, x) =
+            std::clamp(tilted.at(c, y, x) + 0.5f * x - 16.0f, 0.0f, 255.0f);
+      }
+    }
+  }
+  const Image anchored = anchor_to_corners(tilted, tilde);
+  EXPECT_GT(metrics::psnr(img, anchored), metrics::psnr(img, tilted) + 3.0);
+}
+
+TEST(Postprocess, AnchoringIsNearNoOpWhenAlreadyConsistent) {
+  const Image img = data::dataset_image(data::DatasetId::kUrban100, 1, 64);
+  const jpeg::CoeffImage dropped = dropped_for(img);
+  const Image tilde = jpeg::tilde_image(dropped);
+  // The JPEG-decoded image is already consistent with the corner blocks (up
+  // to quantization), so anchoring must barely change it.
+  const Image consistent =
+      jpeg::inverse_transform(jpeg::forward_transform(img, 50));
+  const Image anchored = anchor_to_corners(consistent, tilde);
+  EXPECT_GT(metrics::psnr(consistent, anchored), 38.0);
+}
+
+}  // namespace
+}  // namespace dcdiff::core

@@ -1,0 +1,123 @@
+#include "jpeg/progressive.h"
+
+#include <gtest/gtest.h>
+
+#include "data/datasets.h"
+#include "metrics/metrics.h"
+
+namespace dcdiff::jpeg {
+namespace {
+
+CoeffImage sample_coeffs(int size = 64, int quality = 50,
+                         ChromaFormat fmt = ChromaFormat::k444) {
+  return forward_transform(
+      data::dataset_image(data::DatasetId::kKodak, 2, size), quality, fmt);
+}
+
+TEST(Progressive, DetectsSOF2) {
+  const CoeffImage ci = sample_coeffs();
+  EXPECT_TRUE(is_progressive(encode_progressive(ci)));
+  EXPECT_FALSE(is_progressive(encode_jfif(ci)));
+}
+
+class ProgressiveRoundTrip : public ::testing::TestWithParam<ChromaFormat> {};
+
+TEST_P(ProgressiveRoundTrip, CoefficientsPreserved) {
+  const CoeffImage ci = sample_coeffs(64, 50, GetParam());
+  const CoeffImage back = decode_progressive(encode_progressive(ci));
+  ASSERT_EQ(back.comps.size(), ci.comps.size());
+  for (size_t c = 0; c < ci.comps.size(); ++c) {
+    ASSERT_EQ(back.comps[c].blocks.size(), ci.comps[c].blocks.size());
+    for (size_t b = 0; b < ci.comps[c].blocks.size(); ++b) {
+      for (int k = 0; k < kBlockSamples; ++k) {
+        ASSERT_EQ(back.comps[c].blocks[b][k], ci.comps[c].blocks[b][k])
+            << "comp " << c << " block " << b << " coef " << k;
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Formats, ProgressiveRoundTrip,
+                         ::testing::Values(ChromaFormat::k444,
+                                           ChromaFormat::k420));
+
+TEST(Progressive, GrayRoundTrip) {
+  const Image gray =
+      to_gray(data::dataset_image(data::DatasetId::kSet5, 0, 48));
+  const CoeffImage ci = forward_transform(gray, 50);
+  const CoeffImage back = decode_progressive(encode_progressive(ci));
+  ASSERT_EQ(back.comps.size(), 1u);
+  for (size_t b = 0; b < ci.comps[0].blocks.size(); ++b) {
+    for (int k = 0; k < kBlockSamples; ++k) {
+      ASSERT_EQ(back.comps[0].blocks[b][k], ci.comps[0].blocks[b][k]);
+    }
+  }
+}
+
+TEST(Progressive, CustomBandTiling) {
+  ProgressiveConfig cfg;
+  cfg.ac_bands = {{1, 2}, {3, 9}, {10, 35}, {36, 63}};
+  const CoeffImage ci = sample_coeffs();
+  const CoeffImage back = decode_progressive(encode_progressive(ci, cfg));
+  for (size_t b = 0; b < ci.comps[0].blocks.size(); ++b) {
+    for (int k = 0; k < kBlockSamples; ++k) {
+      ASSERT_EQ(back.comps[0].blocks[b][k], ci.comps[0].blocks[b][k]);
+    }
+  }
+}
+
+TEST(Progressive, BadBandTilingThrows) {
+  ProgressiveConfig cfg;
+  cfg.ac_bands = {{1, 5}, {7, 63}};  // gap at 6
+  EXPECT_THROW(encode_progressive(sample_coeffs(), cfg),
+               std::invalid_argument);
+  cfg.ac_bands = {{1, 63}, {1, 5}};
+  EXPECT_THROW(encode_progressive(sample_coeffs(), cfg),
+               std::invalid_argument);
+}
+
+TEST(Progressive, PreviewDecodesDCOnly) {
+  const CoeffImage ci = sample_coeffs();
+  const CoeffImage preview =
+      decode_progressive_preview(encode_progressive(ci));
+  for (size_t c = 0; c < ci.comps.size(); ++c) {
+    for (size_t b = 0; b < ci.comps[c].blocks.size(); ++b) {
+      EXPECT_EQ(preview.comps[c].blocks[b][0], ci.comps[c].blocks[b][0]);
+      for (int k = 1; k < kBlockSamples; ++k) {
+        ASSERT_EQ(preview.comps[c].blocks[b][k], 0);
+      }
+    }
+  }
+}
+
+TEST(Progressive, PreviewIsACoarseButRecognizableImage) {
+  const Image original = data::dataset_image(data::DatasetId::kInria, 1, 64);
+  const CoeffImage ci = forward_transform(original, 50);
+  const Image preview =
+      inverse_transform(decode_progressive_preview(encode_progressive(ci)));
+  const Image full = inverse_transform(ci);
+  const double p_preview = metrics::psnr(original, preview);
+  const double p_full = metrics::psnr(original, full);
+  EXPECT_GT(p_preview, 12.0);       // gross structure present
+  EXPECT_GT(p_full, p_preview + 3); // but far from the full decode
+}
+
+TEST(Progressive, SizeComparableToBaseline) {
+  // Progressive spectral selection with per-block EOBs costs a little more
+  // than the baseline interleaved scan, but stays in the same ballpark.
+  const CoeffImage ci = sample_coeffs();
+  const size_t base = encode_jfif(ci).size();
+  const size_t prog = encode_progressive(ci).size();
+  EXPECT_LT(prog, base * 2);
+  EXPECT_GT(prog, base / 2);
+}
+
+TEST(Progressive, GarbageInputThrows) {
+  EXPECT_THROW(decode_progressive({0x12, 0x34}), std::runtime_error);
+  std::vector<uint8_t> bytes = encode_progressive(sample_coeffs());
+  bytes.resize(bytes.size() / 3);
+  EXPECT_THROW(decode_progressive(bytes), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace dcdiff::jpeg

@@ -1,0 +1,92 @@
+#include "jpeg/quant.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace dcdiff::jpeg {
+namespace {
+
+TEST(Quant, BaseTablesMatchAnnexKAnchors) {
+  EXPECT_EQ(base_luma_table().q[0], 16);
+  EXPECT_EQ(base_luma_table().q[63], 99);
+  EXPECT_EQ(base_chroma_table().q[0], 17);
+  EXPECT_EQ(base_chroma_table().q[63], 99);
+}
+
+TEST(Quant, Quality50IsBaseTable) {
+  const QuantTable t = luma_table(50);
+  for (int i = 0; i < kBlockSamples; ++i) {
+    EXPECT_EQ(t.q[i], base_luma_table().q[i]);
+  }
+}
+
+TEST(Quant, Quality100IsAllOnes) {
+  const QuantTable t = luma_table(100);
+  for (int i = 0; i < kBlockSamples; ++i) EXPECT_EQ(t.q[i], 1);
+}
+
+class QualityMonotonic : public ::testing::TestWithParam<int> {};
+
+TEST_P(QualityMonotonic, LowerQualityNeverFinerSteps) {
+  const int q = GetParam();
+  const QuantTable coarse = luma_table(q);
+  const QuantTable fine = luma_table(q + 10);
+  for (int i = 0; i < kBlockSamples; ++i) {
+    EXPECT_GE(coarse.q[i], fine.q[i]) << "i=" << i << " q=" << q;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Qualities, QualityMonotonic,
+                         ::testing::Values(5, 10, 25, 40, 50, 60, 75, 85));
+
+TEST(Quant, StepsClampedToByteRange) {
+  const QuantTable t = luma_table(1);
+  for (int i = 0; i < kBlockSamples; ++i) {
+    EXPECT_GE(t.q[i], 1);
+    EXPECT_LE(t.q[i], 255);
+  }
+}
+
+TEST(Quant, QuantizeDequantizeBoundsError) {
+  const QuantTable qt = luma_table(50);
+  CoefBlock cf;
+  for (int i = 0; i < kBlockSamples; ++i) {
+    cf[i] = static_cast<float>(i * 13 - 400);
+  }
+  std::array<int16_t, kBlockSamples> q;
+  quantize(cf, qt, q);
+  CoefBlock back;
+  dequantize(q, qt, back);
+  for (int i = 0; i < kBlockSamples; ++i) {
+    EXPECT_LE(std::abs(back[i] - cf[i]), 0.5f * qt.q[i] + 1e-3f);
+  }
+}
+
+TEST(Zigzag, IsAPermutation) {
+  const auto& order = zigzag_order();
+  std::set<int> seen(order.begin(), order.end());
+  EXPECT_EQ(seen.size(), 64u);
+  EXPECT_EQ(*seen.begin(), 0);
+  EXPECT_EQ(*seen.rbegin(), 63);
+}
+
+TEST(Zigzag, KnownPrefix) {
+  const auto& order = zigzag_order();
+  EXPECT_EQ(order[0], 0);
+  EXPECT_EQ(order[1], 1);
+  EXPECT_EQ(order[2], 8);
+  EXPECT_EQ(order[3], 16);
+  EXPECT_EQ(order[63], 63);
+}
+
+TEST(Zigzag, InverseIsConsistent) {
+  const auto& order = zigzag_order();
+  const auto& inv = natural_to_zigzag();
+  for (int k = 0; k < kBlockSamples; ++k) {
+    EXPECT_EQ(inv[order[k]], k);
+  }
+}
+
+}  // namespace
+}  // namespace dcdiff::jpeg

@@ -1,0 +1,96 @@
+#include "core/regression.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <filesystem>
+
+#include "core/tensor_image.h"
+#include "data/datasets.h"
+#include "jpeg/dcdrop.h"
+#include "metrics/metrics.h"
+
+namespace dcdiff::core {
+namespace {
+
+class RegressionTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    const auto dir =
+        std::filesystem::temp_directory_path() / "dcdiff_test_cache_reg";
+    std::filesystem::create_directories(dir);
+    setenv("DCDIFF_CACHE_DIR", dir.c_str(), 1);
+    cfg_ = new AutoencoderConfig{4, 8, 8};
+    unet_cfg_ = new UNetConfig{4, 8, 16};
+    ae_ = new Autoencoder(*cfg_, 5);
+  }
+  static void TearDownTestSuite() {
+    delete ae_;
+    delete cfg_;
+    delete unet_cfg_;
+  }
+  static AutoencoderConfig* cfg_;
+  static UNetConfig* unet_cfg_;
+  static Autoencoder* ae_;
+};
+
+AutoencoderConfig* RegressionTest::cfg_ = nullptr;
+UNetConfig* RegressionTest::unet_cfg_ = nullptr;
+Autoencoder* RegressionTest::ae_ = nullptr;
+
+TEST_F(RegressionTest, PredictShape) {
+  RegressionEstimator reg(*ae_, *unet_cfg_, 7);
+  const nn::Tensor tilde = nn::Tensor::zeros({2, 3, 32, 32});
+  const nn::Tensor z0 = reg.predict_z0(tilde);
+  EXPECT_EQ(z0.shape(), (std::vector<int>{2, 4, 8, 8}));
+  for (float v : z0.value()) {
+    EXPECT_GT(v, -1.0f);
+    EXPECT_LT(v, 1.0f);
+  }
+}
+
+TEST_F(RegressionTest, ShortTrainingRunsAndImprovesLatentFit) {
+  RegressionEstimator reg(*ae_, *unet_cfg_, 8);
+  // Measure z0 MSE on a held-out sample before and after a short train.
+  const Image img = data::training_image(999999, 32);
+  auto coeffs = jpeg::forward_transform(img, 50);
+  jpeg::drop_dc(coeffs);
+  const nn::Tensor tilde = tilde_to_tensor(jpeg::tilde_image(coeffs));
+  nn::Tensor target;
+  {
+    nn::NoGradGuard no_grad;
+    target = ae_->encode_dc(rgb_to_tensor(img));
+  }
+  auto z_mse = [&] {
+    nn::NoGradGuard no_grad;
+    return nn::mse_loss(reg.predict_z0(tilde), target).item();
+  };
+  const float before = z_mse();
+  reg.train(/*steps=*/30, /*image_size=*/32, /*quality=*/50, /*seed=*/1);
+  const float after = z_mse();
+  EXPECT_LT(after, before);
+}
+
+TEST_F(RegressionTest, ReconstructShapesAndCache) {
+  RegressionEstimator reg(*ae_, *unet_cfg_, 9);
+  reg.train_or_load(/*steps=*/5, /*image_size=*/32);
+  const Image img = data::dataset_image(data::DatasetId::kKodak, 0, 32);
+  auto coeffs = jpeg::forward_transform(img, 50);
+  jpeg::drop_dc(coeffs);
+  const Image rec = reg.reconstruct(coeffs);
+  EXPECT_EQ(rec.width(), 32);
+  EXPECT_EQ(rec.height(), 32);
+  EXPECT_GT(metrics::psnr(img, rec), 8.0);
+  // Second instance must load identical weights from the cache.
+  RegressionEstimator reg2(*ae_, *unet_cfg_, 10);
+  reg2.train_or_load(/*steps=*/5, /*image_size=*/32);
+  const Image rec2 = reg2.reconstruct(coeffs);
+  for (int c = 0; c < 3; ++c) {
+    for (size_t i = 0; i < rec.plane(c).size(); ++i) {
+      ASSERT_FLOAT_EQ(rec2.plane(c)[i], rec.plane(c)[i]);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace dcdiff::core

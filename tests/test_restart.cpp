@@ -1,0 +1,134 @@
+// Restart-interval (DRI/RSTn) support: round-trip fidelity and the error
+// containment property that motivates restarts on lossy links.
+#include <gtest/gtest.h>
+
+#include "data/datasets.h"
+#include "jpeg/codec.h"
+#include "metrics/metrics.h"
+#include "nn/rng.h"
+
+namespace dcdiff::jpeg {
+namespace {
+
+CoeffImage coeffs_with_restart(int interval, int size = 64) {
+  const Image img = data::dataset_image(data::DatasetId::kKodak, 1, size);
+  CoeffImage ci = forward_transform(img, 50);
+  ci.restart_interval = interval;
+  return ci;
+}
+
+class RestartRoundTrip : public ::testing::TestWithParam<int> {};
+
+TEST_P(RestartRoundTrip, CoefficientsPreserved) {
+  const CoeffImage ci = coeffs_with_restart(GetParam());
+  const auto bytes = encode_jfif(ci);
+  const CoeffImage back = decode_jfif(bytes);
+  EXPECT_EQ(back.restart_interval, GetParam());
+  for (size_t c = 0; c < ci.comps.size(); ++c) {
+    for (size_t b = 0; b < ci.comps[c].blocks.size(); ++b) {
+      for (int k = 0; k < kBlockSamples; ++k) {
+        ASSERT_EQ(back.comps[c].blocks[b][k], ci.comps[c].blocks[b][k])
+            << "interval " << GetParam();
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Intervals, RestartRoundTrip,
+                         ::testing::Values(1, 2, 4, 7, 16, 63));
+
+TEST(Restart, MarkersPresentInStream) {
+  const CoeffImage ci = coeffs_with_restart(4);
+  const auto bytes = encode_jfif(ci);
+  int rst_count = 0;
+  bool dri = false;
+  for (size_t i = 0; i + 1 < bytes.size(); ++i) {
+    if (bytes[i] == 0xFF && bytes[i + 1] >= 0xD0 && bytes[i + 1] <= 0xD7) {
+      ++rst_count;
+    }
+    if (bytes[i] == 0xFF && bytes[i + 1] == 0xDD) dri = true;
+  }
+  EXPECT_TRUE(dri);
+  // 64 MCUs (8x8 blocks of a 64x64 4:4:4 image) / interval 4 => 15 RSTs.
+  EXPECT_EQ(rst_count, 15);
+}
+
+TEST(Restart, MarkerIndicesCycleModulo8) {
+  const CoeffImage ci = coeffs_with_restart(1);
+  const auto bytes = encode_jfif(ci);
+  int expected = 0;
+  for (size_t i = 0; i + 1 < bytes.size(); ++i) {
+    if (bytes[i] == 0xFF && bytes[i + 1] >= 0xD0 && bytes[i + 1] <= 0xD7) {
+      EXPECT_EQ(bytes[i + 1] - 0xD0, expected & 7);
+      ++expected;
+    }
+  }
+  EXPECT_GT(expected, 8);  // cycled at least once
+}
+
+TEST(Restart, StreamLargerButDecodable420) {
+  const Image img = data::dataset_image(data::DatasetId::kInria, 2, 64);
+  CoeffImage ci = forward_transform(img, 50, ChromaFormat::k420);
+  const size_t plain = encode_jfif(ci).size();
+  ci.restart_interval = 2;
+  const auto bytes = encode_jfif(ci);
+  EXPECT_GT(bytes.size(), plain);  // markers + padding cost something
+  const CoeffImage back = decode_jfif(bytes);
+  for (size_t c = 0; c < ci.comps.size(); ++c) {
+    for (size_t b = 0; b < ci.comps[c].blocks.size(); ++b) {
+      for (int k = 0; k < kBlockSamples; ++k) {
+        ASSERT_EQ(back.comps[c].blocks[b][k], ci.comps[c].blocks[b][k]);
+      }
+    }
+  }
+}
+
+TEST(Restart, ErrorContainedToDamagedSegment) {
+  // Corrupt one byte inside one restart segment: with restarts the rest of
+  // the image survives; decoded image stays close to the clean decode.
+  const Image img = data::dataset_image(data::DatasetId::kUrban100, 2, 64);
+  CoeffImage ci = forward_transform(img, 50);
+  ci.restart_interval = 4;
+  auto bytes = encode_jfif(ci);
+  const Image clean = inverse_transform(decode_jfif(bytes));
+
+  // Find the third RST marker and corrupt a byte shortly after it.
+  int rst_seen = 0;
+  size_t corrupt_at = 0;
+  for (size_t i = 0; i + 1 < bytes.size(); ++i) {
+    if (bytes[i] == 0xFF && bytes[i + 1] >= 0xD0 && bytes[i + 1] <= 0xD7) {
+      if (++rst_seen == 3) {
+        corrupt_at = i + 4;
+        break;
+      }
+    }
+  }
+  ASSERT_GT(corrupt_at, 0u);
+  bytes[corrupt_at] ^= 0x55;
+
+  Image damaged(1, 1, ColorSpace::kGray);
+  ASSERT_NO_THROW(damaged = inverse_transform(decode_jfif(bytes)));
+  // Most of the image is unaffected: quality vs the clean decode stays high
+  // compared to a fully corrupted stream.
+  EXPECT_GT(metrics::psnr(clean, damaged), 13.0);
+  // And a large fraction of pixels are bit-identical.
+  size_t same = 0, total = 0;
+  for (int c = 0; c < 3; ++c) {
+    for (size_t i = 0; i < clean.plane(c).size(); ++i) {
+      ++total;
+      if (clean.plane(c)[i] == damaged.plane(c)[i]) ++same;
+    }
+  }
+  EXPECT_GT(static_cast<double>(same) / total, 0.5);
+}
+
+TEST(Restart, ZeroIntervalUnchangedFormat) {
+  const CoeffImage ci = coeffs_with_restart(0);
+  const auto bytes = encode_jfif(ci);
+  for (size_t i = 0; i + 1 < bytes.size(); ++i) {
+    ASSERT_FALSE(bytes[i] == 0xFF && bytes[i + 1] == 0xDD);
+  }
+}
+
+}  // namespace
+}  // namespace dcdiff::jpeg

@@ -1,0 +1,63 @@
+#include "sim/device.h"
+
+#include <gtest/gtest.h>
+
+#include "data/datasets.h"
+
+namespace dcdiff::sim {
+namespace {
+
+TEST(DeviceProfiles, OrderedBySpeed) {
+  EXPECT_GT(raspberry_pi4().device_mops, cortex_a53().device_mops);
+  EXPECT_GT(cortex_a53().device_mops, 0.0);
+}
+
+TEST(Calibration, HostRatePositive) {
+  const double mops = calibrate_host_mops();
+  EXPECT_GT(mops, 10.0);  // any real CPU is far above 10 Mops/s
+}
+
+TEST(Throughput, MeasuresAndProjects) {
+  std::vector<Image> images;
+  for (int i = 0; i < 2; ++i) {
+    images.push_back(data::dataset_image(data::DatasetId::kKodak, i, 64));
+  }
+  const double host_mops = 1000.0;  // fixed for test determinism
+  const auto r = measure_encoder_throughput(images, false, 50,
+                                            raspberry_pi4(), host_mops, 1);
+  EXPECT_GT(r.host_gbps, 0.0);
+  EXPECT_GT(r.seconds, 0.0);
+  EXPECT_EQ(r.input_bits, 2ull * 64 * 64 * 24);
+  EXPECT_NEAR(r.device_gbps,
+              r.host_gbps * raspberry_pi4().device_mops / host_mops, 1e-9);
+}
+
+TEST(Throughput, DcDropDoesNotSlowTheEncoder) {
+  // Table IV's relation: the DCDiff sender is at least as fast as standard
+  // JPEG (it entropy-codes fewer symbols). Allow generous tolerance for
+  // timer noise on shared machines.
+  std::vector<Image> images;
+  for (int i = 0; i < 4; ++i) {
+    images.push_back(data::dataset_image(data::DatasetId::kInria, i, 64));
+  }
+  const double host_mops = 1000.0;
+  // Best-of-3 on each side: robust against scheduler noise on loaded or
+  // shared machines (this is a relation check, not a timing benchmark).
+  double standard = 0.0, dropped = 0.0;
+  for (int i = 0; i < 3; ++i) {
+    standard = std::max(standard,
+                        measure_encoder_throughput(images, false, 50,
+                                                   raspberry_pi4(),
+                                                   host_mops, 2)
+                            .host_gbps);
+    dropped = std::max(dropped,
+                       measure_encoder_throughput(images, true, 50,
+                                                  raspberry_pi4(),
+                                                  host_mops, 2)
+                           .host_gbps);
+  }
+  EXPECT_GT(dropped, standard * 0.7);
+}
+
+}  // namespace
+}  // namespace dcdiff::sim

@@ -1,0 +1,115 @@
+#include "nn/tensor.h"
+
+#include <gtest/gtest.h>
+
+#include "nn/ops.h"
+
+namespace dcdiff::nn {
+namespace {
+
+TEST(Tensor, CreationAndShape) {
+  Tensor t = Tensor::zeros({2, 3, 4});
+  EXPECT_EQ(t.ndim(), 3);
+  EXPECT_EQ(t.numel(), 24u);
+  EXPECT_EQ(t.dim(1), 3);
+  for (float v : t.value()) EXPECT_EQ(v, 0.0f);
+}
+
+TEST(Tensor, FromDataValidatesSize) {
+  EXPECT_THROW(Tensor::from_data({2, 2}, {1.0f, 2.0f}),
+               std::invalid_argument);
+}
+
+TEST(Tensor, ScalarItem) {
+  EXPECT_FLOAT_EQ(Tensor::scalar(3.5f).item(), 3.5f);
+  Tensor t = Tensor::zeros({2});
+  EXPECT_THROW(t.item(), std::logic_error);
+}
+
+TEST(Tensor, ShapeNumelRejectsNonPositive) {
+  EXPECT_THROW(shape_numel({2, 0}), std::invalid_argument);
+  EXPECT_THROW(shape_numel({-1}), std::invalid_argument);
+}
+
+TEST(Tensor, BackwardRequiresScalarRoot) {
+  Tensor t = Tensor::zeros({3}, true);
+  EXPECT_THROW(t.backward(), std::logic_error);
+}
+
+TEST(Autograd, SimpleChainRule) {
+  // loss = sum(3 * x) => dloss/dx = 3.
+  Tensor x = Tensor::from_data({4}, {1, 2, 3, 4}, true);
+  Tensor loss = sum(scale(x, 3.0f));
+  loss.backward();
+  for (float g : x.grad()) EXPECT_FLOAT_EQ(g, 3.0f);
+}
+
+TEST(Autograd, DiamondGraphAccumulates) {
+  // y = x + x => dy/dx = 2 per element.
+  Tensor x = Tensor::from_data({3}, {1, 1, 1}, true);
+  Tensor loss = sum(add(x, x));
+  loss.backward();
+  for (float g : x.grad()) EXPECT_FLOAT_EQ(g, 2.0f);
+}
+
+TEST(Autograd, ReusedSubgraphVisitedOnce) {
+  // z = x*x; loss = sum(z + z); dloss/dx = 4x.
+  Tensor x = Tensor::from_data({2}, {3, 5}, true);
+  Tensor z = mul(x, x);
+  Tensor loss = sum(add(z, z));
+  loss.backward();
+  EXPECT_FLOAT_EQ(x.grad()[0], 12.0f);
+  EXPECT_FLOAT_EQ(x.grad()[1], 20.0f);
+}
+
+TEST(Autograd, NoGradInputsProduceNoTape) {
+  Tensor x = Tensor::from_data({2}, {1, 2}, false);
+  Tensor y = scale(x, 2.0f);
+  EXPECT_FALSE(y.requires_grad());
+}
+
+TEST(Autograd, NoGradGuardDisablesTape) {
+  Tensor x = Tensor::from_data({2}, {1, 2}, true);
+  {
+    NoGradGuard guard;
+    EXPECT_FALSE(grad_enabled());
+    Tensor y = scale(x, 2.0f);
+    EXPECT_FALSE(y.requires_grad());
+  }
+  EXPECT_TRUE(grad_enabled());
+  Tensor y2 = scale(x, 2.0f);
+  EXPECT_TRUE(y2.requires_grad());
+}
+
+TEST(Autograd, DetachStopsGradient) {
+  Tensor x = Tensor::from_data({2}, {1, 2}, true);
+  Tensor y = scale(x, 5.0f).detach();
+  EXPECT_FALSE(y.requires_grad());
+  EXPECT_FLOAT_EQ(y.value()[1], 10.0f);
+}
+
+TEST(Autograd, ZeroGradClears) {
+  Tensor x = Tensor::from_data({2}, {1, 2}, true);
+  sum(x).backward();
+  EXPECT_FLOAT_EQ(x.grad()[0], 1.0f);
+  x.zero_grad();
+  EXPECT_FLOAT_EQ(x.grad()[0], 0.0f);
+}
+
+TEST(Autograd, GradAccumulatesAcrossBackwards) {
+  Tensor x = Tensor::from_data({1}, {2}, true);
+  sum(x).backward();
+  sum(x).backward();
+  EXPECT_FLOAT_EQ(x.grad()[0], 2.0f);
+}
+
+TEST(Autograd, DeepChainDoesNotOverflowStack) {
+  Tensor x = Tensor::from_data({1}, {1.0f}, true);
+  Tensor y = x;
+  for (int i = 0; i < 2000; ++i) y = add_scalar(y, 0.001f);
+  sum(y).backward();
+  EXPECT_FLOAT_EQ(x.grad()[0], 1.0f);
+}
+
+}  // namespace
+}  // namespace dcdiff::nn

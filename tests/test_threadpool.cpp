@@ -1,0 +1,74 @@
+#include "nn/threadpool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+namespace dcdiff::nn {
+namespace {
+
+TEST(ThreadPool, SingletonReportsAtLeastOneThread) {
+  EXPECT_GE(ThreadPool::instance().num_threads(), 1);
+}
+
+TEST(ThreadPool, ParallelForCoversEveryIndexExactlyOnce) {
+  std::vector<std::atomic<int>> hits(1000);
+  parallel_for(1000, [&](int64_t i) { ++hits[static_cast<size_t>(i)]; });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, RangesArePartitioned) {
+  const int64_t n = 257;  // awkward size
+  std::vector<int> counts(static_cast<size_t>(n), 0);
+  parallel_for_ranges(n, [&](int64_t begin, int64_t end) {
+    for (int64_t i = begin; i < end; ++i) ++counts[static_cast<size_t>(i)];
+  });
+  EXPECT_EQ(std::accumulate(counts.begin(), counts.end(), 0), n);
+  for (int c : counts) EXPECT_EQ(c, 1);
+}
+
+TEST(ThreadPool, ZeroAndNegativeSizesAreNoOps) {
+  bool called = false;
+  parallel_for(0, [&](int64_t) { called = true; });
+  parallel_for(-5, [&](int64_t) { called = true; });
+  EXPECT_FALSE(called);
+}
+
+TEST(ThreadPool, SingleElement) {
+  int value = 0;
+  parallel_for(1, [&](int64_t i) { value = static_cast<int>(i) + 42; });
+  EXPECT_EQ(value, 42);
+}
+
+TEST(ThreadPool, SequentialCallsReuseWorkers) {
+  // Exercises the generation counter: repeated dispatches must not deadlock
+  // or double-run tasks.
+  for (int round = 0; round < 50; ++round) {
+    std::atomic<int64_t> sum{0};
+    parallel_for(64, [&](int64_t i) { sum += i; });
+    EXPECT_EQ(sum.load(), 64 * 63 / 2);
+  }
+}
+
+TEST(ThreadPool, DedicatedPoolDeterministicPartition) {
+  ThreadPool pool(4);
+  // Record which range handled each index; ranges must be contiguous chunks.
+  std::vector<int64_t> begin_of(100, -1);
+  pool.parallel_ranges(100, [&](int64_t begin, int64_t end) {
+    for (int64_t i = begin; i < end; ++i) {
+      begin_of[static_cast<size_t>(i)] = begin;
+    }
+  });
+  // Every index covered; chunk starts are non-decreasing.
+  int64_t prev = 0;
+  for (int64_t b : begin_of) {
+    ASSERT_GE(b, 0);
+    ASSERT_GE(b, prev - 100);  // sanity
+    prev = std::max(prev, b);
+  }
+}
+
+}  // namespace
+}  // namespace dcdiff::nn
