@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_generator.dir/bench_ablation_generator.cpp.o"
+  "CMakeFiles/bench_ablation_generator.dir/bench_ablation_generator.cpp.o.d"
+  "bench_ablation_generator"
+  "bench_ablation_generator.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_generator.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/iot_camera.dir/iot_camera.cpp.o"
+  "CMakeFiles/iot_camera.dir/iot_camera.cpp.o.d"
+  "iot_camera"
+  "iot_camera.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/iot_camera.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

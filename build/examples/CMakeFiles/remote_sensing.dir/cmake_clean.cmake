@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/remote_sensing.dir/remote_sensing.cpp.o"
+  "CMakeFiles/remote_sensing.dir/remote_sensing.cpp.o.d"
+  "remote_sensing"
+  "remote_sensing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/remote_sensing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

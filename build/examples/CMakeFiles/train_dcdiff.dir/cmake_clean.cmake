@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/train_dcdiff.dir/train_dcdiff.cpp.o"
+  "CMakeFiles/train_dcdiff.dir/train_dcdiff.cpp.o.d"
+  "train_dcdiff"
+  "train_dcdiff.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/train_dcdiff.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/dc_recovery.cpp" "src/baselines/CMakeFiles/dcdiff_baselines.dir/dc_recovery.cpp.o" "gcc" "src/baselines/CMakeFiles/dcdiff_baselines.dir/dc_recovery.cpp.o.d"
+  "/root/repo/src/baselines/tii2021.cpp" "src/baselines/CMakeFiles/dcdiff_baselines.dir/tii2021.cpp.o" "gcc" "src/baselines/CMakeFiles/dcdiff_baselines.dir/tii2021.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/jpeg/CMakeFiles/dcdiff_jpeg.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/dcdiff_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/dcdiff_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/image/CMakeFiles/dcdiff_image.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

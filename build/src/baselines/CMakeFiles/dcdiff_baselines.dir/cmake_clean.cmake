@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dcdiff_baselines.dir/dc_recovery.cpp.o"
+  "CMakeFiles/dcdiff_baselines.dir/dc_recovery.cpp.o.d"
+  "CMakeFiles/dcdiff_baselines.dir/tii2021.cpp.o"
+  "CMakeFiles/dcdiff_baselines.dir/tii2021.cpp.o.d"
+  "libdcdiff_baselines.a"
+  "libdcdiff_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dcdiff_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

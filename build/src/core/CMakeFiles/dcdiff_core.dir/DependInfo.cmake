@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/autoencoder.cpp" "src/core/CMakeFiles/dcdiff_core.dir/autoencoder.cpp.o" "gcc" "src/core/CMakeFiles/dcdiff_core.dir/autoencoder.cpp.o.d"
+  "/root/repo/src/core/diffusion.cpp" "src/core/CMakeFiles/dcdiff_core.dir/diffusion.cpp.o" "gcc" "src/core/CMakeFiles/dcdiff_core.dir/diffusion.cpp.o.d"
+  "/root/repo/src/core/fmpp.cpp" "src/core/CMakeFiles/dcdiff_core.dir/fmpp.cpp.o" "gcc" "src/core/CMakeFiles/dcdiff_core.dir/fmpp.cpp.o.d"
+  "/root/repo/src/core/losses.cpp" "src/core/CMakeFiles/dcdiff_core.dir/losses.cpp.o" "gcc" "src/core/CMakeFiles/dcdiff_core.dir/losses.cpp.o.d"
+  "/root/repo/src/core/pipeline.cpp" "src/core/CMakeFiles/dcdiff_core.dir/pipeline.cpp.o" "gcc" "src/core/CMakeFiles/dcdiff_core.dir/pipeline.cpp.o.d"
+  "/root/repo/src/core/postprocess.cpp" "src/core/CMakeFiles/dcdiff_core.dir/postprocess.cpp.o" "gcc" "src/core/CMakeFiles/dcdiff_core.dir/postprocess.cpp.o.d"
+  "/root/repo/src/core/regression.cpp" "src/core/CMakeFiles/dcdiff_core.dir/regression.cpp.o" "gcc" "src/core/CMakeFiles/dcdiff_core.dir/regression.cpp.o.d"
+  "/root/repo/src/core/tensor_image.cpp" "src/core/CMakeFiles/dcdiff_core.dir/tensor_image.cpp.o" "gcc" "src/core/CMakeFiles/dcdiff_core.dir/tensor_image.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/jpeg/CMakeFiles/dcdiff_jpeg.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/dcdiff_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/dcdiff_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/image/CMakeFiles/dcdiff_image.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

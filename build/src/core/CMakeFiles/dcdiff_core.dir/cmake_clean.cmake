@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dcdiff_core.dir/autoencoder.cpp.o"
+  "CMakeFiles/dcdiff_core.dir/autoencoder.cpp.o.d"
+  "CMakeFiles/dcdiff_core.dir/diffusion.cpp.o"
+  "CMakeFiles/dcdiff_core.dir/diffusion.cpp.o.d"
+  "CMakeFiles/dcdiff_core.dir/fmpp.cpp.o"
+  "CMakeFiles/dcdiff_core.dir/fmpp.cpp.o.d"
+  "CMakeFiles/dcdiff_core.dir/losses.cpp.o"
+  "CMakeFiles/dcdiff_core.dir/losses.cpp.o.d"
+  "CMakeFiles/dcdiff_core.dir/pipeline.cpp.o"
+  "CMakeFiles/dcdiff_core.dir/pipeline.cpp.o.d"
+  "CMakeFiles/dcdiff_core.dir/postprocess.cpp.o"
+  "CMakeFiles/dcdiff_core.dir/postprocess.cpp.o.d"
+  "CMakeFiles/dcdiff_core.dir/regression.cpp.o"
+  "CMakeFiles/dcdiff_core.dir/regression.cpp.o.d"
+  "CMakeFiles/dcdiff_core.dir/tensor_image.cpp.o"
+  "CMakeFiles/dcdiff_core.dir/tensor_image.cpp.o.d"
+  "libdcdiff_core.a"
+  "libdcdiff_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dcdiff_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dcdiff_data.dir/datasets.cpp.o"
+  "CMakeFiles/dcdiff_data.dir/datasets.cpp.o.d"
+  "libdcdiff_data.a"
+  "libdcdiff_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dcdiff_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dcdiff_downstream.dir/classifier.cpp.o"
+  "CMakeFiles/dcdiff_downstream.dir/classifier.cpp.o.d"
+  "libdcdiff_downstream.a"
+  "libdcdiff_downstream.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dcdiff_downstream.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

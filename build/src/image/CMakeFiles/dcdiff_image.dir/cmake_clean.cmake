@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dcdiff_image.dir/image.cpp.o"
+  "CMakeFiles/dcdiff_image.dir/image.cpp.o.d"
+  "libdcdiff_image.a"
+  "libdcdiff_image.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dcdiff_image.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/jpeg/bitio.cpp" "src/jpeg/CMakeFiles/dcdiff_jpeg.dir/bitio.cpp.o" "gcc" "src/jpeg/CMakeFiles/dcdiff_jpeg.dir/bitio.cpp.o.d"
+  "/root/repo/src/jpeg/codec.cpp" "src/jpeg/CMakeFiles/dcdiff_jpeg.dir/codec.cpp.o" "gcc" "src/jpeg/CMakeFiles/dcdiff_jpeg.dir/codec.cpp.o.d"
+  "/root/repo/src/jpeg/dcdrop.cpp" "src/jpeg/CMakeFiles/dcdiff_jpeg.dir/dcdrop.cpp.o" "gcc" "src/jpeg/CMakeFiles/dcdiff_jpeg.dir/dcdrop.cpp.o.d"
+  "/root/repo/src/jpeg/dct.cpp" "src/jpeg/CMakeFiles/dcdiff_jpeg.dir/dct.cpp.o" "gcc" "src/jpeg/CMakeFiles/dcdiff_jpeg.dir/dct.cpp.o.d"
+  "/root/repo/src/jpeg/huffman.cpp" "src/jpeg/CMakeFiles/dcdiff_jpeg.dir/huffman.cpp.o" "gcc" "src/jpeg/CMakeFiles/dcdiff_jpeg.dir/huffman.cpp.o.d"
+  "/root/repo/src/jpeg/progressive.cpp" "src/jpeg/CMakeFiles/dcdiff_jpeg.dir/progressive.cpp.o" "gcc" "src/jpeg/CMakeFiles/dcdiff_jpeg.dir/progressive.cpp.o.d"
+  "/root/repo/src/jpeg/quant.cpp" "src/jpeg/CMakeFiles/dcdiff_jpeg.dir/quant.cpp.o" "gcc" "src/jpeg/CMakeFiles/dcdiff_jpeg.dir/quant.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/image/CMakeFiles/dcdiff_image.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

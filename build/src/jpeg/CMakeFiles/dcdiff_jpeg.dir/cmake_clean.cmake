@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dcdiff_jpeg.dir/bitio.cpp.o"
+  "CMakeFiles/dcdiff_jpeg.dir/bitio.cpp.o.d"
+  "CMakeFiles/dcdiff_jpeg.dir/codec.cpp.o"
+  "CMakeFiles/dcdiff_jpeg.dir/codec.cpp.o.d"
+  "CMakeFiles/dcdiff_jpeg.dir/dcdrop.cpp.o"
+  "CMakeFiles/dcdiff_jpeg.dir/dcdrop.cpp.o.d"
+  "CMakeFiles/dcdiff_jpeg.dir/dct.cpp.o"
+  "CMakeFiles/dcdiff_jpeg.dir/dct.cpp.o.d"
+  "CMakeFiles/dcdiff_jpeg.dir/huffman.cpp.o"
+  "CMakeFiles/dcdiff_jpeg.dir/huffman.cpp.o.d"
+  "CMakeFiles/dcdiff_jpeg.dir/progressive.cpp.o"
+  "CMakeFiles/dcdiff_jpeg.dir/progressive.cpp.o.d"
+  "CMakeFiles/dcdiff_jpeg.dir/quant.cpp.o"
+  "CMakeFiles/dcdiff_jpeg.dir/quant.cpp.o.d"
+  "libdcdiff_jpeg.a"
+  "libdcdiff_jpeg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dcdiff_jpeg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

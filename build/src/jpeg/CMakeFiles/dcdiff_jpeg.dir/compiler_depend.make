@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for dcdiff_jpeg.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dcdiff_metrics.dir/metrics.cpp.o"
+  "CMakeFiles/dcdiff_metrics.dir/metrics.cpp.o.d"
+  "libdcdiff_metrics.a"
+  "libdcdiff_metrics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dcdiff_metrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

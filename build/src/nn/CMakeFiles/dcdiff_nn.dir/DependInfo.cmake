@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nn/cache.cpp" "src/nn/CMakeFiles/dcdiff_nn.dir/cache.cpp.o" "gcc" "src/nn/CMakeFiles/dcdiff_nn.dir/cache.cpp.o.d"
+  "/root/repo/src/nn/modules.cpp" "src/nn/CMakeFiles/dcdiff_nn.dir/modules.cpp.o" "gcc" "src/nn/CMakeFiles/dcdiff_nn.dir/modules.cpp.o.d"
+  "/root/repo/src/nn/ops.cpp" "src/nn/CMakeFiles/dcdiff_nn.dir/ops.cpp.o" "gcc" "src/nn/CMakeFiles/dcdiff_nn.dir/ops.cpp.o.d"
+  "/root/repo/src/nn/optim.cpp" "src/nn/CMakeFiles/dcdiff_nn.dir/optim.cpp.o" "gcc" "src/nn/CMakeFiles/dcdiff_nn.dir/optim.cpp.o.d"
+  "/root/repo/src/nn/serialize.cpp" "src/nn/CMakeFiles/dcdiff_nn.dir/serialize.cpp.o" "gcc" "src/nn/CMakeFiles/dcdiff_nn.dir/serialize.cpp.o.d"
+  "/root/repo/src/nn/tensor.cpp" "src/nn/CMakeFiles/dcdiff_nn.dir/tensor.cpp.o" "gcc" "src/nn/CMakeFiles/dcdiff_nn.dir/tensor.cpp.o.d"
+  "/root/repo/src/nn/threadpool.cpp" "src/nn/CMakeFiles/dcdiff_nn.dir/threadpool.cpp.o" "gcc" "src/nn/CMakeFiles/dcdiff_nn.dir/threadpool.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

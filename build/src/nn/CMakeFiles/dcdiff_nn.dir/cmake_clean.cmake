@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dcdiff_nn.dir/cache.cpp.o"
+  "CMakeFiles/dcdiff_nn.dir/cache.cpp.o.d"
+  "CMakeFiles/dcdiff_nn.dir/modules.cpp.o"
+  "CMakeFiles/dcdiff_nn.dir/modules.cpp.o.d"
+  "CMakeFiles/dcdiff_nn.dir/ops.cpp.o"
+  "CMakeFiles/dcdiff_nn.dir/ops.cpp.o.d"
+  "CMakeFiles/dcdiff_nn.dir/optim.cpp.o"
+  "CMakeFiles/dcdiff_nn.dir/optim.cpp.o.d"
+  "CMakeFiles/dcdiff_nn.dir/serialize.cpp.o"
+  "CMakeFiles/dcdiff_nn.dir/serialize.cpp.o.d"
+  "CMakeFiles/dcdiff_nn.dir/tensor.cpp.o"
+  "CMakeFiles/dcdiff_nn.dir/tensor.cpp.o.d"
+  "CMakeFiles/dcdiff_nn.dir/threadpool.cpp.o"
+  "CMakeFiles/dcdiff_nn.dir/threadpool.cpp.o.d"
+  "libdcdiff_nn.a"
+  "libdcdiff_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dcdiff_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libdcdiff_nn.a"
+)

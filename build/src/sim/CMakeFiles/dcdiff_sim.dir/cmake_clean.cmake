@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dcdiff_sim.dir/device.cpp.o"
+  "CMakeFiles/dcdiff_sim.dir/device.cpp.o.d"
+  "libdcdiff_sim.a"
+  "libdcdiff_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dcdiff_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

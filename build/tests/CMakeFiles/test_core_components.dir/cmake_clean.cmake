@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core_components.dir/test_core_components.cpp.o"
+  "CMakeFiles/test_core_components.dir/test_core_components.cpp.o.d"
+  "test_core_components"
+  "test_core_components.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core_components.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

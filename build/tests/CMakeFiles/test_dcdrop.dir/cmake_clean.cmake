@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dcdrop.dir/test_dcdrop.cpp.o"
+  "CMakeFiles/test_dcdrop.dir/test_dcdrop.cpp.o.d"
+  "test_dcdrop"
+  "test_dcdrop.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dcdrop.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

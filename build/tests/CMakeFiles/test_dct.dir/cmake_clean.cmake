@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dct.dir/test_dct.cpp.o"
+  "CMakeFiles/test_dct.dir/test_dct.cpp.o.d"
+  "test_dct"
+  "test_dct.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dct.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_postprocess.dir/test_postprocess.cpp.o"
+  "CMakeFiles/test_postprocess.dir/test_postprocess.cpp.o.d"
+  "test_postprocess"
+  "test_postprocess.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_postprocess.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_progressive.cpp" "tests/CMakeFiles/test_progressive.dir/test_progressive.cpp.o" "gcc" "tests/CMakeFiles/test_progressive.dir/test_progressive.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/image/CMakeFiles/dcdiff_image.dir/DependInfo.cmake"
+  "/root/repo/build/src/jpeg/CMakeFiles/dcdiff_jpeg.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/dcdiff_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/dcdiff_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/dcdiff_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/dcdiff_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/dcdiff_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/downstream/CMakeFiles/dcdiff_downstream.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/dcdiff_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_restart.dir/test_restart.cpp.o"
+  "CMakeFiles/test_restart.dir/test_restart.cpp.o.d"
+  "test_restart"
+  "test_restart.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_restart.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
