@@ -1,9 +1,15 @@
 // Microbenchmarks (google-benchmark) of the primitives behind the
 // experiment harnesses: DCT, quantization, Huffman entropy coding, full
 // encode, baseline recovery, and the NN building blocks.
+//
+// With DCDIFF_BENCH_JSON set, a JSON report is written at exit containing
+// the obs metrics registry snapshot: the instrumented codec / NN stages
+// (jpeg.*_seconds, nn.threadpool.*) expose per-stage latency percentiles
+// accumulated across all benchmark iterations.
 #include <benchmark/benchmark.h>
 
 #include "baselines/dc_recovery.h"
+#include "bench_util.h"
 #include "data/datasets.h"
 #include "jpeg/codec.h"
 #include "jpeg/dcdrop.h"
@@ -141,4 +147,13 @@ BENCHMARK(BM_GroupNorm);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  bench::JsonReport::instance().set_bench("micro");
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  // The JSON report (with the metrics registry snapshot) is written by the
+  // JsonReport atexit hook when DCDIFF_BENCH_JSON is set.
+  return 0;
+}

@@ -1,0 +1,67 @@
+# CTest script: runs examples/quickstart with tracing enabled (tiny fast
+# model) and validates that the Chrome trace_event output parses as JSON and
+# contains per-DDIM-step spans.
+#
+# Invoked as:
+#   cmake -DQUICKSTART=<path-to-binary> -DWORK_DIR=<scratch-dir>
+#         -P quickstart_trace_test.cmake
+
+if(NOT QUICKSTART)
+  message(FATAL_ERROR "QUICKSTART binary path not set")
+endif()
+if(NOT WORK_DIR)
+  message(FATAL_ERROR "WORK_DIR not set")
+endif()
+
+file(MAKE_DIRECTORY "${WORK_DIR}")
+set(trace_file "${WORK_DIR}/quickstart_trace.json")
+file(REMOVE "${trace_file}")
+
+execute_process(
+  COMMAND ${CMAKE_COMMAND} -E env
+          "DCDIFF_TRACE_FILE=${trace_file}"
+          "DCDIFF_QUICKSTART_FAST=1"
+          "DCDIFF_CACHE_DIR=${WORK_DIR}/weights"
+          "DCDIFF_LOG_LEVEL=warn"
+          "${QUICKSTART}"
+  WORKING_DIRECTORY "${WORK_DIR}"
+  RESULT_VARIABLE run_result
+  OUTPUT_VARIABLE run_output
+  ERROR_VARIABLE run_errors)
+
+if(NOT run_result EQUAL 0)
+  message(FATAL_ERROR "quickstart exited with ${run_result}\n"
+                      "stdout:\n${run_output}\nstderr:\n${run_errors}")
+endif()
+
+if(NOT EXISTS "${trace_file}")
+  message(FATAL_ERROR "quickstart did not write ${trace_file}\n"
+                      "stdout:\n${run_output}")
+endif()
+
+file(READ "${trace_file}" trace_content)
+
+# Structural validation: the trace must parse as JSON with a non-empty
+# traceEvents array (string(JSON) needs CMake >= 3.19).
+if(CMAKE_VERSION VERSION_GREATER_EQUAL 3.19)
+  string(JSON n_events ERROR_VARIABLE json_err
+         LENGTH "${trace_content}" traceEvents)
+  if(json_err)
+    message(FATAL_ERROR "trace is not valid JSON: ${json_err}")
+  endif()
+  if(n_events LESS 1)
+    message(FATAL_ERROR "trace has no events")
+  endif()
+  message(STATUS "trace contains ${n_events} span events")
+endif()
+
+# The receiver path must have produced per-DDIM-step spans and the top-level
+# receiver span.
+foreach(span "ddim_step" "ddim_sample" "receiver_reconstruct" "sender_encode")
+  string(FIND "${trace_content}" "\"name\":\"${span}\"" pos)
+  if(pos EQUAL -1)
+    message(FATAL_ERROR "trace is missing the '${span}' span")
+  endif()
+endforeach()
+
+message(STATUS "quickstart trace OK: ${trace_file}")

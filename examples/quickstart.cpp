@@ -9,6 +9,13 @@
 //
 // Run from the repository root; weights are trained on first use and cached
 // in ./dcdiff_weights (or train once with examples/train_dcdiff).
+//
+// Observability: set DCDIFF_TRACE_FILE to record a Chrome trace of the whole
+// sender->receiver path (per-DDIM-step spans included), DCDIFF_LOG_LEVEL for
+// structured logs, DCDIFF_METRICS_FILE for a metrics snapshot. With
+// DCDIFF_QUICKSTART_FAST=1 a tiny model (seconds to train) replaces the full
+// shared model -- used by the `quickstart_trace` CTest so instrumentation
+// regressions surface in tier-1.
 #include <cstdio>
 
 #include "baselines/dc_recovery.h"
@@ -17,8 +24,46 @@
 #include "image/image.h"
 #include "jpeg/dcdrop.h"
 #include "metrics/metrics.h"
+#include "obs/env.h"
+#include "obs/trace.h"
 
 using namespace dcdiff;
+
+namespace {
+
+// Every code path of the full model at toy scale (mirrors the tiny configs
+// the pipeline tests use; cached under its own tags).
+core::DCDiffConfig fast_config() {
+  core::DCDiffConfig cfg;
+  cfg.image_size = 32;
+  cfg.stage1_steps = 6;
+  cfg.stage2_steps = 6;
+  cfg.fmpp_steps = 2;
+  cfg.batch = 1;
+  cfg.ddim_steps = 4;
+  cfg.diffusion_T = 50;
+  cfg.ae.base = 8;
+  cfg.ae.ac_channels = 8;
+  cfg.unet.base = 8;
+  cfg.unet.temb_dim = 16;
+  cfg.ae_tag = "quickfast_ae";
+  cfg.tag = "quickfast";
+  return cfg;
+}
+
+const core::DCDiffModel& quickstart_model() {
+  if (obs::env_int("DCDIFF_QUICKSTART_FAST", 0) > 0) {
+    static core::DCDiffModel* model = [] {
+      auto* m = new core::DCDiffModel(fast_config());
+      m->train_or_load();
+      return m;
+    }();
+    return *model;
+  }
+  return core::shared_model();
+}
+
+}  // namespace
 
 int main() {
   // A Kodak-style test image (procedural stand-in; see DESIGN.md).
@@ -38,7 +83,7 @@ int main() {
   const Image naive = jpeg::inverse_transform(received);
   const Image icip =
       baselines::recover_dc(received, baselines::RecoveryMethod::kICIP2022);
-  const Image dcdiff = core::shared_model().reconstruct(received);
+  const Image dcdiff = core::receiver_reconstruct(sent.bytes, quickstart_model());
 
   auto report = [&](const char* label, const Image& rec) {
     const auto r = metrics::evaluate(original, rec);
@@ -53,5 +98,8 @@ int main() {
   write_pnm(original, "quickstart_original.ppm");
   write_pnm(dcdiff, "quickstart_dcdiff.ppm");
   std::printf("\nwrote quickstart_original.ppm / quickstart_dcdiff.ppm\n");
+  if (obs::trace_enabled() && obs::flush_trace()) {
+    std::printf("wrote Chrome trace to %s\n", obs::trace_file().c_str());
+  }
   return 0;
 }

@@ -3,6 +3,9 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
 namespace dcdiff::core {
 
 using namespace dcdiff::nn;
@@ -181,6 +184,7 @@ Tensor ddim_sample(const UNet& unet, const DiffusionSchedule& sched,
                    int steps, const Tensor& s, const Tensor& b,
                    Prediction prediction) {
   NoGradGuard no_grad;
+  DCDIFF_TRACE_SPAN("ddim_sample");
   const int n = noise.dim(0);
   if (steps < 1 || steps > sched.T) {
     throw std::invalid_argument("ddim_sample: bad step count");
@@ -192,7 +196,12 @@ Tensor ddim_sample(const UNet& unet, const DiffusionSchedule& sched,
         static_cast<int>(static_cast<int64_t>(sched.T - 1) * i / std::max(1, steps - 1));
   }
   Tensor z = noise;
+  static obs::Histogram& step_lat = obs::histogram("core.ddim.step_seconds");
+  static obs::Counter& step_count = obs::counter("core.ddim.steps");
   for (int k = steps - 1; k >= 0; --k) {
+    DCDIFF_TRACE_SPAN("ddim_step");
+    obs::ScopedLatency step_timer(step_lat);
+    step_count.inc();
     const int t = ts[static_cast<size_t>(k)];
     const std::vector<int> tvec(static_cast<size_t>(n), t);
     const Tensor pred = unet.forward(z, tvec, ctrl, s, b);

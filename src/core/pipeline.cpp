@@ -1,8 +1,8 @@
 #include "core/pipeline.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
-#include <cstdio>
 
 #include "core/losses.h"
 #include "core/postprocess.h"
@@ -12,6 +12,9 @@
 #include "nn/cache.h"
 #include "nn/optim.h"
 #include "nn/serialize.h"
+#include "obs/log.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace dcdiff::core {
 
@@ -25,6 +28,11 @@ struct DCDiffModel::Sample {
 
 DCDiffModel::DCDiffModel(const DCDiffConfig& cfg)
     : cfg_(cfg), sched_(DiffusionSchedule::linear(cfg.diffusion_T)) {
+  // Legacy `verbose` flag: alias for DCDIFF_LOG_LEVEL=debug (only ever
+  // raises verbosity; an explicit env setting below debug is respected).
+  if (cfg_.verbose && obs::log_level() > obs::LogLevel::kDebug) {
+    obs::set_log_level(obs::LogLevel::kDebug);
+  }
   ae_ = std::make_unique<Autoencoder>(cfg.ae, cfg.seed);
   disc_ = std::make_unique<PatchDiscriminator>(cfg.seed ^ 0xD15Cull);
   control_ = std::make_unique<ControlModule>(cfg.unet, cfg.seed);
@@ -59,6 +67,10 @@ void set_requires_grad(const std::vector<Tensor>& params, bool value) {
 }  // namespace
 
 void DCDiffModel::train_stage1() {
+  DCDIFF_TRACE_SPAN("train_stage1");
+  DCDIFF_LOG_INFO("core.train", "stage1_begin",
+                  {{"steps", cfg_.stage1_steps}, {"batch", cfg_.batch}});
+  static obs::Counter& steps_done = obs::counter("core.train.stage1_steps");
   set_requires_grad(ae_->params(), true);
   Adam opt(ae_->params(), 1e-3f);
   Adam dopt(disc_->params(), 1e-3f);
@@ -94,9 +106,13 @@ void DCDiffModel::train_stage1() {
     dopt.zero_grad();  // generator pass also touches disc grads
     loss.backward();
     opt.step();
-    if (cfg_.verbose && step % 100 == 0) {
-      std::fprintf(stderr, "[stage1 %4d/%d] loss %.4f\n", step,
-                   cfg_.stage1_steps, loss.item());
+    steps_done.inc();
+    if (step % 100 == 0) {
+      DCDIFF_LOG_DEBUG("core.train", "stage1_step",
+                       {{"step", step},
+                        {"total", cfg_.stage1_steps},
+                        {"loss", loss.item()},
+                        {"gan", gan ? 1 : 0}});
     }
 
     if (gan) {
@@ -111,6 +127,12 @@ void DCDiffModel::train_stage1() {
 }
 
 void DCDiffModel::train_stage2() {
+  DCDIFF_TRACE_SPAN("train_stage2");
+  DCDIFF_LOG_INFO("core.train", "stage2_begin",
+                  {{"steps", cfg_.stage2_steps},
+                   {"batch", cfg_.batch},
+                   {"use_mld", cfg_.use_mld ? 1 : 0}});
+  static obs::Counter& steps_done = obs::counter("core.train.stage2_steps");
   // Stage 2 freezes E^DC, E^AC and D (paper Section III-E) and trains the
   // noise prediction network + control module.
   set_requires_grad(ae_->params(), false);
@@ -188,14 +210,21 @@ void DCDiffModel::train_stage2() {
     opt.zero_grad();
     loss.backward();
     opt.step();
-    if (cfg_.verbose && step % 100 == 0) {
-      std::fprintf(stderr, "[stage2 %4d/%d] loss %.4f (ldm %.4f)\n", step,
-                   cfg_.stage2_steps, loss.item(), ldm_value);
+    steps_done.inc();
+    if (step % 100 == 0) {
+      DCDIFF_LOG_DEBUG("core.train", "stage2_step",
+                       {{"step", step},
+                        {"total", cfg_.stage2_steps},
+                        {"loss", loss.item()},
+                        {"ldm", ldm_value}});
     }
   }
 }
 
 void DCDiffModel::train_fmpp() {
+  DCDIFF_TRACE_SPAN("train_fmpp");
+  DCDIFF_LOG_INFO("core.train", "fmpp_begin", {{"steps", cfg_.fmpp_steps}});
+  static obs::Counter& steps_done = obs::counter("core.train.fmpp_steps");
   set_requires_grad(ae_->params(), false);
   set_requires_grad(unet_->params(), false);
   set_requires_grad(control_->params(), false);
@@ -250,10 +279,18 @@ void DCDiffModel::train_fmpp() {
     opt.zero_grad();
     loss.backward();
     opt.step();
+    steps_done.inc();
+    if (step % 10 == 0) {
+      DCDIFF_LOG_DEBUG("core.train", "fmpp_step",
+                       {{"step", step},
+                        {"total", cfg_.fmpp_steps},
+                        {"loss", loss.item()}});
+    }
   }
 }
 
 void DCDiffModel::train_or_load() {
+  DCDIFF_TRACE_SPAN("train_or_load");
   const std::string ae_path = cache_path("dcdiff_" + cfg_.ae_tag + ".bin");
   {
     std::vector<Tensor> p = ae_->params();
@@ -300,6 +337,11 @@ namespace {
 Image DCDiffModel::reconstruct(const jpeg::CoeffImage& dropped, bool use_fmpp,
                                int ddim_steps) const {
   NoGradGuard no_grad;
+  DCDIFF_TRACE_SPAN("reconstruct");
+  static obs::Histogram& lat = obs::histogram("core.reconstruct_seconds");
+  obs::ScopedLatency timer(lat);
+  static obs::Counter& images = obs::counter("core.reconstruct.images");
+  images.inc();
   const Image tilde_raw = jpeg::tilde_image(dropped);
   // Convs need dims divisible by 8 (latent /4, one UNet downsample).
   const Image tilde = pad_to_multiple(tilde_raw, 8);
@@ -320,6 +362,10 @@ Image DCDiffModel::reconstruct(const jpeg::CoeffImage& dropped, bool use_fmpp,
   const int ensemble = std::max(1, cfg_.sample_ensemble);
   Tensor z0;
   for (int e = 0; e < ensemble; ++e) {
+    DCDIFF_TRACE_SPAN("ensemble_member");
+    static obs::Histogram& member_lat =
+        obs::histogram("core.ensemble.member_seconds");
+    obs::ScopedLatency member_timer(member_lat);
     const Tensor noise = randn_like_shape(
         {1, cfg_.unet.z_channels, tilde.height() / 4, tilde.width() / 4},
         rng);
@@ -352,17 +398,34 @@ Image DCDiffModel::autoencode(const Image& original,
 }
 
 SenderOutput sender_encode(const Image& rgb, int quality) {
+  DCDIFF_TRACE_SPAN("sender_encode");
+  static obs::Histogram& lat = obs::histogram("core.sender_encode_seconds");
+  obs::ScopedLatency timer(lat);
   SenderOutput out;
   auto coeffs = jpeg::forward_transform(rgb, quality);
   out.standard_bits = jpeg::entropy_bit_count(coeffs);
   jpeg::drop_dc(coeffs);
   out.dropped_bits = jpeg::entropy_bit_count(coeffs);
   out.bytes = jpeg::encode_jfif(coeffs);
+  static obs::Counter& images = obs::counter("core.sender.images");
+  static obs::Counter& bits_saved = obs::counter("core.sender.bits_saved");
+  images.inc();
+  if (out.standard_bits > out.dropped_bits) {
+    bits_saved.inc(out.standard_bits - out.dropped_bits);
+  }
+  DCDIFF_LOG_DEBUG("core.sender", "encoded",
+                   {{"standard_bits", out.standard_bits},
+                    {"dropped_bits", out.dropped_bits},
+                    {"bytes", out.bytes.size()}});
   return out;
 }
 
 Image receiver_reconstruct(const std::vector<uint8_t>& bytes,
                            const DCDiffModel& model) {
+  DCDIFF_TRACE_SPAN("receiver_reconstruct");
+  static obs::Histogram& lat =
+      obs::histogram("core.receiver_reconstruct_seconds");
+  obs::ScopedLatency timer(lat);
   return model.reconstruct(jpeg::decode_jfif(bytes));
 }
 

@@ -9,6 +9,9 @@
 #include "jpeg/bitio.h"
 #include "jpeg/dct.h"
 #include "jpeg/huffman.h"
+#include "obs/log.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace dcdiff::jpeg {
 namespace {
@@ -133,6 +136,9 @@ void decode_block(std::array<int16_t, kBlockSamples>& block,
 }
 
 std::vector<uint8_t> encode_scan(const CoeffImage& ci) {
+  DCDIFF_TRACE_SPAN("jpeg.encode_scan");
+  static obs::Histogram& lat = obs::histogram("jpeg.encode_scan_seconds");
+  obs::ScopedLatency timer(lat);
   const HuffEncoder dc_luma(std_dc_luma()), ac_luma(std_ac_luma());
   const HuffEncoder dc_chroma(std_dc_chroma()), ac_chroma(std_ac_chroma());
   const ScanGeometry g = scan_geometry(ci);
@@ -209,6 +215,10 @@ void put_dht(std::vector<uint8_t>& out, const HuffSpec& spec, int cls,
 
 CoeffImage forward_transform(const Image& src, int quality,
                              ChromaFormat fmt) {
+  DCDIFF_TRACE_SPAN("jpeg.forward_transform");
+  static obs::Histogram& lat =
+      obs::histogram("jpeg.forward_transform_seconds");
+  obs::ScopedLatency timer(lat);
   Image ycc = src;
   if (src.color_space() == ColorSpace::kRGB) ycc = rgb_to_ycbcr(src);
   const bool gray = ycc.color_space() == ColorSpace::kGray;
@@ -293,6 +303,10 @@ Image component_to_plane(const CoeffImage& ci, size_t c, bool level_shift) {
 }  // namespace
 
 Image inverse_transform(const CoeffImage& ci) {
+  DCDIFF_TRACE_SPAN("jpeg.inverse_transform");
+  static obs::Histogram& lat =
+      obs::histogram("jpeg.inverse_transform_seconds");
+  obs::ScopedLatency timer(lat);
   Image y = component_to_plane(ci, 0, /*level_shift=*/true);
   if (ci.gray()) {
     Image out = crop(y, 0, 0, ci.width, ci.height);
@@ -330,6 +344,9 @@ Image tilde_image(const CoeffImage& ci) {
 }
 
 std::vector<uint8_t> encode_jfif(const CoeffImage& ci) {
+  DCDIFF_TRACE_SPAN("jpeg.encode_jfif");
+  static obs::Histogram& lat = obs::histogram("jpeg.encode_jfif_seconds");
+  obs::ScopedLatency timer(lat);
   std::vector<uint8_t> out;
   put_marker(out, 0xD8);  // SOI
   // APP0 / JFIF header.
@@ -392,10 +409,18 @@ std::vector<uint8_t> encode_jfif(const CoeffImage& ci) {
   const std::vector<uint8_t> scan = encode_scan(ci);
   out.insert(out.end(), scan.begin(), scan.end());
   put_marker(out, 0xD9);  // EOI
+  static obs::Counter& images = obs::counter("jpeg.encode.images");
+  static obs::Counter& bytes_out = obs::counter("jpeg.encode.bytes_out");
+  images.inc();
+  bytes_out.inc(out.size());
   return out;
 }
 
 size_t entropy_bit_count(const CoeffImage& ci) {
+  DCDIFF_TRACE_SPAN("jpeg.entropy_bit_count");
+  static obs::Histogram& lat =
+      obs::histogram("jpeg.entropy_bit_count_seconds");
+  obs::ScopedLatency timer(lat);
   const HuffEncoder dc_luma(std_dc_luma()), ac_luma(std_ac_luma());
   const HuffEncoder dc_chroma(std_dc_chroma()), ac_chroma(std_ac_chroma());
   const ScanGeometry g = scan_geometry(ci);
@@ -523,6 +548,13 @@ uint16_t read_u16(const std::vector<uint8_t>& d, size_t& p) {
 }  // namespace
 
 CoeffImage decode_jfif(const std::vector<uint8_t>& bytes) {
+  DCDIFF_TRACE_SPAN("jpeg.decode_jfif");
+  static obs::Histogram& lat = obs::histogram("jpeg.decode_jfif_seconds");
+  obs::ScopedLatency timer(lat);
+  static obs::Counter& images = obs::counter("jpeg.decode.images");
+  static obs::Counter& bytes_in = obs::counter("jpeg.decode.bytes_in");
+  images.inc();
+  bytes_in.inc(bytes.size());
   size_t p = 0;
   if (bytes.size() < 4 || bytes[0] != 0xFF || bytes[1] != 0xD8) {
     throw std::runtime_error("decode_jfif: missing SOI");
@@ -713,8 +745,13 @@ CoeffImage decode_jfif(const std::vector<uint8_t>& bytes) {
           }
         }
       }
-    } catch (const std::exception&) {
+    } catch (const std::exception& e) {
       if (fr.restart_interval == 0) throw;  // no containment without RSTs
+      static obs::Counter& corrupt =
+          obs::counter("jpeg.decode.corrupt_segments");
+      corrupt.inc();
+      DCDIFF_LOG_WARN("jpeg.decode", "corrupt_segment",
+                      {{"segment", seg_index - 1}, {"error", e.what()}});
       mcu_pos = mcu_end;  // skip damaged remainder of this segment
     }
   }

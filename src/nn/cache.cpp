@@ -1,19 +1,28 @@
 #include "nn/cache.h"
 
-#include <cstdlib>
 #include <filesystem>
+
+#include "obs/env.h"
+#include "obs/log.h"
+#include "obs/metrics.h"
 
 namespace dcdiff::nn {
 
 std::string cache_dir() {
-  const char* env = std::getenv("DCDIFF_CACHE_DIR");
-  const std::string dir = env ? env : "dcdiff_weights";
+  const std::string dir = obs::env_str("DCDIFF_CACHE_DIR", "dcdiff_weights");
   std::filesystem::create_directories(dir);
   return dir;
 }
 
 std::string cache_path(const std::string& name) {
   return cache_dir() + "/" + name;
+}
+
+void record_cache_lookup(const std::string& path, bool hit) {
+  static obs::Counter& hits = obs::counter("nn.cache.hits");
+  static obs::Counter& misses = obs::counter("nn.cache.misses");
+  (hit ? hits : misses).inc();
+  DCDIFF_LOG_INFO("nn.cache", hit ? "hit" : "miss", {{"path", path}});
 }
 
 }  // namespace dcdiff::nn

@@ -15,4 +15,8 @@ std::string cache_dir();
 // Full path for a named weight file inside the cache.
 std::string cache_path(const std::string& name);
 
+// Records one cache lookup in the metrics registry (`nn.cache.hits` /
+// `nn.cache.misses`) and logs it. A miss means the caller is about to train.
+void record_cache_lookup(const std::string& path, bool hit);
+
 }  // namespace dcdiff::nn

@@ -4,6 +4,8 @@
 #include <cstring>
 #include <fstream>
 
+#include "nn/cache.h"
+
 namespace dcdiff::nn {
 namespace {
 constexpr char kMagic[4] = {'D', 'C', 'D', 'W'};
@@ -32,6 +34,7 @@ void save_params(const std::vector<Tensor>& params, const std::string& path) {
 
 bool load_params(std::vector<Tensor>& params, const std::string& path) {
   std::ifstream f(path, std::ios::binary);
+  record_cache_lookup(path, static_cast<bool>(f));
   if (!f) return false;
   char magic[4];
   uint32_t version = 0;

@@ -2,7 +2,20 @@
 
 #include <algorithm>
 
+#include "obs/metrics.h"
+
 namespace dcdiff::nn {
+
+namespace {
+
+// Worker-side task latency. Observed per dispatched range, not per element,
+// so the two clock reads are amortized over the whole chunk.
+obs::Histogram& task_histogram() {
+  static obs::Histogram& h = obs::histogram("nn.threadpool.task_seconds");
+  return h;
+}
+
+}  // namespace
 
 ThreadPool& ThreadPool::instance() {
   static ThreadPool pool(
@@ -44,7 +57,10 @@ void ThreadPool::worker_loop(int worker_index) {
       task = tasks_[static_cast<size_t>(worker_index)];
       task_ready_[static_cast<size_t>(worker_index)] = false;
     }
-    if (task.fn && task.begin < task.end) (*task.fn)(task.begin, task.end);
+    if (task.fn && task.begin < task.end) {
+      obs::ScopedLatency timer(task_histogram());
+      (*task.fn)(task.begin, task.end);
+    }
     {
       std::lock_guard<std::mutex> lock(mu_);
       if (--pending_ == 0) done_cv_.notify_all();
@@ -79,6 +95,13 @@ void ThreadPool::parallel_ranges(
     }
     pending_ += launched;
     ++generation_;
+    // Queue depth at dispatch time: how many ranges are waiting on workers.
+    static obs::Gauge& depth = obs::gauge("nn.threadpool.queue_depth");
+    static obs::Gauge& peak = obs::gauge("nn.threadpool.queue_depth_peak");
+    static obs::Counter& dispatched = obs::counter("nn.threadpool.tasks");
+    depth.set(static_cast<double>(pending_));
+    peak.set_max(static_cast<double>(pending_));
+    dispatched.inc(static_cast<uint64_t>(launched));
   }
   cv_.notify_all();
   fn(0, std::min<int64_t>(n, chunk));

@@ -1,0 +1,47 @@
+#include "obs/env.h"
+
+#include <cerrno>
+#include <cstdlib>
+#include <limits>
+#include <mutex>
+#include <set>
+
+#include "obs/log.h"
+
+namespace dcdiff::obs {
+
+namespace {
+
+// One warning per variable name per process: a bench loop calling env_int
+// thousands of times must not flood stderr.
+void warn_once(const char* name, const char* value) {
+  static std::mutex mu;
+  static std::set<std::string>* warned = new std::set<std::string>();
+  std::lock_guard<std::mutex> lock(mu);
+  if (!warned->insert(name).second) return;
+  log(LogLevel::kWarn, "obs.env", "bad_int_value",
+      {{"var", name}, {"value", value}});
+}
+
+}  // namespace
+
+int env_int(const char* name, int fallback) {
+  const char* v = std::getenv(name);
+  if (!v || *v == '\0') return fallback;
+  errno = 0;
+  char* end = nullptr;
+  const long parsed = std::strtol(v, &end, 10);
+  if (end == v || *end != '\0' || errno == ERANGE || parsed < 0 ||
+      parsed > std::numeric_limits<int>::max()) {
+    warn_once(name, v);
+    return fallback;
+  }
+  return static_cast<int>(parsed);
+}
+
+std::string env_str(const char* name, const char* fallback) {
+  const char* v = std::getenv(name);
+  return (v && *v != '\0') ? std::string(v) : std::string(fallback);
+}
+
+}  // namespace dcdiff::obs

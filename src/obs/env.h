@@ -1,0 +1,18 @@
+// Strict environment-variable parsing shared by the observability knobs and
+// the bench harnesses. Unlike atoi, malformed or out-of-range values fall
+// back to the caller's default (and warn once) instead of silently becoming 0.
+#pragma once
+
+#include <string>
+
+namespace dcdiff::obs {
+
+// Parses a non-negative integer from the environment. Returns `fallback`
+// when the variable is unset, empty, not fully numeric, negative, or
+// overflows int. A rejected value logs one warning per variable.
+int env_int(const char* name, int fallback);
+
+// Returns the variable's value, or `fallback` when unset/empty.
+std::string env_str(const char* name, const char* fallback = "");
+
+}  // namespace dcdiff::obs

@@ -1,0 +1,206 @@
+#include "obs/json.h"
+
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+
+namespace dcdiff::obs {
+
+std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned char>(c));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string json_number(double v) {
+  if (!std::isfinite(v)) return "0";
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.9g", v);
+  // %g can produce "1e+06" which is valid JSON; "nan"/"inf" are excluded
+  // above.
+  return buf;
+}
+
+namespace {
+
+// Recursive-descent well-formedness checker. `p` advances past the parsed
+// value; returns false on any syntax error.
+struct Parser {
+  std::string_view s;
+  size_t p = 0;
+  int depth = 0;
+  static constexpr int kMaxDepth = 256;
+
+  bool eof() const { return p >= s.size(); }
+  char peek() const { return s[p]; }
+
+  void skip_ws() {
+    while (!eof() && (s[p] == ' ' || s[p] == '\t' || s[p] == '\n' ||
+                      s[p] == '\r')) {
+      ++p;
+    }
+  }
+
+  bool literal(const char* word) {
+    const size_t n = std::strlen(word);
+    if (s.compare(p, n, word) != 0) return false;
+    p += n;
+    return true;
+  }
+
+  bool string() {
+    if (eof() || s[p] != '"') return false;
+    ++p;
+    while (!eof()) {
+      const char c = s[p];
+      if (static_cast<unsigned char>(c) < 0x20) return false;
+      if (c == '"') {
+        ++p;
+        return true;
+      }
+      if (c == '\\') {
+        ++p;
+        if (eof()) return false;
+        const char e = s[p];
+        if (e == 'u') {
+          for (int i = 0; i < 4; ++i) {
+            ++p;
+            if (eof() || !std::isxdigit(static_cast<unsigned char>(s[p]))) {
+              return false;
+            }
+          }
+        } else if (!std::strchr("\"\\/bfnrt", e)) {
+          return false;
+        }
+      }
+      ++p;
+    }
+    return false;  // unterminated
+  }
+
+  bool digits() {
+    if (eof() || !std::isdigit(static_cast<unsigned char>(s[p]))) return false;
+    while (!eof() && std::isdigit(static_cast<unsigned char>(s[p]))) ++p;
+    return true;
+  }
+
+  bool number() {
+    if (!eof() && s[p] == '-') ++p;
+    if (eof()) return false;
+    if (s[p] == '0') {
+      ++p;
+    } else if (!digits()) {
+      return false;
+    }
+    if (!eof() && s[p] == '.') {
+      ++p;
+      if (!digits()) return false;
+    }
+    if (!eof() && (s[p] == 'e' || s[p] == 'E')) {
+      ++p;
+      if (!eof() && (s[p] == '+' || s[p] == '-')) ++p;
+      if (!digits()) return false;
+    }
+    return true;
+  }
+
+  bool value() {
+    if (++depth > kMaxDepth) return false;
+    skip_ws();
+    if (eof()) return false;
+    bool ok = false;
+    switch (peek()) {
+      case '{': ok = object(); break;
+      case '[': ok = array(); break;
+      case '"': ok = string(); break;
+      case 't': ok = literal("true"); break;
+      case 'f': ok = literal("false"); break;
+      case 'n': ok = literal("null"); break;
+      default: ok = number(); break;
+    }
+    --depth;
+    return ok;
+  }
+
+  bool object() {
+    ++p;  // '{'
+    skip_ws();
+    if (!eof() && peek() == '}') {
+      ++p;
+      return true;
+    }
+    for (;;) {
+      skip_ws();
+      if (!string()) return false;
+      skip_ws();
+      if (eof() || s[p] != ':') return false;
+      ++p;
+      if (!value()) return false;
+      skip_ws();
+      if (eof()) return false;
+      if (s[p] == ',') {
+        ++p;
+        continue;
+      }
+      if (s[p] == '}') {
+        ++p;
+        return true;
+      }
+      return false;
+    }
+  }
+
+  bool array() {
+    ++p;  // '['
+    skip_ws();
+    if (!eof() && peek() == ']') {
+      ++p;
+      return true;
+    }
+    for (;;) {
+      if (!value()) return false;
+      skip_ws();
+      if (eof()) return false;
+      if (s[p] == ',') {
+        ++p;
+        continue;
+      }
+      if (s[p] == ']') {
+        ++p;
+        return true;
+      }
+      return false;
+    }
+  }
+};
+
+}  // namespace
+
+bool json_validate(std::string_view text) {
+  Parser parser{text};
+  if (!parser.value()) return false;
+  parser.skip_ws();
+  return parser.eof();
+}
+
+}  // namespace dcdiff::obs

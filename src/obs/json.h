@@ -1,0 +1,23 @@
+// Minimal JSON utilities for the observability exports (trace files, metric
+// snapshots, bench reports). Writing is append-style; validation is a full
+// RFC 8259 well-formedness check used by tests and the trace CTest.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+namespace dcdiff::obs {
+
+// Escapes a string for embedding inside a JSON string literal (quotes not
+// included).
+std::string json_escape(std::string_view s);
+
+// Formats a double as a JSON number token (finite values only; non-finite
+// values are emitted as 0 -- JSON has no NaN/Inf).
+std::string json_number(double v);
+
+// Returns true iff `text` is exactly one well-formed JSON value (with
+// optional surrounding whitespace).
+bool json_validate(std::string_view text);
+
+}  // namespace dcdiff::obs

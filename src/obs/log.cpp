@@ -1,0 +1,134 @@
+#include "obs/log.h"
+
+#include <atomic>
+#include <cctype>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <mutex>
+
+namespace dcdiff::obs {
+
+namespace {
+
+std::chrono::steady_clock::time_point process_start() {
+  static const auto t0 = std::chrono::steady_clock::now();
+  return t0;
+}
+
+std::atomic<int>& level_store() {
+  static std::atomic<int> level = [] {
+    LogLevel lvl = LogLevel::kWarn;
+    if (const char* env = std::getenv("DCDIFF_LOG_LEVEL")) {
+      lvl = parse_log_level(env, lvl);
+    }
+    return std::atomic<int>(static_cast<int>(lvl));
+  }();
+  return level;
+}
+
+std::mutex& sink_mutex() {
+  static std::mutex mu;
+  return mu;
+}
+
+LogSink& sink_store() {
+  static LogSink* sink = new LogSink();  // empty = stderr
+  return *sink;
+}
+
+void append_field(std::string& line, const LogField& f) {
+  line += ' ';
+  line += f.key;
+  line += '=';
+  char buf[64];
+  switch (f.kind) {
+    case LogField::Kind::kInt:
+      std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(f.i));
+      line += buf;
+      break;
+    case LogField::Kind::kDouble:
+      std::snprintf(buf, sizeof(buf), "%.6g", f.d);
+      line += buf;
+      break;
+    case LogField::Kind::kStr:
+      line += '"';
+      for (const char c : f.s) {
+        if (c == '"' || c == '\\') line += '\\';
+        line += c;
+      }
+      line += '"';
+      break;
+  }
+}
+
+}  // namespace
+
+LogLevel log_level() {
+  return static_cast<LogLevel>(level_store().load(std::memory_order_relaxed));
+}
+
+void set_log_level(LogLevel level) {
+  level_store().store(static_cast<int>(level), std::memory_order_relaxed);
+}
+
+bool log_enabled(LogLevel level) {
+  return static_cast<int>(level) >=
+         level_store().load(std::memory_order_relaxed);
+}
+
+const char* level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::kTrace: return "trace";
+    case LogLevel::kDebug: return "debug";
+    case LogLevel::kInfo: return "info";
+    case LogLevel::kWarn: return "warn";
+    case LogLevel::kError: return "error";
+    case LogLevel::kOff: return "off";
+  }
+  return "?";
+}
+
+LogLevel parse_log_level(const std::string& text, LogLevel fallback) {
+  std::string t;
+  for (const char c : text) {
+    t += static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  }
+  if (t == "trace") return LogLevel::kTrace;
+  if (t == "debug") return LogLevel::kDebug;
+  if (t == "info") return LogLevel::kInfo;
+  if (t == "warn" || t == "warning") return LogLevel::kWarn;
+  if (t == "error") return LogLevel::kError;
+  if (t == "off" || t == "none") return LogLevel::kOff;
+  return fallback;
+}
+
+void log(LogLevel level, const char* component, const char* event,
+         std::initializer_list<LogField> fields) {
+  if (!log_enabled(level)) return;
+  const double ts =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    process_start())
+          .count();
+  std::string line;
+  line.reserve(96);
+  char head[96];
+  std::snprintf(head, sizeof(head), "ts=%.6f level=%s comp=%s event=%s", ts,
+                level_name(level), component, event);
+  line += head;
+  for (const LogField& f : fields) append_field(line, f);
+
+  std::lock_guard<std::mutex> lock(sink_mutex());
+  if (sink_store()) {
+    sink_store()(line);
+  } else {
+    std::fprintf(stderr, "%s\n", line.c_str());
+  }
+}
+
+void set_log_sink(LogSink sink) {
+  std::lock_guard<std::mutex> lock(sink_mutex());
+  sink_store() = std::move(sink);
+}
+
+}  // namespace dcdiff::obs

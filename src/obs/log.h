@@ -1,0 +1,92 @@
+// Leveled structured logger: one line per event, key=value fields, written
+// to stderr (or a test sink). Replaces the ad-hoc fprintf prints that used
+// to be the library's only runtime signal.
+//
+//   DCDIFF_LOG_LEVEL   trace|debug|info|warn|error|off  (default: warn)
+//
+// Call sites use the macros so that a disabled level costs one relaxed
+// atomic load and a branch:
+//
+//   DCDIFF_LOG_INFO("core.train", "stage1_step",
+//                   {{"step", step}, {"loss", loss}});
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <initializer_list>
+#include <string>
+#include <type_traits>
+
+namespace dcdiff::obs {
+
+enum class LogLevel : int {
+  kTrace = 0,
+  kDebug = 1,
+  kInfo = 2,
+  kWarn = 3,
+  kError = 4,
+  kOff = 5,
+};
+
+// Current threshold. First call reads DCDIFF_LOG_LEVEL; unknown values keep
+// the default (warn).
+LogLevel log_level();
+// Programmatic override (e.g. the legacy `verbose` flag maps to debug).
+void set_log_level(LogLevel level);
+// True when events at `level` would be emitted.
+bool log_enabled(LogLevel level);
+
+const char* level_name(LogLevel level);
+// Parses "trace".."off" (case-insensitive). Returns `fallback` on unknown.
+LogLevel parse_log_level(const std::string& text, LogLevel fallback);
+
+// One key=value field. Integers, doubles and strings are supported; strings
+// are emitted double-quoted.
+struct LogField {
+  enum class Kind { kInt, kDouble, kStr };
+  const char* key;
+  Kind kind;
+  int64_t i = 0;
+  double d = 0;
+  std::string s;
+
+  template <typename T,
+            typename = std::enable_if_t<std::is_integral_v<T>>>
+  LogField(const char* k, T v)
+      : key(k), kind(Kind::kInt), i(static_cast<int64_t>(v)) {}
+  LogField(const char* k, double v) : key(k), kind(Kind::kDouble), d(v) {}
+  LogField(const char* k, float v)
+      : key(k), kind(Kind::kDouble), d(static_cast<double>(v)) {}
+  LogField(const char* k, const char* v)
+      : key(k), kind(Kind::kStr), s(v ? v : "") {}
+  LogField(const char* k, const std::string& v)
+      : key(k), kind(Kind::kStr), s(v) {}
+};
+
+// Emits one line:
+//   ts=12.345678 level=info comp=<component> event=<event> k1=v1 k2="v2"
+// Thread-safe; `ts` is seconds since process start (monotonic clock).
+void log(LogLevel level, const char* component, const char* event,
+         std::initializer_list<LogField> fields = {});
+
+// Redirects log lines (tests). Null restores the stderr sink.
+using LogSink = std::function<void(const std::string& line)>;
+void set_log_sink(LogSink sink);
+
+}  // namespace dcdiff::obs
+
+#define DCDIFF_LOG_AT(lvl, component, event, ...)                        \
+  do {                                                                   \
+    if (::dcdiff::obs::log_enabled(lvl)) {                               \
+      ::dcdiff::obs::log(lvl, component, event, ##__VA_ARGS__);          \
+    }                                                                    \
+  } while (0)
+
+#define DCDIFF_LOG_DEBUG(component, event, ...) \
+  DCDIFF_LOG_AT(::dcdiff::obs::LogLevel::kDebug, component, event, ##__VA_ARGS__)
+#define DCDIFF_LOG_INFO(component, event, ...) \
+  DCDIFF_LOG_AT(::dcdiff::obs::LogLevel::kInfo, component, event, ##__VA_ARGS__)
+#define DCDIFF_LOG_WARN(component, event, ...) \
+  DCDIFF_LOG_AT(::dcdiff::obs::LogLevel::kWarn, component, event, ##__VA_ARGS__)
+#define DCDIFF_LOG_ERROR(component, event, ...) \
+  DCDIFF_LOG_AT(::dcdiff::obs::LogLevel::kError, component, event, ##__VA_ARGS__)

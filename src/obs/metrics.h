@@ -1,0 +1,127 @@
+// Thread-safe process-wide metrics: counters, gauges, and fixed-bucket
+// latency histograms with percentile summaries (p50/p90/p99).
+//
+// Hot paths cache the reference once so the registry lookup (a mutex + map)
+// happens a single time per site:
+//
+//   static obs::Counter& hits = obs::counter("nn.cache.hits");
+//   hits.inc();
+//
+//   static obs::Histogram& h = obs::histogram("core.ddim.step_seconds");
+//   { obs::ScopedLatency timer(h); ...work...; }
+//
+// `DCDIFF_METRICS_FILE`, when set, writes the registry snapshot as JSON at
+// process exit.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace dcdiff::obs {
+
+class Counter {
+ public:
+  void inc(uint64_t n = 1) { v_.fetch_add(n, std::memory_order_relaxed); }
+  uint64_t value() const { return v_.load(std::memory_order_relaxed); }
+  void reset() { v_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> v_{0};
+};
+
+class Gauge {
+ public:
+  void set(double v) { bits_.store(pack(v), std::memory_order_relaxed); }
+  double value() const {
+    return unpack(bits_.load(std::memory_order_relaxed));
+  }
+  // Running maximum (e.g. peak queue depth).
+  void set_max(double v);
+  void reset() { set(0.0); }
+
+ private:
+  static uint64_t pack(double v);
+  static double unpack(uint64_t bits);
+  std::atomic<uint64_t> bits_{0x0ull};  // pack(0.0) == 0
+};
+
+// Fixed upper-bound buckets plus an overflow bucket. Observations are
+// lock-free (relaxed atomics); percentile estimates interpolate linearly
+// inside the winning bucket.
+class Histogram {
+ public:
+  explicit Histogram(std::vector<double> upper_bounds);
+
+  // Exponential 1us..60s bounds, suited to wall-clock seconds.
+  static std::vector<double> default_latency_bounds();
+
+  void observe(double v);
+  uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+  double sum() const;
+  double min() const;
+  double max() const;
+  // p in [0, 1]; returns 0 when empty.
+  double percentile(double p) const;
+  const std::vector<double>& bounds() const { return bounds_; }
+  void reset();
+
+ private:
+  std::vector<double> bounds_;
+  std::unique_ptr<std::atomic<uint64_t>[]> buckets_;  // bounds_.size() + 1
+  std::atomic<uint64_t> count_{0};
+  std::atomic<uint64_t> sum_bits_{0};  // packed double, CAS-accumulated
+  std::atomic<uint64_t> min_bits_;
+  std::atomic<uint64_t> max_bits_;
+};
+
+// Records wall-time (seconds) into a histogram on scope exit.
+class ScopedLatency {
+ public:
+  explicit ScopedLatency(Histogram& h);
+  ~ScopedLatency();
+  ScopedLatency(const ScopedLatency&) = delete;
+  ScopedLatency& operator=(const ScopedLatency&) = delete;
+
+ private:
+  Histogram& h_;
+  uint64_t start_ns_;
+};
+
+class Registry {
+ public:
+  // Process-wide instance (never destroyed: safe from exit handlers and
+  // worker threads regardless of static teardown order).
+  static Registry& instance();
+
+  // Returns the named metric, creating it on first use. References stay
+  // valid for the process lifetime.
+  Counter& counter(const std::string& name);
+  Gauge& gauge(const std::string& name);
+  Histogram& histogram(const std::string& name,
+                       std::vector<double> upper_bounds = {});
+
+  // JSON snapshot:
+  //   {"counters":{...},"gauges":{...},
+  //    "histograms":{"name":{"count":..,"sum":..,"min":..,"max":..,
+  //                          "p50":..,"p90":..,"p99":..}}}
+  std::string to_json() const;
+
+  // Zeroes every metric (tests). Metric identities survive.
+  void reset();
+
+ private:
+  Registry();
+  struct Impl;
+  Impl* impl_;
+};
+
+// Convenience wrappers around Registry::instance().
+Counter& counter(const std::string& name);
+Gauge& gauge(const std::string& name);
+Histogram& histogram(const std::string& name,
+                     std::vector<double> upper_bounds = {});
+
+}  // namespace dcdiff::obs

@@ -1,0 +1,160 @@
+#include "obs/trace.h"
+
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <fstream>
+#include <mutex>
+#include <vector>
+
+#include "obs/env.h"
+#include "obs/json.h"
+#include "obs/log.h"
+
+namespace dcdiff::obs {
+
+namespace {
+
+struct Event {
+  const char* name;  // span names are string literals at every call site
+  double ts_us;
+  double dur_us;
+  uint32_t tid;
+  int depth;
+};
+
+struct Collector {
+  std::mutex mu;
+  std::string path;
+  std::vector<Event> events;
+  std::atomic<uint32_t> next_tid{1};
+  uint64_t dropped = 0;
+  bool atexit_registered = false;
+  static constexpr size_t kMaxEvents = 1u << 22;  // ~4M spans, bounds memory
+};
+
+std::atomic<bool> g_enabled{false};
+
+Collector& collector() {
+  // Leaked singleton: usable from thread teardown and exit handlers.
+  static Collector* c = [] {
+    auto* col = new Collector();
+    const std::string path = env_str("DCDIFF_TRACE_FILE");
+    if (!path.empty()) {
+      col->path = path;
+      g_enabled.store(true, std::memory_order_relaxed);
+    }
+    return col;
+  }();
+  return *c;
+}
+
+// Force env evaluation before the first trace_enabled() fast-path load.
+const bool g_env_init = [] {
+  collector();
+  return true;
+}();
+
+double now_us() {
+  static const auto t0 = std::chrono::steady_clock::now();
+  return std::chrono::duration<double, std::micro>(
+             std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+uint32_t this_thread_tid() {
+  thread_local uint32_t tid =
+      collector().next_tid.fetch_add(1, std::memory_order_relaxed);
+  return tid;
+}
+
+thread_local int t_depth = 0;
+
+void register_atexit_locked(Collector& c) {
+  if (c.atexit_registered) return;
+  c.atexit_registered = true;
+  std::atexit([] { flush_trace(); });
+}
+
+}  // namespace
+
+bool trace_enabled() {
+  (void)g_env_init;
+  return g_enabled.load(std::memory_order_relaxed);
+}
+
+void set_trace_file(const std::string& path) {
+  Collector& c = collector();
+  std::lock_guard<std::mutex> lock(c.mu);
+  c.path = path;
+  g_enabled.store(!path.empty(), std::memory_order_relaxed);
+}
+
+std::string trace_file() {
+  Collector& c = collector();
+  std::lock_guard<std::mutex> lock(c.mu);
+  return c.path;
+}
+
+void clear_trace() {
+  Collector& c = collector();
+  std::lock_guard<std::mutex> lock(c.mu);
+  c.events.clear();
+  c.dropped = 0;
+}
+
+size_t trace_event_count() {
+  Collector& c = collector();
+  std::lock_guard<std::mutex> lock(c.mu);
+  return c.events.size();
+}
+
+int current_span_depth() { return t_depth; }
+
+ScopedSpan::ScopedSpan(const char* name)
+    : name_(name), start_us_(0), active_(trace_enabled()) {
+  if (!active_) return;
+  ++t_depth;
+  start_us_ = now_us();
+}
+
+ScopedSpan::~ScopedSpan() {
+  if (!active_) return;
+  const double end_us = now_us();
+  const int depth = t_depth--;
+  Collector& c = collector();
+  std::lock_guard<std::mutex> lock(c.mu);
+  if (c.events.size() >= Collector::kMaxEvents) {
+    ++c.dropped;
+    return;
+  }
+  c.events.push_back(
+      {name_, start_us_, end_us - start_us_, this_thread_tid(), depth});
+  register_atexit_locked(c);
+}
+
+bool flush_trace() {
+  Collector& c = collector();
+  std::lock_guard<std::mutex> lock(c.mu);
+  if (c.path.empty()) return false;
+  std::ofstream f(c.path);
+  if (!f) {
+    log(LogLevel::kError, "obs.trace", "write_failed", {{"path", c.path}});
+    return false;
+  }
+  f << "{\"displayTimeUnit\":\"ms\",\"otherData\":{\"dropped\":" << c.dropped
+    << "},\"traceEvents\":[";
+  for (size_t i = 0; i < c.events.size(); ++i) {
+    const Event& e = c.events[i];
+    if (i) f << ',';
+    f << "{\"name\":\"" << json_escape(e.name)
+      << "\",\"cat\":\"dcdiff\",\"ph\":\"X\",\"ts\":" << json_number(e.ts_us)
+      << ",\"dur\":" << json_number(e.dur_us)
+      << ",\"pid\":1,\"tid\":" << e.tid << ",\"args\":{\"depth\":" << e.depth
+      << "}}";
+  }
+  f << "]}\n";
+  return f.good();
+}
+
+}  // namespace dcdiff::obs

@@ -1,0 +1,61 @@
+// Scoped-span tracing with Chrome trace_event JSON export.
+//
+// When DCDIFF_TRACE_FILE is set (or set_trace_file is called), every
+// DCDIFF_TRACE_SPAN records one complete ("ph":"X") event with microsecond
+// wall-time; the file is written at process exit (and on flush_trace). Load
+// it in chrome://tracing or Perfetto. When tracing is disabled a span costs
+// one relaxed atomic load and a branch.
+//
+//   void receiver() {
+//     DCDIFF_TRACE_SPAN("receiver_reconstruct");
+//     ...
+//   }
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace dcdiff::obs {
+
+// True when spans are being collected. First query reads DCDIFF_TRACE_FILE.
+bool trace_enabled();
+
+// Programmatic control (tests): non-empty enables collection and chooses the
+// output path; empty disables. Does not clear already-collected events.
+void set_trace_file(const std::string& path);
+std::string trace_file();
+
+// Discards all collected events (tests).
+void clear_trace();
+
+// Number of completed span events collected so far.
+size_t trace_event_count();
+
+// Writes the Chrome trace JSON to the configured file. Safe to call multiple
+// times (rewrites with everything collected so far). Also runs via atexit
+// once tracing has been enabled. Returns false when disabled or the file
+// cannot be written.
+bool flush_trace();
+
+// Current span nesting depth on the calling thread (0 outside any span).
+int current_span_depth();
+
+class ScopedSpan {
+ public:
+  explicit ScopedSpan(const char* name);
+  ~ScopedSpan();
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+ private:
+  const char* name_;
+  double start_us_;
+  bool active_;
+};
+
+}  // namespace dcdiff::obs
+
+#define DCDIFF_OBS_CAT2(a, b) a##b
+#define DCDIFF_OBS_CAT(a, b) DCDIFF_OBS_CAT2(a, b)
+#define DCDIFF_TRACE_SPAN(name) \
+  ::dcdiff::obs::ScopedSpan DCDIFF_OBS_CAT(dcdiff_trace_span_, __LINE__)(name)
