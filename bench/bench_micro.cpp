@@ -14,6 +14,7 @@
 #include "jpeg/codec.h"
 #include "jpeg/dcdrop.h"
 #include "jpeg/dct.h"
+#include "nn/gemm.h"
 #include "nn/modules.h"
 #include "nn/ops.h"
 
@@ -133,6 +134,104 @@ void BM_Conv2dTrainStep(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_Conv2dTrainStep);
+
+// ---- GEMM / conv2d compute path ----
+//
+// BM_Gemm covers the raw kernel at square sizes spanning the small-problem
+// cutoff up past the KC/NC blocking thresholds; BM_GemmNaive is the same
+// shape through the DCDIFF_GEMM_NAIVE reference loop, so the ratio between
+// the two is the blocked kernel's speedup on this host.
+
+void BM_Gemm(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  Rng rng(5);
+  std::vector<float> a(static_cast<size_t>(n * n));
+  std::vector<float> b(static_cast<size_t>(n * n));
+  std::vector<float> c(static_cast<size_t>(n * n));
+  for (float& v : a) v = rng.normal();
+  for (float& v : b) v = rng.normal();
+  for (auto _ : state) {
+    nn::gemm(false, false, n, n, n, a.data(), n, b.data(), n, 0.0f, c.data(),
+             n);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(state.iterations() * n * n * n * 2);
+}
+BENCHMARK(BM_Gemm)->Arg(32)->Arg(128)->Arg(512);
+
+void BM_GemmNaive(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  Rng rng(5);
+  std::vector<float> a(static_cast<size_t>(n * n));
+  std::vector<float> b(static_cast<size_t>(n * n));
+  std::vector<float> c(static_cast<size_t>(n * n));
+  for (float& v : a) v = rng.normal();
+  for (float& v : b) v = rng.normal();
+  nn::set_gemm_naive(true);
+  for (auto _ : state) {
+    nn::gemm(false, false, n, n, n, a.data(), n, b.data(), n, 0.0f, c.data(),
+             n);
+    benchmark::DoNotOptimize(c.data());
+  }
+  nn::set_gemm_naive(false);
+  state.SetItemsProcessed(state.iterations() * n * n * n * 2);
+}
+BENCHMARK(BM_GemmNaive)->Arg(128)->Arg(512);
+
+void BM_Im2col(benchmark::State& state) {
+  const int c = 32, h = 32, w = 32, kh = 3, kw = 3, stride = 1, pad = 1;
+  const int ho = h, wo = w;
+  Rng rng(6);
+  std::vector<float> x(static_cast<size_t>(c) * h * w);
+  for (float& v : x) v = rng.normal();
+  std::vector<float> col(static_cast<size_t>(c) * kh * kw * ho * wo);
+  for (auto _ : state) {
+    nn::im2col(x.data(), c, h, w, kh, kw, stride, pad, ho, wo, col.data());
+    benchmark::DoNotOptimize(col.data());
+  }
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<int64_t>(col.size()) * sizeof(float));
+}
+BENCHMARK(BM_Im2col);
+
+// The UNet's dominant layer shape at default config (base 32, 32x32 planes).
+void BM_Conv2dForwardUNetShape(benchmark::State& state) {
+  Rng rng(7);
+  nn::Conv2d conv(32, 32, 3, 1, 1, rng);
+  const nn::Tensor x = nn::Tensor::full({1, 32, 32, 32}, 0.5f);
+  nn::NoGradGuard no_grad;
+  for (auto _ : state) {
+    nn::Tensor y = conv(x);
+    benchmark::DoNotOptimize(y);
+  }
+}
+BENCHMARK(BM_Conv2dForwardUNetShape);
+
+void BM_Conv2dForwardNaive(benchmark::State& state) {
+  Rng rng(7);
+  nn::Conv2d conv(32, 32, 3, 1, 1, rng);
+  const nn::Tensor x = nn::Tensor::full({1, 32, 32, 32}, 0.5f);
+  nn::NoGradGuard no_grad;
+  nn::set_gemm_naive(true);
+  for (auto _ : state) {
+    nn::Tensor y = conv(x);
+    benchmark::DoNotOptimize(y);
+  }
+  nn::set_gemm_naive(false);
+}
+BENCHMARK(BM_Conv2dForwardNaive);
+
+void BM_LinearForward(benchmark::State& state) {
+  Rng rng(8);
+  nn::Linear lin(256, 256, rng);
+  const nn::Tensor x = nn::Tensor::full({8, 256}, 0.5f);
+  nn::NoGradGuard no_grad;
+  for (auto _ : state) {
+    nn::Tensor y = lin(x);
+    benchmark::DoNotOptimize(y);
+  }
+}
+BENCHMARK(BM_LinearForward);
 
 void BM_GroupNorm(benchmark::State& state) {
   nn::GroupNorm gn(32, 8);

@@ -16,9 +16,11 @@
 // DCDIFF_QUICKSTART_FAST=1 a tiny model (seconds to train) replaces the full
 // shared model -- used by the `quickstart_trace` CTest so instrumentation
 // regressions surface in tier-1.
+#include <chrono>
 #include <cstdio>
 
 #include "baselines/dc_recovery.h"
+#include "bench_util.h"
 #include "core/pipeline.h"
 #include "data/datasets.h"
 #include "image/image.h"
@@ -83,7 +85,18 @@ int main() {
   const Image naive = jpeg::inverse_transform(received);
   const Image icip =
       baselines::recover_dc(received, baselines::RecoveryMethod::kICIP2022);
+  // Timed so that perf runs (DCDIFF_BENCH_JSON set, e.g. the perf_smoke
+  // CTest) get a per-run receiver wall-time record alongside the obs
+  // metrics snapshot.
+  const auto t0 = std::chrono::steady_clock::now();
   const Image dcdiff = core::receiver_reconstruct(sent.bytes, quickstart_model());
+  const double receiver_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  bench::JsonReport::instance().set_bench("quickstart");
+  bench::JsonReport::instance().add_sample(
+      "Kodak", "dcdiff", 3, receiver_seconds,
+      metrics::evaluate(original, dcdiff));
 
   auto report = [&](const char* label, const Image& rec) {
     const auto r = metrics::evaluate(original, rec);

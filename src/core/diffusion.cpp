@@ -1,5 +1,6 @@
 #include "core/diffusion.h"
 
+#include <algorithm>
 #include <cmath>
 #include <stdexcept>
 
@@ -19,10 +20,12 @@ DiffusionSchedule DiffusionSchedule::linear(int T, float beta_start,
   s.sqrt_ab.resize(static_cast<size_t>(T));
   s.sqrt_one_m_ab.resize(static_cast<size_t>(T));
   double ab = 1.0;
+  // T == 1 would divide by zero below (NaN betas); a one-step schedule just
+  // uses beta_start.
+  const float t_denom = static_cast<float>(std::max(1, T - 1));
   for (int t = 0; t < T; ++t) {
     const float b = beta_start + (beta_end - beta_start) *
-                                     static_cast<float>(t) /
-                                     static_cast<float>(T - 1);
+                                     static_cast<float>(t) / t_denom;
     s.beta[static_cast<size_t>(t)] = b;
     ab *= 1.0 - b;
     s.sqrt_ab[static_cast<size_t>(t)] = static_cast<float>(std::sqrt(ab));
@@ -143,14 +146,32 @@ std::vector<Tensor> UNet::params() const {
   return p;
 }
 
+namespace {
+bool all_equal(const std::vector<int>& t) {
+  for (size_t i = 1; i < t.size(); ++i) {
+    if (t[i] != t[0]) return false;
+  }
+  return true;
+}
+}  // namespace
+
 Tensor predict_z0(const Tensor& z_t, const Tensor& eps,
                   const DiffusionSchedule& sched, const std::vector<int>& t) {
   const int n = z_t.dim(0);
+  // Uniform-timestep fast path (every ddim_sample step): the per-sample
+  // scale collapses to a scalar, so no scale vectors or (N) tensors are
+  // allocated inside the sampling loop.
+  if (!t.empty() && all_equal(t)) {
+    // Guard the zero-terminal-SNR endpoint (sqrt_ab == 0 at t = T-1).
+    const float sab =
+        std::max(1e-4f, sched.sqrt_ab[static_cast<size_t>(t[0])]);
+    return sub(scale(z_t, 1.0f / sab),
+               scale(eps, sched.sqrt_one_m_ab[static_cast<size_t>(t[0])] / sab));
+  }
   std::vector<float> inv_sab(static_cast<size_t>(n));
   std::vector<float> ratio(static_cast<size_t>(n));
   for (int i = 0; i < n; ++i) {
     const int ti = t[static_cast<size_t>(i)];
-    // Guard the zero-terminal-SNR endpoint (sqrt_ab == 0 at t = T-1).
     const float sab = std::max(1e-4f, sched.sqrt_ab[static_cast<size_t>(ti)]);
     inv_sab[static_cast<size_t>(i)] = 1.0f / sab;
     ratio[static_cast<size_t>(i)] =
@@ -164,6 +185,13 @@ Tensor predict_z0(const Tensor& z_t, const Tensor& eps,
 Tensor eps_from_z0(const Tensor& z_t, const Tensor& z0,
                    const DiffusionSchedule& sched, const std::vector<int>& t) {
   const int n = z_t.dim(0);
+  // Uniform-timestep fast path; see predict_z0.
+  if (!t.empty() && all_equal(t)) {
+    const float s1m =
+        std::max(1e-4f, sched.sqrt_one_m_ab[static_cast<size_t>(t[0])]);
+    return sub(scale(z_t, 1.0f / s1m),
+               scale(z0, sched.sqrt_ab[static_cast<size_t>(t[0])] / s1m));
+  }
   std::vector<float> inv_s1m(static_cast<size_t>(n));
   std::vector<float> ratio(static_cast<size_t>(n));
   for (int i = 0; i < n; ++i) {
@@ -198,12 +226,14 @@ Tensor ddim_sample(const UNet& unet, const DiffusionSchedule& sched,
   Tensor z = noise;
   static obs::Histogram& step_lat = obs::histogram("core.ddim.step_seconds");
   static obs::Counter& step_count = obs::counter("core.ddim.steps");
+  // Reused across steps; only the (uniform) timestep value changes.
+  std::vector<int> tvec(static_cast<size_t>(n));
   for (int k = steps - 1; k >= 0; --k) {
     DCDIFF_TRACE_SPAN("ddim_step");
     obs::ScopedLatency step_timer(step_lat);
     step_count.inc();
     const int t = ts[static_cast<size_t>(k)];
-    const std::vector<int> tvec(static_cast<size_t>(n), t);
+    std::fill(tvec.begin(), tvec.end(), t);
     const Tensor pred = unet.forward(z, tvec, ctrl, s, b);
     Tensor z0, eps;
     if (prediction == Prediction::kEps) {

@@ -1,0 +1,320 @@
+#include "nn/gemm.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cstring>
+
+#include "nn/threadpool.h"
+#include "nn/workspace.h"
+#include "obs/env.h"
+
+namespace dcdiff::nn {
+
+namespace {
+
+// Register tile: MR x NR accumulators. 6x16 fits the 16 vector registers of
+// AVX2 (12 accumulator vectors + A broadcast + B loads) and divides evenly
+// into NEON/SSE widths; the compiler vectorizes the j-loop at whatever width
+// the target offers.
+constexpr int64_t MR = 6;
+constexpr int64_t NR = 16;
+// K-block: packed panels of both operands for one block stay L1/L2-resident
+// (KC * (MR + NR) floats ~ 22 KiB per in-flight tile pair).
+constexpr int64_t KC = 256;
+// N-block: bounds the packed-B panel at KC * NC floats (= 480 KiB).
+constexpr int64_t NC = 480;  // multiple of NR
+// Below this many MACs a single call isn't worth packing + dispatch.
+constexpr int64_t kSmallProblem = 1 << 12;
+// Target MACs per dispatched range when spreading micro-tiles over workers.
+constexpr int64_t kGrainMacs = 1 << 17;
+
+std::atomic<int> g_naive_override{-1};  // -1 = follow env, 0/1 = forced
+
+bool naive_from_env() {
+  static const bool naive = obs::env_int("DCDIFF_GEMM_NAIVE", 0) > 0;
+  return naive;
+}
+
+inline float load_a(bool trans_a, const float* a, int64_t lda, int64_t i,
+                    int64_t p) {
+  return trans_a ? a[p * lda + i] : a[i * lda + p];
+}
+
+inline float load_b(bool trans_b, const float* b, int64_t ldb, int64_t p,
+                    int64_t j) {
+  return trans_b ? b[j * ldb + p] : b[p * ldb + j];
+}
+
+// Unblocked reference path (also the DCDIFF_GEMM_NAIVE escape hatch).
+// Parallelized over rows so A/B runs stay usable on real workloads.
+void gemm_naive(bool trans_a, bool trans_b, int64_t m, int64_t n, int64_t k,
+                const float* a, int64_t lda, const float* b, int64_t ldb,
+                float beta, float* c, int64_t ldc) {
+  const int64_t grain = std::max<int64_t>(1, kGrainMacs / std::max<int64_t>(1, n * k));
+  parallel_for_ranges(m, grain, [&](int64_t i0, int64_t i1) {
+    for (int64_t i = i0; i < i1; ++i) {
+      float* crow = c + i * ldc;
+      for (int64_t j = 0; j < n; ++j) {
+        float acc = 0.0f;
+        for (int64_t p = 0; p < k; ++p) {
+          acc += load_a(trans_a, a, lda, i, p) * load_b(trans_b, b, ldb, p, j);
+        }
+        crow[j] = beta == 0.0f ? acc : beta * crow[j] + acc;
+      }
+    }
+  });
+}
+
+// Packs rows [0, m) x cols [pc, pc + kc) of A_op into MR-row panels:
+// panel ir holds rows [ir*MR, ir*MR + MR), stored k-major as
+// ap[ir*kc*MR + p*MR + i], zero-padded past the last real row so the
+// micro-kernel always runs a full tile.
+void pack_a(bool trans_a, const float* a, int64_t lda, int64_t m, int64_t pc,
+            int64_t kc, float* ap) {
+  for (int64_t i0 = 0; i0 < m; i0 += MR) {
+    float* dst = ap + (i0 / MR) * kc * MR;
+    const int64_t mr = std::min(MR, m - i0);
+    for (int64_t p = 0; p < kc; ++p) {
+      for (int64_t i = 0; i < mr; ++i) {
+        dst[p * MR + i] = load_a(trans_a, a, lda, i0 + i, pc + p);
+      }
+      for (int64_t i = mr; i < MR; ++i) dst[p * MR + i] = 0.0f;
+    }
+  }
+}
+
+// Packs rows [pc, pc + kc) x cols [jc, jc + nc) of B_op into NR-column
+// panels: bp[jr*kc*NR + p*NR + j], zero-padded past the last real column.
+void pack_b(bool trans_b, const float* b, int64_t ldb, int64_t pc, int64_t kc,
+            int64_t jc, int64_t nc, float* bp) {
+  for (int64_t j0 = 0; j0 < nc; j0 += NR) {
+    float* dst = bp + (j0 / NR) * kc * NR;
+    const int64_t nr = std::min(NR, nc - j0);
+    for (int64_t p = 0; p < kc; ++p) {
+      for (int64_t j = 0; j < nr; ++j) {
+        dst[p * NR + j] = load_b(trans_b, b, ldb, pc + p, jc + j0 + j);
+      }
+      for (int64_t j = nr; j < NR; ++j) dst[p * NR + j] = 0.0f;
+    }
+  }
+}
+
+// One MR x NR tile over a kc-deep packed panel pair.
+//
+// The accumulator is written as MR explicit NR-lane vectors (GCC/Clang
+// vector extensions) rather than a float[MR][NR] array: auto-vectorizers
+// routinely pick a narrow width for the array form (GCC 12 at
+// -march=skylake-avx512 emits 128-bit FMAs, ~1/10th of peak), whereas the
+// vector type pins each accumulator row to one AVX-512 register (or a ymm
+// pair on AVX2 -- the compiler legalizes wider-than-native vectors by
+// splitting, so this stays portable down to SSE). Loads/stores go through
+// memcpy: panel and C-row addresses are not 64-byte aligned in general.
+#if defined(__GNUC__) || defined(__clang__)
+#define DCDIFF_GEMM_VECTOR_EXT 1
+typedef float VRow __attribute__((vector_size(NR * sizeof(float))));
+#endif
+
+void micro_kernel(int64_t kc, const float* __restrict ap,
+                  const float* __restrict bp, float* __restrict c, int64_t ldc,
+                  int64_t mr, int64_t nr, float beta) {
+#ifdef DCDIFF_GEMM_VECTOR_EXT
+  VRow acc[MR];
+  for (int64_t i = 0; i < MR; ++i) acc[i] = VRow{};
+  for (int64_t p = 0; p < kc; ++p) {
+    VRow bv;
+    __builtin_memcpy(&bv, bp + p * NR, sizeof(bv));
+    const float* acol = ap + p * MR;
+    for (int64_t i = 0; i < MR; ++i) acc[i] += acol[i] * bv;
+  }
+  if (mr == MR && nr == NR) {
+    for (int64_t i = 0; i < MR; ++i) {
+      float* crow = c + i * ldc;
+      if (beta == 0.0f) {
+        __builtin_memcpy(crow, &acc[i], sizeof(VRow));
+      } else {
+        VRow cv;
+        __builtin_memcpy(&cv, crow, sizeof(cv));
+        cv = beta * cv + acc[i];
+        __builtin_memcpy(crow, &cv, sizeof(cv));
+      }
+    }
+    return;
+  }
+  float accs[MR][NR];
+  __builtin_memcpy(accs, acc, sizeof(accs));
+#else
+  float accs[MR][NR] = {};
+  for (int64_t p = 0; p < kc; ++p) {
+    const float* brow = bp + p * NR;
+    const float* acol = ap + p * MR;
+    for (int64_t i = 0; i < MR; ++i) {
+      const float av = acol[i];
+      for (int64_t j = 0; j < NR; ++j) accs[i][j] += av * brow[j];
+    }
+  }
+  if (mr == MR && nr == NR) {
+    for (int64_t i = 0; i < MR; ++i) {
+      float* crow = c + i * ldc;
+      if (beta == 0.0f) {
+        for (int64_t j = 0; j < NR; ++j) crow[j] = accs[i][j];
+      } else {
+        for (int64_t j = 0; j < NR; ++j) {
+          crow[j] = beta * crow[j] + accs[i][j];
+        }
+      }
+    }
+    return;
+  }
+#endif
+  for (int64_t i = 0; i < mr; ++i) {
+    float* crow = c + i * ldc;
+    for (int64_t j = 0; j < nr; ++j) {
+      crow[j] = beta == 0.0f ? accs[i][j] : beta * crow[j] + accs[i][j];
+    }
+  }
+}
+
+}  // namespace
+
+bool gemm_naive_enabled() {
+  const int o = g_naive_override.load(std::memory_order_relaxed);
+  if (o >= 0) return o != 0;
+  return naive_from_env();
+}
+
+void set_gemm_naive(bool naive) {
+  g_naive_override.store(naive ? 1 : 0, std::memory_order_relaxed);
+}
+
+void gemm(bool trans_a, bool trans_b, int64_t m, int64_t n, int64_t k,
+          const float* a, int64_t lda, const float* b, int64_t ldb, float beta,
+          float* c, int64_t ldc) {
+  if (m <= 0 || n <= 0) return;
+  if (k <= 0) {
+    // Degenerate: C = beta * C.
+    for (int64_t i = 0; i < m; ++i) {
+      float* crow = c + i * ldc;
+      if (beta == 0.0f) {
+        std::memset(crow, 0, static_cast<size_t>(n) * sizeof(float));
+      } else if (beta != 1.0f) {
+        for (int64_t j = 0; j < n; ++j) crow[j] *= beta;
+      }
+    }
+    return;
+  }
+  if (gemm_naive_enabled() || m * n * k <= kSmallProblem) {
+    gemm_naive(trans_a, trans_b, m, n, k, a, lda, b, ldb, beta, c, ldc);
+    return;
+  }
+
+  Workspace::Scope scope;
+  Workspace& ws = Workspace::tls();
+  const int64_t row_panels = (m + MR - 1) / MR;
+  const int64_t kc_max = std::min(KC, k);
+  float* ap = ws.floats(static_cast<size_t>(row_panels * kc_max * MR));
+  float* bp = ws.floats(
+      static_cast<size_t>(((std::min(NC, n) + NR - 1) / NR) * kc_max * NR));
+
+  for (int64_t jc = 0; jc < n; jc += NC) {
+    const int64_t nc = std::min(NC, n - jc);
+    const int64_t col_panels = (nc + NR - 1) / NR;
+    for (int64_t pc = 0; pc < k; pc += KC) {
+      const int64_t kc = std::min(KC, k - pc);
+      const float beta_eff = pc == 0 ? beta : 1.0f;
+      pack_a(trans_a, a, lda, m, pc, kc, ap);
+      pack_b(trans_b, b, ldb, pc, kc, jc, nc, bp);
+      const int64_t tiles = row_panels * col_panels;
+      const int64_t grain =
+          std::max<int64_t>(1, kGrainMacs / (kc * MR * NR));
+      parallel_for_ranges(tiles, grain, [&](int64_t t0, int64_t t1) {
+        for (int64_t t = t0; t < t1; ++t) {
+          const int64_t ir = t / col_panels;
+          const int64_t jr = t % col_panels;
+          micro_kernel(kc, ap + ir * kc * MR, bp + jr * kc * NR,
+                       c + ir * MR * ldc + jc + jr * NR, ldc,
+                       std::min(MR, m - ir * MR), std::min(NR, nc - jr * NR),
+                       beta_eff);
+        }
+      });
+    }
+  }
+}
+
+void im2col(const float* x, int c, int h, int w, int kh, int kw, int stride,
+            int pad, int ho, int wo, float* col) {
+  const int64_t rows = static_cast<int64_t>(c) * kh * kw;
+  const int64_t row_elems = static_cast<int64_t>(ho) * wo;
+  const int64_t grain = std::max<int64_t>(1, (1 << 14) / std::max<int64_t>(1, row_elems));
+  parallel_for_ranges(rows, grain, [&](int64_t r0, int64_t r1) {
+    for (int64_t r = r0; r < r1; ++r) {
+      const int ci = static_cast<int>(r / (kh * kw));
+      const int ky = static_cast<int>(r / kw % kh);
+      const int kx = static_cast<int>(r % kw);
+      const float* xp = x + static_cast<int64_t>(ci) * h * w;
+      float* dst = col + r * row_elems;
+      // ox producing an in-bounds ix = ox*stride - pad + kx:
+      const int lo_num = pad - kx;
+      const int ox_lo =
+          lo_num <= 0 ? 0 : (lo_num + stride - 1) / stride;  // first valid
+      const int hi_num = w - 1 + pad - kx;
+      const int ox_hi =
+          hi_num < 0 ? -1 : std::min(wo - 1, hi_num / stride);  // last valid
+      for (int oy = 0; oy < ho; ++oy) {
+        float* drow = dst + static_cast<int64_t>(oy) * wo;
+        const int iy = oy * stride - pad + ky;
+        if (iy < 0 || iy >= h || ox_hi < ox_lo) {
+          std::memset(drow, 0, static_cast<size_t>(wo) * sizeof(float));
+          continue;
+        }
+        for (int ox = 0; ox < ox_lo; ++ox) drow[ox] = 0.0f;
+        const float* srow = xp + static_cast<int64_t>(iy) * w;
+        if (stride == 1) {
+          std::memcpy(drow + ox_lo, srow + (ox_lo - pad + kx),
+                      static_cast<size_t>(ox_hi - ox_lo + 1) * sizeof(float));
+        } else {
+          for (int ox = ox_lo; ox <= ox_hi; ++ox) {
+            drow[ox] = srow[ox * stride - pad + kx];
+          }
+        }
+        for (int ox = ox_hi + 1; ox < wo; ++ox) drow[ox] = 0.0f;
+      }
+    }
+  });
+}
+
+void col2im_add(const float* col, int c, int h, int w, int kh, int kw,
+                int stride, int pad, int ho, int wo, float* x) {
+  const int64_t row_elems = static_cast<int64_t>(ho) * wo;
+  const int64_t per_channel = static_cast<int64_t>(kh) * kw * row_elems;
+  const int64_t grain =
+      std::max<int64_t>(1, (1 << 14) / std::max<int64_t>(1, per_channel));
+  // Channel-parallel: channel ci's col rows scatter only into x plane ci,
+  // so ranges write disjoint memory and the result is deterministic.
+  parallel_for_ranges(c, grain, [&](int64_t c0, int64_t c1) {
+    for (int64_t ci = c0; ci < c1; ++ci) {
+      float* xp = x + ci * h * w;
+      for (int ky = 0; ky < kh; ++ky) {
+        for (int kx = 0; kx < kw; ++kx) {
+          const int64_t r = (ci * kh + ky) * kw + kx;
+          const float* src = col + r * row_elems;
+          const int lo_num = pad - kx;
+          const int ox_lo = lo_num <= 0 ? 0 : (lo_num + stride - 1) / stride;
+          const int hi_num = w - 1 + pad - kx;
+          const int ox_hi = hi_num < 0 ? -1 : std::min(wo - 1, hi_num / stride);
+          if (ox_hi < ox_lo) continue;
+          for (int oy = 0; oy < ho; ++oy) {
+            const int iy = oy * stride - pad + ky;
+            if (iy < 0 || iy >= h) continue;
+            const float* srow = src + static_cast<int64_t>(oy) * wo;
+            float* xrow = xp + static_cast<int64_t>(iy) * w;
+            for (int ox = ox_lo; ox <= ox_hi; ++ox) {
+              xrow[ox * stride - pad + kx] += srow[ox];
+            }
+          }
+        }
+      }
+    }
+  });
+}
+
+}  // namespace dcdiff::nn

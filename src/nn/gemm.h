@@ -1,0 +1,56 @@
+// Cache-blocked single-precision GEMM and the im2col/col2im patch
+// transforms behind conv2d/linear.
+//
+// One micro-kernel (6x16 register tile, FMA-friendly inner loop) serves
+// every matrix product in the library: conv2d forward (weights x im2col
+// patches), the conv2d input gradient (transposed weights x output
+// gradient, scattered back through col2im), the conv2d weight gradient
+// (output gradient x transposed patches), and linear forward/backward.
+// Operands are packed into contiguous K-blocked panels allocated from the
+// calling thread's Workspace; the micro-tile grid is parallelized over the
+// global thread pool.
+//
+// Setting DCDIFF_GEMM_NAIVE=1 (or set_gemm_naive(true)) routes every call
+// through an unblocked reference loop instead — the A/B escape hatch for
+// debugging numerical or performance regressions in the blocked path.
+#pragma once
+
+#include <cstdint>
+
+namespace dcdiff::nn {
+
+// C (m x n, row-major, leading dimension ldc) = A_op * B_op + beta * C.
+//
+//   trans_a == false: `a` is m x k row-major with leading dimension lda.
+//   trans_a == true:  `a` is k x m row-major with leading dimension lda and
+//                     A_op = a^T (i.e. A_op[i, p] = a[p * lda + i]).
+//   trans_b == false: `b` is k x n row-major with leading dimension ldb.
+//   trans_b == true:  `b` is n x k row-major with leading dimension ldb and
+//                     B_op = b^T (i.e. B_op[p, j] = b[j * ldb + p]).
+//
+// beta == 0 overwrites C (it is never read); beta == 1 accumulates, which
+// is how gradient GEMMs add into existing grad buffers.
+void gemm(bool trans_a, bool trans_b, int64_t m, int64_t n, int64_t k,
+          const float* a, int64_t lda, const float* b, int64_t ldb, float beta,
+          float* c, int64_t ldc);
+
+// True when the naive reference path is active (DCDIFF_GEMM_NAIVE=1 in the
+// environment at first use, or a set_gemm_naive(true) override).
+bool gemm_naive_enabled();
+// Runtime override (tests / A-B debugging). Takes effect immediately.
+void set_gemm_naive(bool naive);
+
+// im2col for one NCHW image plane set: x is (c, h, w); the output `col` is
+// (c*kh*kw) x (ho*wo) row-major, row (ci*kh + ky)*kw + kx holding the input
+// value each output pixel sees at kernel tap (ky, kx) of channel ci (zero
+// where the tap falls in padding). Row order matches the flattened weight
+// layout (F, C, kH, kW), so conv2d forward is W[f x K] * col[K x N].
+void im2col(const float* x, int c, int h, int w, int kh, int kw, int stride,
+            int pad, int ho, int wo, float* col);
+
+// Transpose scatter of im2col: accumulates col (laid out as above) back
+// into x (size c*h*w). x is NOT zeroed first — callers accumulate gradients.
+void col2im_add(const float* col, int c, int h, int w, int kh, int kw,
+                int stride, int pad, int ho, int wo, float* x);
+
+}  // namespace dcdiff::nn

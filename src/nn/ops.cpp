@@ -3,14 +3,25 @@
 #include <algorithm>
 #include <cmath>
 
+#include "nn/gemm.h"
 #include "nn/threadpool.h"
+#include "nn/workspace.h"
 
 namespace dcdiff::nn {
 namespace {
 
+// Minimum elements per dispatched range for memory-bound elementwise loops:
+// below this the pool's wakeup cost exceeds the loop itself.
+constexpr int64_t kEwGrain = 1 << 13;
+
 void accumulate(TensorNode& parent, const std::vector<float>& delta) {
   parent.ensure_grad();
-  for (size_t i = 0; i < delta.size(); ++i) parent.grad[i] += delta[i];
+  float* g = parent.grad.data();
+  const float* d = delta.data();
+  parallel_for_ranges(static_cast<int64_t>(delta.size()), kEwGrain,
+                      [&](int64_t i0, int64_t i1) {
+                        for (int64_t i = i0; i < i1; ++i) g[i] += d[i];
+                      });
 }
 
 bool wants_grad(const Tensor& t) { return t.requires_grad(); }
@@ -48,9 +59,13 @@ Tensor sub(const Tensor& a, const Tensor& b) {
                        if (wants_grad(b)) {
                          auto& g = *b.node();
                          g.ensure_grad();
-                         for (size_t i = 0; i < self.grad.size(); ++i) {
-                           g.grad[i] -= self.grad[i];
-                         }
+                         float* gd = g.grad.data();
+                         const float* sd = self.grad.data();
+                         parallel_for_ranges(
+                             static_cast<int64_t>(self.grad.size()), kEwGrain,
+                             [&](int64_t i0, int64_t i1) {
+                               for (int64_t i = i0; i < i1; ++i) gd[i] -= sd[i];
+                             });
                        }
                      });
 }
@@ -66,18 +81,30 @@ Tensor mul(const Tensor& a, const Tensor& b) {
                        if (wants_grad(a)) {
                          auto& g = *a.node();
                          g.ensure_grad();
-                         const auto& bv2 = b.value();
-                         for (size_t i = 0; i < self.grad.size(); ++i) {
-                           g.grad[i] += self.grad[i] * bv2[i];
-                         }
+                         float* gd = g.grad.data();
+                         const float* sd = self.grad.data();
+                         const float* ov = b.value().data();
+                         parallel_for_ranges(
+                             static_cast<int64_t>(self.grad.size()), kEwGrain,
+                             [&](int64_t i0, int64_t i1) {
+                               for (int64_t i = i0; i < i1; ++i) {
+                                 gd[i] += sd[i] * ov[i];
+                               }
+                             });
                        }
                        if (wants_grad(b)) {
                          auto& g = *b.node();
                          g.ensure_grad();
-                         const auto& av2 = a.value();
-                         for (size_t i = 0; i < self.grad.size(); ++i) {
-                           g.grad[i] += self.grad[i] * av2[i];
-                         }
+                         float* gd = g.grad.data();
+                         const float* sd = self.grad.data();
+                         const float* ov = a.value().data();
+                         parallel_for_ranges(
+                             static_cast<int64_t>(self.grad.size()), kEwGrain,
+                             [&](int64_t i0, int64_t i1) {
+                               for (int64_t i = i0; i < i1; ++i) {
+                                 gd[i] += sd[i] * ov[i];
+                               }
+                             });
                        }
                      });
 }
@@ -118,10 +145,16 @@ Tensor relu(const Tensor& a) {
                        if (!wants_grad(a)) return;
                        auto& g = *a.node();
                        g.ensure_grad();
-                       const auto& av2 = a.value();
-                       for (size_t i = 0; i < self.grad.size(); ++i) {
-                         if (av2[i] > 0) g.grad[i] += self.grad[i];
-                       }
+                       float* gd = g.grad.data();
+                       const float* sd = self.grad.data();
+                       const float* av2 = a.value().data();
+                       parallel_for_ranges(
+                           static_cast<int64_t>(self.grad.size()), kEwGrain,
+                           [&](int64_t i0, int64_t i1) {
+                             for (int64_t i = i0; i < i1; ++i) {
+                               if (av2[i] > 0) gd[i] += sd[i];
+                             }
+                           });
                      });
 }
 
@@ -199,15 +232,30 @@ Tensor add_bias(const Tensor& x, const Tensor& bias) {
   }
   return make_result(
       x.shape(), std::move(out), {x, bias},
-      [x, bias, inner, per_sample](TensorNode& self) {
+      [x, bias, c_dim, inner, per_sample](TensorNode& self) {
         if (wants_grad(x)) accumulate(*x.node(), self.grad);
         if (wants_grad(bias)) {
           auto& g = *bias.node();
           g.ensure_grad();
-          for (size_t i = 0; i < self.grad.size(); ++i) {
-            const size_t c = (i % per_sample) / inner;
-            g.grad[c] += self.grad[i];
-          }
+          const int64_t batch =
+              static_cast<int64_t>(self.grad.size() / per_sample);
+          const float* sd = self.grad.data();
+          float* gd = g.grad.data();
+          // Channel-parallel: each range owns disjoint bias entries.
+          const int64_t grain = std::max<int64_t>(
+              1, kEwGrain / std::max<int64_t>(1, batch *
+                                                     static_cast<int64_t>(inner)));
+          parallel_for_ranges(c_dim, grain, [&](int64_t c0, int64_t c1) {
+            for (int64_t ch = c0; ch < c1; ++ch) {
+              float acc = 0.0f;
+              for (int64_t ni = 0; ni < batch; ++ni) {
+                const float* row = sd + static_cast<size_t>(ni) * per_sample +
+                                   static_cast<size_t>(ch) * inner;
+                for (size_t i = 0; i < inner; ++i) acc += row[i];
+              }
+              gd[ch] += acc;
+            }
+          });
         }
       });
 }
@@ -496,18 +544,19 @@ Tensor linear(const Tensor& x, const Tensor& w, const Tensor& b) {
   const float* xv = x.value().data();
   const float* wv = w.value().data();
   const float* bv = b.defined() ? b.value().data() : nullptr;
-  parallel_for_ranges(n, [&](int64_t r0, int64_t r1) {
-    for (int64_t i = r0; i < r1; ++i) {
-      const float* xrow = xv + i * kk;
-      float* orow = out.data() + i * m;
-      for (int j = 0; j < m; ++j) {
-        const float* wrow = wv + static_cast<size_t>(j) * kk;
-        float acc = bv ? bv[j] : 0.0f;
-        for (int t = 0; t < kk; ++t) acc += xrow[t] * wrow[t];
-        orow[j] = acc;
-      }
-    }
-  });
+  // out = x (n x k) * w^T (k x m); bias added row-wise afterwards.
+  gemm(/*trans_a=*/false, /*trans_b=*/true, n, m, kk, xv, kk, wv, kk, 0.0f,
+       out.data(), m);
+  if (bv) {
+    parallel_for_ranges(
+        n, std::max<int64_t>(1, kEwGrain / std::max(1, m)),
+        [&](int64_t i0, int64_t i1) {
+          for (int64_t i = i0; i < i1; ++i) {
+            float* orow = out.data() + i * m;
+            for (int j = 0; j < m; ++j) orow[j] += bv[j];
+          }
+        });
+  }
   std::vector<Tensor> parents = b.defined()
                                     ? std::vector<Tensor>{x, w, b}
                                     : std::vector<Tensor>{x, w};
@@ -518,43 +567,32 @@ Tensor linear(const Tensor& x, const Tensor& w, const Tensor& b) {
         if (wants_grad(x)) {
           auto& g = *x.node();
           g.ensure_grad();
-          const float* wv2 = w.value().data();
-          parallel_for_ranges(n, [&](int64_t r0, int64_t r1) {
-            for (int64_t i = r0; i < r1; ++i) {
-              float* grow = g.grad.data() + i * kk;
-              const float* gorow = go + i * m;
-              for (int j = 0; j < m; ++j) {
-                const float gj = gorow[j];
-                const float* wrow = wv2 + static_cast<size_t>(j) * kk;
-                for (int t = 0; t < kk; ++t) grow[t] += gj * wrow[t];
-              }
-            }
-          });
+          // dX += dOut (n x m) * W (m x k).
+          gemm(false, false, n, kk, m, go, m, w.value().data(), kk, 1.0f,
+               g.grad.data(), kk);
         }
         if (wants_grad(w)) {
           auto& g = *w.node();
           g.ensure_grad();
-          const float* xv2 = x.value().data();
-          parallel_for_ranges(m, [&](int64_t j0, int64_t j1) {
-            for (int64_t j = j0; j < j1; ++j) {
-              float* grow = g.grad.data() + j * kk;
-              for (int i = 0; i < n; ++i) {
-                const float gj = go[static_cast<size_t>(i) * m + j];
-                const float* xrow = xv2 + static_cast<size_t>(i) * kk;
-                for (int t = 0; t < kk; ++t) grow[t] += gj * xrow[t];
-              }
-            }
-          });
+          // dW += dOut^T (m x n) * X (n x k).
+          gemm(/*trans_a=*/true, false, m, kk, n, go, m, x.value().data(), kk,
+               1.0f, g.grad.data(), kk);
         }
         if (b.defined() && wants_grad(b)) {
           auto& g = *b.node();
           g.ensure_grad();
-          for (int i = 0; i < n; ++i) {
-            for (int j = 0; j < m; ++j) {
-              g.grad[static_cast<size_t>(j)] +=
-                  go[static_cast<size_t>(i) * m + j];
-            }
-          }
+          float* gd = g.grad.data();
+          parallel_for_ranges(
+              m, std::max<int64_t>(1, kEwGrain / std::max(1, n)),
+              [&](int64_t j0, int64_t j1) {
+                for (int64_t j = j0; j < j1; ++j) {
+                  float acc = 0.0f;
+                  for (int i = 0; i < n; ++i) {
+                    acc += go[static_cast<size_t>(i) * m + j];
+                  }
+                  gd[j] += acc;
+                }
+              });
         }
       });
 }
@@ -574,141 +612,117 @@ Tensor conv2d(const Tensor& x, const Tensor& w, const Tensor& b, int stride,
   if (b.defined() && (b.ndim() != 1 || b.dim(0) != f)) {
     throw std::invalid_argument("conv2d: bias mismatch");
   }
-  std::vector<float> out(static_cast<size_t>(n) * f * ho * wo);
+  const int kdim = c * kh * kw;           // GEMM reduction depth
+  const int64_t npix = static_cast<int64_t>(ho) * wo;  // output pixels
+  // 1x1 stride-1 unpadded convs (attention q/k/v/proj, ResBlock shortcuts)
+  // are already a plain channel-mixing GEMM: the input plane IS the patch
+  // matrix, so the im2col copy is skipped entirely.
+  const bool fast_1x1 = kh == 1 && kw == 1 && stride == 1 && pad == 0;
+
+  std::vector<float> out(static_cast<size_t>(n) * f * npix);
   const float* xv = x.value().data();
   const float* wv = w.value().data();
   const float* bv = b.defined() ? b.value().data() : nullptr;
-
-  parallel_for_ranges(static_cast<int64_t>(n) * f, [&](int64_t t0,
-                                                       int64_t t1) {
-    for (int64_t t = t0; t < t1; ++t) {
-      const int ni = static_cast<int>(t / f);
-      const int fi = static_cast<int>(t % f);
-      float* oplane = out.data() + t * ho * wo;
-      const float* wbase = wv + static_cast<size_t>(fi) * c * kh * kw;
-      const float bias = bv ? bv[fi] : 0.0f;
-      for (int oy = 0; oy < ho; ++oy) {
-        for (int ox = 0; ox < wo; ++ox) {
-          float acc = bias;
-          const int iy0 = oy * stride - pad;
-          const int ix0 = ox * stride - pad;
-          for (int ci = 0; ci < c; ++ci) {
-            const float* xplane =
-                xv + (static_cast<size_t>(ni) * c + ci) * h * ww;
-            const float* wplane = wbase + static_cast<size_t>(ci) * kh * kw;
-            for (int ky = 0; ky < kh; ++ky) {
-              const int iy = iy0 + ky;
-              if (iy < 0 || iy >= h) continue;
-              for (int kx = 0; kx < kw; ++kx) {
-                const int ix = ix0 + kx;
-                if (ix < 0 || ix >= ww) continue;
-                acc += xplane[iy * ww + ix] * wplane[ky * kw + kx];
-              }
-            }
-          }
-          oplane[oy * wo + ox] = acc;
-        }
+  {
+    Workspace::Scope scope;
+    float* col = fast_1x1
+                     ? nullptr
+                     : Workspace::tls().floats(static_cast<size_t>(kdim) * npix);
+    for (int ni = 0; ni < n; ++ni) {
+      const float* xplane = xv + static_cast<size_t>(ni) * c * h * ww;
+      const float* patches = xplane;
+      if (!fast_1x1) {
+        im2col(xplane, c, h, ww, kh, kw, stride, pad, ho, wo, col);
+        patches = col;
       }
+      // out plane (f x npix) = W (f x kdim) * patches (kdim x npix).
+      gemm(false, false, f, npix, kdim, wv, kdim, patches, npix, 0.0f,
+           out.data() + static_cast<size_t>(ni) * f * npix, npix);
     }
-  });
+  }
+  if (bv) {
+    parallel_for_ranges(
+        static_cast<int64_t>(n) * f, std::max<int64_t>(1, kEwGrain / npix),
+        [&](int64_t t0, int64_t t1) {
+          for (int64_t t = t0; t < t1; ++t) {
+            const float bias = bv[t % f];
+            float* oplane = out.data() + t * npix;
+            for (int64_t i = 0; i < npix; ++i) oplane[i] += bias;
+          }
+        });
+  }
 
   std::vector<Tensor> parents = b.defined()
                                     ? std::vector<Tensor>{x, w, b}
                                     : std::vector<Tensor>{x, w};
   return make_result(
       {n, f, ho, wo}, std::move(out), std::move(parents),
-      [x, w, b, n, c, h, ww, f, kh, kw, ho, wo, stride,
-       pad](TensorNode& self) {
+      [x, w, b, n, c, h, ww, f, kh, kw, ho, wo, stride, pad, kdim, npix,
+       fast_1x1](TensorNode& self) {
         const float* go = self.grad.data();
         if (wants_grad(x)) {
           auto& g = *x.node();
           g.ensure_grad();
           const float* wv2 = w.value().data();
-          parallel_for_ranges(static_cast<int64_t>(n) * c, [&](int64_t t0,
-                                                               int64_t t1) {
-            for (int64_t t = t0; t < t1; ++t) {
-              const int ni = static_cast<int>(t / c);
-              const int ci = static_cast<int>(t % c);
-              float* gplane = g.grad.data() + t * h * ww;
-              for (int iy = 0; iy < h; ++iy) {
-                for (int ix = 0; ix < ww; ++ix) {
-                  float acc = 0.0f;
-                  for (int ky = 0; ky < kh; ++ky) {
-                    const int oy_num = iy + pad - ky;
-                    if (oy_num < 0 || oy_num % stride) continue;
-                    const int oy = oy_num / stride;
-                    if (oy >= ho) continue;
-                    for (int kx = 0; kx < kw; ++kx) {
-                      const int ox_num = ix + pad - kx;
-                      if (ox_num < 0 || ox_num % stride) continue;
-                      const int ox = ox_num / stride;
-                      if (ox >= wo) continue;
-                      for (int fi = 0; fi < f; ++fi) {
-                        const float wval =
-                            wv2[((static_cast<size_t>(fi) * c + ci) * kh +
-                                 ky) *
-                                    kw +
-                                kx];
-                        const float gval =
-                            go[((static_cast<size_t>(ni) * f + fi) * ho +
-                                oy) *
-                                   wo +
-                               ox];
-                        acc += wval * gval;
-                      }
-                    }
-                  }
-                  gplane[iy * ww + ix] += acc;
-                }
-              }
+          Workspace::Scope scope;
+          float* dcol =
+              fast_1x1 ? nullptr
+                       : Workspace::tls().floats(
+                             static_cast<size_t>(kdim) * npix);
+          for (int ni = 0; ni < n; ++ni) {
+            const float* gplane = go + static_cast<size_t>(ni) * f * npix;
+            float* gx = g.grad.data() + static_cast<size_t>(ni) * c * h * ww;
+            if (fast_1x1) {
+              // dX plane += W^T (kdim x f) * dOut plane (f x npix).
+              gemm(/*trans_a=*/true, false, kdim, npix, f, wv2, kdim, gplane,
+                   npix, 1.0f, gx, npix);
+            } else {
+              gemm(/*trans_a=*/true, false, kdim, npix, f, wv2, kdim, gplane,
+                   npix, 0.0f, dcol, npix);
+              col2im_add(dcol, c, h, ww, kh, kw, stride, pad, ho, wo, gx);
             }
-          });
+          }
         }
         if (wants_grad(w)) {
           auto& g = *w.node();
           g.ensure_grad();
           const float* xv2 = x.value().data();
-          parallel_for_ranges(f, [&](int64_t f0, int64_t f1) {
-            for (int64_t fi = f0; fi < f1; ++fi) {
-              float* gw = g.grad.data() + fi * c * kh * kw;
-              for (int ni = 0; ni < n; ++ni) {
-                const float* gplane =
-                    go + (static_cast<size_t>(ni) * f + fi) * ho * wo;
-                for (int ci = 0; ci < c; ++ci) {
-                  const float* xplane =
-                      xv2 + (static_cast<size_t>(ni) * c + ci) * h * ww;
-                  for (int ky = 0; ky < kh; ++ky) {
-                    for (int kx = 0; kx < kw; ++kx) {
-                      float acc = 0.0f;
-                      for (int oy = 0; oy < ho; ++oy) {
-                        const int iy = oy * stride - pad + ky;
-                        if (iy < 0 || iy >= h) continue;
-                        for (int ox = 0; ox < wo; ++ox) {
-                          const int ix = ox * stride - pad + kx;
-                          if (ix < 0 || ix >= ww) continue;
-                          acc += xplane[iy * ww + ix] * gplane[oy * wo + ox];
-                        }
-                      }
-                      gw[(static_cast<size_t>(ci) * kh + ky) * kw + kx] += acc;
-                    }
-                  }
-                }
-              }
+          Workspace::Scope scope;
+          float* col =
+              fast_1x1 ? nullptr
+                       : Workspace::tls().floats(
+                             static_cast<size_t>(kdim) * npix);
+          for (int ni = 0; ni < n; ++ni) {
+            const float* xplane = xv2 + static_cast<size_t>(ni) * c * h * ww;
+            const float* patches = xplane;
+            if (!fast_1x1) {
+              im2col(xplane, c, h, ww, kh, kw, stride, pad, ho, wo, col);
+              patches = col;
             }
-          });
+            // dW += dOut plane (f x npix) * patches^T (npix x kdim).
+            gemm(false, /*trans_b=*/true, f, kdim, npix,
+                 go + static_cast<size_t>(ni) * f * npix, npix, patches, npix,
+                 1.0f, g.grad.data(), kdim);
+          }
         }
         if (b.defined() && wants_grad(b)) {
           auto& g = *b.node();
           g.ensure_grad();
-          for (int ni = 0; ni < n; ++ni) {
-            for (int fi = 0; fi < f; ++fi) {
-              const float* gplane =
-                  go + (static_cast<size_t>(ni) * f + fi) * ho * wo;
-              float acc = 0.0f;
-              for (int i = 0; i < ho * wo; ++i) acc += gplane[i];
-              g.grad[static_cast<size_t>(fi)] += acc;
-            }
-          }
+          float* gd = g.grad.data();
+          // Filter-parallel: each range owns disjoint bias entries.
+          parallel_for_ranges(
+              f, std::max<int64_t>(1, kEwGrain / std::max<int64_t>(1, n * npix)),
+              [&](int64_t f0, int64_t f1) {
+                for (int64_t fi = f0; fi < f1; ++fi) {
+                  float acc = 0.0f;
+                  for (int ni = 0; ni < n; ++ni) {
+                    const float* gplane =
+                        go + (static_cast<size_t>(ni) * f + fi) * npix;
+                    for (int64_t i = 0; i < npix; ++i) acc += gplane[i];
+                  }
+                  gd[fi] += acc;
+                }
+              });
         }
       });
 }

@@ -15,6 +15,11 @@ obs::Histogram& task_histogram() {
   return h;
 }
 
+// Set while this thread executes inside a parallel region (worker task or
+// the caller's own share). Nested parallel_ranges calls check it and run
+// inline: the pool's one-task-slot-per-worker design is not reentrant.
+thread_local bool tl_in_parallel_region = false;
+
 }  // namespace
 
 ThreadPool& ThreadPool::instance() {
@@ -59,7 +64,9 @@ void ThreadPool::worker_loop(int worker_index) {
     }
     if (task.fn && task.begin < task.end) {
       obs::ScopedLatency timer(task_histogram());
+      tl_in_parallel_region = true;
       (*task.fn)(task.begin, task.end);
+      tl_in_parallel_region = false;
     }
     {
       std::lock_guard<std::mutex> lock(mu_);
@@ -69,14 +76,19 @@ void ThreadPool::worker_loop(int worker_index) {
 }
 
 void ThreadPool::parallel_ranges(
-    int64_t n, const std::function<void(int64_t, int64_t)>& fn) {
+    int64_t n, const std::function<void(int64_t, int64_t)>& fn,
+    int64_t grain) {
   if (n <= 0) return;
   const int total = num_threads();
-  if (total == 1 || n == 1) {
+  // Fan-out capped by the grain: a loop under 2 grains of work runs inline.
+  const int64_t max_parts =
+      grain > 1 ? std::max<int64_t>(1, n / grain) : n;
+  if (total == 1 || n == 1 || max_parts == 1 || tl_in_parallel_region) {
     fn(0, n);
     return;
   }
-  const int parts = static_cast<int>(std::min<int64_t>(total, n));
+  const int parts =
+      static_cast<int>(std::min<int64_t>(total, std::min<int64_t>(max_parts, n)));
   const int64_t chunk = (n + parts - 1) / parts;
   // Worker i handles [i*chunk, min((i+1)*chunk, n)); caller takes part 0.
   int launched = 0;
@@ -104,7 +116,9 @@ void ThreadPool::parallel_ranges(
     dispatched.inc(static_cast<uint64_t>(launched));
   }
   cv_.notify_all();
+  tl_in_parallel_region = true;
   fn(0, std::min<int64_t>(n, chunk));
+  tl_in_parallel_region = false;
   std::unique_lock<std::mutex> lock(mu_);
   done_cv_.wait(lock, [&] { return pending_ == 0; });
 }
@@ -119,6 +133,11 @@ void parallel_for(int64_t n, const std::function<void(int64_t)>& fn) {
 void parallel_for_ranges(int64_t n,
                          const std::function<void(int64_t, int64_t)>& fn) {
   ThreadPool::instance().parallel_ranges(n, fn);
+}
+
+void parallel_for_ranges(int64_t n, int64_t grain,
+                         const std::function<void(int64_t, int64_t)>& fn) {
+  ThreadPool::instance().parallel_ranges(n, fn, grain);
 }
 
 }  // namespace dcdiff::nn

@@ -28,9 +28,14 @@ class ThreadPool {
   int num_threads() const { return static_cast<int>(workers_.size()) + 1; }
 
   // Calls fn(begin, end) on disjoint ranges covering [0, n). The calling
-  // thread participates. Blocks until all ranges are done. Not reentrant.
+  // thread participates. Blocks until all ranges are done. `grain` bounds
+  // fan-out from below: no more than n / grain ranges are dispatched, so
+  // small loops don't pay full dispatch cost (grain <= 1 means one range
+  // per worker). Nested calls — from a worker, or from fn on the calling
+  // thread — run the whole loop inline instead of deadlocking the pool.
   void parallel_ranges(int64_t n,
-                       const std::function<void(int64_t, int64_t)>& fn);
+                       const std::function<void(int64_t, int64_t)>& fn,
+                       int64_t grain = 1);
 
  private:
   struct Task {
@@ -56,6 +61,10 @@ class ThreadPool {
 void parallel_for(int64_t n, const std::function<void(int64_t)>& fn);
 // Range form (preferred for hot loops: avoids per-element std::function call).
 void parallel_for_ranges(int64_t n,
+                         const std::function<void(int64_t, int64_t)>& fn);
+// Grain-aware range form: dispatches at most n / grain ranges (min 1), so
+// loops whose per-element work is tiny stay serial below the grain.
+void parallel_for_ranges(int64_t n, int64_t grain,
                          const std::function<void(int64_t, int64_t)>& fn);
 
 }  // namespace dcdiff::nn

@@ -1,0 +1,82 @@
+#include "nn/workspace.h"
+
+#include <algorithm>
+
+#include "obs/metrics.h"
+
+namespace dcdiff::nn {
+
+namespace {
+
+constexpr size_t kAlign = 64;
+constexpr size_t kMinBlockBytes = 1u << 16;  // 64 KiB
+
+size_t round_up(size_t n, size_t align) {
+  return (n + align - 1) / align * align;
+}
+
+}  // namespace
+
+Workspace& Workspace::tls() {
+  thread_local Workspace ws;
+  return ws;
+}
+
+void* Workspace::alloc_bytes(size_t bytes) {
+  bytes = round_up(std::max<size_t>(bytes, 1), kAlign);
+  // Advance past blocks without room. Blocks grow geometrically, so a
+  // request that skips a few small early blocks lands in (or creates) one
+  // large enough; skipped space is reclaimed at the next Scope rewind.
+  while (active_ < blocks_.size() &&
+         blocks_[active_].cap - blocks_[active_].used < bytes) {
+    ++active_;
+  }
+  if (active_ == blocks_.size()) {
+    const size_t prev_cap = blocks_.empty() ? 0 : blocks_.back().cap;
+    const size_t cap =
+        std::max({bytes, prev_cap * 2, kMinBlockBytes});
+    Block b;
+    // new[] of std::byte is at least alignof(std::max_align_t)-aligned;
+    // over-allocate so the bump pointer can start on a kAlign boundary.
+    b.data = std::make_unique<std::byte[]>(cap + kAlign);
+    b.cap = cap;
+    blocks_.push_back(std::move(b));
+    reserved_ += cap;
+    static obs::Counter& reserved =
+        obs::counter("nn.workspace.bytes_reserved");
+    reserved.inc(static_cast<uint64_t>(cap));
+  }
+  Block& blk = blocks_[active_];
+  auto base = reinterpret_cast<uintptr_t>(blk.data.get());
+  const uintptr_t aligned_base = round_up(base, kAlign);
+  void* p = reinterpret_cast<void*>(aligned_base + blk.used);
+  blk.used += bytes;
+  in_use_ += bytes;
+  static obs::Gauge& peak = obs::gauge("nn.workspace.bytes_peak");
+  peak.set_max(static_cast<double>(in_use_));
+  return p;
+}
+
+float* Workspace::floats(size_t n) {
+  return static_cast<float*>(alloc_bytes(n * sizeof(float)));
+}
+
+Workspace::Scope::Scope()
+    : ws_(Workspace::tls()),
+      saved_block_(ws_.active_),
+      saved_used_(ws_.blocks_.empty() || ws_.active_ >= ws_.blocks_.size()
+                      ? 0
+                      : ws_.blocks_[ws_.active_].used) {}
+
+Workspace::Scope::~Scope() {
+  size_t freed = 0;
+  for (size_t i = saved_block_; i < ws_.blocks_.size(); ++i) {
+    const size_t keep = i == saved_block_ ? saved_used_ : 0;
+    freed += ws_.blocks_[i].used - keep;
+    ws_.blocks_[i].used = keep;
+  }
+  ws_.in_use_ -= freed;
+  ws_.active_ = std::min(saved_block_, ws_.blocks_.size());
+}
+
+}  // namespace dcdiff::nn

@@ -40,6 +40,17 @@ TEST(Schedule, SqrtConsistency) {
   }
 }
 
+TEST(Schedule, SingleStepScheduleIsFinite) {
+  // T == 1 used to divide by T-1 when interpolating betas -> NaN everywhere.
+  const auto s = DiffusionSchedule::linear(1);
+  ASSERT_EQ(s.T, 1);
+  EXPECT_TRUE(std::isfinite(s.beta[0]));
+  EXPECT_TRUE(std::isfinite(s.alpha_bar[0]));
+  EXPECT_TRUE(std::isfinite(s.sqrt_ab[0]));
+  EXPECT_TRUE(std::isfinite(s.sqrt_one_m_ab[0]));
+  EXPECT_NEAR(s.beta[0], 1e-4f, 1e-6f);
+}
+
 TEST(PredictZ0, InvertsForwardNoising) {
   // z_t = sqrt_ab z0 + sqrt(1-ab) eps  =>  predict_z0(z_t, eps) == z0.
   const auto s = DiffusionSchedule::linear(100);

@@ -1,0 +1,392 @@
+// The blocked GEMM compute path: kernel vs reference over a shape sweep,
+// im2col/col2im adjointness, conv2d/linear equivalence between the blocked
+// and naive routes, gradient checks through the GEMM path, and workspace
+// reuse from concurrent pool workers.
+#include "nn/gemm.h"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <atomic>
+#include <cmath>
+#include <tuple>
+#include <utility>
+#include <vector>
+
+#include "grad_check.h"
+#include "nn/ops.h"
+#include "nn/rng.h"
+#include "nn/threadpool.h"
+#include "nn/workspace.h"
+
+namespace dcdiff::nn {
+namespace {
+
+using dcdiff::testing_util::check_gradient;
+
+// Restores the env-derived default on scope exit so tests don't leak the
+// override into each other.
+struct NaiveGuard {
+  explicit NaiveGuard(bool naive) { set_gemm_naive(naive); }
+  ~NaiveGuard() { set_gemm_naive(false); }
+};
+
+std::vector<float> random_vec(size_t n, Rng& rng, float scale = 1.0f) {
+  std::vector<float> v(n);
+  for (float& x : v) x = rng.normal(0.0f, scale);
+  return v;
+}
+
+Tensor random_tensor(std::vector<int> shape, Rng& rng) {
+  return Tensor::from_data(shape, random_vec(shape_numel(shape), rng));
+}
+
+// Double-precision reference: C = A_op * B_op + beta * C.
+void reference_gemm(bool trans_a, bool trans_b, int64_t m, int64_t n,
+                    int64_t k, const std::vector<float>& a, int64_t lda,
+                    const std::vector<float>& b, int64_t ldb, float beta,
+                    std::vector<float>& c, int64_t ldc) {
+  for (int64_t i = 0; i < m; ++i) {
+    for (int64_t j = 0; j < n; ++j) {
+      double acc = 0.0;
+      for (int64_t p = 0; p < k; ++p) {
+        const float av = trans_a ? a[static_cast<size_t>(p * lda + i)]
+                                 : a[static_cast<size_t>(i * lda + p)];
+        const float bv = trans_b ? b[static_cast<size_t>(j * ldb + p)]
+                                 : b[static_cast<size_t>(p * ldb + j)];
+        acc += static_cast<double>(av) * bv;
+      }
+      float& out = c[static_cast<size_t>(i * ldc + j)];
+      out = static_cast<float>(acc + (beta == 0.0f ? 0.0 : beta * out));
+    }
+  }
+}
+
+void expect_close(const std::vector<float>& got,
+                  const std::vector<float>& want, float rel_tol = 1e-4f) {
+  ASSERT_EQ(got.size(), want.size());
+  for (size_t i = 0; i < got.size(); ++i) {
+    const float scale = std::max(1.0f, std::abs(want[i]));
+    ASSERT_NEAR(got[i], want[i], rel_tol * scale) << "index " << i;
+  }
+}
+
+void run_gemm_case(bool trans_a, bool trans_b, int64_t m, int64_t n,
+                   int64_t k, float beta, uint64_t seed) {
+  Rng rng(seed);
+  const int64_t lda = trans_a ? m : k;
+  const int64_t ldb = trans_b ? k : n;
+  std::vector<float> a = random_vec(static_cast<size_t>(trans_a ? k * m : m * k), rng);
+  std::vector<float> b = random_vec(static_cast<size_t>(trans_b ? n * k : k * n), rng);
+  std::vector<float> c0 = random_vec(static_cast<size_t>(m * n), rng);
+  std::vector<float> got = c0;
+  std::vector<float> want = c0;
+  gemm(trans_a, trans_b, m, n, k, a.data(), lda, b.data(), ldb, beta,
+       got.data(), n);
+  reference_gemm(trans_a, trans_b, m, n, k, a, lda, b, ldb, beta, want, n);
+  expect_close(got, want);
+}
+
+TEST(Gemm, ShapeSweepAgainstReference) {
+  // Edge shapes around the 6x16 register tile, the KC=256 K-block, and the
+  // NC=480 N-block, plus degenerate M/N/K = 1.
+  const int64_t ms[] = {1, 2, 5, 6, 7, 13, 33};
+  const int64_t ns[] = {1, 15, 16, 17, 64};
+  const int64_t ks[] = {1, 7, 64, 300};
+  uint64_t seed = 1;
+  for (int64_t m : ms) {
+    for (int64_t n : ns) {
+      for (int64_t k : ks) {
+        run_gemm_case(false, false, m, n, k, 0.0f, ++seed);
+      }
+    }
+  }
+}
+
+TEST(Gemm, TransposedOperandsAndAccumulate) {
+  uint64_t seed = 100;
+  for (bool ta : {false, true}) {
+    for (bool tb : {false, true}) {
+      for (float beta : {0.0f, 1.0f}) {
+        run_gemm_case(ta, tb, 37, 29, 111, beta, ++seed);
+      }
+    }
+  }
+}
+
+TEST(Gemm, LargeEnoughToEngageAllBlockingLevels) {
+  // m > several MR panels, n > NC, k > KC: exercises the jc/pc loops and
+  // the beta=1 continuation across K-blocks.
+  run_gemm_case(false, false, 64, 600, 520, 0.0f, 7);
+  run_gemm_case(false, true, 40, 500, 300, 1.0f, 8);
+}
+
+TEST(Gemm, NaiveEscapeHatchMatchesBlocked) {
+  Rng rng(9);
+  const int64_t m = 30, n = 70, k = 130;
+  std::vector<float> a = random_vec(static_cast<size_t>(m * k), rng);
+  std::vector<float> b = random_vec(static_cast<size_t>(k * n), rng);
+  std::vector<float> blocked(static_cast<size_t>(m * n));
+  std::vector<float> naive(static_cast<size_t>(m * n));
+  {
+    NaiveGuard guard(false);
+    gemm(false, false, m, n, k, a.data(), k, b.data(), n, 0.0f,
+         blocked.data(), n);
+  }
+  {
+    NaiveGuard guard(true);
+    gemm(false, false, m, n, k, a.data(), k, b.data(), n, 0.0f, naive.data(),
+         n);
+  }
+  expect_close(blocked, naive);
+}
+
+// ---------- im2col / col2im ----------
+
+TEST(Im2col, MatchesDirectPatchExtraction) {
+  const int c = 3, h = 7, w = 5, kh = 3, kw = 3, stride = 2, pad = 1;
+  const int ho = (h + 2 * pad - kh) / stride + 1;
+  const int wo = (w + 2 * pad - kw) / stride + 1;
+  Rng rng(11);
+  std::vector<float> x = random_vec(static_cast<size_t>(c) * h * w, rng);
+  std::vector<float> col(static_cast<size_t>(c) * kh * kw * ho * wo, -42.0f);
+  im2col(x.data(), c, h, w, kh, kw, stride, pad, ho, wo, col.data());
+  for (int ci = 0; ci < c; ++ci) {
+    for (int ky = 0; ky < kh; ++ky) {
+      for (int kx = 0; kx < kw; ++kx) {
+        const int r = (ci * kh + ky) * kw + kx;
+        for (int oy = 0; oy < ho; ++oy) {
+          for (int ox = 0; ox < wo; ++ox) {
+            const int iy = oy * stride - pad + ky;
+            const int ix = ox * stride - pad + kx;
+            const float want =
+                (iy < 0 || iy >= h || ix < 0 || ix >= w)
+                    ? 0.0f
+                    : x[static_cast<size_t>((ci * h + iy) * w + ix)];
+            EXPECT_FLOAT_EQ(
+                col[static_cast<size_t>((r * ho + oy) * wo + ox)], want)
+                << "r=" << r << " oy=" << oy << " ox=" << ox;
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(Im2col, Col2imRoundTripScalesByPatchCoverage) {
+  // col2im(im2col(x)) multiplies each input pixel by the number of patches
+  // that read it; verify against a directly-counted coverage map.
+  constexpr std::array<std::pair<int, int>, 4> configs{
+      {{1, 1}, {2, 1}, {1, 0}, {3, 2}}};
+  for (const auto& [stride, pad] : configs) {
+    const int c = 2, h = 6, w = 9, kh = 3, kw = 3;
+    const int ho = (h + 2 * pad - kh) / stride + 1;
+    const int wo = (w + 2 * pad - kw) / stride + 1;
+    if (ho <= 0 || wo <= 0) continue;
+    Rng rng(13);
+    std::vector<float> x = random_vec(static_cast<size_t>(c) * h * w, rng);
+    std::vector<float> col(static_cast<size_t>(c) * kh * kw * ho * wo);
+    im2col(x.data(), c, h, w, kh, kw, stride, pad, ho, wo, col.data());
+    std::vector<float> back(x.size(), 0.0f);
+    col2im_add(col.data(), c, h, w, kh, kw, stride, pad, ho, wo, back.data());
+    std::vector<int> coverage(static_cast<size_t>(h) * w, 0);
+    for (int ky = 0; ky < kh; ++ky) {
+      for (int kx = 0; kx < kw; ++kx) {
+        for (int oy = 0; oy < ho; ++oy) {
+          for (int ox = 0; ox < wo; ++ox) {
+            const int iy = oy * stride - pad + ky;
+            const int ix = ox * stride - pad + kx;
+            if (iy >= 0 && iy < h && ix >= 0 && ix < w) {
+              ++coverage[static_cast<size_t>(iy * w + ix)];
+            }
+          }
+        }
+      }
+    }
+    for (int ci = 0; ci < c; ++ci) {
+      for (int i = 0; i < h * w; ++i) {
+        const size_t idx = static_cast<size_t>(ci * h * w + i);
+        EXPECT_NEAR(back[idx], x[idx] * static_cast<float>(coverage[static_cast<size_t>(i)]),
+                    1e-4f * std::max(1.0f, std::abs(back[idx])))
+            << "stride=" << stride << " pad=" << pad << " idx=" << idx;
+      }
+    }
+  }
+}
+
+// ---------- conv2d / linear equivalence, blocked vs naive ----------
+
+struct ConvCase {
+  int n, c, h, w, f, k, stride, pad;
+};
+
+TEST(ConvGemmPath, ForwardAndGradMatchNaiveRoute) {
+  const ConvCase cases[] = {
+      {2, 3, 8, 8, 5, 3, 1, 1},   // padded same-size conv
+      {1, 4, 9, 7, 6, 3, 2, 1},   // strided, non-square
+      {2, 4, 6, 6, 8, 1, 1, 0},   // 1x1 zero-copy fast path
+      {1, 2, 5, 5, 3, 5, 1, 2},   // kernel as large as the input
+  };
+  for (const ConvCase& cc : cases) {
+    Rng rng(17);
+    Tensor x = random_tensor({cc.n, cc.c, cc.h, cc.w}, rng);
+    Tensor w = random_tensor({cc.f, cc.c, cc.k, cc.k}, rng);
+    Tensor b = random_tensor({cc.f}, rng);
+    x.set_requires_grad(true);
+    w.set_requires_grad(true);
+    b.set_requires_grad(true);
+
+    auto run = [&](bool naive) {
+      NaiveGuard guard(naive);
+      x.zero_grad();
+      w.zero_grad();
+      b.zero_grad();
+      Tensor y = conv2d(x, w, b, cc.stride, cc.pad);
+      sum(mul(y, y)).backward();
+      return std::tuple{y.value(), x.grad(), w.grad(), b.grad()};
+    };
+    auto [yv_b, xg_b, wg_b, bg_b] = run(false);
+    auto [yv_n, xg_n, wg_n, bg_n] = run(true);
+    expect_close(yv_b, yv_n);
+    expect_close(xg_b, xg_n);
+    expect_close(wg_b, wg_n);
+    expect_close(bg_b, bg_n);
+  }
+}
+
+TEST(LinearGemmPath, ForwardAndGradMatchNaiveRoute) {
+  Rng rng(19);
+  Tensor x = random_tensor({9, 37}, rng);
+  Tensor w = random_tensor({23, 37}, rng);
+  Tensor b = random_tensor({23}, rng);
+  x.set_requires_grad(true);
+  w.set_requires_grad(true);
+  b.set_requires_grad(true);
+  auto run = [&](bool naive) {
+    NaiveGuard guard(naive);
+    x.zero_grad();
+    w.zero_grad();
+    b.zero_grad();
+    Tensor y = linear(x, w, b);
+    sum(mul(y, y)).backward();
+    return std::tuple{y.value(), x.grad(), w.grad(), b.grad()};
+  };
+  auto [yv_b, xg_b, wg_b, bg_b] = run(false);
+  auto [yv_n, xg_n, wg_n, bg_n] = run(true);
+  expect_close(yv_b, yv_n);
+  expect_close(xg_b, xg_n);
+  expect_close(wg_b, wg_n);
+  expect_close(bg_b, bg_n);
+}
+
+TEST(ConvGemmPath, GradCheckThroughBlockedKernel) {
+  NaiveGuard guard(false);
+  Rng rng(23);
+  Tensor x = random_tensor({1, 2, 5, 5}, rng);
+  Tensor w = random_tensor({3, 2, 3, 3}, rng);
+  Tensor b = random_tensor({3}, rng);
+  check_gradient(x, [&] { return mean(conv2d(x, w, b, 2, 1)); });
+  check_gradient(w, [&] { return mean(conv2d(x, w, b, 1, 1)); });
+}
+
+TEST(LinearGemmPath, GradCheckThroughBlockedKernel) {
+  NaiveGuard guard(false);
+  Rng rng(29);
+  Tensor x = random_tensor({3, 7}, rng);
+  Tensor w = random_tensor({4, 7}, rng);
+  Tensor b = random_tensor({4}, rng);
+  check_gradient(x, [&] { return mean(linear(x, w, b)); });
+  check_gradient(w, [&] { return mean(linear(x, w, b)); });
+}
+
+// ---------- workspace ----------
+
+TEST(Workspace, ScopeRewindReusesMemory) {
+  Workspace& ws = Workspace::tls();
+  size_t reserved_after_first = 0;
+  {
+    Workspace::Scope scope;
+    float* p = ws.floats(1000);
+    p[0] = 1.0f;
+    p[999] = 2.0f;
+    EXPECT_GE(ws.bytes_in_use(), 1000 * sizeof(float));
+    reserved_after_first = ws.bytes_reserved();
+  }
+  const size_t in_use_after = ws.bytes_in_use();
+  {
+    Workspace::Scope scope;
+    ws.floats(500);
+    ws.floats(500);
+    // Same arena blocks serve the second scope: no new reservation.
+    EXPECT_EQ(ws.bytes_reserved(), reserved_after_first);
+  }
+  EXPECT_EQ(ws.bytes_in_use(), in_use_after);
+}
+
+TEST(Workspace, PointersSurviveArenaGrowthWithinScope) {
+  Workspace& ws = Workspace::tls();
+  Workspace::Scope scope;
+  float* small = ws.floats(16);
+  for (int i = 0; i < 16; ++i) small[i] = static_cast<float>(i);
+  // Force new block allocations; `small` must stay valid and intact.
+  ws.floats(1 << 20);
+  ws.floats(1 << 21);
+  for (int i = 0; i < 16; ++i) {
+    EXPECT_FLOAT_EQ(small[i], static_cast<float>(i));
+  }
+}
+
+TEST(Workspace, ConcurrentConvCallsFromPoolWorkersMatchSerial) {
+  // Each pool worker runs conv2d (whose GEMM would itself try to
+  // parallelize -- the nested call must run inline) against its own
+  // thread-local arena. Results must be identical to serial execution.
+  NoGradGuard no_grad;
+  Rng rng(31);
+  const int tasks = 16;
+  std::vector<Tensor> xs, ws_, bs;
+  for (int i = 0; i < tasks; ++i) {
+    xs.push_back(random_tensor({1, 3, 12, 12}, rng));
+    ws_.push_back(random_tensor({8, 3, 3, 3}, rng));
+    bs.push_back(random_tensor({8}, rng));
+  }
+  std::vector<std::vector<float>> serial(static_cast<size_t>(tasks));
+  for (int i = 0; i < tasks; ++i) {
+    serial[static_cast<size_t>(i)] =
+        conv2d(xs[static_cast<size_t>(i)], ws_[static_cast<size_t>(i)],
+               bs[static_cast<size_t>(i)], 1, 1)
+            .value();
+  }
+  std::vector<std::vector<float>> concurrent(static_cast<size_t>(tasks));
+  parallel_for(tasks, [&](int64_t i) {
+    concurrent[static_cast<size_t>(i)] =
+        conv2d(xs[static_cast<size_t>(i)], ws_[static_cast<size_t>(i)],
+               bs[static_cast<size_t>(i)], 1, 1)
+            .value();
+  });
+  for (int i = 0; i < tasks; ++i) {
+    EXPECT_EQ(serial[static_cast<size_t>(i)], concurrent[static_cast<size_t>(i)])
+        << "task " << i;
+  }
+}
+
+// ---------- threadpool grain ----------
+
+TEST(ThreadPoolGrain, GrainedRangesCoverEveryIndexOnce) {
+  constexpr std::array<std::pair<int64_t, int64_t>, 4> cases{
+      {{100, 7}, {5, 100}, {4096, 1}, {1, 1}}};
+  for (const auto& [n, grain] : cases) {
+    std::vector<std::atomic<int>> hits(static_cast<size_t>(n));
+    for (auto& h : hits) h.store(0);
+    parallel_for_ranges(n, grain, [&](int64_t b, int64_t e) {
+      for (int64_t i = b; i < e; ++i) {
+        hits[static_cast<size_t>(i)].fetch_add(1);
+      }
+    });
+    for (int64_t i = 0; i < n; ++i) {
+      EXPECT_EQ(hits[static_cast<size_t>(i)].load(), 1) << "index " << i;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace dcdiff::nn
