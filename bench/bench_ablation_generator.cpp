@@ -12,7 +12,8 @@ using namespace dcdiff::bench;
 int main() {
   print_header("Ablation: diffusion generator vs one-shot regression");
 
-  const core::DCDiffModel& model = core::shared_model();
+  const core::DCDiffModel& model =
+      *core::ModelPool::instance().default_instance();
   core::RegressionEstimator regression(model.autoencoder(),
                                        model.config().unet);
   regression.train_or_load();

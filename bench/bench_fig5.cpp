@@ -25,7 +25,7 @@ int main() {
       {"aerial", data::DatasetId::kInria, 0},
   };
 
-  core::shared_model();
+  core::ModelPool::instance().default_instance();
   baselines::shared_corrector();
 
   for (const Scene& scene : scenes) {

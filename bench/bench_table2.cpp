@@ -46,7 +46,7 @@ int quality_matching_lpips(const Image& original, double target_lpips) {
 
 int main() {
   print_header("Table II: compression ratio vs standard JPEG");
-  core::shared_model();
+  const auto model = core::ModelPool::instance().default_instance();
 
   std::printf("\n-- Same Q-table (Q50): dropped-DC bits / standard bits --\n");
   std::printf("%-10s %8s %8s %8s\n", "Dataset", "min", "max", "avg");
@@ -75,7 +75,7 @@ int main() {
       const size_t dropped_bits =
           jpeg::entropy_bit_count(jpeg::with_dropped_dc(coeffs));
       jpeg::CoeffImage dc_dropped = jpeg::with_dropped_dc(coeffs);
-      const Image rec = core::shared_model().reconstruct(dc_dropped);
+      const Image rec = model->reconstruct(dc_dropped);
       const double target = metrics::lpips_proxy(img, rec);
       const int q = quality_matching_lpips(img, target);
       qsum += q;

@@ -26,8 +26,11 @@ metrics::QualityReport eval_model(const core::DCDiffModel& model,
     const Image original = data::dataset_image(id, i, eval_size());
     jpeg::CoeffImage coeffs = jpeg::forward_transform(original, 50);
     jpeg::drop_dc(coeffs);
-    reports.push_back(metrics::evaluate(
-        original, model.reconstruct(coeffs, use_fmpp, ddim_steps)));
+    core::ReconstructOptions opts;
+    opts.use_fmpp = use_fmpp;
+    opts.ddim_steps = ddim_steps;
+    reports.push_back(
+        metrics::evaluate(original, model.reconstruct(coeffs, opts)));
   }
   return metrics::average(reports);
 }
@@ -42,17 +45,15 @@ void print_row(const char* label, const metrics::QualityReport& r) {
 int main() {
   print_header("Table III: ablations (w/o MLD, w/o FMPP, mask threshold T)");
 
-  const core::DCDiffModel& full = core::shared_model();
-  std::unique_ptr<core::DCDiffModel> womld =
-      core::make_variant_model(/*use_mld=*/false, 10.0f);
-  std::unique_ptr<core::DCDiffModel> t0 = core::make_variant_model(true, 0.0f);
-  std::unique_ptr<core::DCDiffModel> t5 = core::make_variant_model(true, 5.0f);
-  std::unique_ptr<core::DCDiffModel> t15 =
-      core::make_variant_model(true, 15.0f);
+  const core::DCDiffModel& full =
+      *core::ModelPool::instance().default_instance();
+  const auto womld = core::make_variant_model(/*use_mld=*/false, 10.0f);
+  const auto t0 = core::make_variant_model(true, 0.0f);
+  const auto t5 = core::make_variant_model(true, 5.0f);
+  const auto t15 = core::make_variant_model(true, 15.0f);
   // T = 10 variant (same schedule as the other T rows, so the sweep is
   // apples-to-apples even though the full model also uses T = 10).
-  std::unique_ptr<core::DCDiffModel> t10 =
-      core::make_variant_model(true, 10.0f);
+  const auto t10 = core::make_variant_model(true, 10.0f);
 
   for (data::DatasetId id :
        {data::DatasetId::kKodak, data::DatasetId::kInria}) {

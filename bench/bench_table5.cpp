@@ -13,7 +13,7 @@ int main() {
 
   downstream::RSClassifier clf;
   clf.train_or_load();
-  core::shared_model();
+  core::ModelPool::instance().default_instance();
   baselines::shared_corrector();
 
   const int size = eval_size();

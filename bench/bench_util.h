@@ -178,7 +178,8 @@ inline Image run_method(Method m, const jpeg::CoeffImage& dropped) {
       return baselines::recover_dc(dropped,
                                    baselines::RecoveryMethod::kICIP2022);
     case Method::kDCDiff:
-      return core::shared_model().reconstruct(dropped);
+      return core::ModelPool::instance().default_instance()->reconstruct(
+          dropped);
   }
   throw std::logic_error("run_method: bad method");
 }

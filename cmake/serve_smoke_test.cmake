@@ -1,0 +1,48 @@
+# CTest script: end-to-end smoke of the batched serving engine. Runs
+# serve_tool (tiny fast model, weights cached in WORK_DIR) with two client
+# sessions submitting concurrently and a max_batch=4 worker, and asserts the
+# run reports success ("serve_tool: OK") with every request served. The tool
+# itself verifies per-request status and reconstruction quality; this script
+# only checks process-level behaviour so the smoke stays robust on loaded CI
+# hosts.
+#
+# Invoked as:
+#   cmake -DSERVE_TOOL=<path-to-binary> -DWORK_DIR=<scratch-dir>
+#         -P serve_smoke_test.cmake
+
+if(NOT SERVE_TOOL)
+  message(FATAL_ERROR "SERVE_TOOL binary path not set")
+endif()
+if(NOT WORK_DIR)
+  message(FATAL_ERROR "WORK_DIR not set")
+endif()
+
+file(MAKE_DIRECTORY "${WORK_DIR}")
+
+execute_process(
+  COMMAND ${CMAKE_COMMAND} -E env
+          "DCDIFF_QUICKSTART_FAST=1"
+          "DCDIFF_CACHE_DIR=${WORK_DIR}/weights"
+          "DCDIFF_SERVE_MAX_BATCH=4"
+          "DCDIFF_LOG_LEVEL=warn"
+          "${SERVE_TOOL}" 8 2
+  WORKING_DIRECTORY "${WORK_DIR}"
+  RESULT_VARIABLE run_result
+  OUTPUT_VARIABLE run_output
+  ERROR_VARIABLE run_errors)
+if(NOT run_result EQUAL 0)
+  message(FATAL_ERROR "serve_tool exited with ${run_result}\n"
+                      "stdout:\n${run_output}\nstderr:\n${run_errors}")
+endif()
+
+string(FIND "${run_output}" "serve_tool: OK" ok_pos)
+if(ok_pos EQUAL -1)
+  message(FATAL_ERROR "serve_tool did not report OK\nstdout:\n${run_output}")
+endif()
+string(FIND "${run_output}" "served 8/8 images" served_pos)
+if(served_pos EQUAL -1)
+  message(FATAL_ERROR "serve_tool did not serve all 8 requests\n"
+                      "stdout:\n${run_output}")
+endif()
+
+message(STATUS "serve smoke OK")

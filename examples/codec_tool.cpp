@@ -76,7 +76,7 @@ int cmd_recover(int argc, char** argv) {
   } else if (method == "icip") {
     out = baselines::recover_dc(ci, baselines::RecoveryMethod::kICIP2022);
   } else if (method == "dcdiff") {
-    out = core::shared_model().reconstruct(ci);
+    out = core::ModelPool::instance().default_instance()->reconstruct(ci);
   } else {
     std::fprintf(stderr, "unknown method %s\n", method.c_str());
     return 1;

@@ -48,7 +48,8 @@ int main() {
     const Image& frame = frames[static_cast<size_t>(cam * kFramesPerCamera)];
     jpeg::CoeffImage coeffs = jpeg::forward_transform(frame, kQuality);
     jpeg::drop_dc(coeffs);
-    const Image rec = core::shared_model().reconstruct(coeffs);
+    const Image rec =
+        core::ModelPool::instance().default_instance()->reconstruct(coeffs);
     const auto r = metrics::evaluate(frame, rec);
     std::printf("  camera %d: PSNR %6.2f dB  LPIPS %.4f\n", cam, r.psnr,
                 r.lpips);

@@ -62,7 +62,7 @@ const core::DCDiffModel& quickstart_model() {
     }();
     return *model;
   }
-  return core::shared_model();
+  return *core::ModelPool::instance().default_instance();
 }
 
 }  // namespace

@@ -29,7 +29,8 @@ int main() {
       classifier.accuracy(start, count, size, [](const Image& img) {
         jpeg::CoeffImage coeffs = jpeg::forward_transform(img, 50);
         jpeg::drop_dc(coeffs);
-        return core::shared_model().reconstruct(coeffs);
+        return core::ModelPool::instance().default_instance()->reconstruct(
+            coeffs);
       });
   std::printf("accuracy after DC drop + DCDiff reconstruction: %.1f%% "
               "(drop %.2f pp)\n",
@@ -42,7 +43,8 @@ int main() {
     const Image img = data::remote_sensing_image(idx, size);
     jpeg::CoeffImage coeffs = jpeg::forward_transform(img, 50);
     jpeg::drop_dc(coeffs);
-    const Image rec = core::shared_model().reconstruct(coeffs);
+    const Image rec =
+        core::ModelPool::instance().default_instance()->reconstruct(coeffs);
     std::printf("  true=%-9s clean->%-9s dcdiff->%-9s (PSNR %.1f dB)\n",
                 data::remote_sensing_class_name(data::remote_sensing_label(idx)),
                 data::remote_sensing_class_name(classifier.predict(img)),

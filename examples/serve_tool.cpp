@@ -1,0 +1,153 @@
+// serve_tool: drive the batched receiver serving engine end to end.
+//
+// Encodes N Kodak-style images with the DC-dropping sender, then plays them
+// against a ReceiverServer from M concurrent client sessions. Prints
+// throughput, latency percentiles, and the server's own accounting — the
+// numbers an operator would watch in production.
+//
+// Usage: serve_tool [num_images] [num_clients]
+//
+// Knobs (environment):
+//   DCDIFF_QUICKSTART_FAST=1      tiny model (seconds to train; used by the
+//                                 `serve_smoke` CTest)
+//   DCDIFF_SERVE_MAX_BATCH        requests fused per model call (default 4)
+//   DCDIFF_SERVE_BATCH_TIMEOUT_MS microbatch window (default 2)
+//   DCDIFF_SERVE_QUEUE_CAP        queue bound; beyond it submits are rejected
+//   DCDIFF_SERVE_WORKERS          batching worker threads
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <future>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/pipeline.h"
+#include "data/datasets.h"
+#include "image/image.h"
+#include "metrics/metrics.h"
+#include "obs/env.h"
+#include "obs/metrics.h"
+#include "serve/server.h"
+
+using namespace dcdiff;
+
+namespace {
+
+core::DCDiffConfig fast_config() {
+  core::DCDiffConfig cfg;
+  cfg.image_size = 32;
+  cfg.stage1_steps = 6;
+  cfg.stage2_steps = 6;
+  cfg.fmpp_steps = 2;
+  cfg.batch = 1;
+  cfg.ddim_steps = 4;
+  cfg.diffusion_T = 50;
+  cfg.ae.base = 8;
+  cfg.ae.ac_channels = 8;
+  cfg.unet.base = 8;
+  cfg.unet.temb_dim = 16;
+  cfg.ae_tag = "quickfast_ae";
+  cfg.tag = "quickfast";
+  return cfg;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const int num_images = argc > 1 ? std::atoi(argv[1]) : 8;
+  const int num_clients = argc > 2 ? std::atoi(argv[2]) : 2;
+  if (num_images <= 0 || num_clients <= 0) {
+    std::fprintf(stderr, "usage: %s [num_images>0] [num_clients>0]\n", argv[0]);
+    return 2;
+  }
+
+  const bool fast = obs::env_int("DCDIFF_QUICKSTART_FAST", 0) > 0;
+  std::printf("serve_tool: %d images, %d client sessions, %s model\n",
+              num_images, num_clients, fast ? "quickstart-fast" : "full");
+
+  auto model = fast ? core::ModelPool::instance().get(fast_config())
+                    : core::ModelPool::instance().default_instance();
+
+  // Sender side: DC-dropped bitstreams for a spread of dataset images.
+  const int size = 2 * model->config().image_size;
+  std::vector<std::vector<uint8_t>> bitstreams;
+  std::vector<Image> originals;
+  for (int i = 0; i < num_images; ++i) {
+    originals.push_back(data::dataset_image(data::DatasetId::kKodak, i, size));
+    bitstreams.push_back(core::sender_encode(originals.back()).bytes);
+  }
+
+  serve::ReceiverServer server(serve::ServerConfig::from_env(), model);
+  const auto& cfg = server.config();
+  std::printf("server: max_batch=%d batch_timeout_ms=%d queue_capacity=%d "
+              "workers=%d\n",
+              cfg.max_batch, cfg.batch_timeout_ms, cfg.queue_capacity,
+              cfg.workers);
+
+  // Each client session submits its share of the stream concurrently.
+  const auto t0 = std::chrono::steady_clock::now();
+  std::vector<std::thread> clients;
+  std::vector<int> ok_counts(static_cast<size_t>(num_clients), 0);
+  std::vector<double> psnr_sums(static_cast<size_t>(num_clients), 0.0);
+  for (int c = 0; c < num_clients; ++c) {
+    clients.emplace_back([&, c] {
+      serve::Session session = server.open_session();
+      std::vector<std::future<serve::Result>> futs;
+      std::vector<int> idx;
+      for (int i = c; i < num_images; i += num_clients) {
+        futs.push_back(session.submit(bitstreams[static_cast<size_t>(i)]));
+        idx.push_back(i);
+      }
+      for (size_t k = 0; k < futs.size(); ++k) {
+        serve::Result r = futs[k].get();
+        if (!r.status.is_ok()) {
+          std::fprintf(stderr, "request %d failed: %s\n", idx[k],
+                       r.status.to_string().c_str());
+          continue;
+        }
+        ok_counts[static_cast<size_t>(c)]++;
+        psnr_sums[static_cast<size_t>(c)] +=
+            metrics::psnr(originals[static_cast<size_t>(idx[k])], r.image);
+      }
+    });
+  }
+  for (auto& t : clients) t.join();
+  const double wall = std::chrono::duration<double>(
+                          std::chrono::steady_clock::now() - t0)
+                          .count();
+
+  int ok = 0;
+  double psnr_sum = 0;
+  for (int c = 0; c < num_clients; ++c) {
+    ok += ok_counts[static_cast<size_t>(c)];
+    psnr_sum += psnr_sums[static_cast<size_t>(c)];
+  }
+  const auto stats = server.stats();
+  obs::Histogram& e2e = obs::histogram("serve.e2e_seconds");
+  obs::Histogram& bsz = obs::histogram("serve.batch_size");
+  std::printf("served %d/%d images in %.3fs (%.2f images/sec), "
+              "mean PSNR %.2f dB\n",
+              ok, num_images, wall,
+              static_cast<double>(ok) / wall,
+              ok > 0 ? psnr_sum / ok : 0.0);
+  std::printf("latency p50=%.1fms p99=%.1fms  mean batch=%.2f over %llu "
+              "batches\n",
+              1e3 * e2e.percentile(0.5), 1e3 * e2e.percentile(0.99),
+              bsz.count() ? bsz.sum() / static_cast<double>(bsz.count()) : 0.0,
+              static_cast<unsigned long long>(stats.batches));
+  std::printf("stats: accepted=%llu completed=%llu rejected_queue_full=%llu "
+              "rejected_decode=%llu deadline_expired=%llu\n",
+              static_cast<unsigned long long>(stats.accepted),
+              static_cast<unsigned long long>(stats.completed),
+              static_cast<unsigned long long>(stats.rejected_queue_full),
+              static_cast<unsigned long long>(stats.rejected_decode),
+              static_cast<unsigned long long>(stats.deadline_expired));
+
+  if (ok != num_images) {
+    std::fprintf(stderr, "serve_tool: %d requests failed\n", num_images - ok);
+    return 1;
+  }
+  std::printf("serve_tool: OK\n");
+  return 0;
+}

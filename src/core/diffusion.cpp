@@ -226,6 +226,11 @@ Tensor ddim_sample(const UNet& unet, const DiffusionSchedule& sched,
   Tensor z = noise;
   static obs::Histogram& step_lat = obs::histogram("core.ddim.step_seconds");
   static obs::Counter& step_count = obs::counter("core.ddim.steps");
+  // Latent rows sharing this sampling pass (images x ensemble members): the
+  // serving engine's microbatching shows up here as rows > 1.
+  static obs::Histogram& rows_hist = obs::histogram(
+      "core.ddim.batch_rows", {1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0});
+  rows_hist.observe(static_cast<double>(n));
   // Reused across steps; only the (uniform) timestep value changes.
   std::vector<int> tvec(static_cast<size_t>(n));
   for (int k = steps - 1; k >= 0; --k) {

@@ -3,6 +3,10 @@
 #include <algorithm>
 #include <chrono>
 #include <cmath>
+#include <future>
+#include <map>
+#include <mutex>
+#include <utility>
 
 #include "core/losses.h"
 #include "core/postprocess.h"
@@ -328,14 +332,8 @@ void DCDiffModel::train_or_load() {
   set_requires_grad(disc_->params(), false);
 }
 
-namespace {
-
-
-
-}  // namespace
-
-Image DCDiffModel::reconstruct(const jpeg::CoeffImage& dropped, bool use_fmpp,
-                               int ddim_steps) const {
+Image DCDiffModel::reconstruct(const jpeg::CoeffImage& dropped,
+                               const ReconstructOptions& opts) const {
   NoGradGuard no_grad;
   DCDIFF_TRACE_SPAN("reconstruct");
   static obs::Histogram& lat = obs::histogram("core.reconstruct_seconds");
@@ -350,16 +348,17 @@ Image DCDiffModel::reconstruct(const jpeg::CoeffImage& dropped, bool use_fmpp,
   const ControlModule::Features ctrl = control_->forward(tilde_t);
   const ACFeatures acfeat = ae_->encode_ac(tilde_t);
   Tensor s, b;
-  if (use_fmpp) {
+  if (opts.use_fmpp) {
     const FMPP::Factors f = fmpp_->forward(tilde_t);
     s = f.s;
     b = f.b;
   }
-  Rng rng(cfg_.seed ^ 0x5A3D1Eull);
-  const int steps = ddim_steps > 0 ? ddim_steps : cfg_.ddim_steps;
+  Rng rng((opts.seed ? opts.seed : cfg_.seed) ^ 0x5A3D1Eull);
+  const int steps = opts.ddim_steps > 0 ? opts.ddim_steps : cfg_.ddim_steps;
   // Posterior-mean estimate: average the z0 samples of a small ensemble of
   // independent noise seeds (deterministic: seeds derive from the config).
-  const int ensemble = std::max(1, cfg_.sample_ensemble);
+  const int ensemble =
+      opts.ensemble > 0 ? opts.ensemble : std::max(1, cfg_.sample_ensemble);
   Tensor z0;
   for (int e = 0; e < ensemble; ++e) {
     DCDIFF_TRACE_SPAN("ensemble_member");
@@ -381,6 +380,148 @@ Image DCDiffModel::reconstruct(const jpeg::CoeffImage& dropped, bool use_fmpp,
     rgb = crop(rgb, 0, 0, dropped.width, dropped.height);
   }
   return project_onto_known_ac(rgb, dropped);
+}
+
+Image DCDiffModel::reconstruct(const jpeg::CoeffImage& dropped, bool use_fmpp,
+                               int ddim_steps) const {
+  ReconstructOptions opts;
+  opts.use_fmpp = use_fmpp;
+  opts.ddim_steps = ddim_steps;
+  return reconstruct(dropped, opts);
+}
+
+std::vector<Image> DCDiffModel::reconstruct_batch(
+    const std::vector<const jpeg::CoeffImage*>& dropped,
+    const ReconstructOptions& opts) const {
+  NoGradGuard no_grad;
+  DCDIFF_TRACE_SPAN("reconstruct_batch");
+  static obs::Histogram& lat = obs::histogram("core.reconstruct_seconds");
+  obs::ScopedLatency timer(lat);
+  static obs::Counter& images = obs::counter("core.reconstruct.images");
+  static obs::Histogram& batch_hist =
+      obs::histogram("core.reconstruct.batch_size",
+                     {1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0});
+  const int total = static_cast<int>(dropped.size());
+  if (total == 0) return {};
+  images.inc(static_cast<uint64_t>(total));
+  batch_hist.observe(static_cast<double>(total));
+
+  const int steps = opts.ddim_steps > 0 ? opts.ddim_steps : cfg_.ddim_steps;
+  const int ensemble =
+      opts.ensemble > 0 ? opts.ensemble : std::max(1, cfg_.sample_ensemble);
+  const uint64_t noise_seed = (opts.seed ? opts.seed : cfg_.seed) ^ 0x5A3D1Eull;
+
+  // Per-image padded tilde fields. Images are grouped by padded size: every
+  // op downstream requires a uniform spatial shape per batch, and keeping
+  // each image at exactly its single-path padded size is what makes the
+  // batched outputs match the single-image path.
+  std::vector<Image> tildes(static_cast<size_t>(total));
+  std::vector<std::pair<int, int>> sizes(static_cast<size_t>(total));
+  for (int i = 0; i < total; ++i) {
+    tildes[static_cast<size_t>(i)] =
+        pad_to_multiple(jpeg::tilde_image(*dropped[static_cast<size_t>(i)]), 8);
+    sizes[static_cast<size_t>(i)] = {tildes[static_cast<size_t>(i)].height(),
+                                     tildes[static_cast<size_t>(i)].width()};
+  }
+  std::vector<std::pair<std::pair<int, int>, std::vector<int>>> groups;
+  for (int i = 0; i < total; ++i) {
+    auto it = std::find_if(groups.begin(), groups.end(), [&](const auto& g) {
+      return g.first == sizes[static_cast<size_t>(i)];
+    });
+    if (it == groups.end()) {
+      groups.push_back({sizes[static_cast<size_t>(i)], {i}});
+    } else {
+      it->second.push_back(i);
+    }
+  }
+
+  std::vector<Image> results(static_cast<size_t>(total));
+  for (const auto& group : groups) {
+    const std::vector<int>& idx = group.second;
+    const int n = static_cast<int>(idx.size());
+    const int ph = group.first.first, pw = group.first.second;
+
+    std::vector<Tensor> tilde_ts;
+    tilde_ts.reserve(idx.size());
+    for (int i : idx) {
+      tilde_ts.push_back(tilde_to_tensor(tildes[static_cast<size_t>(i)]));
+    }
+    const Tensor tilde_b = n == 1 ? tilde_ts[0] : stack_batch(tilde_ts);
+
+    // Conditioning runs once per image (batch n); sampling runs on the
+    // folded batch axis of n * ensemble rows, each image's members adjacent.
+    ControlModule::Features ctrl = control_->forward(tilde_b);
+    const ACFeatures acfeat = ae_->encode_ac(tilde_b);
+    Tensor s, b;
+    if (opts.use_fmpp) {
+      const FMPP::Factors f = fmpp_->forward(tilde_b);
+      s = repeat_batch(f.s, ensemble);
+      b = repeat_batch(f.b, ensemble);
+    }
+    if (ensemble > 1) {
+      ctrl.c1 = repeat_batch(ctrl.c1, ensemble);
+      ctrl.c2 = repeat_batch(ctrl.c2, ensemble);
+    }
+
+    // Noise rows replicate the single-image derivation exactly: each image
+    // draws its ensemble sequence from a fresh Rng(seed ^ tweak), so row
+    // (i, e) here is bitwise the e-th member noise of a lone reconstruct().
+    const std::vector<int> noise_shape = {1, cfg_.unet.z_channels, ph / 4,
+                                          pw / 4};
+    std::vector<Tensor> noise_rows;
+    noise_rows.reserve(static_cast<size_t>(n) * ensemble);
+    for (int i = 0; i < n; ++i) {
+      Rng rng(noise_seed);
+      for (int e = 0; e < ensemble; ++e) {
+        noise_rows.push_back(randn_like_shape(noise_shape, rng));
+      }
+    }
+    const Tensor noise = noise_rows.size() == 1 ? noise_rows[0]
+                                                : stack_batch(noise_rows);
+
+    const Tensor z_rows = ddim_sample(*unet_, sched_, ctrl, noise, steps, s,
+                                      b, cfg_.prediction);
+
+    // Fold ensemble members back: sequential add then scale, matching the
+    // accumulation order of the single-image loop.
+    Tensor z0;
+    if (ensemble == 1) {
+      z0 = z_rows;
+    } else {
+      std::vector<Tensor> means;
+      means.reserve(idx.size());
+      for (int i = 0; i < n; ++i) {
+        Tensor acc = take_sample(z_rows, i * ensemble);
+        for (int e = 1; e < ensemble; ++e) {
+          acc = add(acc, take_sample(z_rows, i * ensemble + e));
+        }
+        means.push_back(scale(acc, 1.0f / static_cast<float>(ensemble)));
+      }
+      z0 = n == 1 ? means[0] : stack_batch(means);
+    }
+
+    const Tensor xhat_b = ae_->decode(z0, acfeat);
+    for (int j = 0; j < n; ++j) {
+      const int i = idx[static_cast<size_t>(j)];
+      const jpeg::CoeffImage& ci = *dropped[static_cast<size_t>(i)];
+      Image rgb = tensor_to_rgb(n == 1 ? xhat_b : take_sample(xhat_b, j));
+      rgb = anchor_to_corners(rgb, tildes[static_cast<size_t>(i)]);
+      if (rgb.width() != ci.width || rgb.height() != ci.height) {
+        rgb = crop(rgb, 0, 0, ci.width, ci.height);
+      }
+      results[static_cast<size_t>(i)] = project_onto_known_ac(rgb, ci);
+    }
+  }
+  return results;
+}
+
+std::vector<Image> DCDiffModel::reconstruct_batch(
+    const std::vector<jpeg::CoeffImage>& dropped,
+    const ReconstructOptions& opts) const {
+  std::vector<const jpeg::CoeffImage*> ptrs;
+  ptrs.reserve(dropped.size());
+  for (const auto& d : dropped) ptrs.push_back(&d);
+  return reconstruct_batch(ptrs, opts);
 }
 
 Image DCDiffModel::autoencode(const Image& original,
@@ -421,25 +562,111 @@ SenderOutput sender_encode(const Image& rgb, int quality) {
 }
 
 Image receiver_reconstruct(const std::vector<uint8_t>& bytes,
-                           const DCDiffModel& model) {
+                           const DCDiffModel& model,
+                           const ReconstructOptions& opts) {
   DCDIFF_TRACE_SPAN("receiver_reconstruct");
   static obs::Histogram& lat =
       obs::histogram("core.receiver_reconstruct_seconds");
   obs::ScopedLatency timer(lat);
-  return model.reconstruct(jpeg::decode_jfif(bytes));
+  return model.reconstruct(jpeg::decode_jfif(bytes), opts);
+}
+
+Status try_receiver_reconstruct(const std::vector<uint8_t>& bytes,
+                                const DCDiffModel& model, Image* out,
+                                const ReconstructOptions& opts) noexcept {
+  if (out == nullptr) {
+    return Status::invalid_argument("try_receiver_reconstruct: null output");
+  }
+  jpeg::CoeffImage coeffs;
+  const Status decoded = jpeg::try_decode_jfif(bytes, &coeffs);
+  if (!decoded.is_ok()) return decoded;
+  try {
+    *out = model.reconstruct(coeffs, opts);
+  } catch (const std::exception& e) {
+    static obs::Counter& failures =
+        obs::counter("core.reconstruct.internal_errors");
+    failures.inc();
+    return Status::internal(e.what());
+  }
+  return Status::ok();
+}
+
+// ----- model pool -----
+
+namespace {
+
+struct PoolState {
+  std::mutex mu;
+  // shared_future: the first requester trains/loads outside the map lock;
+  // concurrent requesters for the same tag block on the future, not the
+  // mutex, and requests for other tags proceed independently.
+  std::map<std::string, std::shared_future<std::shared_ptr<const DCDiffModel>>>
+      models;
+};
+
+PoolState& pool_state() {
+  // Leaked: models stay valid for exit handlers and detached worker threads
+  // regardless of static teardown order (same policy as obs::Registry).
+  static PoolState* state = new PoolState();
+  return *state;
+}
+
+}  // namespace
+
+ModelPool& ModelPool::instance() {
+  static ModelPool* pool = new ModelPool();
+  return *pool;
+}
+
+std::shared_ptr<const DCDiffModel> ModelPool::get(const DCDiffConfig& cfg) {
+  PoolState& state = pool_state();
+  std::promise<std::shared_ptr<const DCDiffModel>> promise;
+  std::shared_future<std::shared_ptr<const DCDiffModel>> future;
+  bool owner = false;
+  {
+    std::lock_guard<std::mutex> lock(state.mu);
+    auto it = state.models.find(cfg.tag);
+    if (it != state.models.end()) {
+      future = it->second;
+    } else {
+      future = promise.get_future().share();
+      state.models.emplace(cfg.tag, future);
+      owner = true;
+    }
+  }
+  if (owner) {
+    DCDIFF_LOG_INFO("core.pool", "model_load", {{"tag", cfg.tag}});
+    try {
+      auto model = std::make_shared<DCDiffModel>(cfg);
+      model->train_or_load();
+      promise.set_value(std::move(model));
+    } catch (...) {
+      // Propagate to every waiter, then drop the poisoned entry so a later
+      // call can retry (e.g. after fixing a cache-dir permission problem).
+      promise.set_exception(std::current_exception());
+      std::lock_guard<std::mutex> lock(state.mu);
+      state.models.erase(cfg.tag);
+    }
+  }
+  return future.get();
+}
+
+std::shared_ptr<const DCDiffModel> ModelPool::default_instance() {
+  return get(DCDiffConfig{});
+}
+
+size_t ModelPool::size() const {
+  PoolState& state = pool_state();
+  std::lock_guard<std::mutex> lock(state.mu);
+  return state.models.size();
 }
 
 const DCDiffModel& shared_model() {
-  static DCDiffModel* model = [] {
-    auto* m = new DCDiffModel(DCDiffConfig{});
-    m->train_or_load();
-    return m;
-  }();
-  return *model;
+  return *ModelPool::instance().default_instance();
 }
 
-std::unique_ptr<DCDiffModel> make_variant_model(bool use_mld,
-                                                float mask_threshold) {
+std::shared_ptr<const DCDiffModel> make_variant_model(bool use_mld,
+                                                      float mask_threshold) {
   DCDiffConfig cfg;
   cfg.use_mld = use_mld;
   cfg.mask_threshold = mask_threshold;
@@ -452,9 +679,7 @@ std::unique_ptr<DCDiffModel> make_variant_model(bool use_mld,
   } else {
     cfg.tag = "T" + std::to_string(static_cast<int>(mask_threshold));
   }
-  auto model = std::make_unique<DCDiffModel>(cfg);
-  model->train_or_load();
-  return model;
+  return ModelPool::instance().get(cfg);
 }
 
 }  // namespace dcdiff::core

@@ -23,6 +23,7 @@
 #include "core/fmpp.h"
 #include "image/image.h"
 #include "jpeg/codec.h"
+#include "support/status.h"
 
 namespace dcdiff::core {
 
@@ -62,6 +63,16 @@ struct DCDiffConfig {
   std::string tag = "default";
 };
 
+// Per-call inference options. Zero-valued fields defer to the model's
+// DCDiffConfig, so a default-constructed ReconstructOptions reproduces the
+// configured behaviour exactly.
+struct ReconstructOptions {
+  bool use_fmpp = true;  // false: the "w/o FMPP" ablation (s = b = 1)
+  int ddim_steps = 0;    // <= 0: config ddim_steps
+  int ensemble = 0;      // <= 0: config sample_ensemble (noise-seed averaging)
+  uint64_t seed = 0;     // 0: config seed (sampling stays deterministic)
+};
+
 class DCDiffModel {
  public:
   explicit DCDiffModel(const DCDiffConfig& cfg);
@@ -76,10 +87,31 @@ class DCDiffModel {
   void train_or_load();
 
   // --- inference (receiver side) ---
-  // Reconstructs from a DC-dropped coefficient image. `use_fmpp=false`
-  // reproduces the "w/o FMPP" ablation (s = b = 1). ddim_steps <= 0 uses the
-  // configured default.
-  Image reconstruct(const jpeg::CoeffImage& dropped, bool use_fmpp = true,
+  // Reconstructs from a DC-dropped coefficient image. Fields of
+  // ReconstructOptions left at their zero defaults fall back to the model
+  // config (see the struct).
+  Image reconstruct(const jpeg::CoeffImage& dropped,
+                    const ReconstructOptions& opts = ReconstructOptions{}) const;
+
+  // Cross-request microbatched reconstruction: all images share one latent
+  // tensor through every DDIM step and the stage-1 decoder (ensemble members
+  // fold into the same batch axis; per-image FMPP (s,b) applied per batch
+  // row). Images whose padded sizes differ are grouped internally, so inputs
+  // of mixed dimensions are fine — same-size requests get the batching win.
+  // Per-image outputs are numerically equivalent to the single-image path
+  // (same seed derivation; verified to 1e-4 by tests/test_serve.cpp).
+  // Pointer overload: the serving queue batches requests without copying
+  // coefficient images. Pointers must stay valid for the duration.
+  std::vector<Image> reconstruct_batch(
+      const std::vector<const jpeg::CoeffImage*>& dropped,
+      const ReconstructOptions& opts = ReconstructOptions{}) const;
+  std::vector<Image> reconstruct_batch(
+      const std::vector<jpeg::CoeffImage>& dropped,
+      const ReconstructOptions& opts = ReconstructOptions{}) const;
+
+  // Deprecated pre-options signature; forwards to the options overload.
+  [[deprecated("use reconstruct(dropped, ReconstructOptions{...})")]]
+  Image reconstruct(const jpeg::CoeffImage& dropped, bool use_fmpp,
                     int ddim_steps = 0) const;
 
   // Stage-1-only reconstruction (oracle z0 from the original image); used by
@@ -118,13 +150,53 @@ SenderOutput sender_encode(const Image& rgb, int quality = 50);
 
 // Decodes the bitstream and runs DCDiff reconstruction.
 Image receiver_reconstruct(const std::vector<uint8_t>& bytes,
-                           const DCDiffModel& model);
+                           const DCDiffModel& model,
+                           const ReconstructOptions& opts = ReconstructOptions{});
 
-// Process-wide default model (trained or loaded on first use).
+// Non-throwing variant for serving workers: a malformed bitstream (or any
+// pipeline failure) becomes a typed Status instead of an exception escaping
+// the API boundary. On success *out holds the reconstruction.
+Status try_receiver_reconstruct(
+    const std::vector<uint8_t>& bytes, const DCDiffModel& model, Image* out,
+    const ReconstructOptions& opts = ReconstructOptions{}) noexcept;
+
+// ----- model pool -----
+
+// Process-wide registry of trained models, keyed by config tag. Thread-safe:
+// concurrent get() calls for the same tag train/load once (other callers
+// block until the weights are ready); calls for different tags proceed
+// independently. Entries live for the process lifetime, so repeated lookups
+// (ablation benches cycling through variants, serve workers resolving their
+// model) never re-load weights.
+class ModelPool {
+ public:
+  static ModelPool& instance();
+
+  // The trained (train_or_load) model for this config. The key is
+  // `cfg.tag`: configs must follow the repo convention that distinct model
+  // configurations carry distinct tags (the on-disk weight cache is keyed
+  // the same way).
+  std::shared_ptr<const DCDiffModel> get(const DCDiffConfig& cfg);
+
+  // The default-config model (the former shared_model() global).
+  std::shared_ptr<const DCDiffModel> default_instance();
+
+  // Number of resident models (tests / introspection).
+  size_t size() const;
+
+ private:
+  ModelPool() = default;
+};
+
+// Deprecated: the bare process-wide model global. Use
+// ModelPool::instance().default_instance().
+[[deprecated("use ModelPool::instance().default_instance()")]]
 const DCDiffModel& shared_model();
-// Variant helper used by the ablation bench: returns a model whose stage-2
-// was trained with the given MLD setting/threshold (cached per variant).
-std::unique_ptr<DCDiffModel> make_variant_model(bool use_mld,
-                                                float mask_threshold);
+
+// Variant helper used by the ablation bench: the pool's model for a stage-2
+// trained with the given MLD setting/threshold. Repeated calls for the same
+// variant return the same pooled instance (no weight re-load).
+std::shared_ptr<const DCDiffModel> make_variant_model(bool use_mld,
+                                                      float mask_threshold);
 
 }  // namespace dcdiff::core

@@ -68,6 +68,27 @@ nn::Tensor stack_batch(const std::vector<nn::Tensor>& samples) {
   return nn::Tensor::from_data(std::move(shape), std::move(data));
 }
 
+nn::Tensor repeat_batch(const nn::Tensor& batch, int k) {
+  if (k < 1) throw std::invalid_argument("repeat_batch: k < 1");
+  if (batch.ndim() < 1) throw std::invalid_argument("repeat_batch: scalar");
+  if (k == 1) return batch;
+  const int n = batch.dim(0);
+  std::vector<int> shape = batch.shape();
+  shape[0] = n * k;
+  const size_t per = batch.numel() / static_cast<size_t>(n);
+  std::vector<float> data(batch.numel() * static_cast<size_t>(k));
+  const float* src = batch.value().data();
+  float* dst = data.data();
+  for (int i = 0; i < n; ++i) {
+    for (int r = 0; r < k; ++r) {
+      std::copy(src + static_cast<size_t>(i) * per,
+                src + static_cast<size_t>(i + 1) * per, dst);
+      dst += per;
+    }
+  }
+  return nn::Tensor::from_data(std::move(shape), std::move(data));
+}
+
 nn::Tensor take_sample(const nn::Tensor& batch, int n) {
   if (n < 0 || n >= batch.dim(0)) {
     throw std::out_of_range("take_sample: index");

@@ -24,5 +24,11 @@ nn::Tensor tilde_to_tensor(const Image& tilde);
 nn::Tensor stack_batch(const std::vector<nn::Tensor>& samples);
 // Extracts sample n of a batch as (1,C,H,W).
 nn::Tensor take_sample(const nn::Tensor& batch, int n);
+// Repeats each sample of an (N,...)-batch k times consecutively, producing
+// an (N*k,...) batch ordered [s0, s0, ..., s1, s1, ...]. Used by the batched
+// sampling path to fold ensemble members into the batch axis (conditioning
+// features and FMPP factors are shared across a sample's members).
+// Non-differentiable (inference only).
+nn::Tensor repeat_batch(const nn::Tensor& batch, int k);
 
 }  // namespace dcdiff::core

@@ -547,6 +547,24 @@ uint16_t read_u16(const std::vector<uint8_t>& d, size_t& p) {
 
 }  // namespace
 
+Status try_decode_jfif(const std::vector<uint8_t>& bytes,
+                       CoeffImage* out) noexcept {
+  if (out == nullptr) {
+    return Status::invalid_argument("try_decode_jfif: null output");
+  }
+  if (bytes.empty()) {
+    return Status::invalid_argument("try_decode_jfif: empty buffer");
+  }
+  try {
+    *out = decode_jfif(bytes);
+  } catch (const std::exception& e) {
+    static obs::Counter& rejected = obs::counter("jpeg.decode.rejected");
+    rejected.inc();
+    return Status::data_loss(e.what());
+  }
+  return Status::ok();
+}
+
 CoeffImage decode_jfif(const std::vector<uint8_t>& bytes) {
   DCDIFF_TRACE_SPAN("jpeg.decode_jfif");
   static obs::Histogram& lat = obs::histogram("jpeg.decode_jfif_seconds");

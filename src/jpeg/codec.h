@@ -18,6 +18,7 @@
 
 #include "image/image.h"
 #include "jpeg/quant.h"
+#include "support/status.h"
 
 namespace dcdiff::jpeg {
 
@@ -80,7 +81,14 @@ Image tilde_image(const CoeffImage& ci);
 std::vector<uint8_t> encode_jfif(const CoeffImage& ci);
 
 // Parses a JFIF file produced by encode_jfif (baseline sequential).
+// Malformed input throws std::runtime_error.
 CoeffImage decode_jfif(const std::vector<uint8_t>& bytes);
+
+// Non-throwing variant for serving boundaries: a malformed bitstream yields
+// Status{kDataLoss} (kInvalidArgument for an empty buffer) with the parse
+// error as the message, and *out is left untouched. Never throws.
+Status try_decode_jfif(const std::vector<uint8_t>& bytes,
+                       CoeffImage* out) noexcept;
 
 // Number of bits of entropy-coded data (excludes all headers/markers): the
 // quantity compression-ratio experiments compare, isolating coefficient cost

@@ -215,13 +215,18 @@ void gemm(bool trans_a, bool trans_b, int64_t m, int64_t n, int64_t k,
   float* bp = ws.floats(
       static_cast<size_t>(((std::min(NC, n) + NR - 1) / NR) * kc_max * NR));
 
-  for (int64_t jc = 0; jc < n; jc += NC) {
-    const int64_t nc = std::min(NC, n - jc);
-    const int64_t col_panels = (nc + NR - 1) / NR;
-    for (int64_t pc = 0; pc < k; pc += KC) {
-      const int64_t kc = std::min(KC, k - pc);
-      const float beta_eff = pc == 0 ? beta : 1.0f;
-      pack_a(trans_a, a, lda, m, pc, kc, ap);
+  // K-blocks outermost so A is packed once per block instead of once per
+  // (jc, pc) pair — for wide-N products (batched conv patches) the old order
+  // repacked the same weight panels n/NC times. Every C element still
+  // accumulates its K-blocks in ascending pc order, so results are
+  // unchanged bit for bit.
+  for (int64_t pc = 0; pc < k; pc += KC) {
+    const int64_t kc = std::min(KC, k - pc);
+    const float beta_eff = pc == 0 ? beta : 1.0f;
+    pack_a(trans_a, a, lda, m, pc, kc, ap);
+    for (int64_t jc = 0; jc < n; jc += NC) {
+      const int64_t nc = std::min(NC, n - jc);
+      const int64_t col_panels = (nc + NR - 1) / NR;
       pack_b(trans_b, b, ldb, pc, kc, jc, nc, bp);
       const int64_t tiles = row_panels * col_panels;
       const int64_t grain =
@@ -240,8 +245,63 @@ void gemm(bool trans_a, bool trans_b, int64_t m, int64_t n, int64_t k,
   }
 }
 
+PackedA::PackedA(bool trans_a, int64_t m, int64_t k, const float* a,
+                 int64_t lda)
+    : m_(m), k_(k), trans_a_(trans_a), a_(a), lda_(lda) {
+  const int64_t row_panels = (m + MR - 1) / MR;
+  panels_.resize(static_cast<size_t>(row_panels) * MR * k);
+  int64_t offset = 0;
+  for (int64_t pc = 0; pc < k; pc += KC) {
+    const int64_t kc = std::min(KC, k - pc);
+    block_offset_.push_back(offset);
+    pack_a(trans_a, a, lda, m, pc, kc, panels_.data() + offset);
+    offset += row_panels * kc * MR;
+  }
+}
+
+void PackedA::run(int64_t n, const float* b, int64_t ldb, float beta, float* c,
+                  int64_t ldc) const {
+  if (m_ <= 0 || n <= 0) return;
+  // Mirror gemm()'s routing exactly so a batched matmul through PackedA is
+  // bit-equal to the per-call gemm() the single-image path would issue.
+  if (k_ <= 0 || gemm_naive_enabled() || m_ * n * k_ <= kSmallProblem) {
+    gemm(trans_a_, false, m_, n, k_, a_, lda_, b, ldb, beta, c, ldc);
+    return;
+  }
+  Workspace::Scope scope;
+  Workspace& ws = Workspace::tls();
+  const int64_t row_panels = (m_ + MR - 1) / MR;
+  const int64_t kc_max = std::min(KC, k_);
+  float* bp = ws.floats(
+      static_cast<size_t>(((std::min(NC, n) + NR - 1) / NR) * kc_max * NR));
+  for (int64_t jc = 0; jc < n; jc += NC) {
+    const int64_t nc = std::min(NC, n - jc);
+    const int64_t col_panels = (nc + NR - 1) / NR;
+    int64_t block = 0;
+    for (int64_t pc = 0; pc < k_; pc += KC, ++block) {
+      const int64_t kc = std::min(KC, k_ - pc);
+      const float beta_eff = pc == 0 ? beta : 1.0f;
+      const float* ap = panels_.data() + block_offset_[static_cast<size_t>(block)];
+      pack_b(false, b, ldb, pc, kc, jc, nc, bp);
+      const int64_t tiles = row_panels * col_panels;
+      const int64_t grain = std::max<int64_t>(1, kGrainMacs / (kc * MR * NR));
+      parallel_for_ranges(tiles, grain, [&](int64_t t0, int64_t t1) {
+        for (int64_t t = t0; t < t1; ++t) {
+          const int64_t ir = t / col_panels;
+          const int64_t jr = t % col_panels;
+          micro_kernel(kc, ap + ir * kc * MR, bp + jr * kc * NR,
+                       c + ir * MR * ldc + jc + jr * NR, ldc,
+                       std::min(MR, m_ - ir * MR),
+                       std::min(NR, nc - jr * NR), beta_eff);
+        }
+      });
+    }
+  }
+}
+
 void im2col(const float* x, int c, int h, int w, int kh, int kw, int stride,
             int pad, int ho, int wo, float* col) {
+  const int64_t ld = static_cast<int64_t>(ho) * wo;
   const int64_t rows = static_cast<int64_t>(c) * kh * kw;
   const int64_t row_elems = static_cast<int64_t>(ho) * wo;
   const int64_t grain = std::max<int64_t>(1, (1 << 14) / std::max<int64_t>(1, row_elems));
@@ -251,7 +311,7 @@ void im2col(const float* x, int c, int h, int w, int kh, int kw, int stride,
       const int ky = static_cast<int>(r / kw % kh);
       const int kx = static_cast<int>(r % kw);
       const float* xp = x + static_cast<int64_t>(ci) * h * w;
-      float* dst = col + r * row_elems;
+      float* dst = col + r * ld;
       // ox producing an in-bounds ix = ox*stride - pad + kx:
       const int lo_num = pad - kx;
       const int ox_lo =

@@ -16,6 +16,7 @@
 #pragma once
 
 #include <cstdint>
+#include <vector>
 
 namespace dcdiff::nn {
 
@@ -47,6 +48,39 @@ void set_gemm_naive(bool naive);
 // layout (F, C, kH, kW), so conv2d forward is W[f x K] * col[K x N].
 void im2col(const float* x, int c, int h, int w, int kh, int kw, int stride,
             int pad, int ho, int wo, float* col);
+
+// Pre-packed left operand for one-weight-many-inputs products.
+//
+// gemm() repacks A into micro-kernel panels for every NC-column block of
+// every call. When the same matrix multiplies a batch of right-hand sides
+// (conv2d weights against each image's patch matrix), that packing is pure
+// waste: PackedA packs A_op (m x k) into panel layout exactly once and
+// run() reuses it for every B. run() executes the identical blocked loop
+// with the identical micro-kernel and K-block accumulation order as
+// gemm(false, false, ...) on the same operands, so results are bit-equal —
+// batching stays a pure performance transform.
+//
+// The original `a` pointer must stay valid for the PackedA's lifetime: the
+// naive reference path (DCDIFF_GEMM_NAIVE=1) and sub-threshold small
+// products read it directly, again matching what gemm() would have done.
+class PackedA {
+ public:
+  PackedA(bool trans_a, int64_t m, int64_t k, const float* a, int64_t lda);
+
+  // C (m x n, leading dim ldc) = A_op * B + beta * C, B row-major k x n
+  // with leading dimension ldb (trans_b = false).
+  void run(int64_t n, const float* b, int64_t ldb, float beta, float* c,
+           int64_t ldc) const;
+
+ private:
+  int64_t m_ = 0;
+  int64_t k_ = 0;
+  bool trans_a_ = false;
+  const float* a_ = nullptr;  // for the naive / small-problem fallback
+  int64_t lda_ = 0;
+  std::vector<float> panels_;          // all K-blocks, packed back to back
+  std::vector<int64_t> block_offset_;  // panel offset of each K-block
+};
 
 // Transpose scatter of im2col: accumulates col (laid out as above) back
 // into x (size c*h*w). x is NOT zeroed first — callers accumulate gradients.

@@ -623,11 +623,19 @@ Tensor conv2d(const Tensor& x, const Tensor& w, const Tensor& b, int stride,
   const float* xv = x.value().data();
   const float* wv = w.value().data();
   const float* bv = b.defined() ? b.value().data() : nullptr;
+  // The weight matrix is identical for every sample, so it is packed into
+  // micro-kernel panels exactly once (PackedA) and reused across the batch:
+  // at batch n the serial path would pack it n times over. Each image's
+  // patch matrix stays per-image sized (kdim x npix), keeping the working
+  // set cache-resident instead of materializing one n-times-wider patch
+  // matrix. PackedA::run is bit-equal to the gemm() call the single-image
+  // path issues, so batching stays a pure performance transform.
   {
     Workspace::Scope scope;
-    float* col = fast_1x1
-                     ? nullptr
-                     : Workspace::tls().floats(static_cast<size_t>(kdim) * npix);
+    float* col =
+        fast_1x1 ? nullptr
+                 : Workspace::tls().floats(static_cast<size_t>(kdim) * npix);
+    const PackedA pw(false, f, kdim, wv, kdim);
     for (int ni = 0; ni < n; ++ni) {
       const float* xplane = xv + static_cast<size_t>(ni) * c * h * ww;
       const float* patches = xplane;
@@ -636,8 +644,8 @@ Tensor conv2d(const Tensor& x, const Tensor& w, const Tensor& b, int stride,
         patches = col;
       }
       // out plane (f x npix) = W (f x kdim) * patches (kdim x npix).
-      gemm(false, false, f, npix, kdim, wv, kdim, patches, npix, 0.0f,
-           out.data() + static_cast<size_t>(ni) * f * npix, npix);
+      pw.run(npix, patches, npix, 0.0f,
+             out.data() + static_cast<size_t>(ni) * f * npix, npix);
     }
   }
   if (bv) {

@@ -87,6 +87,17 @@ void ThreadPool::parallel_ranges(
     fn(0, n);
     return;
   }
+  // One dispatch at a time: the task slots and pending_/generation_ pair
+  // describe a single job. A second top-level caller (another serve worker
+  // mid-batch) would otherwise overwrite live slots; it runs inline instead.
+  std::unique_lock<std::mutex> dispatch(dispatch_mu_, std::try_to_lock);
+  if (!dispatch.owns_lock()) {
+    static obs::Counter& contended =
+        obs::counter("nn.threadpool.dispatch_contended");
+    contended.inc();
+    fn(0, n);
+    return;
+  }
   const int parts =
       static_cast<int>(std::min<int64_t>(total, std::min<int64_t>(max_parts, n)));
   const int64_t chunk = (n + parts - 1) / parts;

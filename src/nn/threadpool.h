@@ -33,6 +33,10 @@ class ThreadPool {
   // small loops don't pay full dispatch cost (grain <= 1 means one range
   // per worker). Nested calls — from a worker, or from fn on the calling
   // thread — run the whole loop inline instead of deadlocking the pool.
+  // Concurrent top-level callers (e.g. two serve workers batching model
+  // forwards at once) are safe: the pool's task slots serve one dispatch at
+  // a time, and a caller that finds them busy runs its loop inline rather
+  // than waiting — losers degrade to serial, they never corrupt the pool.
   void parallel_ranges(int64_t n,
                        const std::function<void(int64_t, int64_t)>& fn,
                        int64_t grain = 1);
@@ -47,6 +51,9 @@ class ThreadPool {
   void worker_loop(int worker_index);
 
   std::vector<std::thread> workers_;
+  // Held for the duration of one dispatch (slot writes through completion
+  // wait). try_lock only: a busy pool means the caller runs inline.
+  std::mutex dispatch_mu_;
   std::mutex mu_;
   std::condition_variable cv_;
   std::condition_variable done_cv_;

@@ -1,0 +1,316 @@
+#include "serve/server.h"
+
+#include <algorithm>
+#include <chrono>
+#include <exception>
+#include <utility>
+
+#include "jpeg/codec.h"
+#include "obs/env.h"
+#include "obs/log.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace dcdiff::serve {
+namespace {
+
+Result ready_error(Status st) { return Result{std::move(st), Image{}, 0.0}; }
+
+std::future<Result> ready_future(Result r) {
+  std::promise<Result> p;
+  p.set_value(std::move(r));
+  return p.get_future();
+}
+
+double elapsed_seconds(std::chrono::steady_clock::time_point from,
+                       std::chrono::steady_clock::time_point to) {
+  return std::chrono::duration<double>(to - from).count();
+}
+
+}  // namespace
+
+ServerConfig ServerConfig::from_env() {
+  ServerConfig cfg;
+  cfg.max_batch = obs::env_int("DCDIFF_SERVE_MAX_BATCH", cfg.max_batch);
+  cfg.batch_timeout_ms =
+      obs::env_int("DCDIFF_SERVE_BATCH_TIMEOUT_MS", cfg.batch_timeout_ms);
+  cfg.queue_capacity = obs::env_int("DCDIFF_SERVE_QUEUE_CAP", cfg.queue_capacity);
+  cfg.workers = obs::env_int("DCDIFF_SERVE_WORKERS", cfg.workers);
+  return cfg;
+}
+
+core::ReconstructOptions ServerConfig::latency_recon(
+    const core::DCDiffConfig& cfg) {
+  core::ReconstructOptions o;
+  o.ensemble = 1;
+  o.ddim_steps = std::max(1, cfg.ddim_steps / 2);
+  o.use_fmpp = true;
+  return o;
+}
+
+std::future<Result> Session::submit(const std::vector<uint8_t>& jfif,
+                                    const RequestOptions& opts) {
+  return server_->submit(id_, jfif, opts);
+}
+
+Result Session::reconstruct(const std::vector<uint8_t>& jfif,
+                            const RequestOptions& opts) {
+  return submit(jfif, opts).get();
+}
+
+uint64_t Session::submitted() const {
+  std::lock_guard<std::mutex> lk(server_->mu_);
+  for (const auto& [sid, count] : server_->session_submits_) {
+    if (sid == id_) return count;
+  }
+  return 0;
+}
+
+ReceiverServer::ReceiverServer(const ServerConfig& cfg,
+                               std::shared_ptr<const core::DCDiffModel> model)
+    : cfg_(cfg), model_(std::move(model)) {
+  cfg_.max_batch = std::max(1, cfg_.max_batch);
+  cfg_.queue_capacity = std::max(1, cfg_.queue_capacity);
+  cfg_.workers = std::max(1, cfg_.workers);
+  cfg_.batch_timeout_ms = std::max(0, cfg_.batch_timeout_ms);
+  if (!model_) model_ = core::ModelPool::instance().default_instance();
+  DCDIFF_LOG_INFO("serve", "server_start",
+                  {{"max_batch", cfg_.max_batch},
+                   {"batch_timeout_ms", cfg_.batch_timeout_ms},
+                   {"queue_capacity", cfg_.queue_capacity},
+                   {"workers", cfg_.workers}});
+  workers_.reserve(static_cast<size_t>(cfg_.workers));
+  for (int i = 0; i < cfg_.workers; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ReceiverServer::~ReceiverServer() { shutdown(); }
+
+Session ReceiverServer::open_session() {
+  std::lock_guard<std::mutex> lk(mu_);
+  const uint64_t id = next_session_id_++;
+  session_submits_.emplace_back(id, 0);
+  stats_.sessions_opened++;
+  return Session(this, id);
+}
+
+void ReceiverServer::note_session_submit(uint64_t session_id) {
+  for (auto& [sid, count] : session_submits_) {
+    if (sid == session_id) {
+      ++count;
+      return;
+    }
+  }
+}
+
+std::future<Result> ReceiverServer::submit(uint64_t session_id,
+                                           const std::vector<uint8_t>& jfif,
+                                           const RequestOptions& opts) {
+  static obs::Counter& accepted = obs::counter("serve.accepted");
+  static obs::Counter& rejected_decode = obs::counter("serve.rejected_decode");
+  static obs::Counter& rejected_full = obs::counter("serve.rejected_queue_full");
+  static obs::Counter& rejected_shutdown =
+      obs::counter("serve.rejected_shutdown");
+  static obs::Gauge& depth = obs::gauge("serve.queue_depth");
+
+  // Decode on the submitting thread: it is cheap relative to reconstruction,
+  // keeps malformed bitstreams out of the queue entirely, and reports the
+  // parse error synchronously through the request's own future.
+  jpeg::CoeffImage coeffs;
+  Status decode_status = jpeg::try_decode_jfif(jfif, &coeffs);
+
+  const auto now = Clock::now();
+  Request req;
+  req.coeffs = std::move(coeffs);
+  req.enqueued = now;
+  req.deadline = opts.deadline_ms > 0
+                     ? now + std::chrono::milliseconds(opts.deadline_ms)
+                     : Clock::time_point::max();
+  req.session_id = session_id;
+  std::future<Result> fut = req.promise.get_future();
+
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    note_session_submit(session_id);
+    if (!decode_status.is_ok()) {
+      stats_.rejected_decode++;
+      rejected_decode.inc();
+      return ready_future(ready_error(std::move(decode_status)));
+    }
+    if (stopping_) {
+      stats_.rejected_shutdown++;
+      rejected_shutdown.inc();
+      return ready_future(
+          ready_error(Status::unavailable("server is shutting down")));
+    }
+    if (queue_.size() >= static_cast<size_t>(cfg_.queue_capacity)) {
+      stats_.rejected_queue_full++;
+      rejected_full.inc();
+      return ready_future(ready_error(Status::resource_exhausted(
+          "request queue full (capacity " +
+          std::to_string(cfg_.queue_capacity) + ")")));
+    }
+    queue_.push_back(std::move(req));
+    stats_.accepted++;
+    stats_.queue_depth = queue_.size();
+    depth.set(static_cast<double>(queue_.size()));
+    depth.set_max(static_cast<double>(queue_.size()));
+  }
+  accepted.inc();
+  queue_cv_.notify_one();
+  return fut;
+}
+
+void ReceiverServer::worker_loop() {
+  static obs::Gauge& depth = obs::gauge("serve.queue_depth");
+  for (;;) {
+    std::vector<Request> batch;
+    {
+      std::unique_lock<std::mutex> lk(mu_);
+      queue_cv_.wait(lk, [&] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping_ and fully drained
+      batch.push_back(std::move(queue_.front()));
+      queue_.pop_front();
+      // Microbatch window: hold the batch open briefly so concurrent
+      // submitters coalesce into one reconstruct_batch call.
+      const auto window_end =
+          Clock::now() + std::chrono::milliseconds(cfg_.batch_timeout_ms);
+      while (static_cast<int>(batch.size()) < cfg_.max_batch) {
+        if (!queue_.empty()) {
+          batch.push_back(std::move(queue_.front()));
+          queue_.pop_front();
+          continue;
+        }
+        if (stopping_ || cfg_.batch_timeout_ms <= 0) break;
+        if (!queue_cv_.wait_until(lk, window_end, [&] {
+              return stopping_ || !queue_.empty();
+            })) {
+          break;  // window closed with a partial batch
+        }
+      }
+      stats_.queue_depth = queue_.size();
+      depth.set(static_cast<double>(queue_.size()));
+    }
+    // More requests may remain; let another worker (or the next iteration)
+    // pick them up while this batch runs.
+    queue_cv_.notify_one();
+    run_batch(batch);
+  }
+}
+
+void ReceiverServer::run_batch(std::vector<Request>& batch) {
+  static obs::Histogram& batch_size =
+      obs::histogram("serve.batch_size", {1, 2, 4, 8, 16, 32, 64});
+  static obs::Histogram& e2e = obs::histogram("serve.e2e_seconds");
+  static obs::Histogram& queue_wait = obs::histogram("serve.queue_wait_seconds");
+  static obs::Counter& completed = obs::counter("serve.completed");
+  static obs::Counter& expired = obs::counter("serve.deadline_expired");
+  static obs::Counter& internal = obs::counter("serve.internal_errors");
+  DCDIFF_TRACE_SPAN("serve.batch");
+
+  const auto start = Clock::now();
+  std::vector<Request*> live;
+  std::vector<Request*> dead;
+  live.reserve(batch.size());
+  for (Request& r : batch) {
+    if (r.deadline < start) {
+      dead.push_back(&r);
+    } else {
+      live.push_back(&r);
+      queue_wait.observe(elapsed_seconds(r.enqueued, start));
+    }
+  }
+  const uint64_t n_expired = dead.size();
+  expired.inc(n_expired);
+  // Account first, fulfil second (here and below): a client that sees its
+  // future ready must also see itself counted in stats().
+  if (live.empty()) {
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      stats_.deadline_expired += n_expired;
+    }
+    for (Request* r : dead) {
+      r->promise.set_value(ready_error(Status::deadline_exceeded(
+          "deadline expired after " +
+          std::to_string(elapsed_seconds(r->enqueued, start)) +
+          "s in queue")));
+    }
+    return;
+  }
+
+  batch_size.observe(static_cast<double>(live.size()));
+  std::vector<const jpeg::CoeffImage*> coeffs;
+  coeffs.reserve(live.size());
+  for (Request* r : live) coeffs.push_back(&r->coeffs);
+
+  std::vector<Image> images;
+  Status batch_status;
+  try {
+    images = model_->reconstruct_batch(coeffs, cfg_.recon);
+  } catch (const std::exception& e) {
+    batch_status = Status::internal(e.what());
+  }
+
+  const auto end = Clock::now();
+  std::vector<Result> results(live.size());
+  uint64_t n_completed = 0, n_internal = 0;
+  for (size_t i = 0; i < live.size(); ++i) {
+    Result& res = results[i];
+    res.e2e_seconds = elapsed_seconds(live[i]->enqueued, end);
+    e2e.observe(res.e2e_seconds);
+    if (batch_status.is_ok()) {
+      res.status = Status::ok();
+      res.image = std::move(images[i]);
+      ++n_completed;
+    } else {
+      res.status = batch_status;
+      ++n_internal;
+    }
+  }
+  completed.inc(n_completed);
+  internal.inc(n_internal);
+  DCDIFF_LOG_DEBUG("serve", "batch_done",
+                   {{"batch", static_cast<int64_t>(live.size())},
+                    {"expired", static_cast<int64_t>(n_expired)},
+                    {"seconds", elapsed_seconds(start, end)}});
+
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    stats_.deadline_expired += n_expired;
+    stats_.completed += n_completed;
+    stats_.internal_errors += n_internal;
+    stats_.batches++;
+  }
+  for (Request* r : dead) {
+    r->promise.set_value(ready_error(Status::deadline_exceeded(
+        "deadline expired after " +
+        std::to_string(elapsed_seconds(r->enqueued, start)) + "s in queue")));
+  }
+  for (size_t i = 0; i < live.size(); ++i) {
+    live[i]->promise.set_value(std::move(results[i]));
+  }
+}
+
+void ReceiverServer::shutdown() {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    if (stopping_ && workers_.empty()) return;
+    stopping_ = true;
+  }
+  queue_cv_.notify_all();
+  for (std::thread& t : workers_) {
+    if (t.joinable()) t.join();
+  }
+  workers_.clear();
+  DCDIFF_LOG_INFO("serve", "server_stop",
+                  {{"completed", static_cast<int64_t>(stats_.completed)},
+                   {"batches", static_cast<int64_t>(stats_.batches)}});
+}
+
+ReceiverServer::Stats ReceiverServer::stats() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return stats_;
+}
+
+}  // namespace dcdiff::serve

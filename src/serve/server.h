@@ -1,0 +1,183 @@
+// Batched receiver serving engine.
+//
+// The receiver is the expensive half of DCDiff by design (the paper moves
+// all cost off the low-power sender), and the diffusion sampler only earns
+// its keep operationally when requests are batched: N decoded coefficient
+// images share one latent tensor through every DDIM step and the stage-1
+// decoder (DCDiffModel::reconstruct_batch), so the GEMM kernel sees wide
+// shapes and per-op overheads amortize across requests.
+//
+// Architecture:
+//
+//   Session::submit(jfif)                 worker threads
+//        |  decode (Status, non-throwing)      |
+//        v                                     v
+//   bounded FIFO queue  ----pop up to max_batch----> reconstruct_batch
+//        |  reject when full                   |
+//        v                                     v
+//   ready future (error)                fulfil per-request futures
+//
+// * Cross-request microbatching: a worker pops whatever is queued, then
+//   keeps the batch window open for batch_timeout_ms to fill up to
+//   max_batch requests; partial batches run when the window closes.
+// * Backpressure: submits beyond queue_capacity are rejected immediately
+//   with Status{kResourceExhausted} rather than queued without bound.
+// * Deadlines: a request whose deadline passes while queued is answered
+//   with Status{kDeadlineExceeded} and never spends model time.
+// * Errors are values: a malformed bitstream yields a per-request Status
+//   (kData Loss/kInvalidArgument) at submit time; nothing throws across the
+//   serving boundary.
+//
+// The public API is session-based: clients obtain a Session handle from
+// ReceiverServer::open_session() and submit through it; per-session request
+// counts make multi-tenant accounting possible without threading client
+// identity through the queue.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "core/pipeline.h"
+#include "image/image.h"
+#include "support/status.h"
+
+namespace dcdiff::serve {
+
+// Per-request options.
+struct RequestOptions {
+  // Relative deadline measured from submit(); <= 0 means none. A request
+  // still queued when it expires is failed with kDeadlineExceeded.
+  int deadline_ms = 0;
+};
+
+// Outcome of one request. `image` is valid iff status.is_ok().
+struct Result {
+  Status status;
+  Image image;
+  double e2e_seconds = 0;  // submit -> fulfilment wall time
+};
+
+struct ServerConfig {
+  int max_batch = 4;         // requests fused into one reconstruct_batch
+  int batch_timeout_ms = 2;  // wait for more requests after the first pop
+  int queue_capacity = 64;   // pending requests beyond this are rejected
+  int workers = 1;           // batching worker threads
+  core::ReconstructOptions recon;  // inference options applied to every batch
+
+  // Reads DCDIFF_SERVE_MAX_BATCH / DCDIFF_SERVE_BATCH_TIMEOUT_MS /
+  // DCDIFF_SERVE_QUEUE_CAP / DCDIFF_SERVE_WORKERS over the defaults.
+  static ServerConfig from_env();
+
+  // Reduced-latency inference preset for deadline-bound serving: a single
+  // ensemble member and half the configured DDIM steps, FMPP left on. On a
+  // single core equal-work batching is roughly throughput-neutral (per-op
+  // overhead is tiny relative to the GEMMs), so this preset is where the
+  // serving engine's images/sec headroom comes from; on the quickstart-fast
+  // model it costs ~0.02 dB PSNR for ~1.7x throughput at max_batch=4
+  // (bench_serve measures both sides of that trade).
+  static core::ReconstructOptions latency_recon(const core::DCDiffConfig& cfg);
+};
+
+class ReceiverServer;
+
+// Client handle; cheap to copy, valid while the server lives. All submission
+// goes through a session so requests are attributable to a client.
+class Session {
+ public:
+  // Decodes the bitstream (non-throwing) and enqueues the reconstruction.
+  // The returned future is always valid; rejection (bad bitstream, queue
+  // full, server shutting down) yields an immediately-ready error Result.
+  std::future<Result> submit(const std::vector<uint8_t>& jfif,
+                             const RequestOptions& opts = RequestOptions{});
+
+  // Blocking convenience: submit and wait.
+  Result reconstruct(const std::vector<uint8_t>& jfif,
+                     const RequestOptions& opts = RequestOptions{});
+
+  uint64_t id() const { return id_; }
+  // Requests this session has submitted (accepted or rejected).
+  uint64_t submitted() const;
+
+ private:
+  friend class ReceiverServer;
+  Session(ReceiverServer* server, uint64_t id) : server_(server), id_(id) {}
+  ReceiverServer* server_;
+  uint64_t id_;
+};
+
+class ReceiverServer {
+ public:
+  // model == nullptr resolves ModelPool::instance().default_instance()
+  // (trained or loaded on first use — pass an explicit pooled model to
+  // avoid that cost at construction).
+  explicit ReceiverServer(
+      const ServerConfig& cfg = ServerConfig{},
+      std::shared_ptr<const core::DCDiffModel> model = nullptr);
+  ~ReceiverServer();
+
+  ReceiverServer(const ReceiverServer&) = delete;
+  ReceiverServer& operator=(const ReceiverServer&) = delete;
+
+  Session open_session();
+
+  // Stops accepting new requests, drains everything queued (deadline rules
+  // still apply), and joins the workers. Idempotent; the destructor calls it.
+  void shutdown();
+
+  struct Stats {
+    uint64_t sessions_opened = 0;
+    uint64_t accepted = 0;
+    uint64_t completed = 0;
+    uint64_t rejected_queue_full = 0;
+    uint64_t rejected_decode = 0;
+    uint64_t rejected_shutdown = 0;
+    uint64_t deadline_expired = 0;
+    uint64_t internal_errors = 0;
+    uint64_t batches = 0;
+    size_t queue_depth = 0;
+  };
+  Stats stats() const;
+
+  const ServerConfig& config() const { return cfg_; }
+  const core::DCDiffModel& model() const { return *model_; }
+
+ private:
+  friend class Session;
+  using Clock = std::chrono::steady_clock;
+
+  struct Request {
+    jpeg::CoeffImage coeffs;
+    std::promise<Result> promise;
+    Clock::time_point enqueued;
+    Clock::time_point deadline;  // Clock::time_point::max() = none
+    uint64_t session_id = 0;
+  };
+
+  std::future<Result> submit(uint64_t session_id,
+                             const std::vector<uint8_t>& jfif,
+                             const RequestOptions& opts);
+  void note_session_submit(uint64_t session_id);
+  void worker_loop();
+  void run_batch(std::vector<Request>& batch);
+
+  ServerConfig cfg_;
+  std::shared_ptr<const core::DCDiffModel> model_;
+
+  mutable std::mutex mu_;
+  std::condition_variable queue_cv_;
+  std::deque<Request> queue_;
+  bool stopping_ = false;
+  Stats stats_;
+  std::vector<std::pair<uint64_t, uint64_t>> session_submits_;  // id -> count
+  uint64_t next_session_id_ = 1;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace dcdiff::serve

@@ -90,5 +90,61 @@ TEST(CodecRobustness, OversizedSegmentLengthThrows) {
   EXPECT_THROW(decode_jfif(bytes), std::runtime_error);
 }
 
+// ---- Status-returning boundary (try_decode_jfif, used by src/serve) ----
+//
+// Same corpus as above, but through the non-throwing entry point: every
+// corruption must surface as a non-ok Status, never as an exception.
+
+TEST(TryDecode, ValidFileIsOkAndMatchesThrowingPath) {
+  const auto bytes = valid_file();
+  CoeffImage out;
+  const Status s = try_decode_jfif(bytes, &out);
+  ASSERT_TRUE(s.is_ok()) << s.to_string();
+  const CoeffImage ref = decode_jfif(bytes);
+  EXPECT_EQ(out.width, ref.width);
+  EXPECT_EQ(out.height, ref.height);
+  ASSERT_EQ(out.comps.size(), ref.comps.size());
+  for (size_t c = 0; c < out.comps.size(); ++c) {
+    EXPECT_EQ(out.comps[c].blocks, ref.comps[c].blocks);
+  }
+}
+
+TEST(TryDecode, EmptyInputIsInvalidArgument) {
+  CoeffImage out;
+  const Status s = try_decode_jfif({}, &out);
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_FALSE(s.message().empty());
+}
+
+TEST(TryDecode, TruncationsReturnNonOkStatus) {
+  const auto original = valid_file();
+  for (const double frac : {0.05, 0.3, 0.6, 0.9}) {
+    auto bytes = original;
+    bytes.resize(static_cast<size_t>(bytes.size() * frac));
+    CoeffImage out;
+    const Status s = try_decode_jfif(bytes, &out);  // must not throw
+    EXPECT_FALSE(s.is_ok()) << "fraction " << frac;
+    EXPECT_EQ(s.code(), StatusCode::kDataLoss) << "fraction " << frac;
+  }
+}
+
+TEST(TryDecode, RandomBitFlipsNeverThrow) {
+  const auto original = valid_file();
+  Rng rng(41);
+  for (int trial = 0; trial < 200; ++trial) {
+    auto bytes = original;
+    const size_t pos = static_cast<size_t>(
+        rng.uniform_int(2, static_cast<int>(bytes.size()) - 3));
+    bytes[pos] ^= static_cast<uint8_t>(1 << rng.uniform_int(0, 7));
+    CoeffImage out;
+    const Status s = try_decode_jfif(bytes, &out);
+    if (s.is_ok()) {
+      EXPECT_GT(out.width, 0);
+      EXPECT_GT(out.height, 0);
+      EXPECT_FALSE(out.comps.empty());
+    }
+  }
+}
+
 }  // namespace
 }  // namespace dcdiff::jpeg

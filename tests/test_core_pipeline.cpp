@@ -131,8 +131,11 @@ TEST_F(PipelineTest, FmppToggleChangesOutput) {
   model.train_or_load();
   const Image img = data::dataset_image(data::DatasetId::kUrban100, 0, 32);
   const jpeg::CoeffImage dropped = dropped_for(img);
-  const Image with = model.reconstruct(dropped, /*use_fmpp=*/true);
-  const Image without = model.reconstruct(dropped, /*use_fmpp=*/false);
+  core::ReconstructOptions with_fmpp;  // defaults: use_fmpp = true
+  core::ReconstructOptions without_fmpp;
+  without_fmpp.use_fmpp = false;
+  const Image with = model.reconstruct(dropped, with_fmpp);
+  const Image without = model.reconstruct(dropped, without_fmpp);
   double diff = 0.0;
   for (int c = 0; c < 3; ++c) {
     for (size_t i = 0; i < with.plane(c).size(); ++i) {

@@ -1,0 +1,281 @@
+// Tests for the batched receiver serving engine (src/serve) and the
+// cross-request microbatching path behind it (DCDiffModel::reconstruct_batch).
+//
+// The batching contract is the load-bearing property: serving N requests
+// fused into one batch must produce the same pixels as N independent
+// reconstruct() calls (within 1e-4; in practice bit-identical). The server
+// tests then cover the operational envelope — concurrent sessions,
+// backpressure, deadlines, shutdown, and malformed input — with a tiny model
+// so the whole file runs in seconds on one core.
+#include "serve/server.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdlib>
+#include <filesystem>
+#include <future>
+#include <thread>
+#include <vector>
+
+#include "core/pipeline.h"
+#include "data/datasets.h"
+#include "jpeg/codec.h"
+
+namespace dcdiff::serve {
+namespace {
+
+core::DCDiffConfig tiny_config() {
+  core::DCDiffConfig cfg;
+  cfg.image_size = 32;
+  cfg.stage1_steps = 6;
+  cfg.stage2_steps = 6;
+  cfg.fmpp_steps = 2;
+  cfg.batch = 1;
+  cfg.ddim_steps = 4;
+  cfg.diffusion_T = 50;
+  cfg.ae.base = 8;
+  cfg.ae.ac_channels = 8;
+  cfg.unet.base = 8;
+  cfg.unet.temb_dim = 16;
+  cfg.ae_tag = "test_serve_ae";
+  cfg.tag = "test_serve";
+  return cfg;
+}
+
+class ServeTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    cache_dir_ =
+        std::filesystem::temp_directory_path() / "dcdiff_serve_test_cache";
+    std::filesystem::create_directories(cache_dir_);
+    setenv("DCDIFF_CACHE_DIR", cache_dir_.c_str(), 1);
+    // Pooled: trained (or cache-loaded) once for the whole suite.
+    model_ = core::ModelPool::instance().get(tiny_config());
+  }
+  static void TearDownTestSuite() {
+    model_.reset();
+    std::error_code ec;
+    std::filesystem::remove_all(cache_dir_, ec);
+  }
+
+  static std::vector<uint8_t> bitstream(int idx) {
+    const Image img = data::dataset_image(data::DatasetId::kKodak, idx, 64);
+    return core::sender_encode(img).bytes;
+  }
+
+  static double max_abs_diff(const Image& a, const Image& b) {
+    if (a.width() != b.width() || a.height() != b.height() ||
+        a.channels() != b.channels()) {
+      return 1e9;
+    }
+    double m = 0;
+    for (int c = 0; c < a.channels(); ++c) {
+      const auto& pa = a.plane(c);
+      const auto& pb = b.plane(c);
+      for (size_t i = 0; i < pa.size(); ++i) {
+        m = std::max(m, static_cast<double>(std::fabs(pa[i] - pb[i])));
+      }
+    }
+    return m;
+  }
+
+  static std::filesystem::path cache_dir_;
+  static std::shared_ptr<const core::DCDiffModel> model_;
+};
+
+std::filesystem::path ServeTest::cache_dir_;
+std::shared_ptr<const core::DCDiffModel> ServeTest::model_;
+
+// ---- Batched-vs-single equivalence (the core contract) ----
+
+TEST_F(ServeTest, BatchedMatchesSingleAtSeveralBatchSizes) {
+  for (const int n : {1, 2, 5}) {
+    std::vector<jpeg::CoeffImage> coeffs;
+    for (int i = 0; i < n; ++i) {
+      coeffs.push_back(jpeg::decode_jfif(bitstream(i)));
+    }
+    std::vector<const jpeg::CoeffImage*> ptrs;
+    for (const auto& c : coeffs) ptrs.push_back(&c);
+
+    const std::vector<Image> batched = model_->reconstruct_batch(ptrs);
+    ASSERT_EQ(batched.size(), static_cast<size_t>(n));
+    for (int i = 0; i < n; ++i) {
+      const Image single = model_->reconstruct(coeffs[static_cast<size_t>(i)]);
+      EXPECT_LE(max_abs_diff(single, batched[static_cast<size_t>(i)]), 1e-4)
+          << "batch size " << n << ", image " << i;
+    }
+  }
+}
+
+TEST_F(ServeTest, BatchedHonoursReconstructOptions) {
+  core::ReconstructOptions opts;
+  opts.ensemble = 1;
+  opts.ddim_steps = 2;
+  const jpeg::CoeffImage coeffs = jpeg::decode_jfif(bitstream(0));
+  const std::vector<const jpeg::CoeffImage*> ptrs = {&coeffs, &coeffs};
+  const std::vector<Image> batched = model_->reconstruct_batch(ptrs, opts);
+  const Image single = model_->reconstruct(coeffs, opts);
+  ASSERT_EQ(batched.size(), 2u);
+  EXPECT_LE(max_abs_diff(single, batched[0]), 1e-4);
+  EXPECT_LE(max_abs_diff(single, batched[1]), 1e-4);
+}
+
+// ---- Server behaviour ----
+
+TEST_F(ServeTest, ServedResultMatchesDirectReconstruct) {
+  ServerConfig cfg;
+  cfg.max_batch = 4;
+  ReceiverServer server(cfg, model_);
+  Session session = server.open_session();
+  const auto bytes = bitstream(0);
+  Result r = session.reconstruct(bytes);
+  ASSERT_TRUE(r.status.is_ok()) << r.status.to_string();
+  EXPECT_GT(r.e2e_seconds, 0);
+  const Image direct = core::receiver_reconstruct(bytes, *model_);
+  EXPECT_LE(max_abs_diff(direct, r.image), 1e-4);
+  EXPECT_EQ(session.submitted(), 1u);
+}
+
+TEST_F(ServeTest, ConcurrentSessionsAllComplete) {
+  constexpr int kClients = 3;
+  constexpr int kPerClient = 4;
+  ServerConfig cfg;
+  cfg.max_batch = 4;
+  cfg.queue_capacity = kClients * kPerClient;
+  ReceiverServer server(cfg, model_);
+
+  std::vector<std::vector<uint8_t>> streams;
+  for (int i = 0; i < kPerClient; ++i) streams.push_back(bitstream(i));
+
+  std::vector<Image> reference;
+  for (const auto& bytes : streams) {
+    reference.push_back(core::receiver_reconstruct(bytes, *model_));
+  }
+
+  std::vector<std::thread> clients;
+  std::vector<int> failures(kClients, 0);
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      Session session = server.open_session();
+      std::vector<std::future<Result>> futs;
+      for (const auto& bytes : streams) futs.push_back(session.submit(bytes));
+      for (size_t i = 0; i < futs.size(); ++i) {
+        Result r = futs[i].get();
+        if (!r.status.is_ok() || max_abs_diff(reference[i], r.image) > 1e-4) {
+          ++failures[static_cast<size_t>(c)];
+        }
+      }
+    });
+  }
+  for (auto& t : clients) t.join();
+  for (int c = 0; c < kClients; ++c) {
+    EXPECT_EQ(failures[static_cast<size_t>(c)], 0) << "client " << c;
+  }
+  const auto stats = server.stats();
+  EXPECT_EQ(stats.sessions_opened, static_cast<uint64_t>(kClients));
+  EXPECT_EQ(stats.accepted, static_cast<uint64_t>(kClients * kPerClient));
+  EXPECT_EQ(stats.completed, static_cast<uint64_t>(kClients * kPerClient));
+  EXPECT_GE(stats.batches, 1u);
+}
+
+TEST_F(ServeTest, QueueFullSubmitsAreRejected) {
+  ServerConfig cfg;
+  cfg.max_batch = 1;
+  cfg.batch_timeout_ms = 0;
+  cfg.queue_capacity = 2;
+  ReceiverServer server(cfg, model_);
+  Session session = server.open_session();
+
+  // Each reconstruction takes milliseconds; ten instant submits cannot all
+  // fit through a 2-deep queue drained one at a time.
+  constexpr int kSubmits = 10;
+  const auto bytes = bitstream(0);
+  std::vector<std::future<Result>> futs;
+  for (int i = 0; i < kSubmits; ++i) futs.push_back(session.submit(bytes));
+
+  int ok = 0, rejected = 0;
+  for (auto& f : futs) {
+    Result r = f.get();
+    if (r.status.is_ok()) {
+      ++ok;
+    } else {
+      EXPECT_EQ(r.status.code(), StatusCode::kResourceExhausted)
+          << r.status.to_string();
+      ++rejected;
+    }
+  }
+  EXPECT_GT(rejected, 0);
+  EXPECT_GT(ok, 0);  // accepted requests still complete
+  const auto stats = server.stats();
+  EXPECT_EQ(stats.rejected_queue_full, static_cast<uint64_t>(rejected));
+  EXPECT_EQ(stats.completed, static_cast<uint64_t>(ok));
+}
+
+TEST_F(ServeTest, ExpiredDeadlineIsReportedWithoutModelTime) {
+  ServerConfig cfg;
+  cfg.max_batch = 1;
+  cfg.batch_timeout_ms = 0;
+  ReceiverServer server(cfg, model_);
+  Session session = server.open_session();
+
+  const auto bytes = bitstream(0);
+  // First request occupies the single worker for several milliseconds; the
+  // second's 1 ms deadline expires while it waits in the queue.
+  auto busy = session.submit(bytes);
+  RequestOptions opts;
+  opts.deadline_ms = 1;
+  auto doomed = session.submit(bytes, opts);
+
+  EXPECT_TRUE(busy.get().status.is_ok());
+  const Result late = doomed.get();
+  EXPECT_EQ(late.status.code(), StatusCode::kDeadlineExceeded)
+      << late.status.to_string();
+  EXPECT_EQ(server.stats().deadline_expired, 1u);
+}
+
+TEST_F(ServeTest, MalformedBitstreamRejectedAtSubmit) {
+  ReceiverServer server(ServerConfig{}, model_);
+  Session session = server.open_session();
+  auto fut = session.submit({0xDE, 0xAD, 0xBE, 0xEF});
+  // Rejection is synchronous: the future is ready without any model work.
+  ASSERT_EQ(fut.wait_for(std::chrono::seconds(0)), std::future_status::ready);
+  const Result r = fut.get();
+  EXPECT_FALSE(r.status.is_ok());
+  EXPECT_EQ(r.status.code(), StatusCode::kDataLoss) << r.status.to_string();
+  EXPECT_EQ(server.stats().rejected_decode, 1u);
+}
+
+TEST_F(ServeTest, SubmitAfterShutdownIsUnavailable) {
+  ReceiverServer server(ServerConfig{}, model_);
+  Session session = server.open_session();
+  server.shutdown();
+  const Result r = session.reconstruct(bitstream(0));
+  EXPECT_EQ(r.status.code(), StatusCode::kUnavailable) << r.status.to_string();
+  EXPECT_EQ(server.stats().rejected_shutdown, 1u);
+}
+
+TEST_F(ServeTest, ShutdownDrainsQueuedRequests) {
+  ServerConfig cfg;
+  cfg.max_batch = 2;
+  ReceiverServer server(cfg, model_);
+  Session session = server.open_session();
+  std::vector<std::future<Result>> futs;
+  for (int i = 0; i < 4; ++i) futs.push_back(session.submit(bitstream(i)));
+  server.shutdown();  // must complete everything already accepted
+  for (auto& f : futs) {
+    EXPECT_TRUE(f.get().status.is_ok());
+  }
+  EXPECT_EQ(server.stats().completed, 4u);
+}
+
+TEST_F(ServeTest, LatencyPresetHalvesStepsKeepsFmpp) {
+  const core::ReconstructOptions o =
+      ServerConfig::latency_recon(model_->config());
+  EXPECT_EQ(o.ensemble, 1);
+  EXPECT_EQ(o.ddim_steps, model_->config().ddim_steps / 2);
+  EXPECT_TRUE(o.use_fmpp);
+}
+
+}  // namespace
+}  // namespace dcdiff::serve
