@@ -24,11 +24,23 @@
 // DCDIFF_BENCH_JSON=<path> records per-image latency + quality for every
 // method (dcdiff_serial, dcdiff_served, dcdiff_serial_latency,
 // dcdiff_served_latency).
+//
+// Multi-core scaling (PR 5): `--workers 1,2,4` sweeps the replica-sharded
+// server — each worker an O(1) model replica on its own thread-pool
+// partition — at equal inference work, verifying every configuration's
+// outputs against the serial path (1e-4) and writing aggregate images/sec
+// per worker count to BENCH_pr5.json (override with --out <path>). The
+// >= 2.5x @ 4 workers acceptance gate is enforced only on hosts with >= 4
+// cores; on smaller hosts the sweep still runs and records honest numbers
+// (a 1-core host serializes the partitions, so speedup ~1.0x).
 #include <chrono>
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <future>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "bench_util.h"
@@ -172,9 +184,97 @@ double worst_diff(const std::vector<Image>& a, const std::vector<Image>& b) {
   return w;
 }
 
+// "1,2,4" -> {1, 2, 4}; exits on malformed input.
+std::vector<int> parse_worker_list(const char* arg) {
+  std::vector<int> out;
+  const std::string s(arg);
+  size_t pos = 0;
+  while (pos < s.size()) {
+    size_t comma = s.find(',', pos);
+    if (comma == std::string::npos) comma = s.size();
+    const int v = std::atoi(s.substr(pos, comma - pos).c_str());
+    if (v < 1) {
+      std::fprintf(stderr, "bad --workers list '%s'\n", arg);
+      std::exit(2);
+    }
+    out.push_back(v);
+    pos = comma + 1;
+  }
+  if (out.empty()) {
+    std::fprintf(stderr, "empty --workers list\n");
+    std::exit(2);
+  }
+  return out;
+}
+
+struct SweepPoint {
+  int workers = 0;
+  double total_secs = 0;
+  double images_per_sec = 0;
+  double speedup_vs_1 = 0;
+  double max_diff = 0;
+  uint64_t steals = 0;
+};
+
+// One sweep configuration: all requests in flight at once through a
+// `workers`-sharded server at equal inference work. Returns the fastest of
+// `reps` runs; *ok is cleared if any request fails.
+SweepPoint run_sweep_point(const std::vector<std::vector<uint8_t>>& bitstreams,
+                           const std::vector<Image>& reference,
+                           std::shared_ptr<const core::DCDiffModel> model,
+                           serve::ServerConfig cfg, int workers, int reps,
+                           bool* ok) {
+  SweepPoint p;
+  p.workers = workers;
+  cfg.workers = workers;
+  for (int rep = 0; rep < reps; ++rep) {
+    serve::ReceiverServer server(cfg, model);
+    serve::Session session = server.open_session();
+    const double t0 = now_seconds();
+    std::vector<std::future<serve::Result>> futs;
+    futs.reserve(bitstreams.size());
+    for (const auto& bytes : bitstreams) futs.push_back(session.submit(bytes));
+    std::vector<Image> images(bitstreams.size());
+    for (size_t i = 0; i < futs.size(); ++i) {
+      serve::Result res = futs[i].get();
+      if (!res.status.is_ok()) {
+        std::fprintf(stderr, "workers=%d: request %zu failed: %s\n", workers,
+                     i, res.status.to_string().c_str());
+        *ok = false;
+        return p;
+      }
+      images[i] = std::move(res.image);
+    }
+    const double secs = now_seconds() - t0;
+    if (rep == 0 || secs < p.total_secs) {
+      p.total_secs = secs;
+      p.steals = server.stats().steals;
+    }
+    if (rep == 0) p.max_diff = worst_diff(reference, images);
+  }
+  p.images_per_sec = static_cast<double>(bitstreams.size()) / p.total_secs;
+  return p;
+}
+
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  std::vector<int> worker_sweep = {1, 2, 4};
+  std::string out_path = "BENCH_pr5.json";
+  for (int a = 1; a < argc; ++a) {
+    if (std::strcmp(argv[a], "--workers") == 0 && a + 1 < argc) {
+      worker_sweep = parse_worker_list(argv[++a]);
+    } else if (std::strcmp(argv[a], "--out") == 0 && a + 1 < argc) {
+      out_path = argv[++a];
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s [--workers 1,2,4] [--out BENCH_pr5.json]\n",
+                   argv[0]);
+      return 2;
+    }
+  }
+  // Speedups are relative to one worker; make sure the baseline is swept.
+  if (worker_sweep.front() != 1) worker_sweep.insert(worker_sweep.begin(), 1);
   bench::print_header("bench_serve: batched serving vs serial reconstruct");
   bench::JsonReport::instance().set_bench("serve");
 
@@ -275,5 +375,79 @@ int main() {
   }
   std::printf("latency-preset serving clears 1.5x (max_batch=%d)\n",
               kMaxBatch);
+
+  // ---- multi-worker scaling sweep (PR 5) ----
+  const int host_cores =
+      std::max(1, static_cast<int>(std::thread::hardware_concurrency()));
+  std::printf("\nworker sweep (host cores: %d, equal-work options):\n",
+              host_cores);
+  std::printf("%-10s %10s %12s %10s %8s\n", "workers", "total (s)",
+              "images/sec", "speedup", "steals");
+
+  std::vector<SweepPoint> sweep;
+  for (const int w : worker_sweep) {
+    SweepPoint p = run_sweep_point(bitstreams, serial.images, model, cfg, w,
+                                   kReps, &ok);
+    if (!ok) return 1;
+    p.speedup_vs_1 = sweep.empty() ? 1.0
+                                   : sweep.front().total_secs / p.total_secs;
+    std::printf("%-10d %10.3f %12.2f %9.2fx %8llu\n", p.workers, p.total_secs,
+                p.images_per_sec, p.speedup_vs_1,
+                static_cast<unsigned long long>(p.steals));
+    if (p.max_diff > 1e-4) {
+      std::fprintf(stderr,
+                   "FAIL: workers=%d output diverges from the serial path "
+                   "(max |diff| = %.3g, limit 1e-4)\n",
+                   p.workers, p.max_diff);
+      return 1;
+    }
+    sweep.push_back(p);
+  }
+
+  // The >= 2.5x @ 4 workers gate only means something with >= 4 cores to
+  // scale across; smaller hosts record honest numbers without failing.
+  const bool enforce = host_cores >= 4;
+  bool met = true;
+  for (const SweepPoint& p : sweep) {
+    if (p.workers >= 4 && p.speedup_vs_1 < 2.5) met = false;
+  }
+  std::FILE* jf = std::fopen(out_path.c_str(), "w");
+  if (jf == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
+    return 1;
+  }
+  std::fprintf(jf,
+               "{\n  \"bench\": \"serve_workers\",\n"
+               "  \"host_cores\": %d,\n  \"images\": %d,\n"
+               "  \"max_batch\": %d,\n  \"reps\": %d,\n  \"sweep\": [\n",
+               host_cores, kImages, kMaxBatch, kReps);
+  for (size_t i = 0; i < sweep.size(); ++i) {
+    const SweepPoint& p = sweep[i];
+    std::fprintf(jf,
+                 "    {\"workers\": %d, \"total_seconds\": %.6f, "
+                 "\"images_per_sec\": %.3f, \"speedup_vs_1\": %.3f, "
+                 "\"max_abs_diff_vs_serial\": %.3g, \"steals\": %llu}%s\n",
+                 p.workers, p.total_secs, p.images_per_sec, p.speedup_vs_1,
+                 p.max_diff, static_cast<unsigned long long>(p.steals),
+                 i + 1 < sweep.size() ? "," : "");
+  }
+  std::fprintf(jf,
+               "  ],\n  \"win_condition\": {\"required_speedup_at_4\": 2.5, "
+               "\"enforced\": %s, \"met\": %s}\n}\n",
+               enforce ? "true" : "false", met ? "true" : "false");
+  std::fclose(jf);
+  std::printf("wrote %s\n", out_path.c_str());
+
+  if (enforce && !met) {
+    std::fprintf(stderr,
+                 "FAIL: 4-worker sweep below 2.5x aggregate speedup on a "
+                 "%d-core host\n",
+                 host_cores);
+    return 1;
+  }
+  if (!enforce) {
+    std::printf("speedup gate not enforced: host has %d core(s) (< 4)\n",
+                host_cores);
+  }
   return 0;
 }

@@ -107,6 +107,11 @@ int main() {
   report("naive decode (no DC)", naive);
   report("ICIP 2022 baseline", icip);
   report("DCDiff", dcdiff);
+  // Machine-readable full-precision line for the cross-process golden
+  // regression test (cmake/golden_regression_test.cmake): the 2-decimal
+  // table above is far too coarse to catch a drifting kernel.
+  std::printf("quickstart_golden psnr=%.9f\n",
+              metrics::evaluate(original, dcdiff).psnr);
 
   write_pnm(original, "quickstart_original.ppm");
   write_pnm(dcdiff, "quickstart_dcdiff.ppm");

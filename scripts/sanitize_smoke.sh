@@ -1,0 +1,26 @@
+#!/usr/bin/env bash
+# Sanitizer smoke: configure + build the `sanitize` (ASan+UBSan) and `tsan`
+# presets and run the `concurrency`-labelled tests under each. This is the
+# commit-gate for the threaded serving engine — the labelled suites cover the
+# thread pool (partitioned and global), the sharded ReceiverServer (routing,
+# stealing, shutdown drain), and the serve_tool end-to-end smoke.
+#
+# Usage: scripts/sanitize_smoke.sh [tsan|sanitize]   (default: both)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+presets=("${1:-}")
+if [[ -z "${presets[0]}" ]]; then
+  presets=(sanitize tsan)
+fi
+
+jobs=$(nproc 2>/dev/null || echo 2)
+for preset in "${presets[@]}"; do
+  echo "=== ${preset}: configure + build ==="
+  cmake --preset "${preset}"
+  cmake --build --preset "${preset}" -j "${jobs}"
+  echo "=== ${preset}: ctest -L concurrency ==="
+  ctest --test-dir "build-${preset}" -L concurrency \
+        --output-on-failure -j 1
+done
+echo "sanitize smoke passed: ${presets[*]}"

@@ -15,6 +15,7 @@
 #include "jpeg/dcdrop.h"
 #include "nn/cache.h"
 #include "nn/optim.h"
+#include "nn/packcache.h"
 #include "nn/serialize.h"
 #include "obs/log.h"
 #include "obs/metrics.h"
@@ -37,11 +38,43 @@ DCDiffModel::DCDiffModel(const DCDiffConfig& cfg)
   if (cfg_.verbose && obs::log_level() > obs::LogLevel::kDebug) {
     obs::set_log_level(obs::LogLevel::kDebug);
   }
-  ae_ = std::make_unique<Autoencoder>(cfg.ae, cfg.seed);
-  disc_ = std::make_unique<PatchDiscriminator>(cfg.seed ^ 0xD15Cull);
-  control_ = std::make_unique<ControlModule>(cfg.unet, cfg.seed);
-  unet_ = std::make_unique<UNet>(cfg.unet, cfg.seed);
-  fmpp_ = std::make_unique<FMPP>(cfg.seed);
+  ae_ = std::make_shared<Autoencoder>(cfg.ae, cfg.seed);
+  disc_ = std::make_shared<PatchDiscriminator>(cfg.seed ^ 0xD15Cull);
+  control_ = std::make_shared<ControlModule>(cfg.unet, cfg.seed);
+  unet_ = std::make_shared<UNet>(cfg.unet, cfg.seed);
+  fmpp_ = std::make_shared<FMPP>(cfg.seed);
+  packs_ = std::make_shared<nn::PackCache>();
+}
+
+DCDiffModel::~DCDiffModel() = default;
+
+DCDiffModel::DCDiffModel(const DCDiffModel& src, ReplicaTag)
+    : cfg_(src.cfg_),
+      sched_(src.sched_),
+      replica_(true),
+      ae_(src.ae_),
+      disc_(src.disc_),
+      control_(src.control_),
+      unet_(src.unet_),
+      fmpp_(src.fmpp_),
+      packs_(src.packs_) {}
+
+std::shared_ptr<const DCDiffModel> DCDiffModel::replicate(
+    const std::shared_ptr<const DCDiffModel>& src) {
+  if (!src) {
+    throw std::invalid_argument("DCDiffModel::replicate: null source");
+  }
+  static obs::Counter& replicas = obs::counter("core.pool.replicas");
+  replicas.inc();
+  return std::shared_ptr<const DCDiffModel>(
+      new DCDiffModel(*src, ReplicaTag{}));
+}
+
+void DCDiffModel::check_trainable(const char* what) const {
+  if (replica_) {
+    throw std::logic_error(std::string(what) +
+                           ": replicas share frozen weights and cannot train");
+  }
 }
 
 DCDiffModel::Sample DCDiffModel::make_sample(int index) const {
@@ -71,6 +104,7 @@ void set_requires_grad(const std::vector<Tensor>& params, bool value) {
 }  // namespace
 
 void DCDiffModel::train_stage1() {
+  check_trainable("train_stage1");
   DCDIFF_TRACE_SPAN("train_stage1");
   DCDIFF_LOG_INFO("core.train", "stage1_begin",
                   {{"steps", cfg_.stage1_steps}, {"batch", cfg_.batch}});
@@ -131,6 +165,7 @@ void DCDiffModel::train_stage1() {
 }
 
 void DCDiffModel::train_stage2() {
+  check_trainable("train_stage2");
   DCDIFF_TRACE_SPAN("train_stage2");
   DCDIFF_LOG_INFO("core.train", "stage2_begin",
                   {{"steps", cfg_.stage2_steps},
@@ -226,6 +261,7 @@ void DCDiffModel::train_stage2() {
 }
 
 void DCDiffModel::train_fmpp() {
+  check_trainable("train_fmpp");
   DCDIFF_TRACE_SPAN("train_fmpp");
   DCDIFF_LOG_INFO("core.train", "fmpp_begin", {{"steps", cfg_.fmpp_steps}});
   static obs::Counter& steps_done = obs::counter("core.train.fmpp_steps");
@@ -294,6 +330,7 @@ void DCDiffModel::train_fmpp() {
 }
 
 void DCDiffModel::train_or_load() {
+  check_trainable("train_or_load");
   DCDIFF_TRACE_SPAN("train_or_load");
   const std::string ae_path = cache_path("dcdiff_" + cfg_.ae_tag + ".bin");
   {
@@ -335,6 +372,7 @@ void DCDiffModel::train_or_load() {
 Image DCDiffModel::reconstruct(const jpeg::CoeffImage& dropped,
                                const ReconstructOptions& opts) const {
   NoGradGuard no_grad;
+  nn::PackCacheBinding packs(packs_.get());
   DCDIFF_TRACE_SPAN("reconstruct");
   static obs::Histogram& lat = obs::histogram("core.reconstruct_seconds");
   obs::ScopedLatency timer(lat);
@@ -394,6 +432,7 @@ std::vector<Image> DCDiffModel::reconstruct_batch(
     const std::vector<const jpeg::CoeffImage*>& dropped,
     const ReconstructOptions& opts) const {
   NoGradGuard no_grad;
+  nn::PackCacheBinding packs(packs_.get());
   DCDIFF_TRACE_SPAN("reconstruct_batch");
   static obs::Histogram& lat = obs::histogram("core.reconstruct_seconds");
   obs::ScopedLatency timer(lat);
@@ -527,6 +566,7 @@ std::vector<Image> DCDiffModel::reconstruct_batch(
 Image DCDiffModel::autoencode(const Image& original,
                               const jpeg::CoeffImage& dropped) const {
   NoGradGuard no_grad;
+  nn::PackCacheBinding packs(packs_.get());
   const Image tilde = pad_to_multiple(jpeg::tilde_image(dropped), 8);
   const Image padded = pad_to_multiple(original, 8);
   const Tensor z = ae_->encode_dc(rgb_to_tensor(padded));
@@ -653,6 +693,16 @@ std::shared_ptr<const DCDiffModel> ModelPool::get(const DCDiffConfig& cfg) {
 
 std::shared_ptr<const DCDiffModel> ModelPool::default_instance() {
   return get(DCDiffConfig{});
+}
+
+std::vector<std::shared_ptr<const DCDiffModel>> ModelPool::replicas(
+    const DCDiffConfig& cfg, int n) {
+  if (n <= 0) throw std::invalid_argument("ModelPool::replicas: n must be > 0");
+  std::vector<std::shared_ptr<const DCDiffModel>> out;
+  out.reserve(static_cast<size_t>(n));
+  out.push_back(get(cfg));
+  for (int i = 1; i < n; ++i) out.push_back(DCDiffModel::replicate(out[0]));
+  return out;
 }
 
 size_t ModelPool::size() const {

@@ -25,6 +25,10 @@
 #include "jpeg/codec.h"
 #include "support/status.h"
 
+namespace dcdiff::nn {
+class PackCache;  // packcache.h; held by pointer only
+}
+
 namespace dcdiff::core {
 
 struct DCDiffConfig {
@@ -76,8 +80,23 @@ struct ReconstructOptions {
 class DCDiffModel {
  public:
   explicit DCDiffModel(const DCDiffConfig& cfg);
+  ~DCDiffModel();
 
   const DCDiffConfig& config() const { return cfg_; }
+
+  // --- replicas (multi-worker serving) ---
+  // An inference replica of a trained model: an independent DCDiffModel
+  // handle whose components — and therefore every weight tensor and the
+  // PackedA weight-panel cache — are shared read-only with `src`.
+  // Construction is O(1): nothing is copied, re-loaded, or re-packed.
+  // Replicas exist so each serving worker can hold its own model identity
+  // (pinned to its own partitioned thread pool) while the weights stay
+  // resident exactly once per process. `src` must already be trained
+  // (train_or_load done); calling any train_* method on a replica is
+  // invalid and throws.
+  static std::shared_ptr<const DCDiffModel> replicate(
+      const std::shared_ptr<const DCDiffModel>& src);
+  bool is_replica() const { return replica_; }
 
   // --- training ---
   void train_stage1();           // E^DC, E^AC, D (+ discriminator)
@@ -126,15 +145,25 @@ class DCDiffModel {
 
  private:
   struct Sample;  // training sample (x0, tilde, mask)
+  struct ReplicaTag {};
+  DCDiffModel(const DCDiffModel& src, ReplicaTag);
   Sample make_sample(int index) const;
+  void check_trainable(const char* what) const;
 
   DCDiffConfig cfg_;
   DiffusionSchedule sched_;
-  std::unique_ptr<Autoencoder> ae_;
-  std::unique_ptr<PatchDiscriminator> disc_;
-  std::unique_ptr<ControlModule> control_;
-  std::unique_ptr<UNet> unet_;
-  std::unique_ptr<FMPP> fmpp_;
+  bool replica_ = false;
+  // Components are shared_ptr so replicas alias them (read-only after
+  // train_or_load); the owning model and all replicas see one copy of every
+  // weight tensor.
+  std::shared_ptr<Autoencoder> ae_;
+  std::shared_ptr<PatchDiscriminator> disc_;
+  std::shared_ptr<ControlModule> control_;
+  std::shared_ptr<UNet> unet_;
+  std::shared_ptr<FMPP> fmpp_;
+  // PackedA weight panels, shared by replicas; bound thread-locally for the
+  // duration of each inference call (see nn/packcache.h).
+  std::shared_ptr<nn::PackCache> packs_;
 };
 
 // ----- sender/receiver convenience API -----
@@ -180,6 +209,13 @@ class ModelPool {
 
   // The default-config model (the former shared_model() global).
   std::shared_ptr<const DCDiffModel> default_instance();
+
+  // `n` serving replicas of the pooled model for `cfg`: element 0 is the
+  // pooled instance itself, the rest are DCDiffModel::replicate handles
+  // sharing its weights and PackedA panels. Replicas are created fresh per
+  // call (they are O(1)); only element 0 is pool-resident.
+  std::vector<std::shared_ptr<const DCDiffModel>> replicas(
+      const DCDiffConfig& cfg, int n);
 
   // Number of resident models (tests / introspection).
   size_t size() const;

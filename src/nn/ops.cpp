@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <cmath>
+#include <optional>
 
 #include "nn/gemm.h"
+#include "nn/packcache.h"
 #include "nn/threadpool.h"
 #include "nn/workspace.h"
 
@@ -635,7 +637,19 @@ Tensor conv2d(const Tensor& x, const Tensor& w, const Tensor& b, int stride,
     float* col =
         fast_1x1 ? nullptr
                  : Workspace::tls().floats(static_cast<size_t>(kdim) * npix);
-    const PackedA pw(false, f, kdim, wv, kdim);
+    // Frozen weights under a bound PackCache (inference through a trained
+    // model) reuse process-lifetime panels: packed once per weight node per
+    // process instead of once per call, and shared across model replicas.
+    // Anything that might still train re-packs locally, as before.
+    PackCache* pack_cache = PackCache::current();
+    std::optional<PackedA> local_pack;
+    const PackedA* pw = nullptr;
+    if (pack_cache != nullptr && !grad_enabled() && !w.requires_grad()) {
+      pw = &pack_cache->get(w, f, kdim);
+    } else {
+      local_pack.emplace(false, f, kdim, wv, kdim);
+      pw = &*local_pack;
+    }
     for (int ni = 0; ni < n; ++ni) {
       const float* xplane = xv + static_cast<size_t>(ni) * c * h * ww;
       const float* patches = xplane;
@@ -644,7 +658,7 @@ Tensor conv2d(const Tensor& x, const Tensor& w, const Tensor& b, int stride,
         patches = col;
       }
       // out plane (f x npix) = W (f x kdim) * patches (kdim x npix).
-      pw.run(npix, patches, npix, 0.0f,
+      pw->run(npix, patches, npix, 0.0f,
              out.data() + static_cast<size_t>(ni) * f * npix, npix);
     }
   }

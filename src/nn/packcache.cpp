@@ -1,0 +1,57 @@
+#include "nn/packcache.h"
+
+#include <mutex>
+
+#include "obs/metrics.h"
+
+namespace dcdiff::nn {
+
+namespace {
+
+thread_local PackCache* tl_pack_cache = nullptr;
+
+}  // namespace
+
+PackCache* PackCache::current() { return tl_pack_cache; }
+
+PackCacheBinding::PackCacheBinding(PackCache* cache) : prev_(tl_pack_cache) {
+  tl_pack_cache = cache;
+}
+
+PackCacheBinding::~PackCacheBinding() { tl_pack_cache = prev_; }
+
+const PackedA& PackCache::get(const Tensor& w, int64_t m, int64_t k) {
+  static obs::Counter& hits = obs::counter("nn.packcache.hits");
+  static obs::Counter& misses = obs::counter("nn.packcache.misses");
+  static obs::Gauge& entries = obs::gauge("nn.packcache.entries");
+  const TensorNode* key = w.node().get();
+  {
+    std::shared_lock<std::shared_mutex> lock(mu_);
+    auto it = entries_.find(key);
+    if (it != entries_.end()) {
+      hits.inc();
+      return *it->second.packed;
+    }
+  }
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  auto [it, inserted] = entries_.try_emplace(key);
+  if (inserted) {
+    // Packing happens under the write lock: it is small (one weight matrix)
+    // and racing first-lookups for the same node must produce one entry.
+    it->second.keep_alive = w.node();
+    it->second.packed =
+        std::make_unique<PackedA>(false, m, k, w.value().data(), k);
+    misses.inc();
+    entries.set(static_cast<double>(entries_.size()));
+  } else {
+    hits.inc();
+  }
+  return *it->second.packed;
+}
+
+size_t PackCache::size() const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  return entries_.size();
+}
+
+}  // namespace dcdiff::nn

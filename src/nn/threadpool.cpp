@@ -2,6 +2,11 @@
 
 #include <algorithm>
 
+#ifdef __linux__
+#include <pthread.h>
+#include <sched.h>
+#endif
+
 #include "obs/metrics.h"
 
 namespace dcdiff::nn {
@@ -20,7 +25,25 @@ obs::Histogram& task_histogram() {
 // inline: the pool's one-task-slot-per-worker design is not reentrant.
 thread_local bool tl_in_parallel_region = false;
 
+// The calling thread's bound partition (PoolBinding); nullptr = global pool.
+thread_local ThreadPool* tl_bound_pool = nullptr;
+
 }  // namespace
+
+bool pin_current_thread_to_cpu(int cpu) {
+#ifdef __linux__
+  if (cpu < 0) return false;
+  cpu_set_t set;
+  CPU_ZERO(&set);
+  CPU_SET(static_cast<unsigned>(cpu) %
+              std::max(1u, std::thread::hardware_concurrency()),
+          &set);
+  return pthread_setaffinity_np(pthread_self(), sizeof(set), &set) == 0;
+#else
+  (void)cpu;
+  return false;
+#endif
+}
 
 ThreadPool& ThreadPool::instance() {
   static ThreadPool pool(
@@ -28,13 +51,27 @@ ThreadPool& ThreadPool::instance() {
   return pool;
 }
 
-ThreadPool::ThreadPool(int num_threads) {
+ThreadPool& ThreadPool::current() {
+  return tl_bound_pool != nullptr ? *tl_bound_pool : instance();
+}
+
+PoolBinding::PoolBinding(ThreadPool* pool) : prev_(tl_bound_pool) {
+  tl_bound_pool = pool;
+}
+
+PoolBinding::~PoolBinding() { tl_bound_pool = prev_; }
+
+ThreadPool::ThreadPool(int num_threads, int cpu_first)
+    : cpu_first_(cpu_first) {
   const int workers = std::max(0, num_threads - 1);
   tasks_.resize(static_cast<size_t>(workers));
   task_ready_.assign(static_cast<size_t>(workers), false);
   workers_.reserve(static_cast<size_t>(workers));
   for (int i = 0; i < workers; ++i) {
-    workers_.emplace_back([this, i] { worker_loop(i); });
+    workers_.emplace_back([this, i] {
+      if (cpu_first_ >= 0) pin_current_thread_to_cpu(cpu_first_ + 1 + i);
+      worker_loop(i);
+    });
   }
 }
 
@@ -134,8 +171,33 @@ void ThreadPool::parallel_ranges(
   done_cv_.wait(lock, [&] { return pending_ == 0; });
 }
 
+std::vector<std::unique_ptr<ThreadPool>> partition_pools(int parts,
+                                                         int total_threads,
+                                                         bool pin_cpus) {
+  parts = std::max(1, parts);
+  const int hw =
+      static_cast<int>(std::max(1u, std::thread::hardware_concurrency()));
+  if (total_threads <= 0) total_threads = hw;
+  // Pinning a range that oversubscribes the host would stack partitions on
+  // the same CPUs — worse than letting the scheduler place them.
+  if (total_threads > hw) pin_cpus = false;
+  std::vector<std::unique_ptr<ThreadPool>> pools;
+  pools.reserve(static_cast<size_t>(parts));
+  const int base = std::max(1, total_threads / parts);
+  int remainder = std::max(0, total_threads - base * parts);
+  int cpu = 0;
+  for (int p = 0; p < parts; ++p) {
+    const int threads = base + (remainder > 0 ? 1 : 0);
+    if (remainder > 0) --remainder;
+    pools.push_back(std::make_unique<ThreadPool>(
+        threads, pin_cpus && cpu + threads <= hw ? cpu : -1));
+    cpu += threads;
+  }
+  return pools;
+}
+
 void parallel_for(int64_t n, const std::function<void(int64_t)>& fn) {
-  ThreadPool::instance().parallel_ranges(
+  ThreadPool::current().parallel_ranges(
       n, [&fn](int64_t begin, int64_t end) {
         for (int64_t i = begin; i < end; ++i) fn(i);
       });
@@ -143,12 +205,12 @@ void parallel_for(int64_t n, const std::function<void(int64_t)>& fn) {
 
 void parallel_for_ranges(int64_t n,
                          const std::function<void(int64_t, int64_t)>& fn) {
-  ThreadPool::instance().parallel_ranges(n, fn);
+  ThreadPool::current().parallel_ranges(n, fn);
 }
 
 void parallel_for_ranges(int64_t n, int64_t grain,
                          const std::function<void(int64_t, int64_t)>& fn) {
-  ThreadPool::instance().parallel_ranges(n, fn, grain);
+  ThreadPool::current().parallel_ranges(n, fn, grain);
 }
 
 }  // namespace dcdiff::nn

@@ -3,11 +3,21 @@
 // Work is split into contiguous index ranges, one per worker, so each output
 // element is written by exactly one thread: results are bit-identical to the
 // serial execution regardless of scheduling.
+//
+// Partitioning: the process-wide pool (`instance()`) serves single-tenant
+// workloads. Multi-tenant callers (the serving engine's replica workers)
+// instead carve the machine into independent pools via `partition_pools` and
+// bind one to each tenant thread with `PoolBinding`: every `parallel_for`
+// issued from that thread (however deep in the model) then runs on the
+// tenant's own disjoint worker set instead of contending for the global
+// pool's single dispatch slot. Each partition's workers own their own
+// thread-local Workspace arenas, so partitions never share scratch memory.
 #pragma once
 
 #include <condition_variable>
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <mutex>
 #include <thread>
 #include <vector>
@@ -19,13 +29,25 @@ class ThreadPool {
   // Global pool sized to the hardware concurrency (at least 1 worker).
   static ThreadPool& instance();
 
-  explicit ThreadPool(int num_threads);
+  // The pool `parallel_for`/`parallel_for_ranges` dispatch to from the
+  // calling thread: the thread's bound partition when a PoolBinding is
+  // active, the global instance() otherwise.
+  static ThreadPool& current();
+
+  // `num_threads` counts the calling thread: the pool spawns num_threads - 1
+  // workers. When `cpu_first` >= 0 worker i is pinned to CPU
+  // cpu_first + 1 + i (Linux; ignored elsewhere) — the caller that drives
+  // this pool is expected to pin itself to `cpu_first` (see
+  // pin_current_thread_to_cpu), giving the pool a disjoint CPU range.
+  explicit ThreadPool(int num_threads, int cpu_first = -1);
   ~ThreadPool();
 
   ThreadPool(const ThreadPool&) = delete;
   ThreadPool& operator=(const ThreadPool&) = delete;
 
   int num_threads() const { return static_cast<int>(workers_.size()) + 1; }
+  // First CPU of this pool's pinned range (-1 when unpinned).
+  int cpu_first() const { return cpu_first_; }
 
   // Calls fn(begin, end) on disjoint ranges covering [0, n). The calling
   // thread participates. Blocks until all ranges are done. `grain` bounds
@@ -51,6 +73,7 @@ class ThreadPool {
   void worker_loop(int worker_index);
 
   std::vector<std::thread> workers_;
+  int cpu_first_ = -1;
   // Held for the duration of one dispatch (slot writes through completion
   // wait). try_lock only: a busy pool means the caller runs inline.
   std::mutex dispatch_mu_;
@@ -64,7 +87,37 @@ class ThreadPool {
   bool stop_ = false;
 };
 
-// Convenience: parallel loop over [0, n) with per-element fn.
+// RAII: binds `pool` as the calling thread's current() pool for the scope
+// (nullptr rebinds the global instance()). Bindings nest; each scope restores
+// the previous binding on destruction. The binding is thread-local: a serve
+// worker binds its partition once and every nested parallel loop it issues —
+// model forward, im2col, GEMM tiles — lands on that partition.
+class PoolBinding {
+ public:
+  explicit PoolBinding(ThreadPool* pool);
+  ~PoolBinding();
+  PoolBinding(const PoolBinding&) = delete;
+  PoolBinding& operator=(const PoolBinding&) = delete;
+
+ private:
+  ThreadPool* prev_;
+};
+
+// Splits `total_threads` compute threads (0 = hardware concurrency) into
+// `parts` independent pools, distributing any remainder to the first pools so
+// every thread is owned by exactly one partition. With `pin_cpus` true (and
+// total_threads not oversubscribing the host) partition p's threads are
+// pinned to the contiguous CPU range its predecessors left off at; the thread
+// that drives partition p should pin itself to pools[p]->cpu_first().
+std::vector<std::unique_ptr<ThreadPool>> partition_pools(
+    int parts, int total_threads = 0, bool pin_cpus = false);
+
+// Pins the calling thread to `cpu` (Linux sched affinity; returns false and
+// does nothing on other platforms or on failure).
+bool pin_current_thread_to_cpu(int cpu);
+
+// Convenience: parallel loop over [0, n) with per-element fn. Dispatches to
+// ThreadPool::current() — the calling thread's bound partition, if any.
 void parallel_for(int64_t n, const std::function<void(int64_t)>& fn);
 // Range form (preferred for hot loops: avoids per-element std::function call).
 void parallel_for_ranges(int64_t n,

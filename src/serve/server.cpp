@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <chrono>
 #include <exception>
+#include <limits>
 #include <utility>
 
 #include "jpeg/codec.h"
@@ -36,6 +37,9 @@ ServerConfig ServerConfig::from_env() {
       obs::env_int("DCDIFF_SERVE_BATCH_TIMEOUT_MS", cfg.batch_timeout_ms);
   cfg.queue_capacity = obs::env_int("DCDIFF_SERVE_QUEUE_CAP", cfg.queue_capacity);
   cfg.workers = obs::env_int("DCDIFF_SERVE_WORKERS", cfg.workers);
+  cfg.pool_threads =
+      obs::env_int("DCDIFF_SERVE_POOL_THREADS", cfg.pool_threads);
+  cfg.pin_cpus = obs::env_int("DCDIFF_SERVE_PIN_CPUS", cfg.pin_cpus ? 1 : 0) != 0;
   return cfg;
 }
 
@@ -73,15 +77,39 @@ ReceiverServer::ReceiverServer(const ServerConfig& cfg,
   cfg_.queue_capacity = std::max(1, cfg_.queue_capacity);
   cfg_.workers = std::max(1, cfg_.workers);
   cfg_.batch_timeout_ms = std::max(0, cfg_.batch_timeout_ms);
+  cfg_.pool_threads = std::max(0, cfg_.pool_threads);
   if (!model_) model_ = core::ModelPool::instance().default_instance();
   DCDIFF_LOG_INFO("serve", "server_start",
                   {{"max_batch", cfg_.max_batch},
                    {"batch_timeout_ms", cfg_.batch_timeout_ms},
                    {"queue_capacity", cfg_.queue_capacity},
-                   {"workers", cfg_.workers}});
+                   {"workers", cfg_.workers},
+                   {"pool_threads", cfg_.pool_threads},
+                   {"pin_cpus", cfg_.pin_cpus}});
+
+  // A single worker with no explicit pool_threads keeps the global pool (the
+  // pre-sharding behaviour); otherwise the machine is carved into one
+  // partition per worker so their nested parallel loops never contend.
+  std::vector<std::unique_ptr<nn::ThreadPool>> pools;
+  if (cfg_.workers > 1 || cfg_.pool_threads > 0) {
+    pools = nn::partition_pools(cfg_.workers, cfg_.pool_threads, cfg_.pin_cpus);
+  }
+
   workers_.reserve(static_cast<size_t>(cfg_.workers));
+  stats_.workers.resize(static_cast<size_t>(cfg_.workers));
   for (int i = 0; i < cfg_.workers; ++i) {
-    workers_.emplace_back([this] { worker_loop(); });
+    auto w = std::make_unique<Worker>();
+    w->model = i == 0 ? model_ : core::DCDiffModel::replicate(model_);
+    if (!pools.empty()) w->pool = std::move(pools[static_cast<size_t>(i)]);
+    w->depth_gauge =
+        &obs::gauge(obs::indexed("serve.worker", i, "queue_depth"));
+    w->batch_counter = &obs::counter(obs::indexed("serve.worker", i, "batches"));
+    w->steal_counter = &obs::counter(obs::indexed("serve.worker", i, "steals"));
+    workers_.push_back(std::move(w));
+  }
+  for (int i = 0; i < cfg_.workers; ++i) {
+    workers_[static_cast<size_t>(i)]->thread =
+        std::thread([this, i] { worker_loop(i); });
   }
 }
 
@@ -95,6 +123,10 @@ Session ReceiverServer::open_session() {
   return Session(this, id);
 }
 
+const core::DCDiffModel& ReceiverServer::worker_model(int i) const {
+  return *workers_.at(static_cast<size_t>(i))->model;
+}
+
 void ReceiverServer::note_session_submit(uint64_t session_id) {
   for (auto& [sid, count] : session_submits_) {
     if (sid == session_id) {
@@ -102,6 +134,22 @@ void ReceiverServer::note_session_submit(uint64_t session_id) {
       return;
     }
   }
+}
+
+int ReceiverServer::route_locked(int hint) const {
+  const int n = static_cast<int>(workers_.size());
+  if (hint >= 0) return hint % n;
+  int best = 0;
+  size_t best_load = std::numeric_limits<size_t>::max();
+  for (int i = 0; i < n; ++i) {
+    const Worker& w = *workers_[static_cast<size_t>(i)];
+    const size_t load = w.queue.size() + (w.busy ? 1 : 0);
+    if (load < best_load) {
+      best_load = load;
+      best = i;
+    }
+  }
+  return best;
 }
 
 std::future<Result> ReceiverServer::submit(uint64_t session_id,
@@ -144,62 +192,102 @@ std::future<Result> ReceiverServer::submit(uint64_t session_id,
       return ready_future(
           ready_error(Status::unavailable("server is shutting down")));
     }
-    if (queue_.size() >= static_cast<size_t>(cfg_.queue_capacity)) {
+    if (total_queued_ >= static_cast<size_t>(cfg_.queue_capacity)) {
       stats_.rejected_queue_full++;
       rejected_full.inc();
       return ready_future(ready_error(Status::resource_exhausted(
           "request queue full (capacity " +
           std::to_string(cfg_.queue_capacity) + ")")));
     }
-    queue_.push_back(std::move(req));
+    Worker& w = *workers_[static_cast<size_t>(route_locked(opts.worker_hint))];
+    w.queue.push_back(std::move(req));
+    ++total_queued_;
     stats_.accepted++;
-    stats_.queue_depth = queue_.size();
-    depth.set(static_cast<double>(queue_.size()));
-    depth.set_max(static_cast<double>(queue_.size()));
+    stats_.queue_depth = total_queued_;
+    w.depth_gauge->set(static_cast<double>(w.queue.size()));
+    depth.set(static_cast<double>(total_queued_));
+    depth.set_max(static_cast<double>(total_queued_));
   }
   accepted.inc();
-  queue_cv_.notify_one();
+  // All workers wake: the routed worker takes its request; an idle worker
+  // whose queue stayed empty may steal it if the routed one is busy.
+  queue_cv_.notify_all();
   return fut;
 }
 
-void ReceiverServer::worker_loop() {
+bool ReceiverServer::pop_one_locked(Worker& self, std::vector<Request>& batch,
+                                    uint64_t* steals) {
+  Worker* source = nullptr;
+  if (!self.queue.empty()) {
+    source = &self;
+  } else {
+    // Steal from the deepest queue so depth (and wait time) evens out.
+    size_t deepest = 0;
+    for (auto& w : workers_) {
+      if (w.get() != &self && w->queue.size() > deepest) {
+        deepest = w->queue.size();
+        source = w.get();
+      }
+    }
+    if (source != nullptr) ++*steals;
+  }
+  if (source == nullptr) return false;
+  batch.push_back(std::move(source->queue.front()));
+  source->queue.pop_front();
+  --total_queued_;
+  source->depth_gauge->set(static_cast<double>(source->queue.size()));
+  return true;
+}
+
+void ReceiverServer::worker_loop(int index) {
   static obs::Gauge& depth = obs::gauge("serve.queue_depth");
+  Worker& self = *workers_[static_cast<size_t>(index)];
+  // Bind this thread's partition: every parallel loop in the model forward
+  // now runs on this worker's disjoint thread set. The driving thread pins
+  // itself to the partition's first CPU; the pool's workers occupy the rest.
+  nn::PoolBinding pool_binding(self.pool.get());
+  if (self.pool && self.pool->cpu_first() >= 0) {
+    nn::pin_current_thread_to_cpu(self.pool->cpu_first());
+  }
   for (;;) {
     std::vector<Request> batch;
+    uint64_t steals = 0;
     {
       std::unique_lock<std::mutex> lk(mu_);
-      queue_cv_.wait(lk, [&] { return stopping_ || !queue_.empty(); });
-      if (queue_.empty()) return;  // stopping_ and fully drained
-      batch.push_back(std::move(queue_.front()));
-      queue_.pop_front();
+      queue_cv_.wait(lk, [&] { return stopping_ || total_queued_ > 0; });
+      if (total_queued_ == 0) return;  // stopping_ and every queue drained
+      if (!pop_one_locked(self, batch, &steals)) continue;
       // Microbatch window: hold the batch open briefly so concurrent
-      // submitters coalesce into one reconstruct_batch call.
+      // submitters coalesce into one reconstruct_batch call. Own queue
+      // first; steal only when it runs dry.
       const auto window_end =
           Clock::now() + std::chrono::milliseconds(cfg_.batch_timeout_ms);
       while (static_cast<int>(batch.size()) < cfg_.max_batch) {
-        if (!queue_.empty()) {
-          batch.push_back(std::move(queue_.front()));
-          queue_.pop_front();
-          continue;
-        }
+        if (pop_one_locked(self, batch, &steals)) continue;
         if (stopping_ || cfg_.batch_timeout_ms <= 0) break;
         if (!queue_cv_.wait_until(lk, window_end, [&] {
-              return stopping_ || !queue_.empty();
+              return stopping_ || total_queued_ > 0;
             })) {
           break;  // window closed with a partial batch
         }
       }
-      stats_.queue_depth = queue_.size();
-      depth.set(static_cast<double>(queue_.size()));
+      self.busy = true;
+      stats_.queue_depth = total_queued_;
+      depth.set(static_cast<double>(total_queued_));
     }
-    // More requests may remain; let another worker (or the next iteration)
-    // pick them up while this batch runs.
+    // More requests may remain; let another worker pick them up while this
+    // batch runs.
     queue_cv_.notify_one();
-    run_batch(batch);
+    run_batch(self, batch, steals);
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      self.busy = false;
+    }
   }
 }
 
-void ReceiverServer::run_batch(std::vector<Request>& batch) {
+void ReceiverServer::run_batch(Worker& self, std::vector<Request>& batch,
+                               uint64_t steals) {
   static obs::Histogram& batch_size =
       obs::histogram("serve.batch_size", {1, 2, 4, 8, 16, 32, 64});
   static obs::Histogram& e2e = obs::histogram("serve.e2e_seconds");
@@ -207,6 +295,7 @@ void ReceiverServer::run_batch(std::vector<Request>& batch) {
   static obs::Counter& completed = obs::counter("serve.completed");
   static obs::Counter& expired = obs::counter("serve.deadline_expired");
   static obs::Counter& internal = obs::counter("serve.internal_errors");
+  static obs::Counter& stolen = obs::counter("serve.steals");
   DCDIFF_TRACE_SPAN("serve.batch");
 
   const auto start = Clock::now();
@@ -223,12 +312,16 @@ void ReceiverServer::run_batch(std::vector<Request>& batch) {
   }
   const uint64_t n_expired = dead.size();
   expired.inc(n_expired);
+  stolen.inc(steals);
+  self.steal_counter->inc(steals);
   // Account first, fulfil second (here and below): a client that sees its
   // future ready must also see itself counted in stats().
   if (live.empty()) {
     {
       std::lock_guard<std::mutex> lk(mu_);
       stats_.deadline_expired += n_expired;
+      stats_.steals += steals;
+      self.stats.steals += steals;
     }
     for (Request* r : dead) {
       r->promise.set_value(ready_error(Status::deadline_exceeded(
@@ -240,6 +333,7 @@ void ReceiverServer::run_batch(std::vector<Request>& batch) {
   }
 
   batch_size.observe(static_cast<double>(live.size()));
+  self.batch_counter->inc();
   std::vector<const jpeg::CoeffImage*> coeffs;
   coeffs.reserve(live.size());
   for (Request* r : live) coeffs.push_back(&r->coeffs);
@@ -247,7 +341,7 @@ void ReceiverServer::run_batch(std::vector<Request>& batch) {
   std::vector<Image> images;
   Status batch_status;
   try {
-    images = model_->reconstruct_batch(coeffs, cfg_.recon);
+    images = self.model->reconstruct_batch(coeffs, cfg_.recon);
   } catch (const std::exception& e) {
     batch_status = Status::internal(e.what());
   }
@@ -273,6 +367,7 @@ void ReceiverServer::run_batch(std::vector<Request>& batch) {
   DCDIFF_LOG_DEBUG("serve", "batch_done",
                    {{"batch", static_cast<int64_t>(live.size())},
                     {"expired", static_cast<int64_t>(n_expired)},
+                    {"stolen", static_cast<int64_t>(steals)},
                     {"seconds", elapsed_seconds(start, end)}});
 
   {
@@ -281,6 +376,10 @@ void ReceiverServer::run_batch(std::vector<Request>& batch) {
     stats_.completed += n_completed;
     stats_.internal_errors += n_internal;
     stats_.batches++;
+    stats_.steals += steals;
+    self.stats.batches++;
+    self.stats.completed += n_completed;
+    self.stats.steals += steals;
   }
   for (Request* r : dead) {
     r->promise.set_value(ready_error(Status::deadline_exceeded(
@@ -295,22 +394,35 @@ void ReceiverServer::run_batch(std::vector<Request>& batch) {
 void ReceiverServer::shutdown() {
   {
     std::lock_guard<std::mutex> lk(mu_);
-    if (stopping_ && workers_.empty()) return;
+    if (stopping_) {
+      bool joined = true;
+      for (const auto& w : workers_) joined = joined && !w->thread.joinable();
+      if (joined) return;
+    }
     stopping_ = true;
   }
   queue_cv_.notify_all();
-  for (std::thread& t : workers_) {
-    if (t.joinable()) t.join();
+  for (auto& w : workers_) {
+    if (w->thread.joinable()) w->thread.join();
   }
-  workers_.clear();
   DCDIFF_LOG_INFO("serve", "server_stop",
                   {{"completed", static_cast<int64_t>(stats_.completed)},
-                   {"batches", static_cast<int64_t>(stats_.batches)}});
+                   {"batches", static_cast<int64_t>(stats_.batches)},
+                   {"steals", static_cast<int64_t>(stats_.steals)}});
 }
 
 ReceiverServer::Stats ReceiverServer::stats() const {
   std::lock_guard<std::mutex> lk(mu_);
-  return stats_;
+  Stats out = stats_;
+  out.queue_depth = total_queued_;
+  out.workers.clear();
+  out.workers.reserve(workers_.size());
+  for (const auto& w : workers_) {
+    WorkerStats ws = w->stats;
+    ws.queue_depth = w->queue.size();
+    out.workers.push_back(ws);
+  }
+  return out;
 }
 
 }  // namespace dcdiff::serve

@@ -1,4 +1,4 @@
-// Batched receiver serving engine.
+// Batched receiver serving engine, sharded across cores.
 //
 // The receiver is the expensive half of DCDiff by design (the paper moves
 // all cost off the low-power sender), and the diffusion sampler only earns
@@ -7,26 +7,40 @@
 // decoder (DCDiffModel::reconstruct_batch), so the GEMM kernel sees wide
 // shapes and per-op overheads amortize across requests.
 //
-// Architecture:
+// Architecture (workers = 3 shown):
 //
-//   Session::submit(jfif)                 worker threads
-//        |  decode (Status, non-throwing)      |
-//        v                                     v
-//   bounded FIFO queue  ----pop up to max_batch----> reconstruct_batch
-//        |  reject when full                   |
-//        v                                     v
-//   ready future (error)                fulfil per-request futures
+//   Session::submit(jfif)
+//        |  decode (Status, non-throwing)
+//        v
+//   least-loaded router ──> per-worker queue 0 ──> worker 0 (replica 0, pool 0)
+//                      ──> per-worker queue 1 ──> worker 1 (replica 1, pool 1)
+//                      ──> per-worker queue 2 ──> worker 2 (replica 2, pool 2)
+//                            (work stealing when a worker's queue runs dry)
 //
+// * Replica sharding: each worker owns an inference replica of the model
+//   (DCDiffModel::replicate) — weights and PackedA panels are shared
+//   read-only, so N workers cost one model's memory.
+// * Partitioned compute: with workers > 1 each worker binds its own
+//   nn::ThreadPool partition (disjoint CPU ranges when pin_cpus is set), so
+//   the model's nested parallel loops never contend across workers.
+// * Least-loaded routing: submit() appends to the queue of the worker with
+//   the fewest pending + in-flight requests (ties go to the lowest index);
+//   RequestOptions::worker_hint pins a request to a specific worker.
+// * Work stealing: a worker whose own queue is dry steals from the deepest
+//   queue before sleeping on the batch window, so one hot queue cannot
+//   leave other cores idle.
 // * Cross-request microbatching: a worker pops whatever is queued, then
 //   keeps the batch window open for batch_timeout_ms to fill up to
 //   max_batch requests; partial batches run when the window closes.
-// * Backpressure: submits beyond queue_capacity are rejected immediately
-//   with Status{kResourceExhausted} rather than queued without bound.
+// * Backpressure: submits beyond queue_capacity (total across workers) are
+//   rejected immediately with Status{kResourceExhausted}.
 // * Deadlines: a request whose deadline passes while queued is answered
 //   with Status{kDeadlineExceeded} and never spends model time.
 // * Errors are values: a malformed bitstream yields a per-request Status
-//   (kData Loss/kInvalidArgument) at submit time; nothing throws across the
+//   (kDataLoss/kInvalidArgument) at submit time; nothing throws across the
 //   serving boundary.
+// * Shutdown drains every queue: requests accepted before shutdown() are
+//   reconstructed (deadline rules still apply) before workers exit.
 //
 // The public API is session-based: clients obtain a Session handle from
 // ReceiverServer::open_session() and submit through it; per-session request
@@ -46,7 +60,13 @@
 
 #include "core/pipeline.h"
 #include "image/image.h"
+#include "nn/threadpool.h"
 #include "support/status.h"
+
+namespace dcdiff::obs {
+class Counter;
+class Gauge;
+}  // namespace dcdiff::obs
 
 namespace dcdiff::serve {
 
@@ -55,6 +75,11 @@ struct RequestOptions {
   // Relative deadline measured from submit(); <= 0 means none. A request
   // still queued when it expires is failed with kDeadlineExceeded.
   int deadline_ms = 0;
+  // >= 0 pins the request to that worker's queue (modulo worker count)
+  // instead of least-loaded routing. Tests use this to construct imbalance
+  // deterministically (forcing the work-stealing path); production traffic
+  // should leave it at -1.
+  int worker_hint = -1;
 };
 
 // Outcome of one request. `image` is valid iff status.is_ok().
@@ -68,11 +93,19 @@ struct ServerConfig {
   int max_batch = 4;         // requests fused into one reconstruct_batch
   int batch_timeout_ms = 2;  // wait for more requests after the first pop
   int queue_capacity = 64;   // pending requests beyond this are rejected
-  int workers = 1;           // batching worker threads
+  int workers = 1;           // batching worker threads (one replica each)
+  // Compute threads split across the workers' pool partitions; 0 = hardware
+  // concurrency. Ignored with workers == 1 unless set explicitly (a single
+  // worker then still gets a private partition of this size).
+  int pool_threads = 0;
+  // Pin each partition's threads to a disjoint CPU range (Linux; ignored
+  // when oversubscribed or unsupported).
+  bool pin_cpus = false;
   core::ReconstructOptions recon;  // inference options applied to every batch
 
   // Reads DCDIFF_SERVE_MAX_BATCH / DCDIFF_SERVE_BATCH_TIMEOUT_MS /
-  // DCDIFF_SERVE_QUEUE_CAP / DCDIFF_SERVE_WORKERS over the defaults.
+  // DCDIFF_SERVE_QUEUE_CAP / DCDIFF_SERVE_WORKERS /
+  // DCDIFF_SERVE_POOL_THREADS / DCDIFF_SERVE_PIN_CPUS over the defaults.
   static ServerConfig from_env();
 
   // Reduced-latency inference preset for deadline-bound serving: a single
@@ -116,7 +149,8 @@ class ReceiverServer {
  public:
   // model == nullptr resolves ModelPool::instance().default_instance()
   // (trained or loaded on first use — pass an explicit pooled model to
-  // avoid that cost at construction).
+  // avoid that cost at construction). With workers > 1 the remaining
+  // workers get O(1) DCDiffModel::replicate handles of that model.
   explicit ReceiverServer(
       const ServerConfig& cfg = ServerConfig{},
       std::shared_ptr<const core::DCDiffModel> model = nullptr);
@@ -127,10 +161,17 @@ class ReceiverServer {
 
   Session open_session();
 
-  // Stops accepting new requests, drains everything queued (deadline rules
-  // still apply), and joins the workers. Idempotent; the destructor calls it.
+  // Stops accepting new requests, drains everything queued on every worker
+  // (deadline rules still apply), and joins the workers. Idempotent; the
+  // destructor calls it.
   void shutdown();
 
+  struct WorkerStats {
+    uint64_t batches = 0;
+    uint64_t completed = 0;
+    uint64_t steals = 0;  // requests this worker stole from other queues
+    size_t queue_depth = 0;
+  };
   struct Stats {
     uint64_t sessions_opened = 0;
     uint64_t accepted = 0;
@@ -141,12 +182,17 @@ class ReceiverServer {
     uint64_t deadline_expired = 0;
     uint64_t internal_errors = 0;
     uint64_t batches = 0;
-    size_t queue_depth = 0;
+    uint64_t steals = 0;
+    size_t queue_depth = 0;  // total across workers
+    std::vector<WorkerStats> workers;
   };
   Stats stats() const;
 
   const ServerConfig& config() const { return cfg_; }
   const core::DCDiffModel& model() const { return *model_; }
+  // The model instance worker `i` runs batches on (tests verify replica
+  // identity/sharing). Index 0 is model(); the rest are replicas.
+  const core::DCDiffModel& worker_model(int i) const;
 
  private:
   friend class Session;
@@ -160,24 +206,48 @@ class ReceiverServer {
     uint64_t session_id = 0;
   };
 
+  // One serving shard: a queue, a model replica, and (workers > 1) a
+  // private thread-pool partition. All mutable state is guarded by the
+  // server-wide mu_ — operations on it are queue pushes/pops, cheap against
+  // model time, and one lock keeps routing + stealing + shutdown-drain
+  // trivially race-free.
+  struct Worker {
+    std::deque<Request> queue;
+    bool busy = false;  // between popping a batch and fulfilling it
+    std::shared_ptr<const core::DCDiffModel> model;
+    std::unique_ptr<nn::ThreadPool> pool;  // null: use the global pool
+    WorkerStats stats;
+    obs::Gauge* depth_gauge = nullptr;       // serve.worker.<i>.queue_depth
+    obs::Counter* batch_counter = nullptr;   // serve.worker.<i>.batches
+    obs::Counter* steal_counter = nullptr;   // serve.worker.<i>.steals
+    std::thread thread;
+  };
+
   std::future<Result> submit(uint64_t session_id,
                              const std::vector<uint8_t>& jfif,
                              const RequestOptions& opts);
   void note_session_submit(uint64_t session_id);
-  void worker_loop();
-  void run_batch(std::vector<Request>& batch);
+  // Least-loaded worker index (queue depth + busy flag, ties to the lowest
+  // index); `hint` >= 0 overrides. Caller holds mu_.
+  int route_locked(int hint) const;
+  // Moves one request into `batch`: from `self`'s queue, else stolen from
+  // the deepest other queue (counted in *steals). Caller holds mu_.
+  bool pop_one_locked(Worker& self, std::vector<Request>& batch,
+                      uint64_t* steals);
+  void worker_loop(int index);
+  void run_batch(Worker& self, std::vector<Request>& batch, uint64_t steals);
 
   ServerConfig cfg_;
   std::shared_ptr<const core::DCDiffModel> model_;
 
   mutable std::mutex mu_;
   std::condition_variable queue_cv_;
-  std::deque<Request> queue_;
+  std::vector<std::unique_ptr<Worker>> workers_;
+  size_t total_queued_ = 0;  // sum of worker queue sizes
   bool stopping_ = false;
   Stats stats_;
   std::vector<std::pair<uint64_t, uint64_t>> session_submits_;  // id -> count
   uint64_t next_session_id_ = 1;
-  std::vector<std::thread> workers_;
 };
 
 }  // namespace dcdiff::serve

@@ -1,0 +1,262 @@
+// Fuzz-style property tests for the JPEG entropy layer.
+//
+// Deterministic (fixed-seed) randomized sweeps rather than a coverage-guided
+// fuzzer: the properties are the contract, the randomness is just breadth.
+//   * bitio: any write sequence reads back exactly (including the T.81 0xFF
+//     stuffing rule); truncated streams throw, they never hang or read OOB.
+//   * huffman: any optimized table built from any frequency profile
+//     round-trips every encodable symbol sequence exactly; garbage input
+//     either decodes to some symbol or throws — bounded work either way.
+//   * try_decode_jfif: arbitrary corruption (truncation, bit flips, garbage)
+//     surfaces as a Status error through the noexcept boundary — the serving
+//     path's "errors are values" guarantee holds for inputs no test author
+//     thought of.
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstdint>
+#include <random>
+#include <stdexcept>
+#include <vector>
+
+#include "data/datasets.h"
+#include "jpeg/bitio.h"
+#include "jpeg/codec.h"
+#include "jpeg/dcdrop.h"
+#include "jpeg/huffman.h"
+#include "support/status.h"
+
+namespace dcdiff::jpeg {
+namespace {
+
+// ---- bitio ----
+
+TEST(FuzzBitio, RandomWriteSequencesRoundTripExactly) {
+  std::mt19937_64 rng(0xB1710u);
+  constexpr int kStreams = 200;
+  constexpr int kWritesPerStream = 50;  // 10k (bits,count) pairs total
+  for (int s = 0; s < kStreams; ++s) {
+    std::vector<std::pair<uint32_t, int>> writes;
+    BitWriter bw;
+    for (int i = 0; i < kWritesPerStream; ++i) {
+      const int count = static_cast<int>(rng() % 25);  // 0..24 inclusive
+      // Bias toward all-ones values so 0xFF bytes (and the stuffing rule)
+      // appear constantly, not once in a blue moon.
+      uint32_t bits = static_cast<uint32_t>(rng());
+      if (rng() % 3 == 0) bits = 0xFFFFFFFFu;
+      bits &= count == 0 ? 0u : (0xFFFFFFFFu >> (32 - count));
+      writes.emplace_back(bits, count);
+      bw.put_bits(bits, count);
+    }
+    const std::vector<uint8_t> bytes = bw.finish();
+    BitReader br(bytes.data(), bytes.size());
+    for (const auto& [bits, count] : writes) {
+      ASSERT_EQ(br.get_bits(count), bits) << "stream " << s;
+    }
+  }
+}
+
+TEST(FuzzBitio, TruncatedStreamsThrowInsteadOfHanging) {
+  std::mt19937_64 rng(0xB1711u);
+  for (int s = 0; s < 100; ++s) {
+    BitWriter bw;
+    const int writes = 8 + static_cast<int>(rng() % 16);
+    for (int i = 0; i < writes; ++i) {
+      bw.put_bits(static_cast<uint32_t>(rng()) & 0xFFFu, 12);
+    }
+    std::vector<uint8_t> bytes = bw.finish();
+    bytes.resize(rng() % bytes.size());  // strict truncation
+    BitReader br(bytes.data(), bytes.size());
+    // Reading everything the writer wrote must hit the end and throw; bits
+    // read before that must be a prefix of the original (no OOB garbage).
+    EXPECT_THROW(
+        {
+          for (int i = 0; i < writes; ++i) br.get_bits(12);
+        },
+        std::runtime_error);
+  }
+}
+
+TEST(FuzzBitio, InvalidCountsAreRejected) {
+  BitWriter bw;
+  EXPECT_THROW(bw.put_bits(0, -1), std::invalid_argument);
+  EXPECT_THROW(bw.put_bits(0, 25), std::invalid_argument);
+  const uint8_t byte = 0xAB;
+  BitReader br(&byte, 1);
+  EXPECT_THROW(br.get_bits(-1), std::invalid_argument);
+  EXPECT_THROW(br.get_bits(25), std::invalid_argument);
+}
+
+// ---- huffman ----
+
+TEST(FuzzHuffman, RandomOptimizedTablesRoundTripExactly) {
+  std::mt19937_64 rng(0x4F55u);
+  constexpr int kTables = 400;
+  constexpr int kSymbolsPerTable = 25;  // 10k encode/decode pairs total
+  for (int t = 0; t < kTables; ++t) {
+    // Random alphabet: size 1 (degenerate single-code table) up to 256,
+    // frequencies spanning several orders of magnitude so both balanced and
+    // deeply skewed trees occur.
+    const int alphabet = 1 + static_cast<int>(rng() % 256);
+    std::array<uint64_t, 256> freq{};
+    std::vector<uint8_t> symbols;
+    while (symbols.empty()) {
+      for (int a = 0; a < alphabet; ++a) {
+        const auto sym = static_cast<uint8_t>(rng() % 256);
+        if (freq[sym] == 0) symbols.push_back(sym);
+        freq[sym] += 1 + (rng() % (1ull << (rng() % 20)));
+      }
+    }
+    const HuffSpec spec = build_optimized_spec(freq);
+    const HuffEncoder enc(spec);
+    const HuffDecoder dec(spec);
+
+    std::vector<uint8_t> message;
+    BitWriter bw;
+    for (int i = 0; i < kSymbolsPerTable; ++i) {
+      const uint8_t sym = symbols[rng() % symbols.size()];
+      message.push_back(sym);
+      enc.encode(bw, sym);
+    }
+    const std::vector<uint8_t> bytes = bw.finish();
+    BitReader br(bytes.data(), bytes.size());
+    for (size_t i = 0; i < message.size(); ++i) {
+      ASSERT_EQ(dec.decode(br), message[i]) << "table " << t << " sym " << i;
+    }
+  }
+}
+
+TEST(FuzzHuffman, StandardTablesRoundTripAllSymbols) {
+  for (const HuffSpec* spec : {&std_dc_luma(), &std_dc_chroma(),
+                               &std_ac_luma(), &std_ac_chroma()}) {
+    const HuffEncoder enc(*spec);
+    const HuffDecoder dec(*spec);
+    BitWriter bw;
+    for (const uint8_t sym : spec->vals) enc.encode(bw, sym);
+    const std::vector<uint8_t> bytes = bw.finish();
+    BitReader br(bytes.data(), bytes.size());
+    for (const uint8_t sym : spec->vals) EXPECT_EQ(dec.decode(br), sym);
+  }
+}
+
+TEST(FuzzHuffman, GarbageBitsDecodeOrThrowNeverHang) {
+  std::mt19937_64 rng(0x4F56u);
+  const HuffDecoder dec(std_ac_luma());
+  for (int s = 0; s < 200; ++s) {
+    std::vector<uint8_t> bytes(1 + rng() % 32);
+    for (auto& b : bytes) {
+      b = static_cast<uint8_t>(rng());
+      if (b == 0xFF) b = 0xFE;  // raw 0xFF is a marker, not scan data
+    }
+    BitReader br(bytes.data(), bytes.size());
+    // Each decode consumes >= 1 bit, so this loop is bounded; any outcome
+    // (symbol or exception) is acceptable, hanging or crashing is not.
+    try {
+      for (int i = 0; i < 256; ++i) (void)dec.decode(br);
+    } catch (const std::runtime_error&) {
+      // invalid code or exhausted input — both fine
+    }
+  }
+}
+
+TEST(FuzzHuffman, EncoderRejectsSymbolsWithoutCodes) {
+  std::array<uint64_t, 256> freq{};
+  freq[7] = 10;
+  freq[9] = 3;
+  const HuffEncoder enc(build_optimized_spec(freq));
+  BitWriter bw;
+  EXPECT_NO_THROW(enc.encode(bw, 7));
+  EXPECT_THROW(enc.encode(bw, 8), std::runtime_error);
+  std::array<uint64_t, 256> empty{};
+  EXPECT_THROW(build_optimized_spec(empty), std::invalid_argument);
+}
+
+// ---- try_decode_jfif under corruption ----
+
+class FuzzCodec : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    const Image img = data::dataset_image(data::DatasetId::kKodak, 0, 48);
+    CoeffImage ci = forward_transform(img, 50);
+    drop_dc(ci);
+    bytes_ = new std::vector<uint8_t>(encode_jfif(ci));
+  }
+  static void TearDownTestSuite() {
+    delete bytes_;
+    bytes_ = nullptr;
+  }
+  static const std::vector<uint8_t>& bytes() { return *bytes_; }
+
+  static std::vector<uint8_t>* bytes_;
+};
+
+std::vector<uint8_t>* FuzzCodec::bytes_ = nullptr;
+
+TEST_F(FuzzCodec, IntactStreamDecodes) {
+  CoeffImage out;
+  const Status st = try_decode_jfif(bytes(), &out);
+  ASSERT_TRUE(st.is_ok()) << st.to_string();
+}
+
+TEST_F(FuzzCodec, TruncationsNeverSucceedSilentlyWrong) {
+  // try_decode_jfif is noexcept: an escaping exception would abort the test
+  // binary, so merely completing this sweep proves the no-throw contract.
+  CoeffImage full;
+  ASSERT_TRUE(try_decode_jfif(bytes(), &full).is_ok());
+  int errors = 0;
+  for (size_t len = 0; len < bytes().size(); ++len) {
+    std::vector<uint8_t> cut(bytes().begin(),
+                             bytes().begin() + static_cast<long>(len));
+    CoeffImage out;
+    const Status st = try_decode_jfif(cut, &out);
+    if (!st.is_ok()) {
+      ++errors;
+      continue;
+    }
+    // A tolerated truncation (e.g. a lost trailing EOI marker after all
+    // entropy data) may succeed — but only with exactly the full stream's
+    // coefficients. Silent corruption is the failure mode this sweep exists
+    // to catch.
+    ASSERT_EQ(out.comps.size(), full.comps.size()) << "truncation at " << len;
+    for (size_t c = 0; c < full.comps.size(); ++c) {
+      ASSERT_EQ(out.comps[c].blocks, full.comps[c].blocks)
+          << "silently corrupted decode, truncation at " << len;
+    }
+  }
+  // The overwhelming majority of cuts land inside headers or scan data and
+  // must be detected.
+  EXPECT_GT(errors, static_cast<int>(bytes().size() * 9 / 10));
+}
+
+TEST_F(FuzzCodec, RandomBitFlipsNeverThrow) {
+  std::mt19937_64 rng(0xC0DECu);
+  for (int s = 0; s < 300; ++s) {
+    std::vector<uint8_t> mutated = bytes();
+    const int flips = 1 + static_cast<int>(rng() % 8);
+    for (int f = 0; f < flips; ++f) {
+      mutated[rng() % mutated.size()] ^=
+          static_cast<uint8_t>(1u << (rng() % 8));
+    }
+    CoeffImage out;
+    const Status st = try_decode_jfif(mutated, &out);  // must not throw/hang
+    if (!st.is_ok()) {
+      EXPECT_TRUE(st.code() == StatusCode::kDataLoss ||
+                  st.code() == StatusCode::kInvalidArgument)
+          << st.to_string();
+    }
+  }
+}
+
+TEST_F(FuzzCodec, RandomGarbageNeverThrows) {
+  std::mt19937_64 rng(0xC0DEDu);
+  for (int s = 0; s < 300; ++s) {
+    std::vector<uint8_t> garbage(rng() % 512);
+    for (auto& b : garbage) b = static_cast<uint8_t>(rng());
+    CoeffImage out;
+    const Status st = try_decode_jfif(garbage, &out);
+    EXPECT_FALSE(st.is_ok());
+  }
+}
+
+}  // namespace
+}  // namespace dcdiff::jpeg

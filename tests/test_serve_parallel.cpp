@@ -1,0 +1,317 @@
+// Tests for multi-worker (replica-sharded) serving: N workers, each with its
+// own model replica, per-worker queue, and thread-pool partition.
+//
+// The load-bearing properties:
+//   * Results served through any number of workers are numerically identical
+//     to the single-worker path (replicas share frozen weights; sampling is
+//     seeded per request, not per worker).
+//   * Replicas genuinely share state: same component instances, O(1)
+//     construction, training refused.
+//   * Work stealing keeps workers busy when routing is skewed (worker_hint
+//     constructs the skew deterministically).
+//   * Shutdown drains every per-worker queue, not just one.
+//
+// Runs under the `concurrency` CTest label; a TSan build
+// (-DDCDIFF_TSAN=ON) exercises the same binary for data races.
+#include "serve/server.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdlib>
+#include <filesystem>
+#include <future>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "core/pipeline.h"
+#include "data/datasets.h"
+#include "jpeg/codec.h"
+#include "nn/threadpool.h"
+
+namespace dcdiff::serve {
+namespace {
+
+core::DCDiffConfig tiny_config() {
+  core::DCDiffConfig cfg;
+  cfg.image_size = 32;
+  cfg.stage1_steps = 6;
+  cfg.stage2_steps = 6;
+  cfg.fmpp_steps = 2;
+  cfg.batch = 1;
+  cfg.ddim_steps = 4;
+  cfg.diffusion_T = 50;
+  cfg.ae.base = 8;
+  cfg.ae.ac_channels = 8;
+  cfg.unet.base = 8;
+  cfg.unet.temb_dim = 16;
+  cfg.ae_tag = "test_servepar_ae";
+  cfg.tag = "test_servepar";
+  return cfg;
+}
+
+class ServeParallelTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    cache_dir_ =
+        std::filesystem::temp_directory_path() / "dcdiff_servepar_test_cache";
+    std::filesystem::create_directories(cache_dir_);
+    setenv("DCDIFF_CACHE_DIR", cache_dir_.c_str(), 1);
+    model_ = core::ModelPool::instance().get(tiny_config());
+  }
+  static void TearDownTestSuite() {
+    model_.reset();
+    std::error_code ec;
+    std::filesystem::remove_all(cache_dir_, ec);
+  }
+
+  static std::vector<uint8_t> bitstream(int idx) {
+    const Image img = data::dataset_image(data::DatasetId::kKodak, idx, 64);
+    return core::sender_encode(img).bytes;
+  }
+
+  static double max_abs_diff(const Image& a, const Image& b) {
+    if (a.width() != b.width() || a.height() != b.height() ||
+        a.channels() != b.channels()) {
+      return 1e9;
+    }
+    double m = 0;
+    for (int c = 0; c < a.channels(); ++c) {
+      const auto& pa = a.plane(c);
+      const auto& pb = b.plane(c);
+      for (size_t i = 0; i < pa.size(); ++i) {
+        m = std::max(m, static_cast<double>(std::fabs(pa[i] - pb[i])));
+      }
+    }
+    return m;
+  }
+
+  static ServerConfig sharded_config(int workers) {
+    ServerConfig cfg;
+    cfg.workers = workers;
+    cfg.max_batch = 2;
+    cfg.queue_capacity = 64;
+    return cfg;
+  }
+
+  static std::filesystem::path cache_dir_;
+  static std::shared_ptr<const core::DCDiffModel> model_;
+};
+
+std::filesystem::path ServeParallelTest::cache_dir_;
+std::shared_ptr<const core::DCDiffModel> ServeParallelTest::model_;
+
+// ---- replica semantics (core layer) ----
+
+TEST_F(ServeParallelTest, ReplicateSharesComponentsAndPanels) {
+  const auto rep = core::DCDiffModel::replicate(model_);
+  ASSERT_NE(rep, nullptr);
+  EXPECT_TRUE(rep->is_replica());
+  EXPECT_FALSE(model_->is_replica());
+  // Shared, not copied: the replica aliases the source's components, so
+  // every weight tensor exists once per process.
+  EXPECT_EQ(&rep->autoencoder(), &model_->autoencoder());
+  EXPECT_EQ(&rep->unet(), &model_->unet());
+}
+
+TEST_F(ServeParallelTest, ReplicaReconstructsBitIdentically) {
+  const auto rep = core::DCDiffModel::replicate(model_);
+  const jpeg::CoeffImage coeffs = jpeg::decode_jfif(bitstream(0));
+  const Image a = model_->reconstruct(coeffs);
+  const Image b = rep->reconstruct(coeffs);
+  // Same weights, same seed derivation, same kernels: exactly equal.
+  EXPECT_EQ(max_abs_diff(a, b), 0.0);
+}
+
+TEST_F(ServeParallelTest, ReplicaRefusesTraining) {
+  const auto rep = core::DCDiffModel::replicate(model_);
+  auto& mutable_rep = const_cast<core::DCDiffModel&>(*rep);
+  EXPECT_THROW(mutable_rep.train_stage1(), std::logic_error);
+  EXPECT_THROW(mutable_rep.train_stage2(), std::logic_error);
+  EXPECT_THROW(mutable_rep.train_fmpp(), std::logic_error);
+  EXPECT_THROW(mutable_rep.train_or_load(), std::logic_error);
+}
+
+TEST_F(ServeParallelTest, ModelPoolReplicasSharePooledInstance) {
+  const auto reps = core::ModelPool::instance().replicas(tiny_config(), 3);
+  ASSERT_EQ(reps.size(), 3u);
+  EXPECT_EQ(reps[0].get(), model_.get());  // element 0 is the pooled model
+  for (size_t i = 1; i < reps.size(); ++i) {
+    EXPECT_TRUE(reps[i]->is_replica());
+    EXPECT_EQ(&reps[i]->autoencoder(), &model_->autoencoder());
+  }
+  EXPECT_THROW(core::ModelPool::instance().replicas(tiny_config(), 0),
+               std::invalid_argument);
+}
+
+// ---- sharded serving: equivalence with the single-worker path ----
+
+TEST_F(ServeParallelTest, ThreeWorkerResultsMatchSingleWorker) {
+  constexpr int kImages = 6;
+  std::vector<std::vector<uint8_t>> streams;
+  for (int i = 0; i < kImages; ++i) streams.push_back(bitstream(i));
+
+  // Single-worker reference results.
+  std::vector<Image> reference(kImages);
+  {
+    ReceiverServer server(sharded_config(1), model_);
+    Session session = server.open_session();
+    for (int i = 0; i < kImages; ++i) {
+      Result r = session.reconstruct(streams[static_cast<size_t>(i)]);
+      ASSERT_TRUE(r.status.is_ok()) << r.status.to_string();
+      reference[static_cast<size_t>(i)] = std::move(r.image);
+    }
+  }
+
+  ReceiverServer server(sharded_config(3), model_);
+  ASSERT_EQ(server.config().workers, 3);
+  Session session = server.open_session();
+  std::vector<std::future<Result>> futs;
+  for (const auto& bytes : streams) futs.push_back(session.submit(bytes));
+  for (int i = 0; i < kImages; ++i) {
+    Result r = futs[static_cast<size_t>(i)].get();
+    ASSERT_TRUE(r.status.is_ok()) << r.status.to_string();
+    EXPECT_LE(max_abs_diff(reference[static_cast<size_t>(i)], r.image), 1e-4)
+        << "image " << i;
+  }
+  const auto stats = server.stats();
+  EXPECT_EQ(stats.completed, static_cast<uint64_t>(kImages));
+  ASSERT_EQ(stats.workers.size(), 3u);
+  uint64_t worker_batches = 0;
+  for (const auto& w : stats.workers) worker_batches += w.batches;
+  EXPECT_EQ(worker_batches, stats.batches);
+}
+
+TEST_F(ServeParallelTest, ConcurrentSessionsAcrossWorkersAllMatch) {
+  constexpr int kClients = 4;
+  constexpr int kPerClient = 3;
+  ServerConfig cfg = sharded_config(3);
+  cfg.queue_capacity = kClients * kPerClient;
+  ReceiverServer server(cfg, model_);
+
+  std::vector<std::vector<uint8_t>> streams;
+  for (int i = 0; i < kPerClient; ++i) streams.push_back(bitstream(i));
+  std::vector<Image> reference;
+  for (const auto& bytes : streams) {
+    reference.push_back(core::receiver_reconstruct(bytes, *model_));
+  }
+
+  std::vector<std::thread> clients;
+  std::vector<int> failures(kClients, 0);
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      Session session = server.open_session();
+      std::vector<std::future<Result>> futs;
+      for (const auto& bytes : streams) futs.push_back(session.submit(bytes));
+      for (size_t i = 0; i < futs.size(); ++i) {
+        Result r = futs[i].get();
+        if (!r.status.is_ok() || max_abs_diff(reference[i], r.image) > 1e-4) {
+          ++failures[static_cast<size_t>(c)];
+        }
+      }
+    });
+  }
+  for (auto& t : clients) t.join();
+  for (int c = 0; c < kClients; ++c) {
+    EXPECT_EQ(failures[static_cast<size_t>(c)], 0) << "client " << c;
+  }
+  const auto stats = server.stats();
+  EXPECT_EQ(stats.accepted, static_cast<uint64_t>(kClients * kPerClient));
+  EXPECT_EQ(stats.completed, static_cast<uint64_t>(kClients * kPerClient));
+}
+
+// ---- routing and stealing ----
+
+TEST_F(ServeParallelTest, WorkerHintPinsRouting) {
+  ServerConfig cfg = sharded_config(3);
+  cfg.batch_timeout_ms = 0;
+  cfg.max_batch = 1;
+  ReceiverServer server(cfg, model_);
+  Session session = server.open_session();
+  RequestOptions opts;
+  opts.worker_hint = 7;  // modulo workers -> worker 1
+  Result r = session.reconstruct(bitstream(0), opts);
+  ASSERT_TRUE(r.status.is_ok()) << r.status.to_string();
+}
+
+TEST_F(ServeParallelTest, DryWorkersStealFromHintedQueue) {
+  constexpr int kImages = 12;
+  ServerConfig cfg = sharded_config(3);
+  cfg.batch_timeout_ms = 0;  // no window: stealing, not batching, drains
+  cfg.max_batch = 1;
+  cfg.queue_capacity = kImages;
+  ReceiverServer server(cfg, model_);
+  Session session = server.open_session();
+
+  const auto bytes = bitstream(0);
+  const Image reference = core::receiver_reconstruct(bytes, *model_);
+
+  // Pin every request to worker 0: workers 1 and 2 only ever see work by
+  // stealing, so a drained queue with steals == 0 would mean the stealing
+  // path never ran.
+  RequestOptions opts;
+  opts.worker_hint = 0;
+  std::vector<std::future<Result>> futs;
+  for (int i = 0; i < kImages; ++i) futs.push_back(session.submit(bytes, opts));
+  for (auto& f : futs) {
+    Result r = f.get();
+    ASSERT_TRUE(r.status.is_ok()) << r.status.to_string();
+    EXPECT_LE(max_abs_diff(reference, r.image), 1e-4);
+  }
+  const auto stats = server.stats();
+  EXPECT_EQ(stats.completed, static_cast<uint64_t>(kImages));
+  EXPECT_GT(stats.steals, 0u);
+  uint64_t worker_steals = 0;
+  for (const auto& w : stats.workers) worker_steals += w.steals;
+  EXPECT_EQ(worker_steals, stats.steals);
+}
+
+// ---- shutdown drain ----
+
+TEST_F(ServeParallelTest, ShutdownDrainsEveryWorkerQueue) {
+  constexpr int kImages = 9;
+  ServerConfig cfg = sharded_config(3);
+  cfg.queue_capacity = kImages;
+  ReceiverServer server(cfg, model_);
+  Session session = server.open_session();
+  std::vector<std::future<Result>> futs;
+  RequestOptions opts;
+  for (int i = 0; i < kImages; ++i) {
+    // Spread deliberately unevenly: worker 0 gets 2x the share, so the drain
+    // must cross queues to finish.
+    opts.worker_hint = i % 4 == 3 ? 1 : i % 4 == 2 ? 2 : 0;
+    futs.push_back(session.submit(bitstream(i % 3), opts));
+  }
+  server.shutdown();  // must complete everything accepted, on all queues
+  for (auto& f : futs) {
+    EXPECT_TRUE(f.get().status.is_ok());
+  }
+  EXPECT_EQ(server.stats().completed, static_cast<uint64_t>(kImages));
+}
+
+// ---- worker-local models and partitions ----
+
+TEST_F(ServeParallelTest, WorkersRunOnSharedWeightReplicas) {
+  ReceiverServer server(sharded_config(3), model_);
+  EXPECT_FALSE(server.worker_model(0).is_replica());
+  EXPECT_EQ(&server.worker_model(0), model_.get());
+  for (int i = 1; i < 3; ++i) {
+    EXPECT_TRUE(server.worker_model(i).is_replica());
+    EXPECT_EQ(&server.worker_model(i).autoencoder(), &model_->autoencoder());
+  }
+}
+
+TEST_F(ServeParallelTest, PartitionPoolsCoverDisjointThreads) {
+  const auto pools = nn::partition_pools(3, 6, /*pin_cpus=*/false);
+  ASSERT_EQ(pools.size(), 3u);
+  int total = 0;
+  for (const auto& p : pools) total += p->num_threads();
+  EXPECT_EQ(total, 6);
+  // Binding dispatches nested loops to the bound partition.
+  nn::PoolBinding bind(pools[1].get());
+  EXPECT_EQ(&nn::ThreadPool::current(), pools[1].get());
+}
+
+}  // namespace
+}  // namespace dcdiff::serve

@@ -1,0 +1,119 @@
+// Coverage for the deprecated compatibility shims left by the options/pool
+// API migration: they must forward to the replacement APIs exactly, not
+// approximately, until they are removed.
+//
+// The pool is keyed by config tag, so this binary pre-seeds the "default"
+// tag with a tiny model before touching shared_model(): the shim then
+// resolves instantly instead of training the full-size default config.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdlib>
+#include <filesystem>
+
+#include "core/pipeline.h"
+#include "data/datasets.h"
+#include "jpeg/codec.h"
+
+// The whole file exists to call deprecated symbols.
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+
+namespace dcdiff::core {
+namespace {
+
+DCDiffConfig tiny_default_config() {
+  DCDiffConfig cfg;
+  cfg.image_size = 32;
+  cfg.stage1_steps = 6;
+  cfg.stage2_steps = 6;
+  cfg.fmpp_steps = 2;
+  cfg.batch = 1;
+  cfg.ddim_steps = 4;
+  cfg.diffusion_T = 50;
+  cfg.ae.base = 8;
+  cfg.ae.ac_channels = 8;
+  cfg.unet.base = 8;
+  cfg.unet.temb_dim = 16;
+  cfg.ae_tag = "test_shims_ae";
+  // Deliberately the default tag: ModelPool keys by tag, so this entry is
+  // what shared_model() / default_instance() resolve to in this process.
+  cfg.tag = "default";
+  return cfg;
+}
+
+class ShimsTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    cache_dir_ =
+        std::filesystem::temp_directory_path() / "dcdiff_shims_test_cache";
+    std::filesystem::create_directories(cache_dir_);
+    setenv("DCDIFF_CACHE_DIR", cache_dir_.c_str(), 1);
+    model_ = ModelPool::instance().get(tiny_default_config());
+  }
+  static void TearDownTestSuite() {
+    model_.reset();
+    std::error_code ec;
+    std::filesystem::remove_all(cache_dir_, ec);
+  }
+
+  static double max_abs_diff(const Image& a, const Image& b) {
+    if (a.width() != b.width() || a.height() != b.height() ||
+        a.channels() != b.channels()) {
+      return 1e9;
+    }
+    double m = 0;
+    for (int c = 0; c < a.channels(); ++c) {
+      const auto& pa = a.plane(c);
+      const auto& pb = b.plane(c);
+      for (size_t i = 0; i < pa.size(); ++i) {
+        m = std::max(m, static_cast<double>(std::fabs(pa[i] - pb[i])));
+      }
+    }
+    return m;
+  }
+
+  static std::filesystem::path cache_dir_;
+  static std::shared_ptr<const DCDiffModel> model_;
+};
+
+std::filesystem::path ShimsTest::cache_dir_;
+std::shared_ptr<const DCDiffModel> ShimsTest::model_;
+
+TEST_F(ShimsTest, DeprecatedReconstructForwardsToOptionsOverload) {
+  const Image img = data::dataset_image(data::DatasetId::kKodak, 0, 64);
+  const jpeg::CoeffImage coeffs =
+      jpeg::decode_jfif(sender_encode(img).bytes);
+
+  // Every (use_fmpp, ddim_steps) combination the old signature could
+  // express, including the 0 = "model default" steps case.
+  for (const bool use_fmpp : {true, false}) {
+    for (const int steps : {0, 2}) {
+      const Image via_shim = model_->reconstruct(coeffs, use_fmpp, steps);
+      ReconstructOptions opts;
+      opts.use_fmpp = use_fmpp;
+      opts.ddim_steps = steps;
+      const Image via_options = model_->reconstruct(coeffs, opts);
+      EXPECT_EQ(max_abs_diff(via_shim, via_options), 0.0)
+          << "use_fmpp=" << use_fmpp << " steps=" << steps;
+    }
+  }
+}
+
+TEST_F(ShimsTest, SharedModelIsThePoolDefaultInstance) {
+  const DCDiffModel& shim = shared_model();
+  EXPECT_EQ(&shim, ModelPool::instance().default_instance().get());
+  // And that default instance is the tag-keyed entry this suite seeded.
+  EXPECT_EQ(&shim, model_.get());
+  EXPECT_EQ(shim.config().image_size, tiny_default_config().image_size);
+}
+
+TEST_F(ShimsTest, PoolReturnsSameInstanceForSameTag) {
+  const auto again = ModelPool::instance().get(tiny_default_config());
+  EXPECT_EQ(again.get(), model_.get());
+  const size_t before = ModelPool::instance().size();
+  (void)ModelPool::instance().get(tiny_default_config());
+  EXPECT_EQ(ModelPool::instance().size(), before);  // no duplicate entry
+}
+
+}  // namespace
+}  // namespace dcdiff::core
