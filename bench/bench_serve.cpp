@@ -33,6 +33,7 @@
 // >= 2.5x @ 4 workers acceptance gate is enforced only on hosts with >= 4
 // cores; on smaller hosts the sweep still runs and records honest numbers
 // (a 1-core host serializes the partitions, so speedup ~1.0x).
+#include <algorithm>
 #include <chrono>
 #include <cmath>
 #include <cstdio>
@@ -42,6 +43,8 @@
 #include <string>
 #include <thread>
 #include <vector>
+
+extern char** environ;
 
 #include "bench_util.h"
 #include "core/pipeline.h"
@@ -213,8 +216,39 @@ struct SweepPoint {
   double images_per_sec = 0;
   double speedup_vs_1 = 0;
   double max_diff = 0;
+  double p99_e2e_ms = 0;  // exact p99 over the fastest rep's requests
   uint64_t steals = 0;
 };
+
+// Exact (sorted, nearest-rank) percentile over per-request latencies; the
+// request counts here are small enough that sorting beats histogram
+// interpolation error.
+double exact_percentile_ms(std::vector<double> seconds, double p) {
+  if (seconds.empty()) return 0;
+  std::sort(seconds.begin(), seconds.end());
+  const size_t idx = std::min(
+      seconds.size() - 1,
+      static_cast<size_t>(p * static_cast<double>(seconds.size())));
+  return 1e3 * seconds[idx];
+}
+
+// DCDIFF_* environment overrides active for this run, as JSON object members
+// ("name":"value"); empty string when none are set. Provenance for the BENCH
+// report: a tuned DCDIFF_SERVE_* knob changes the numbers and must be visible
+// when two reports are diffed.
+std::string dcdiff_env_json() {
+  std::string out;
+  for (char** e = environ; e != nullptr && *e != nullptr; ++e) {
+    const std::string entry(*e);
+    if (entry.rfind("DCDIFF_", 0) != 0) continue;
+    const size_t eq = entry.find('=');
+    if (eq == std::string::npos) continue;
+    if (!out.empty()) out += ',';
+    out += "\"" + obs::json_escape(entry.substr(0, eq)) + "\":\"" +
+           obs::json_escape(entry.substr(eq + 1)) + "\"";
+  }
+  return out;
+}
 
 // One sweep configuration: all requests in flight at once through a
 // `workers`-sharded server at equal inference work. Returns the fastest of
@@ -235,6 +269,7 @@ SweepPoint run_sweep_point(const std::vector<std::vector<uint8_t>>& bitstreams,
     futs.reserve(bitstreams.size());
     for (const auto& bytes : bitstreams) futs.push_back(session.submit(bytes));
     std::vector<Image> images(bitstreams.size());
+    std::vector<double> e2e(bitstreams.size());
     for (size_t i = 0; i < futs.size(); ++i) {
       serve::Result res = futs[i].get();
       if (!res.status.is_ok()) {
@@ -244,11 +279,13 @@ SweepPoint run_sweep_point(const std::vector<std::vector<uint8_t>>& bitstreams,
         return p;
       }
       images[i] = std::move(res.image);
+      e2e[i] = res.e2e_seconds;
     }
     const double secs = now_seconds() - t0;
     if (rep == 0 || secs < p.total_secs) {
       p.total_secs = secs;
       p.steals = server.stats().steals;
+      p.p99_e2e_ms = exact_percentile_ms(e2e, 0.99);
     }
     if (rep == 0) p.max_diff = worst_diff(reference, images);
   }
@@ -381,8 +418,8 @@ int main(int argc, char** argv) {
       std::max(1, static_cast<int>(std::thread::hardware_concurrency()));
   std::printf("\nworker sweep (host cores: %d, equal-work options):\n",
               host_cores);
-  std::printf("%-10s %10s %12s %10s %8s\n", "workers", "total (s)",
-              "images/sec", "speedup", "steals");
+  std::printf("%-10s %10s %12s %10s %10s %8s\n", "workers", "total (s)",
+              "images/sec", "speedup", "p99 (ms)", "steals");
 
   std::vector<SweepPoint> sweep;
   for (const int w : worker_sweep) {
@@ -391,8 +428,8 @@ int main(int argc, char** argv) {
     if (!ok) return 1;
     p.speedup_vs_1 = sweep.empty() ? 1.0
                                    : sweep.front().total_secs / p.total_secs;
-    std::printf("%-10d %10.3f %12.2f %9.2fx %8llu\n", p.workers, p.total_secs,
-                p.images_per_sec, p.speedup_vs_1,
+    std::printf("%-10d %10.3f %12.2f %9.2fx %10.1f %8llu\n", p.workers,
+                p.total_secs, p.images_per_sec, p.speedup_vs_1, p.p99_e2e_ms,
                 static_cast<unsigned long long>(p.steals));
     if (p.max_diff > 1e-4) {
       std::fprintf(stderr,
@@ -416,19 +453,31 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
     return 1;
   }
+#ifndef DCDIFF_GIT_SHA
+#define DCDIFF_GIT_SHA "unknown"
+#endif
+#ifndef DCDIFF_BUILD_TYPE
+#define DCDIFF_BUILD_TYPE "unknown"
+#endif
   std::fprintf(jf,
                "{\n  \"bench\": \"serve_workers\",\n"
                "  \"host_cores\": %d,\n  \"images\": %d,\n"
-               "  \"max_batch\": %d,\n  \"reps\": %d,\n  \"sweep\": [\n",
-               host_cores, kImages, kMaxBatch, kReps);
+               "  \"max_batch\": %d,\n  \"reps\": %d,\n"
+               "  \"provenance\": {\"git_sha\": \"%s\", "
+               "\"build_type\": \"%s\", \"env\": {%s}},\n"
+               "  \"sweep\": [\n",
+               host_cores, kImages, kMaxBatch, kReps, DCDIFF_GIT_SHA,
+               DCDIFF_BUILD_TYPE, dcdiff_env_json().c_str());
   for (size_t i = 0; i < sweep.size(); ++i) {
     const SweepPoint& p = sweep[i];
     std::fprintf(jf,
                  "    {\"workers\": %d, \"total_seconds\": %.6f, "
                  "\"images_per_sec\": %.3f, \"speedup_vs_1\": %.3f, "
+                 "\"p99_e2e_ms\": %.3f, "
                  "\"max_abs_diff_vs_serial\": %.3g, \"steals\": %llu}%s\n",
                  p.workers, p.total_secs, p.images_per_sec, p.speedup_vs_1,
-                 p.max_diff, static_cast<unsigned long long>(p.steals),
+                 p.p99_e2e_ms, p.max_diff,
+                 static_cast<unsigned long long>(p.steals),
                  i + 1 < sweep.size() ? "," : "");
   }
   std::fprintf(jf,

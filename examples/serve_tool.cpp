@@ -5,7 +5,11 @@
 // throughput, latency percentiles, and the server's own accounting — the
 // numbers an operator would watch in production.
 //
-// Usage: serve_tool [num_images] [num_clients]
+// Usage: serve_tool [num_images] [num_clients] [--stats-dump <path>]
+//
+// --stats-dump writes the server's introspection snapshot after the run:
+// <path> gets the JSON document (metrics registry + per-worker server
+// state + rolling SLO windows), <path>.prom the Prometheus exposition.
 //
 // Knobs (environment):
 //   DCDIFF_QUICKSTART_FAST=1      tiny model (seconds to train; used by the
@@ -14,6 +18,12 @@
 //   DCDIFF_SERVE_BATCH_TIMEOUT_MS microbatch window (default 2)
 //   DCDIFF_SERVE_QUEUE_CAP        queue bound; beyond it submits are rejected
 //   DCDIFF_SERVE_WORKERS          batching worker threads
+//   DCDIFF_STATS_INTERVAL_MS      periodic in-process snapshot refresh
+//   DCDIFF_STATS_FILE             periodic snapshot destination
+//   DCDIFF_FLIGHT_RECORDER_FILE   auto-dump path for the flight recorder
+//   DCDIFF_SERVE_DEADLINE_MS      per-request deadline on every submission;
+//                                 expired requests are expected (not a tool
+//                                 failure) and trigger the flight recorder
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
@@ -55,10 +65,27 @@ core::DCDiffConfig fast_config() {
 }  // namespace
 
 int main(int argc, char** argv) {
-  const int num_images = argc > 1 ? std::atoi(argv[1]) : 8;
-  const int num_clients = argc > 2 ? std::atoi(argv[2]) : 2;
-  if (num_images <= 0 || num_clients <= 0) {
-    std::fprintf(stderr, "usage: %s [num_images>0] [num_clients>0]\n", argv[0]);
+  std::string stats_dump;
+  std::vector<const char*> positional;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--stats-dump") {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "--stats-dump requires a path\n");
+        return 2;
+      }
+      stats_dump = argv[++i];
+    } else {
+      positional.push_back(argv[i]);
+    }
+  }
+  const int num_images = positional.size() > 0 ? std::atoi(positional[0]) : 8;
+  const int num_clients = positional.size() > 1 ? std::atoi(positional[1]) : 2;
+  if (num_images <= 0 || num_clients <= 0 || positional.size() > 2) {
+    std::fprintf(stderr,
+                 "usage: %s [num_images>0] [num_clients>0] "
+                 "[--stats-dump <path>]\n",
+                 argv[0]);
     return 2;
   }
 
@@ -86,9 +113,13 @@ int main(int argc, char** argv) {
               cfg.workers);
 
   // Each client session submits its share of the stream concurrently.
+  const int deadline_ms = obs::env_int("DCDIFF_SERVE_DEADLINE_MS", 0);
+  serve::RequestOptions req_opts;
+  req_opts.deadline_ms = deadline_ms;
   const auto t0 = std::chrono::steady_clock::now();
   std::vector<std::thread> clients;
   std::vector<int> ok_counts(static_cast<size_t>(num_clients), 0);
+  std::vector<int> missed_counts(static_cast<size_t>(num_clients), 0);
   std::vector<double> psnr_sums(static_cast<size_t>(num_clients), 0.0);
   for (int c = 0; c < num_clients; ++c) {
     clients.emplace_back([&, c] {
@@ -96,12 +127,16 @@ int main(int argc, char** argv) {
       std::vector<std::future<serve::Result>> futs;
       std::vector<int> idx;
       for (int i = c; i < num_images; i += num_clients) {
-        futs.push_back(session.submit(bitstreams[static_cast<size_t>(i)]));
+        futs.push_back(
+            session.submit(bitstreams[static_cast<size_t>(i)], req_opts));
         idx.push_back(i);
       }
       for (size_t k = 0; k < futs.size(); ++k) {
         serve::Result r = futs[k].get();
         if (!r.status.is_ok()) {
+          if (r.status.code() == StatusCode::kDeadlineExceeded) {
+            missed_counts[static_cast<size_t>(c)]++;
+          }
           std::fprintf(stderr, "request %d failed: %s\n", idx[k],
                        r.status.to_string().c_str());
           continue;
@@ -117,10 +152,11 @@ int main(int argc, char** argv) {
                           std::chrono::steady_clock::now() - t0)
                           .count();
 
-  int ok = 0;
+  int ok = 0, missed = 0;
   double psnr_sum = 0;
   for (int c = 0; c < num_clients; ++c) {
     ok += ok_counts[static_cast<size_t>(c)];
+    missed += missed_counts[static_cast<size_t>(c)];
     psnr_sum += psnr_sums[static_cast<size_t>(c)];
   }
   const auto stats = server.stats();
@@ -144,9 +180,28 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(stats.rejected_decode),
               static_cast<unsigned long long>(stats.deadline_expired));
 
-  if (ok != num_images) {
-    std::fprintf(stderr, "serve_tool: %d requests failed\n", num_images - ok);
+  if (!stats_dump.empty()) {
+    if (server.dump_stats(stats_dump)) {
+      std::printf("stats: wrote %s (JSON) and %s.prom (Prometheus)\n",
+                  stats_dump.c_str(), stats_dump.c_str());
+    } else {
+      std::fprintf(stderr, "serve_tool: failed to write %s\n",
+                   stats_dump.c_str());
+      return 1;
+    }
+  }
+
+  // With an operator-requested deadline, expired requests are the point of
+  // the exercise (they feed the flight recorder), not a tool failure.
+  const int expected = deadline_ms > 0 ? ok + missed : ok;
+  if (expected != num_images) {
+    std::fprintf(stderr, "serve_tool: %d requests failed\n",
+                 num_images - expected);
     return 1;
+  }
+  if (deadline_ms > 0) {
+    std::printf("deadline %dms: %d served, %d expired\n", deadline_ms, ok,
+                missed);
   }
   std::printf("serve_tool: OK\n");
   return 0;

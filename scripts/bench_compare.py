@@ -1,0 +1,171 @@
+#!/usr/bin/env python3
+"""Compare two bench_serve BENCH_*.json reports and fail on regressions.
+
+Usage:
+    bench_compare.py [options] BASELINE.json CANDIDATE.json
+    bench_compare.py [options] --bench PATH/TO/bench_serve BASELINE.json
+
+With --bench, the candidate report is produced by running bench_serve into a
+temporary file first (this is how the optional `bench_guard` CTest uses it).
+
+Sweep points are matched by worker count. A point regresses when the
+candidate's images_per_sec drops, or its p99_e2e_ms rises, by more than
+--max-regression-pct relative to the baseline. p99 is only compared when both
+reports carry it: reports written before the provenance/p99 schema (e.g. the
+checked-in BENCH_pr5.json) lack the field and are tolerated.
+
+Exit codes: 0 = no regression, 1 = regression (or malformed input),
+77 = skipped because the reports are not comparable (different host_cores —
+throughput numbers from different machines say nothing about a code change;
+CTest maps 77 to SKIP via SKIP_RETURN_CODE).
+"""
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+import tempfile
+
+EXIT_OK = 0
+EXIT_REGRESSION = 1
+EXIT_SKIP = 77
+
+
+def load_report(path):
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            report = json.load(f)
+    except (OSError, ValueError) as e:
+        print(f"bench_compare: cannot read {path}: {e}", file=sys.stderr)
+        sys.exit(EXIT_REGRESSION)
+    if report.get("bench") != "serve_workers" or "sweep" not in report:
+        print(f"bench_compare: {path} is not a bench_serve report",
+              file=sys.stderr)
+        sys.exit(EXIT_REGRESSION)
+    return report
+
+
+def provenance_line(name, report):
+    prov = report.get("provenance")
+    if not prov:
+        return f"  {name}: host_cores={report.get('host_cores')} (no provenance; pre-schema report)"
+    env = prov.get("env") or {}
+    env_note = f", {len(env)} DCDIFF_* env override(s)" if env else ""
+    return (f"  {name}: host_cores={report.get('host_cores')} "
+            f"git_sha={prov.get('git_sha')} build_type={prov.get('build_type')}"
+            f"{env_note}")
+
+
+def pct_change(base, cand):
+    if base == 0:
+        return 0.0
+    return (cand - base) / base * 100.0
+
+
+def compare(baseline, candidate, max_pct):
+    base_points = {p["workers"]: p for p in baseline["sweep"]}
+    cand_points = {p["workers"]: p for p in candidate["sweep"]}
+    shared = sorted(set(base_points) & set(cand_points))
+    if not shared:
+        print("bench_compare: no common worker counts between the sweeps",
+              file=sys.stderr)
+        return EXIT_REGRESSION
+
+    failures = []
+    print(f"{'workers':>7} {'metric':>14} {'baseline':>10} {'candidate':>10} "
+          f"{'change':>8}")
+    for w in shared:
+        b, c = base_points[w], cand_points[w]
+
+        ips_b, ips_c = b.get("images_per_sec"), c.get("images_per_sec")
+        if ips_b is not None and ips_c is not None:
+            change = pct_change(ips_b, ips_c)
+            flag = ""
+            if change < -max_pct:
+                flag = "  REGRESSION"
+                failures.append(
+                    f"workers={w}: images_per_sec {ips_b:.3f} -> {ips_c:.3f} "
+                    f"({change:+.1f}%, limit -{max_pct:.1f}%)")
+            print(f"{w:>7} {'images_per_sec':>14} {ips_b:>10.3f} "
+                  f"{ips_c:>10.3f} {change:>+7.1f}%{flag}")
+
+        p99_b, p99_c = b.get("p99_e2e_ms"), c.get("p99_e2e_ms")
+        if p99_b is None or p99_c is None:
+            which = "baseline" if p99_b is None else "candidate"
+            print(f"{w:>7} {'p99_e2e_ms':>14} {'(skipped: no p99 in ' + which + ' report)':>30}")
+            continue
+        change = pct_change(p99_b, p99_c)
+        flag = ""
+        if change > max_pct:
+            flag = "  REGRESSION"
+            failures.append(
+                f"workers={w}: p99_e2e_ms {p99_b:.3f} -> {p99_c:.3f} "
+                f"({change:+.1f}%, limit +{max_pct:.1f}%)")
+        print(f"{w:>7} {'p99_e2e_ms':>14} {p99_b:>10.3f} {p99_c:>10.3f} "
+              f"{change:>+7.1f}%{flag}")
+
+    if failures:
+        print("\nbench_compare: FAIL", file=sys.stderr)
+        for f in failures:
+            print(f"  {f}", file=sys.stderr)
+        return EXIT_REGRESSION
+    print(f"\nbench_compare: OK ({len(shared)} point(s) within "
+          f"{max_pct:.1f}%)")
+    return EXIT_OK
+
+
+def main():
+    ap = argparse.ArgumentParser(
+        description=__doc__, formatter_class=argparse.RawDescriptionHelpFormatter)
+    ap.add_argument("baseline", help="baseline BENCH_*.json")
+    ap.add_argument("candidate", nargs="?",
+                    help="candidate BENCH_*.json (omit with --bench)")
+    ap.add_argument("--bench", metavar="BIN",
+                    help="run this bench_serve binary to produce the candidate")
+    ap.add_argument("--max-regression-pct", type=float, default=15.0,
+                    help="allowed regression in images_per_sec (drop) or "
+                         "p99_e2e_ms (rise), percent (default 15)")
+    args = ap.parse_args()
+    if bool(args.candidate) == bool(args.bench):
+        ap.error("pass exactly one of CANDIDATE or --bench")
+
+    baseline = load_report(args.baseline)
+
+    tmp = None
+    try:
+        if args.bench:
+            fd, tmp = tempfile.mkstemp(prefix="bench_compare_", suffix=".json")
+            os.close(fd)
+            cmd = [args.bench, "--out", tmp]
+            print(f"bench_compare: running {' '.join(cmd)}")
+            proc = subprocess.run(cmd)
+            # bench_serve exits non-zero when its own speedup win-condition
+            # fails; the comparison below is this script's verdict, so only a
+            # missing report is fatal here.
+            if not os.path.getsize(tmp):
+                print(f"bench_compare: {args.bench} wrote no report "
+                      f"(exit {proc.returncode})", file=sys.stderr)
+                return EXIT_REGRESSION
+            candidate = load_report(tmp)
+        else:
+            candidate = load_report(args.candidate)
+
+        print(provenance_line("baseline ", baseline))
+        print(provenance_line("candidate", candidate))
+
+        if baseline.get("host_cores") != candidate.get("host_cores"):
+            print(f"bench_compare: SKIP — host_cores differ "
+                  f"({baseline.get('host_cores')} vs "
+                  f"{candidate.get('host_cores')}); throughput is not "
+                  f"comparable across machines", file=sys.stderr)
+            return EXIT_SKIP
+
+        return compare(baseline, candidate, args.max_regression_pct)
+    finally:
+        if tmp:
+            os.unlink(tmp)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -383,13 +383,18 @@ Image DCDiffModel::reconstruct(const jpeg::CoeffImage& dropped,
   const Image tilde = pad_to_multiple(tilde_raw, 8);
   const Tensor tilde_t = tilde_to_tensor(tilde);
 
-  const ControlModule::Features ctrl = control_->forward(tilde_t);
-  const ACFeatures acfeat = ae_->encode_ac(tilde_t);
+  ControlModule::Features ctrl;
+  ACFeatures acfeat;
   Tensor s, b;
-  if (opts.use_fmpp) {
-    const FMPP::Factors f = fmpp_->forward(tilde_t);
-    s = f.s;
-    b = f.b;
+  {
+    DCDIFF_TRACE_SPAN("conditioner");
+    ctrl = control_->forward(tilde_t);
+    acfeat = ae_->encode_ac(tilde_t);
+    if (opts.use_fmpp) {
+      const FMPP::Factors f = fmpp_->forward(tilde_t);
+      s = f.s;
+      b = f.b;
+    }
   }
   Rng rng((opts.seed ? opts.seed : cfg_.seed) ^ 0x5A3D1Eull);
   const int steps = opts.ddim_steps > 0 ? opts.ddim_steps : cfg_.ddim_steps;
@@ -411,7 +416,11 @@ Image DCDiffModel::reconstruct(const jpeg::CoeffImage& dropped,
     z0 = e == 0 ? sample : add(z0, sample);
   }
   if (ensemble > 1) z0 = scale(z0, 1.0f / static_cast<float>(ensemble));
-  const Tensor xhat_t = ae_->decode(z0, acfeat);
+  Tensor xhat_t;
+  {
+    DCDIFF_TRACE_SPAN("decode");
+    xhat_t = ae_->decode(z0, acfeat);
+  }
   Image rgb = tensor_to_rgb(xhat_t);
   rgb = anchor_to_corners(rgb, tilde);
   if (rgb.width() != dropped.width || rgb.height() != dropped.height) {
@@ -489,17 +498,22 @@ std::vector<Image> DCDiffModel::reconstruct_batch(
 
     // Conditioning runs once per image (batch n); sampling runs on the
     // folded batch axis of n * ensemble rows, each image's members adjacent.
-    ControlModule::Features ctrl = control_->forward(tilde_b);
-    const ACFeatures acfeat = ae_->encode_ac(tilde_b);
+    ControlModule::Features ctrl;
+    ACFeatures acfeat;
     Tensor s, b;
-    if (opts.use_fmpp) {
-      const FMPP::Factors f = fmpp_->forward(tilde_b);
-      s = repeat_batch(f.s, ensemble);
-      b = repeat_batch(f.b, ensemble);
-    }
-    if (ensemble > 1) {
-      ctrl.c1 = repeat_batch(ctrl.c1, ensemble);
-      ctrl.c2 = repeat_batch(ctrl.c2, ensemble);
+    {
+      DCDIFF_TRACE_SPAN("conditioner");
+      ctrl = control_->forward(tilde_b);
+      acfeat = ae_->encode_ac(tilde_b);
+      if (opts.use_fmpp) {
+        const FMPP::Factors f = fmpp_->forward(tilde_b);
+        s = repeat_batch(f.s, ensemble);
+        b = repeat_batch(f.b, ensemble);
+      }
+      if (ensemble > 1) {
+        ctrl.c1 = repeat_batch(ctrl.c1, ensemble);
+        ctrl.c2 = repeat_batch(ctrl.c2, ensemble);
+      }
     }
 
     // Noise rows replicate the single-image derivation exactly: each image
@@ -539,7 +553,11 @@ std::vector<Image> DCDiffModel::reconstruct_batch(
       z0 = n == 1 ? means[0] : stack_batch(means);
     }
 
-    const Tensor xhat_b = ae_->decode(z0, acfeat);
+    Tensor xhat_b;
+    {
+      DCDIFF_TRACE_SPAN("decode");
+      xhat_b = ae_->decode(z0, acfeat);
+    }
     for (int j = 0; j < n; ++j) {
       const int i = idx[static_cast<size_t>(j)];
       const jpeg::CoeffImage& ci = *dropped[static_cast<size_t>(i)];

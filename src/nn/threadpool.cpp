@@ -1,6 +1,7 @@
 #include "nn/threadpool.h"
 
 #include <algorithm>
+#include <chrono>
 
 #ifdef __linux__
 #include <pthread.h>
@@ -101,9 +102,16 @@ void ThreadPool::worker_loop(int worker_index) {
     }
     if (task.fn && task.begin < task.end) {
       obs::ScopedLatency timer(task_histogram());
+      const auto t0 = std::chrono::steady_clock::now();
       tl_in_parallel_region = true;
       (*task.fn)(task.begin, task.end);
       tl_in_parallel_region = false;
+      busy_ns_.fetch_add(
+          static_cast<uint64_t>(
+              std::chrono::duration_cast<std::chrono::nanoseconds>(
+                  std::chrono::steady_clock::now() - t0)
+                  .count()),
+          std::memory_order_relaxed);
     }
     {
       std::lock_guard<std::mutex> lock(mu_);
@@ -164,9 +172,16 @@ void ThreadPool::parallel_ranges(
     dispatched.inc(static_cast<uint64_t>(launched));
   }
   cv_.notify_all();
+  const auto t0 = std::chrono::steady_clock::now();
   tl_in_parallel_region = true;
   fn(0, std::min<int64_t>(n, chunk));
   tl_in_parallel_region = false;
+  busy_ns_.fetch_add(
+      static_cast<uint64_t>(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(
+              std::chrono::steady_clock::now() - t0)
+              .count()),
+      std::memory_order_relaxed);
   std::unique_lock<std::mutex> lock(mu_);
   done_cv_.wait(lock, [&] { return pending_ == 0; });
 }

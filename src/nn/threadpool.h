@@ -14,6 +14,7 @@
 // thread-local Workspace arenas, so partitions never share scratch memory.
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
 #include <cstdint>
 #include <functional>
@@ -49,6 +50,16 @@ class ThreadPool {
   // First CPU of this pool's pinned range (-1 when unpinned).
   int cpu_first() const { return cpu_first_; }
 
+  // Cumulative wall time this pool's threads (workers plus the calling
+  // thread's own range shares) have spent inside dispatched loop bodies.
+  // Utilization over an interval is delta busy / (delta wall * num_threads);
+  // the serving engine samples it per worker partition into the
+  // serve.worker.<i>.pool_busy_seconds gauge on each stats snapshot.
+  double busy_seconds() const {
+    return static_cast<double>(busy_ns_.load(std::memory_order_relaxed)) *
+           1e-9;
+  }
+
   // Calls fn(begin, end) on disjoint ranges covering [0, n). The calling
   // thread participates. Blocks until all ranges are done. `grain` bounds
   // fan-out from below: no more than n / grain ranges are dispatched, so
@@ -72,6 +83,7 @@ class ThreadPool {
 
   void worker_loop(int worker_index);
 
+  std::atomic<uint64_t> busy_ns_{0};
   std::vector<std::thread> workers_;
   int cpu_first_ = -1;
   // Held for the duration of one dispatch (slot writes through completion

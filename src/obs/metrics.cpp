@@ -89,6 +89,19 @@ std::vector<double> Histogram::default_latency_bounds() {
   return b;
 }
 
+std::vector<double> Histogram::slo_latency_bounds() {
+  std::vector<double> b;
+  // See the header for the policy. 1-2-5 from 100us through 10s.
+  for (const double decade : {1e-4, 1e-3, 1e-2, 1e-1, 1.0}) {
+    b.push_back(decade);
+    b.push_back(2 * decade);
+    b.push_back(5 * decade);
+  }
+  b.push_back(10.0);
+  b.push_back(30.0);
+  return b;
+}
+
 void Histogram::observe(double v) {
   const size_t idx = static_cast<size_t>(
       std::upper_bound(bounds_.begin(), bounds_.end(), v) - bounds_.begin());
@@ -100,6 +113,11 @@ void Histogram::observe(double v) {
 }
 
 double Histogram::sum() const { return load_double(sum_bits_); }
+
+uint64_t Histogram::bucket_count(size_t i) const {
+  return i <= bounds_.size() ? buckets_[i].load(std::memory_order_relaxed)
+                             : 0;
+}
 
 double Histogram::min() const {
   return count() == 0 ? 0.0 : load_double(min_bits_);
@@ -246,6 +264,38 @@ std::string Registry::to_json() const {
            ",\"p99\":" + json_number(h->percentile(0.99)) + '}';
   }
   out += "}}";
+  return out;
+}
+
+MetricsSnapshot Registry::snapshot() const {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  MetricsSnapshot out;
+  out.counters.reserve(impl_->counters.size());
+  for (const auto& [name, c] : impl_->counters) {
+    out.counters.emplace_back(name, c->value());
+  }
+  out.gauges.reserve(impl_->gauges.size());
+  for (const auto& [name, g] : impl_->gauges) {
+    out.gauges.emplace_back(name, g->value());
+  }
+  out.histograms.reserve(impl_->histograms.size());
+  for (const auto& [name, h] : impl_->histograms) {
+    HistogramSnapshot hs;
+    hs.name = name;
+    hs.count = h->count();
+    hs.sum = h->sum();
+    hs.min = h->min();
+    hs.max = h->max();
+    hs.p50 = h->percentile(0.50);
+    hs.p90 = h->percentile(0.90);
+    hs.p99 = h->percentile(0.99);
+    hs.bounds = h->bounds();
+    hs.bucket_counts.resize(hs.bounds.size() + 1);
+    for (size_t i = 0; i <= hs.bounds.size(); ++i) {
+      hs.bucket_counts[i] = h->bucket_count(i);
+    }
+    out.histograms.push_back(std::move(hs));
+  }
   return out;
 }
 

@@ -58,6 +58,18 @@ class Histogram {
   // Exponential 1us..60s bounds, suited to wall-clock seconds.
   static std::vector<double> default_latency_bounds();
 
+  // Bucket policy for serving-latency histograms (serve.e2e_seconds,
+  // serve.queue_wait_seconds): 1-2-5 decades from 100us to 10s, then 30s
+  // overflow. Rationale: the buckets must resolve the numbers SLOs are
+  // written against — sub-millisecond queue waits under light load (the
+  // microbatch window is single-digit ms, so queue-wait percentiles below
+  // 1ms are real signals, not noise), per-request model time in the tens of
+  // ms to seconds, and multi-second stragglers up to the 10s deadline
+  // horizon. The default 1us..60s bounds waste half their resolution below
+  // any observable serving latency; these spend every bucket inside the
+  // operating range, keeping interpolated p99 error within the 1-2-5 step.
+  static std::vector<double> slo_latency_bounds();
+
   void observe(double v);
   uint64_t count() const { return count_.load(std::memory_order_relaxed); }
   double sum() const;
@@ -66,6 +78,8 @@ class Histogram {
   // p in [0, 1]; returns 0 when empty.
   double percentile(double p) const;
   const std::vector<double>& bounds() const { return bounds_; }
+  // Raw count of bucket i (i == bounds().size() is the overflow bucket).
+  uint64_t bucket_count(size_t i) const;
   void reset();
 
  private:
@@ -90,6 +104,28 @@ class ScopedLatency {
   uint64_t start_ns_;
 };
 
+// Point-in-time copy of one histogram's state, including raw buckets (the
+// Prometheus exposition needs cumulative bucket counts, not just quantiles).
+// Taken bucket-by-bucket with relaxed loads: concurrent observes may land
+// between reads, so count/sum/buckets can disagree by in-flight samples —
+// fine for monitoring, never torn.
+struct HistogramSnapshot {
+  std::string name;
+  uint64_t count = 0;
+  double sum = 0, min = 0, max = 0;
+  double p50 = 0, p90 = 0, p99 = 0;
+  std::vector<double> bounds;
+  std::vector<uint64_t> bucket_counts;  // bounds.size() + 1 (overflow last)
+};
+
+// Full-registry snapshot; the input to the JSON and Prometheus serializers
+// in obs/stats.h.
+struct MetricsSnapshot {
+  std::vector<std::pair<std::string, uint64_t>> counters;
+  std::vector<std::pair<std::string, double>> gauges;
+  std::vector<HistogramSnapshot> histograms;
+};
+
 class Registry {
  public:
   // Process-wide instance (never destroyed: safe from exit handlers and
@@ -108,6 +144,11 @@ class Registry {
   //    "histograms":{"name":{"count":..,"sum":..,"min":..,"max":..,
   //                          "p50":..,"p90":..,"p99":..}}}
   std::string to_json() const;
+
+  // Copies every metric's current value (names in map order). Safe against
+  // concurrent mutation: registration holds the registry mutex, reads are
+  // atomic per field.
+  MetricsSnapshot snapshot() const;
 
   // Zeroes every metric (tests). Metric identities survive.
   void reset();

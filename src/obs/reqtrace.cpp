@@ -1,0 +1,170 @@
+#include "obs/reqtrace.h"
+
+#include <fstream>
+#include <mutex>
+#include <utility>
+
+#include "obs/json.h"
+#include "obs/log.h"
+#include "obs/trace.h"
+
+namespace dcdiff::obs {
+
+namespace {
+
+// Interned contexts. Trace events store an int32 id instead of copying the
+// id vector into every span; the table lives until clear_trace_contexts().
+// Interning only happens while tracing is enabled, so the table grows one
+// entry per traced batch, not per span.
+struct ContextTable {
+  std::mutex mu;
+  std::vector<TraceContext> contexts;
+};
+
+ContextTable& context_table() {
+  static ContextTable* t = new ContextTable();  // leaked: exit-handler safe
+  return *t;
+}
+
+thread_local int32_t t_context_id = -1;
+
+}  // namespace
+
+int32_t intern_trace_context(TraceContext ctx) {
+  if (!trace_enabled()) return -1;
+  ContextTable& t = context_table();
+  std::lock_guard<std::mutex> lock(t.mu);
+  t.contexts.push_back(std::move(ctx));
+  return static_cast<int32_t>(t.contexts.size()) - 1;
+}
+
+ScopedTraceContext::ScopedTraceContext(TraceContext ctx)
+    : prev_(t_context_id), id_(intern_trace_context(std::move(ctx))) {
+  if (id_ >= 0) t_context_id = id_;
+}
+
+ScopedTraceContext::~ScopedTraceContext() {
+  if (id_ >= 0) t_context_id = prev_;
+}
+
+int32_t current_trace_context_id() { return t_context_id; }
+
+std::string trace_context_args_json(int32_t id) {
+  if (id < 0) return {};
+  ContextTable& t = context_table();
+  std::lock_guard<std::mutex> lock(t.mu);
+  if (static_cast<size_t>(id) >= t.contexts.size()) return {};
+  const TraceContext& ctx = t.contexts[static_cast<size_t>(id)];
+  std::string out = ",\"worker\":" + std::to_string(ctx.worker) +
+                    ",\"request_ids\":[";
+  for (size_t i = 0; i < ctx.request_ids.size(); ++i) {
+    if (i) out += ',';
+    out += std::to_string(ctx.request_ids[i]);
+  }
+  out += ']';
+  return out;
+}
+
+void clear_trace_contexts() {
+  ContextTable& t = context_table();
+  std::lock_guard<std::mutex> lock(t.mu);
+  t.contexts.clear();
+  // Stale thread-local ids in other threads resolve to whatever fills the
+  // table next; tests that clear between runs also rebuild their servers,
+  // so no live thread keeps a binding across the clear.
+}
+
+// ----- RequestRecord / FlightRecorder -----
+
+std::string request_record_json(const RequestRecord& r) {
+  std::string out = "{\"request_id\":" + std::to_string(r.request_id) +
+                    ",\"session_id\":" + std::to_string(r.session_id) +
+                    ",\"worker\":" + std::to_string(r.worker) +
+                    ",\"routed_worker\":" + std::to_string(r.routed_worker) +
+                    ",\"stolen\":" + (r.stolen ? "true" : "false") +
+                    ",\"submit_us\":" + json_number(r.submit_us) +
+                    ",\"route_us\":" + json_number(r.route_us) +
+                    ",\"batch_us\":" + json_number(r.batch_us) +
+                    ",\"model_us\":" + json_number(r.model_us) +
+                    ",\"done_us\":" + json_number(r.done_us) +
+                    ",\"batch_size\":" + std::to_string(r.batch_size) +
+                    ",\"ddim_steps\":" + std::to_string(r.ddim_steps) +
+                    ",\"ensemble\":" + std::to_string(r.ensemble) +
+                    ",\"deadline_ms\":" + std::to_string(r.deadline_ms) +
+                    ",\"deadline_missed\":" +
+                    (r.deadline_missed ? "true" : "false") +
+                    ",\"queue_wait_seconds\":" +
+                    json_number(r.queue_wait_seconds) +
+                    ",\"e2e_seconds\":" + json_number(r.e2e_seconds) +
+                    ",\"status\":\"" + json_escape(r.status) + "\"}";
+  return out;
+}
+
+struct FlightRecorder::Impl {
+  mutable std::mutex mu;
+  std::vector<RequestRecord> ring;
+  size_t capacity;
+  size_t next = 0;        // ring write position
+  uint64_t recorded = 0;  // lifetime count
+};
+
+FlightRecorder::FlightRecorder(size_t capacity) : impl_(new Impl()) {
+  impl_->capacity = capacity < 1 ? 1 : capacity;
+}
+
+FlightRecorder::~FlightRecorder() { delete impl_; }
+
+void FlightRecorder::record(RequestRecord r) {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  if (impl_->ring.size() < impl_->capacity) {
+    impl_->ring.push_back(std::move(r));
+  } else {
+    impl_->ring[impl_->next] = std::move(r);
+  }
+  impl_->next = (impl_->next + 1) % impl_->capacity;
+  ++impl_->recorded;
+}
+
+size_t FlightRecorder::capacity() const { return impl_->capacity; }
+
+size_t FlightRecorder::size() const {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  return impl_->ring.size();
+}
+
+uint64_t FlightRecorder::total_recorded() const {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  return impl_->recorded;
+}
+
+std::vector<RequestRecord> FlightRecorder::snapshot() const {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  std::vector<RequestRecord> out;
+  out.reserve(impl_->ring.size());
+  // Once wrapped, `next` is the oldest entry.
+  const size_t start = impl_->ring.size() < impl_->capacity ? 0 : impl_->next;
+  for (size_t i = 0; i < impl_->ring.size(); ++i) {
+    out.push_back(impl_->ring[(start + i) % impl_->ring.size()]);
+  }
+  return out;
+}
+
+bool FlightRecorder::dump_json(const std::string& path,
+                               const std::string& reason) const {
+  const std::vector<RequestRecord> records = snapshot();
+  std::ofstream f(path);
+  if (!f) {
+    DCDIFF_LOG_ERROR("obs.flight", "dump_failed", {{"path", path}});
+    return false;
+  }
+  f << "{\"reason\":\"" << json_escape(reason)
+    << "\",\"total_recorded\":" << total_recorded() << ",\"records\":[";
+  for (size_t i = 0; i < records.size(); ++i) {
+    if (i) f << ',';
+    f << request_record_json(records[i]);
+  }
+  f << "]}\n";
+  return f.good();
+}
+
+}  // namespace dcdiff::obs

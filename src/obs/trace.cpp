@@ -10,6 +10,7 @@
 #include "obs/env.h"
 #include "obs/json.h"
 #include "obs/log.h"
+#include "obs/reqtrace.h"
 
 namespace dcdiff::obs {
 
@@ -21,6 +22,7 @@ struct Event {
   double dur_us;
   uint32_t tid;
   int depth;
+  int32_t ctx;  // interned request context (obs/reqtrace.h); -1 = none
 };
 
 struct Collector {
@@ -111,6 +113,22 @@ size_t trace_event_count() {
 
 int current_span_depth() { return t_depth; }
 
+double trace_now_us() { return now_us(); }
+
+void trace_emit(const char* name, double start_us, double dur_us,
+                int32_t ctx_id) {
+  if (!trace_enabled()) return;
+  Collector& c = collector();
+  std::lock_guard<std::mutex> lock(c.mu);
+  if (c.events.size() >= Collector::kMaxEvents) {
+    ++c.dropped;
+    return;
+  }
+  c.events.push_back(
+      {name, start_us, dur_us, this_thread_tid(), t_depth + 1, ctx_id});
+  register_atexit_locked(c);
+}
+
 ScopedSpan::ScopedSpan(const char* name)
     : name_(name), start_us_(0), active_(trace_enabled()) {
   if (!active_) return;
@@ -128,8 +146,8 @@ ScopedSpan::~ScopedSpan() {
     ++c.dropped;
     return;
   }
-  c.events.push_back(
-      {name_, start_us_, end_us - start_us_, this_thread_tid(), depth});
+  c.events.push_back({name_, start_us_, end_us - start_us_, this_thread_tid(),
+                      depth, current_trace_context_id()});
   register_atexit_locked(c);
 }
 
@@ -151,7 +169,7 @@ bool flush_trace() {
       << "\",\"cat\":\"dcdiff\",\"ph\":\"X\",\"ts\":" << json_number(e.ts_us)
       << ",\"dur\":" << json_number(e.dur_us)
       << ",\"pid\":1,\"tid\":" << e.tid << ",\"args\":{\"depth\":" << e.depth
-      << "}}";
+      << trace_context_args_json(e.ctx) << "}}";
   }
   f << "]}\n";
   return f.good();

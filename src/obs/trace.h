@@ -40,6 +40,19 @@ bool flush_trace();
 // Current span nesting depth on the calling thread (0 outside any span).
 int current_span_depth();
 
+// Microseconds on the trace clock (steady, zero at first use). Valid whether
+// or not tracing is enabled, so per-request timelines (obs::RequestRecord)
+// share the trace file's time base.
+double trace_now_us();
+
+// Records one complete event with explicit timestamps, attributed to the
+// interned request context `ctx_id` (see obs/reqtrace.h; -1 = none). Used
+// for spans measured on behalf of another thread — e.g. a request's
+// queue-wait, emitted by the worker that finally pops it. `name` must have
+// static storage duration (string literals). No-op when tracing is disabled.
+void trace_emit(const char* name, double start_us, double dur_us,
+                int32_t ctx_id);
+
 class ScopedSpan {
  public:
   explicit ScopedSpan(const char* name);

@@ -3,11 +3,13 @@
 #include <algorithm>
 #include <chrono>
 #include <exception>
+#include <fstream>
 #include <limits>
 #include <utility>
 
 #include "jpeg/codec.h"
 #include "obs/env.h"
+#include "obs/json.h"
 #include "obs/log.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -40,6 +42,16 @@ ServerConfig ServerConfig::from_env() {
   cfg.pool_threads =
       obs::env_int("DCDIFF_SERVE_POOL_THREADS", cfg.pool_threads);
   cfg.pin_cpus = obs::env_int("DCDIFF_SERVE_PIN_CPUS", cfg.pin_cpus ? 1 : 0) != 0;
+  cfg.stats_interval_ms =
+      obs::env_int("DCDIFF_STATS_INTERVAL_MS", cfg.stats_interval_ms);
+  cfg.stats_path = obs::env_str("DCDIFF_STATS_FILE", cfg.stats_path.c_str());
+  cfg.flight_recorder_size =
+      obs::env_int("DCDIFF_FLIGHT_RECORDER_SIZE", cfg.flight_recorder_size);
+  cfg.flight_recorder_path = obs::env_str("DCDIFF_FLIGHT_RECORDER_FILE",
+                                          cfg.flight_recorder_path.c_str());
+  cfg.slo_p99_ms = obs::env_int("DCDIFF_SERVE_SLO_P99_MS", cfg.slo_p99_ms);
+  cfg.slo_miss_rate_pct =
+      obs::env_int("DCDIFF_SERVE_SLO_MISS_PCT", cfg.slo_miss_rate_pct);
   return cfg;
 }
 
@@ -72,12 +84,16 @@ uint64_t Session::submitted() const {
 
 ReceiverServer::ReceiverServer(const ServerConfig& cfg,
                                std::shared_ptr<const core::DCDiffModel> model)
-    : cfg_(cfg), model_(std::move(model)) {
+    : cfg_(cfg),
+      model_(std::move(model)),
+      flight_(static_cast<size_t>(std::max(1, cfg.flight_recorder_size))) {
   cfg_.max_batch = std::max(1, cfg_.max_batch);
   cfg_.queue_capacity = std::max(1, cfg_.queue_capacity);
   cfg_.workers = std::max(1, cfg_.workers);
   cfg_.batch_timeout_ms = std::max(0, cfg_.batch_timeout_ms);
   cfg_.pool_threads = std::max(0, cfg_.pool_threads);
+  cfg_.stats_interval_ms = std::max(0, cfg_.stats_interval_ms);
+  cfg_.flight_recorder_size = std::max(1, cfg_.flight_recorder_size);
   if (!model_) model_ = core::ModelPool::instance().default_instance();
   DCDIFF_LOG_INFO("serve", "server_start",
                   {{"max_batch", cfg_.max_batch},
@@ -99,6 +115,7 @@ ReceiverServer::ReceiverServer(const ServerConfig& cfg,
   stats_.workers.resize(static_cast<size_t>(cfg_.workers));
   for (int i = 0; i < cfg_.workers; ++i) {
     auto w = std::make_unique<Worker>();
+    w->index = i;
     w->model = i == 0 ? model_ : core::DCDiffModel::replicate(model_);
     if (!pools.empty()) w->pool = std::move(pools[static_cast<size_t>(i)]);
     w->depth_gauge =
@@ -110,6 +127,9 @@ ReceiverServer::ReceiverServer(const ServerConfig& cfg,
   for (int i = 0; i < cfg_.workers; ++i) {
     workers_[static_cast<size_t>(i)]->thread =
         std::thread([this, i] { worker_loop(i); });
+  }
+  if (cfg_.stats_interval_ms > 0) {
+    snap_thread_ = std::thread([this] { snapshot_loop(); });
   }
 }
 
@@ -176,6 +196,8 @@ std::future<Result> ReceiverServer::submit(uint64_t session_id,
                      ? now + std::chrono::milliseconds(opts.deadline_ms)
                      : Clock::time_point::max();
   req.session_id = session_id;
+  req.deadline_ms = std::max(0, opts.deadline_ms);
+  req.submit_us = obs::trace_now_us();
   std::future<Result> fut = req.promise.get_future();
 
   {
@@ -199,7 +221,13 @@ std::future<Result> ReceiverServer::submit(uint64_t session_id,
           "request queue full (capacity " +
           std::to_string(cfg_.queue_capacity) + ")")));
     }
-    Worker& w = *workers_[static_cast<size_t>(route_locked(opts.worker_hint))];
+    // Ids are assigned at acceptance, under mu_, so they are process-unique
+    // and monotone in acceptance order (rejected submits consume none).
+    req.request_id = next_request_id_++;
+    const int target = route_locked(opts.worker_hint);
+    req.routed_worker = target;
+    req.route_us = obs::trace_now_us();
+    Worker& w = *workers_[static_cast<size_t>(target)];
     w.queue.push_back(std::move(req));
     ++total_queued_;
     stats_.accepted++;
@@ -234,6 +262,8 @@ bool ReceiverServer::pop_one_locked(Worker& self, std::vector<Request>& batch,
   if (source == nullptr) return false;
   batch.push_back(std::move(source->queue.front()));
   source->queue.pop_front();
+  batch.back().stolen = source != &self;
+  batch.back().batch_us = obs::trace_now_us();
   --total_queued_;
   source->depth_gauge->set(static_cast<double>(source->queue.size()));
   return true;
@@ -272,6 +302,8 @@ void ReceiverServer::worker_loop(int index) {
         }
       }
       self.busy = true;
+      self.inflight.clear();
+      for (const Request& r : batch) self.inflight.push_back(r.request_id);
       stats_.queue_depth = total_queued_;
       depth.set(static_cast<double>(total_queued_));
     }
@@ -282,6 +314,7 @@ void ReceiverServer::worker_loop(int index) {
     {
       std::lock_guard<std::mutex> lk(mu_);
       self.busy = false;
+      self.inflight.clear();
     }
   }
 }
@@ -290,13 +323,15 @@ void ReceiverServer::run_batch(Worker& self, std::vector<Request>& batch,
                                uint64_t steals) {
   static obs::Histogram& batch_size =
       obs::histogram("serve.batch_size", {1, 2, 4, 8, 16, 32, 64});
-  static obs::Histogram& e2e = obs::histogram("serve.e2e_seconds");
-  static obs::Histogram& queue_wait = obs::histogram("serve.queue_wait_seconds");
+  // SLO-resolution buckets (see Histogram::slo_latency_bounds for policy).
+  static obs::Histogram& e2e = obs::histogram(
+      "serve.e2e_seconds", obs::Histogram::slo_latency_bounds());
+  static obs::Histogram& queue_wait = obs::histogram(
+      "serve.queue_wait_seconds", obs::Histogram::slo_latency_bounds());
   static obs::Counter& completed = obs::counter("serve.completed");
   static obs::Counter& expired = obs::counter("serve.deadline_expired");
   static obs::Counter& internal = obs::counter("serve.internal_errors");
   static obs::Counter& stolen = obs::counter("serve.steals");
-  DCDIFF_TRACE_SPAN("serve.batch");
 
   const auto start = Clock::now();
   std::vector<Request*> live;
@@ -310,6 +345,54 @@ void ReceiverServer::run_batch(Worker& self, std::vector<Request>& batch,
       queue_wait.observe(elapsed_seconds(r.enqueued, start));
     }
   }
+  // Bind the batch's identity to this thread for the rest of the call:
+  // every span that closes on it — serve.batch below, and the model's own
+  // conditioner / ddim_step / decode spans — is stamped with the batch's
+  // request ids and this worker's index, whether the requests were routed
+  // here or stolen. Expired requests are included: being declared dead in
+  // this batch is the last step of their path, and the trace should show
+  // where they died. Queue-wait spans are emitted retroactively per request
+  // (the wait happened in the queue, not on any thread) under a context of
+  // that one id plus the executing worker.
+  obs::TraceContext batch_ctx;
+  batch_ctx.worker = self.index;
+  for (const Request& r : batch) batch_ctx.request_ids.push_back(r.request_id);
+  obs::ScopedTraceContext trace_ctx(std::move(batch_ctx));
+  DCDIFF_TRACE_SPAN("serve.batch");
+  for (const Request& r : batch) {
+    obs::TraceContext one;
+    one.worker = self.index;
+    one.request_ids.push_back(r.request_id);
+    obs::trace_emit("serve.queue_wait", r.route_us, r.batch_us - r.route_us,
+                    obs::intern_trace_context(std::move(one)));
+  }
+
+  const auto make_record = [&](const Request& r, int live_count) {
+    obs::RequestRecord rec;
+    rec.request_id = r.request_id;
+    rec.session_id = r.session_id;
+    rec.worker = self.index;
+    rec.routed_worker = r.routed_worker;
+    rec.stolen = r.stolen;
+    rec.submit_us = r.submit_us;
+    rec.route_us = r.route_us;
+    rec.batch_us = r.batch_us;
+    rec.batch_size = live_count;
+    // <= 0 in the options means "model config default"; record the resolved
+    // values so the flight recorder shows the work actually done.
+    rec.ddim_steps = cfg_.recon.ddim_steps > 0
+                         ? cfg_.recon.ddim_steps
+                         : self.model->config().ddim_steps;
+    rec.ensemble = cfg_.recon.ensemble > 0
+                       ? cfg_.recon.ensemble
+                       : self.model->config().sample_ensemble;
+    rec.deadline_ms = r.deadline_ms;
+    rec.queue_wait_seconds = elapsed_seconds(r.enqueued, start);
+    return rec;
+  };
+  std::vector<obs::RequestRecord> records;
+  records.reserve(batch.size());
+
   const uint64_t n_expired = dead.size();
   expired.inc(n_expired);
   stolen.inc(steals);
@@ -324,11 +407,18 @@ void ReceiverServer::run_batch(Worker& self, std::vector<Request>& batch,
       self.stats.steals += steals;
     }
     for (Request* r : dead) {
+      obs::RequestRecord rec = make_record(*r, 0);
+      rec.deadline_missed = true;
+      rec.status = "deadline_exceeded";
+      rec.done_us = obs::trace_now_us();
+      rec.e2e_seconds = elapsed_seconds(r->enqueued, start);
       r->promise.set_value(ready_error(Status::deadline_exceeded(
           "deadline expired after " +
           std::to_string(elapsed_seconds(r->enqueued, start)) +
           "s in queue")));
+      records.push_back(std::move(rec));
     }
+    for (obs::RequestRecord& rec : records) finish_request(std::move(rec));
     return;
   }
 
@@ -338,6 +428,7 @@ void ReceiverServer::run_batch(Worker& self, std::vector<Request>& batch,
   coeffs.reserve(live.size());
   for (Request* r : live) coeffs.push_back(&r->coeffs);
 
+  const double model_us = obs::trace_now_us();
   std::vector<Image> images;
   Status batch_status;
   try {
@@ -347,20 +438,31 @@ void ReceiverServer::run_batch(Worker& self, std::vector<Request>& batch,
   }
 
   const auto end = Clock::now();
+  const double done_us = obs::trace_now_us();
   std::vector<Result> results(live.size());
   uint64_t n_completed = 0, n_internal = 0;
   for (size_t i = 0; i < live.size(); ++i) {
     Result& res = results[i];
     res.e2e_seconds = elapsed_seconds(live[i]->enqueued, end);
     e2e.observe(res.e2e_seconds);
+    obs::RequestRecord rec = make_record(*live[i],
+                                         static_cast<int>(live.size()));
+    rec.model_us = model_us;
+    rec.done_us = done_us;
+    rec.e2e_seconds = res.e2e_seconds;
+    // A live request can still be answered past its deadline (it expired
+    // mid-batch): the client gets the image, the SLO books a miss.
+    rec.deadline_missed = live[i]->deadline < end;
     if (batch_status.is_ok()) {
       res.status = Status::ok();
       res.image = std::move(images[i]);
       ++n_completed;
     } else {
       res.status = batch_status;
+      rec.status = "internal";
       ++n_internal;
     }
+    records.push_back(std::move(rec));
   }
   completed.inc(n_completed);
   internal.inc(n_internal);
@@ -382,13 +484,20 @@ void ReceiverServer::run_batch(Worker& self, std::vector<Request>& batch,
     self.stats.steals += steals;
   }
   for (Request* r : dead) {
+    obs::RequestRecord rec = make_record(*r, 0);  // never joined the model call
+    rec.deadline_missed = true;
+    rec.status = "deadline_exceeded";
+    rec.done_us = done_us;
+    rec.e2e_seconds = elapsed_seconds(r->enqueued, start);
     r->promise.set_value(ready_error(Status::deadline_exceeded(
         "deadline expired after " +
         std::to_string(elapsed_seconds(r->enqueued, start)) + "s in queue")));
+    records.push_back(std::move(rec));
   }
   for (size_t i = 0; i < live.size(); ++i) {
     live[i]->promise.set_value(std::move(results[i]));
   }
+  for (obs::RequestRecord& rec : records) finish_request(std::move(rec));
 }
 
 void ReceiverServer::shutdown() {
@@ -404,6 +513,17 @@ void ReceiverServer::shutdown() {
   queue_cv_.notify_all();
   for (auto& w : workers_) {
     if (w->thread.joinable()) w->thread.join();
+  }
+  {
+    std::lock_guard<std::mutex> lk(snap_mu_);
+    snap_stop_ = true;
+  }
+  snap_cv_.notify_all();
+  if (snap_thread_.joinable()) snap_thread_.join();
+  refresh_slo_gauges();
+  if (!cfg_.stats_path.empty()) dump_stats(cfg_.stats_path);
+  if (!cfg_.flight_recorder_path.empty()) {
+    dump_flight_recorder(cfg_.flight_recorder_path, "shutdown");
   }
   DCDIFF_LOG_INFO("serve", "server_stop",
                   {{"completed", static_cast<int64_t>(stats_.completed)},
@@ -423,6 +543,204 @@ ReceiverServer::Stats ReceiverServer::stats() const {
     out.workers.push_back(ws);
   }
   return out;
+}
+
+void ReceiverServer::finish_request(obs::RequestRecord rec) {
+  static obs::Counter& p99_violations =
+      obs::counter("serve.slo.p99_violations");
+  static obs::Counter& miss_violations =
+      obs::counter("serve.slo.miss_rate_violations");
+  const bool missed = rec.deadline_missed;
+  const bool internal_error = rec.status == "internal";
+  slo_.record(rec.e2e_seconds, rec.status == "ok" && !missed, missed);
+  flight_.record(rec);
+  // The ring already holds this request, so a dump triggered by it shows
+  // the full recent history up to and including the offending record.
+  if (!cfg_.flight_recorder_path.empty() && (missed || internal_error)) {
+    flight_.dump_json(cfg_.flight_recorder_path,
+                      missed ? "deadline_miss" : "internal_error");
+  }
+  if (cfg_.slo_p99_ms <= 0 && cfg_.slo_miss_rate_pct <= 0) return;
+  // Edge-triggered threshold checks over the rolling 10s window: one
+  // counter bump + warning per excursion, not one per request while the
+  // window stays in violation.
+  const obs::SloTracker::Window w = slo_.window(10);
+  std::lock_guard<std::mutex> lk(slo_mu_);
+  if (cfg_.slo_p99_ms > 0) {
+    const bool violating = w.p99_seconds * 1000.0 > cfg_.slo_p99_ms;
+    if (violating && !p99_violating_) {
+      p99_violations.inc();
+      DCDIFF_LOG_WARN("serve", "slo_p99_violation",
+                      {{"p99_ms", w.p99_seconds * 1000.0},
+                       {"threshold_ms", cfg_.slo_p99_ms}});
+    }
+    p99_violating_ = violating;
+  }
+  if (cfg_.slo_miss_rate_pct > 0) {
+    const bool violating = w.miss_rate * 100.0 > cfg_.slo_miss_rate_pct;
+    if (violating && !miss_rate_violating_) {
+      miss_violations.inc();
+      DCDIFF_LOG_WARN("serve", "slo_miss_rate_violation",
+                      {{"miss_rate_pct", w.miss_rate * 100.0},
+                       {"threshold_pct", cfg_.slo_miss_rate_pct}});
+    }
+    miss_rate_violating_ = violating;
+  }
+}
+
+void ReceiverServer::snapshot_loop() {
+  std::unique_lock<std::mutex> lk(snap_mu_);
+  for (;;) {
+    snap_cv_.wait_for(lk, std::chrono::milliseconds(cfg_.stats_interval_ms),
+                      [&] { return snap_stop_; });
+    if (snap_stop_) return;
+    lk.unlock();
+    refresh_slo_gauges();
+    if (!cfg_.stats_path.empty()) dump_stats(cfg_.stats_path);
+    lk.lock();
+  }
+}
+
+void ReceiverServer::refresh_slo_gauges() const {
+  static obs::Gauge& goodput10 = obs::gauge("serve.slo.goodput_10s");
+  static obs::Gauge& p99_10 = obs::gauge("serve.slo.p99_seconds_10s");
+  static obs::Gauge& miss10 = obs::gauge("serve.slo.miss_rate_10s");
+  static obs::Gauge& goodput60 = obs::gauge("serve.slo.goodput_60s");
+  static obs::Gauge& p99_60 = obs::gauge("serve.slo.p99_seconds_60s");
+  static obs::Gauge& miss60 = obs::gauge("serve.slo.miss_rate_60s");
+  const obs::SloTracker::Window w10 = slo_.window(10);
+  const obs::SloTracker::Window w60 = slo_.window(60);
+  goodput10.set(w10.goodput);
+  p99_10.set(w10.p99_seconds);
+  miss10.set(w10.miss_rate);
+  goodput60.set(w60.goodput);
+  p99_60.set(w60.p99_seconds);
+  miss60.set(w60.miss_rate);
+  // Pool pointers are immutable after construction and busy_seconds() is a
+  // relaxed atomic read, so no lock is needed here.
+  for (const auto& w : workers_) {
+    if (!w->pool) continue;
+    obs::gauge(obs::indexed("serve.worker", w->index, "pool_busy_seconds"))
+        .set(w->pool->busy_seconds());
+  }
+}
+
+std::string ReceiverServer::server_state_json() const {
+  std::string out = "{";
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    out += "\"accepted\":" + std::to_string(stats_.accepted);
+    out += ",\"completed\":" + std::to_string(stats_.completed);
+    out += ",\"deadline_expired\":" + std::to_string(stats_.deadline_expired);
+    out += ",\"internal_errors\":" + std::to_string(stats_.internal_errors);
+    out += ",\"rejected_queue_full\":" +
+           std::to_string(stats_.rejected_queue_full);
+    out += ",\"rejected_decode\":" + std::to_string(stats_.rejected_decode);
+    out += ",\"rejected_shutdown\":" +
+           std::to_string(stats_.rejected_shutdown);
+    out += ",\"batches\":" + std::to_string(stats_.batches);
+    out += ",\"steals\":" + std::to_string(stats_.steals);
+    out += ",\"sessions_opened\":" + std::to_string(stats_.sessions_opened);
+    out += ",\"queue_depth\":" + std::to_string(total_queued_);
+    out += std::string(",\"stopping\":") + (stopping_ ? "true" : "false");
+    out += ",\"workers\":[";
+    for (size_t i = 0; i < workers_.size(); ++i) {
+      const Worker& w = *workers_[i];
+      if (i > 0) out += ',';
+      out += "{\"index\":" + std::to_string(w.index);
+      out += ",\"queue_depth\":" + std::to_string(w.queue.size());
+      out += std::string(",\"busy\":") + (w.busy ? "true" : "false");
+      out += ",\"inflight\":[";
+      for (size_t j = 0; j < w.inflight.size(); ++j) {
+        if (j > 0) out += ',';
+        out += std::to_string(w.inflight[j]);
+      }
+      out += "],\"batches\":" + std::to_string(w.stats.batches);
+      out += ",\"completed\":" + std::to_string(w.stats.completed);
+      out += ",\"steals\":" + std::to_string(w.stats.steals);
+      out += "}";
+    }
+    out += "]";
+  }
+  // These take their own locks; called outside mu_ so no lock nests inside
+  // another.
+  out += ",\"slo\":" + slo_.windows_json();
+  out += ",\"flight_recorder\":{\"capacity\":" +
+         std::to_string(flight_.capacity()) +
+         ",\"size\":" + std::to_string(flight_.size()) +
+         ",\"total_recorded\":" + std::to_string(flight_.total_recorded()) +
+         "}";
+  out += "}";
+  return out;
+}
+
+std::string ReceiverServer::stats_json() const {
+  return obs::stats_json(server_state_json());
+}
+
+std::string ReceiverServer::stats_prometheus() const {
+  std::string extra;
+  const auto add_worker_family = [&](const char* leaf, const char* type,
+                                     auto value_of) {
+    extra += std::string("# TYPE dcdiff_serve_worker_") + leaf + " " + type +
+             "\n";
+    for (const auto& w : workers_) {
+      extra += std::string("dcdiff_serve_worker_") + leaf + "{worker=\"" +
+               std::to_string(w->index) + "\"} " + value_of(*w) + "\n";
+    }
+  };
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    add_worker_family("queue_depth", "gauge", [](const Worker& w) {
+      return std::to_string(w.queue.size());
+    });
+    add_worker_family("inflight", "gauge", [](const Worker& w) {
+      return std::to_string(w.inflight.size());
+    });
+    add_worker_family("batches_total", "counter", [](const Worker& w) {
+      return std::to_string(w.stats.batches);
+    });
+    add_worker_family("completed_total", "counter", [](const Worker& w) {
+      return std::to_string(w.stats.completed);
+    });
+    add_worker_family("steals_total", "counter", [](const Worker& w) {
+      return std::to_string(w.stats.steals);
+    });
+  }
+  const obs::SloTracker::Window w10 = slo_.window(10);
+  const obs::SloTracker::Window w60 = slo_.window(60);
+  const auto add_slo_family = [&](const char* leaf, double v10, double v60) {
+    extra += std::string("# TYPE dcdiff_serve_slo_") + leaf + " gauge\n";
+    extra += std::string("dcdiff_serve_slo_") + leaf + "{window=\"10s\"} " +
+             obs::json_number(v10) + "\n";
+    extra += std::string("dcdiff_serve_slo_") + leaf + "{window=\"60s\"} " +
+             obs::json_number(v60) + "\n";
+  };
+  add_slo_family("goodput", w10.goodput, w60.goodput);
+  add_slo_family("p99_seconds", w10.p99_seconds, w60.p99_seconds);
+  add_slo_family("deadline_miss_rate", w10.miss_rate, w60.miss_rate);
+  return obs::stats_prometheus(extra);
+}
+
+bool ReceiverServer::dump_stats(const std::string& path) const {
+  const std::string json = stats_json();
+  const std::string prom = stats_prometheus();
+  std::ofstream jf(path, std::ios::trunc);
+  if (!jf) return false;
+  jf << json << "\n";
+  std::ofstream pf(path + ".prom", std::ios::trunc);
+  if (!pf) return false;
+  pf << prom;
+  return static_cast<bool>(jf) && static_cast<bool>(pf);
+}
+
+obs::SloTracker::Window ReceiverServer::slo_window(int seconds) const {
+  return slo_.window(seconds);
+}
+
+bool ReceiverServer::dump_flight_recorder(const std::string& path,
+                                          const std::string& reason) const {
+  return flight_.dump_json(path, reason);
 }
 
 }  // namespace dcdiff::serve

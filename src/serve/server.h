@@ -61,6 +61,8 @@
 #include "core/pipeline.h"
 #include "image/image.h"
 #include "nn/threadpool.h"
+#include "obs/reqtrace.h"
+#include "obs/stats.h"
 #include "support/status.h"
 
 namespace dcdiff::obs {
@@ -103,9 +105,30 @@ struct ServerConfig {
   bool pin_cpus = false;
   core::ReconstructOptions recon;  // inference options applied to every batch
 
+  // --- introspection & SLOs ---
+  // > 0 starts a snapshot thread that refreshes the serve.slo.* gauges (and
+  // per-partition pool_busy_seconds) every interval and, when stats_path is
+  // set, rewrites <stats_path> (JSON) and <stats_path>.prom (Prometheus).
+  int stats_interval_ms = 0;
+  std::string stats_path;
+  // Ring capacity of the per-request flight recorder (always recording).
+  int flight_recorder_size = 256;
+  // Non-empty: the ring is dumped here automatically when a request misses
+  // its deadline, fails with an internal error, or at shutdown.
+  std::string flight_recorder_path;
+  // Rolling 10s-window SLO thresholds; 0 disables a check. Entering
+  // violation increments serve.slo.p99_violations /
+  // serve.slo.miss_rate_violations (edge-triggered, once per excursion) and
+  // logs a warning.
+  int slo_p99_ms = 0;        // p99 e2e latency ceiling
+  int slo_miss_rate_pct = 0;  // deadline-miss-rate ceiling, percent
+
   // Reads DCDIFF_SERVE_MAX_BATCH / DCDIFF_SERVE_BATCH_TIMEOUT_MS /
   // DCDIFF_SERVE_QUEUE_CAP / DCDIFF_SERVE_WORKERS /
-  // DCDIFF_SERVE_POOL_THREADS / DCDIFF_SERVE_PIN_CPUS over the defaults.
+  // DCDIFF_SERVE_POOL_THREADS / DCDIFF_SERVE_PIN_CPUS /
+  // DCDIFF_STATS_INTERVAL_MS / DCDIFF_STATS_FILE /
+  // DCDIFF_FLIGHT_RECORDER_SIZE / DCDIFF_FLIGHT_RECORDER_FILE /
+  // DCDIFF_SERVE_SLO_P99_MS / DCDIFF_SERVE_SLO_MISS_PCT over the defaults.
   static ServerConfig from_env();
 
   // Reduced-latency inference preset for deadline-bound serving: a single
@@ -188,6 +211,24 @@ class ReceiverServer {
   };
   Stats stats() const;
 
+  // --- introspection (see DESIGN.md "Introspection & SLOs") ---
+  // Metrics registry + live server state (per-worker queue depth, inflight
+  // batch composition, steal counts, rolling SLO windows, flight-recorder
+  // occupancy) as one JSON document.
+  std::string stats_json() const;
+  // The same snapshot in Prometheus text-exposition format, with per-worker
+  // families labeled {worker="i"}.
+  std::string stats_prometheus() const;
+  // Writes stats_json() to `path` and stats_prometheus() to `path` + ".prom".
+  bool dump_stats(const std::string& path) const;
+  // Rolling-window outcomes (goodput, p99, deadline-miss rate) over the last
+  // `seconds` (clamped to 60).
+  obs::SloTracker::Window slo_window(int seconds) const;
+  // Ring buffer of the last N completed per-request records.
+  const obs::FlightRecorder& flight_recorder() const { return flight_; }
+  bool dump_flight_recorder(const std::string& path,
+                            const std::string& reason) const;
+
   const ServerConfig& config() const { return cfg_; }
   const core::DCDiffModel& model() const { return *model_; }
   // The model instance worker `i` runs batches on (tests verify replica
@@ -204,6 +245,16 @@ class ReceiverServer {
     Clock::time_point enqueued;
     Clock::time_point deadline;  // Clock::time_point::max() = none
     uint64_t session_id = 0;
+    // Tracing / flight-recorder fields. request_id is process-unique and
+    // monotone in acceptance order; the us timestamps share trace_now_us()'s
+    // epoch so queue-wait spans can be emitted retroactively.
+    uint64_t request_id = 0;
+    int routed_worker = -1;  // queue the router picked
+    bool stolen = false;     // popped by a different worker than routed
+    int deadline_ms = 0;     // as requested (0 = none)
+    double submit_us = 0;    // accepted (decode done)
+    double route_us = 0;     // enqueued on routed_worker's queue
+    double batch_us = 0;     // popped into a batch
   };
 
   // One serving shard: a queue, a model replica, and (workers > 1) a
@@ -217,6 +268,10 @@ class ReceiverServer {
     std::shared_ptr<const core::DCDiffModel> model;
     std::unique_ptr<nn::ThreadPool> pool;  // null: use the global pool
     WorkerStats stats;
+    int index = 0;
+    // Request ids of the batch currently executing on this worker (empty
+    // when idle); snapshotted into stats_json()'s inflight composition.
+    std::vector<uint64_t> inflight;
     obs::Gauge* depth_gauge = nullptr;       // serve.worker.<i>.queue_depth
     obs::Counter* batch_counter = nullptr;   // serve.worker.<i>.batches
     obs::Counter* steal_counter = nullptr;   // serve.worker.<i>.steals
@@ -236,6 +291,13 @@ class ReceiverServer {
                       uint64_t* steals);
   void worker_loop(int index);
   void run_batch(Worker& self, std::vector<Request>& batch, uint64_t steals);
+  // Finalizes one request: flight-recorder + SLO accounting, auto-dump on
+  // deadline miss / internal error, SLO threshold edge checks.
+  void finish_request(obs::RequestRecord rec);
+  void snapshot_loop();
+  // Refreshes serve.slo.* gauges and per-worker pool_busy_seconds.
+  void refresh_slo_gauges() const;
+  std::string server_state_json() const;
 
   ServerConfig cfg_;
   std::shared_ptr<const core::DCDiffModel> model_;
@@ -248,6 +310,19 @@ class ReceiverServer {
   Stats stats_;
   std::vector<std::pair<uint64_t, uint64_t>> session_submits_;  // id -> count
   uint64_t next_session_id_ = 1;
+  uint64_t next_request_id_ = 1;  // under mu_
+
+  obs::SloTracker slo_;
+  obs::FlightRecorder flight_;
+  // Edge-trigger state for the SLO threshold checks (under slo_mu_).
+  mutable std::mutex slo_mu_;
+  bool p99_violating_ = false;
+  bool miss_rate_violating_ = false;
+
+  std::thread snap_thread_;
+  std::mutex snap_mu_;
+  std::condition_variable snap_cv_;
+  bool snap_stop_ = false;
 };
 
 }  // namespace dcdiff::serve

@@ -258,5 +258,149 @@ TEST_F(FuzzCodec, RandomGarbageNeverThrows) {
   }
 }
 
+// ---- restart-interval (DRI/RSTn) bitstreams under corruption ----
+//
+// Restart markers add a second code path through the scan decoder (marker
+// resynchronization, DC predictor resets, error containment per restart
+// segment) that the plain sweeps above never touch. The contract differs
+// from the no-RST sweeps: corruption either surfaces as a Status error or is
+// *contained* — damaged segments decode to zeros while intact coefficients
+// keep their exact values — never a hang, an escaping throw, or a silently
+// wrong (non-zero, non-matching) coefficient.
+
+class FuzzCodecRestart : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    const Image img = data::dataset_image(data::DatasetId::kKodak, 1, 48);
+    CoeffImage ci = forward_transform(img, 50);
+    drop_dc(ci);
+    ci.restart_interval = 2;  // several RSTn markers across a 48x48 image
+    bytes_ = new std::vector<uint8_t>(encode_jfif(ci));
+  }
+  static void TearDownTestSuite() {
+    delete bytes_;
+    bytes_ = nullptr;
+  }
+  static const std::vector<uint8_t>& bytes() { return *bytes_; }
+
+  static std::vector<uint8_t>* bytes_;
+};
+
+std::vector<uint8_t>* FuzzCodecRestart::bytes_ = nullptr;
+
+TEST_F(FuzzCodecRestart, IntactStreamDecodesWithInterval) {
+  CoeffImage out;
+  const Status st = try_decode_jfif(bytes(), &out);
+  ASSERT_TRUE(st.is_ok()) << st.to_string();
+  EXPECT_EQ(out.restart_interval, 2);
+  // The stream must actually contain restart markers, or this whole suite
+  // exercises nothing: RST0..RST7 are 0xFF 0xD0..0xD7.
+  int rst_markers = 0;
+  for (size_t i = 0; i + 1 < bytes().size(); ++i) {
+    if (bytes()[i] == 0xFF && bytes()[i + 1] >= 0xD0 && bytes()[i + 1] <= 0xD7) {
+      ++rst_markers;
+    }
+  }
+  EXPECT_GT(rst_markers, 2);
+}
+
+TEST_F(FuzzCodecRestart, TruncationsErrorOrContainDamage) {
+  CoeffImage full;
+  ASSERT_TRUE(try_decode_jfif(bytes(), &full).is_ok());
+  int errors = 0;
+  for (size_t len = 0; len < bytes().size(); ++len) {
+    std::vector<uint8_t> cut(bytes().begin(),
+                             bytes().begin() + static_cast<long>(len));
+    CoeffImage out;
+    const Status st = try_decode_jfif(cut, &out);
+    if (!st.is_ok()) {
+      ++errors;
+      continue;
+    }
+    // Containment contract: a truncated prefix decodes the same bits as the
+    // full stream up to the cut, and the damaged remainder of the hit
+    // segment (plus nothing else — earlier segments are intact) stays zero.
+    // So every coefficient is either exactly the full decode's value or a
+    // contained zero; anything else is silent corruption.
+    ASSERT_EQ(out.comps.size(), full.comps.size()) << "truncation at " << len;
+    for (size_t c = 0; c < full.comps.size(); ++c) {
+      ASSERT_EQ(out.comps[c].blocks.size(), full.comps[c].blocks.size())
+          << "truncation at " << len;
+      for (size_t b = 0; b < full.comps[c].blocks.size(); ++b) {
+        const auto& ob = out.comps[c].blocks[b];
+        const auto& fb = full.comps[c].blocks[b];
+        for (size_t k = 0; k < ob.size(); ++k) {
+          ASSERT_TRUE(ob[k] == 0 || ob[k] == fb[k])
+              << "silently corrupted coefficient " << k << " of block " << b
+              << " comp " << c << ", truncation at " << len;
+        }
+      }
+    }
+  }
+  // Cuts anywhere before the scan's last restart segment cannot produce all
+  // the segments the frame needs, so the vast majority must still error.
+  EXPECT_GT(errors, static_cast<int>(bytes().size() * 3 / 4));
+}
+
+TEST_F(FuzzCodecRestart, RandomBitFlipsNeverThrow) {
+  std::mt19937_64 rng(0xD51Fu);
+  for (int s = 0; s < 300; ++s) {
+    std::vector<uint8_t> mutated = bytes();
+    const int flips = 1 + static_cast<int>(rng() % 8);
+    for (int f = 0; f < flips; ++f) {
+      mutated[rng() % mutated.size()] ^=
+          static_cast<uint8_t>(1u << (rng() % 8));
+    }
+    CoeffImage out;
+    const Status st = try_decode_jfif(mutated, &out);  // must not throw/hang
+    if (!st.is_ok()) {
+      EXPECT_TRUE(st.code() == StatusCode::kDataLoss ||
+                  st.code() == StatusCode::kInvalidArgument)
+          << st.to_string();
+    }
+  }
+}
+
+TEST_F(FuzzCodecRestart, CorruptedRestartMarkersNeverThrow) {
+  // Target the RSTn markers themselves: replace each marker byte pair with
+  // other markers, swapped sequence numbers, or non-marker bytes. Breaking
+  // resynchronization must degrade to a Status error (or a contained decode
+  // with the interval's error-containment), never an exception or hang.
+  std::mt19937_64 rng(0xD520u);
+  std::vector<size_t> rst_positions;
+  for (size_t i = 0; i + 1 < bytes().size(); ++i) {
+    if (bytes()[i] == 0xFF && bytes()[i + 1] >= 0xD0 && bytes()[i + 1] <= 0xD7) {
+      rst_positions.push_back(i);
+    }
+  }
+  ASSERT_FALSE(rst_positions.empty());
+  for (int s = 0; s < 200; ++s) {
+    std::vector<uint8_t> mutated = bytes();
+    const size_t pos = rst_positions[rng() % rst_positions.size()];
+    switch (rng() % 4) {
+      case 0:  // wrong sequence number
+        mutated[pos + 1] = static_cast<uint8_t>(0xD0 + (rng() % 8));
+        break;
+      case 1:  // different marker entirely (DHT/SOS/EOI/...)
+        mutated[pos + 1] = static_cast<uint8_t>(rng() % 256);
+        break;
+      case 2:  // marker prefix destroyed
+        mutated[pos] = static_cast<uint8_t>(rng() % 0xFF);
+        break;
+      default:  // marker deleted
+        mutated.erase(mutated.begin() + static_cast<long>(pos),
+                      mutated.begin() + static_cast<long>(pos) + 2);
+        break;
+    }
+    CoeffImage out;
+    const Status st = try_decode_jfif(mutated, &out);  // must not throw/hang
+    if (!st.is_ok()) {
+      EXPECT_TRUE(st.code() == StatusCode::kDataLoss ||
+                  st.code() == StatusCode::kInvalidArgument)
+          << st.to_string();
+    }
+  }
+}
+
 }  // namespace
 }  // namespace dcdiff::jpeg
