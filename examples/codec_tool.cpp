@@ -1,14 +1,20 @@
 // Command-line codec tool: exercises the library on user-supplied PPM/PGM
 // files (or generated test images) without writing any C++.
 //
-//   codec_tool encode  <in.ppm> <out.jpg> [quality] [--drop-dc]
-//   codec_tool decode  <in.jpg> <out.ppm>
-//   codec_tool recover <in.jpg> <out.ppm> [smartcom|tii|icip|dcdiff]
-//   codec_tool demo    <out_dir>          (writes a sample scene + variants)
+//   codec_tool encode    <in.ppm> <out.jpg> [quality] [--drop-dc] [--cm]
+//   codec_tool decode    <in.jpg> <out.ppm>
+//   codec_tool recover   <in.jpg> <out.ppm> [smartcom|tii|icip|dcdiff]
+//   codec_tool transcode <in.jpg> <out.jpg> [--to-huffman]
+//   codec_tool demo      <out_dir>        (writes a sample scene + variants)
 //
 // `recover` expects a DC-dropped file (as produced by encode --drop-dc) and
 // runs the selected receiver-side method; dcdiff trains/loads cached weights
 // on first use.
+//
+// `transcode` re-entropy-codes losslessly between the Annex-K Huffman scan
+// and the context-mixing range coder (default direction: to cm; --to-huffman
+// for the reverse). The coefficient planes round-trip bit-identically — the
+// tool verifies this on every run before writing the output.
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -42,17 +48,23 @@ int cmd_encode(int argc, char** argv) {
   if (argc < 4) return 1;
   const Image img = read_pnm(argv[2]);
   const int quality = argc > 4 && argv[4][0] != '-' ? std::atoi(argv[4]) : 50;
-  bool drop = false;
-  for (int i = 4; i < argc; ++i) drop = drop || !std::strcmp(argv[i], "--drop-dc");
+  bool drop = false, cm = false;
+  for (int i = 4; i < argc; ++i) {
+    drop = drop || !std::strcmp(argv[i], "--drop-dc");
+    cm = cm || !std::strcmp(argv[i], "--cm");
+  }
   jpeg::CoeffImage ci = jpeg::forward_transform(img, quality);
   const size_t full_bits = jpeg::entropy_bit_count(ci);
   if (drop) jpeg::drop_dc(ci);
-  const auto bytes = jpeg::encode_jfif(ci);
+  const auto kind = cm ? jpeg::EntropyKind::kCm : jpeg::EntropyKind::kHuffman;
+  const auto bytes = jpeg::encode_jfif(ci, kind);
   write_file(argv[3], bytes);
-  std::printf("%s: %dx%d Q%d%s -> %zu bytes (entropy %zu -> %zu bits)\n",
+  std::printf("%s: %dx%d Q%d%s%s -> %zu bytes (entropy %zu -> %zu bits)\n",
               argv[3], img.width(), img.height(), quality,
-              drop ? " DC-dropped" : "", bytes.size(), full_bits,
-              jpeg::entropy_bit_count(ci));
+              drop ? " DC-dropped" : "", cm ? " cm" : "", bytes.size(),
+              full_bits,
+              cm ? jpeg::entropy_bit_count_cm(ci)
+                 : jpeg::entropy_bit_count(ci));
   return 0;
 }
 
@@ -86,6 +98,40 @@ int cmd_recover(int argc, char** argv) {
   return 0;
 }
 
+int cmd_transcode(int argc, char** argv) {
+  if (argc < 4) return 1;
+  bool to_huffman = false;
+  for (int i = 4; i < argc; ++i) {
+    to_huffman = to_huffman || !std::strcmp(argv[i], "--to-huffman");
+  }
+  const auto in_bytes = read_file(argv[2]);
+  const auto in_kind = jpeg::detect_entropy_kind(in_bytes);
+  const auto out_kind =
+      to_huffman ? jpeg::EntropyKind::kHuffman : jpeg::EntropyKind::kCm;
+  const jpeg::CoeffImage ci = jpeg::decode_jfif(in_bytes);
+  const auto out_bytes = jpeg::encode_jfif(ci, out_kind);
+
+  // Lossless by construction; verify anyway so a model regression can never
+  // silently ship a stream that decodes to different coefficients.
+  const jpeg::CoeffImage back = jpeg::decode_jfif(out_bytes);
+  for (size_t c = 0; c < ci.comps.size(); ++c) {
+    if (ci.comps[c].blocks != back.comps[c].blocks) {
+      std::fprintf(stderr, "transcode: coefficient mismatch in component "
+                           "%zu\n", c);
+      return 1;
+    }
+  }
+  write_file(argv[3], out_bytes);
+  std::printf("%s: %s -> %s, %zu -> %zu bytes (%+.1f%%)\n", argv[3],
+              in_kind == jpeg::EntropyKind::kCm ? "cm" : "huffman",
+              out_kind == jpeg::EntropyKind::kCm ? "cm" : "huffman",
+              in_bytes.size(), out_bytes.size(),
+              100.0 * (static_cast<double>(out_bytes.size()) /
+                           static_cast<double>(in_bytes.size()) -
+                       1.0));
+  return 0;
+}
+
 int cmd_demo(int argc, char** argv) {
   const std::string dir = argc > 2 ? argv[2] : ".";
   const Image img = data::dataset_image(data::DatasetId::kKodak, 5, 64);
@@ -103,7 +149,8 @@ int cmd_demo(int argc, char** argv) {
 int main(int argc, char** argv) {
   if (argc < 2) {
     std::fprintf(stderr,
-                 "usage: codec_tool encode|decode|recover|demo ...\n");
+                 "usage: codec_tool encode|decode|recover|transcode|demo "
+                 "...\n");
     return 1;
   }
   try {
@@ -111,6 +158,7 @@ int main(int argc, char** argv) {
     if (cmd == "encode") return cmd_encode(argc, argv);
     if (cmd == "decode") return cmd_decode(argc, argv);
     if (cmd == "recover") return cmd_recover(argc, argv);
+    if (cmd == "transcode") return cmd_transcode(argc, argv);
     if (cmd == "demo") return cmd_demo(argc, argv);
     std::fprintf(stderr, "unknown command %s\n", cmd.c_str());
     return 1;

@@ -1,23 +1,38 @@
 #!/usr/bin/env python3
-"""Compare two bench_serve BENCH_*.json reports and fail on regressions.
+"""Compare two BENCH_*.json reports and fail on regressions.
 
 Usage:
     bench_compare.py [options] BASELINE.json CANDIDATE.json
     bench_compare.py [options] --bench PATH/TO/bench_serve BASELINE.json
+    bench_compare.py --coding [options] BASELINE.json CANDIDATE.json
+    bench_compare.py --coding [options] --bench PATH/TO/bench_ablation_coding \\
+        BASELINE.json
 
-With --bench, the candidate report is produced by running bench_serve into a
-temporary file first (this is how the optional `bench_guard` CTest uses it).
+With --bench, the candidate report is produced by running the bench binary
+into a temporary file first (this is how the optional `bench_guard` and
+`coding_guard` CTests use it).
 
-Sweep points are matched by worker count. A point regresses when the
-candidate's images_per_sec drops, or its p99_e2e_ms rises, by more than
---max-regression-pct relative to the baseline. p99 is only compared when both
-reports carry it: reports written before the provenance/p99 schema (e.g. the
-checked-in BENCH_pr5.json) lack the field and are tolerated.
+Default mode compares bench_serve reports: sweep points are matched by worker
+count. A point regresses when the candidate's images_per_sec drops, or its
+p99_e2e_ms rises, by more than --max-regression-pct relative to the baseline.
+p99 is only compared when both reports carry it: reports written before the
+provenance/p99 schema (e.g. the checked-in BENCH_pr5.json) lack the field and
+are tolerated.
+
+--coding compares bench_ablation_coding reports: records are matched by
+(dataset, image). A record regresses when the candidate's bpp_cm rises by
+more than --max-regression-pct relative to the baseline — the context-mixing
+coder must not quietly lose compression ground. bpp_huffman comes from fixed
+Annex-K tables, so any change there means the transform/eval inputs moved and
+the comparison is skipped as not comparable. Coding bpp is deterministic, so
+unlike serve throughput it compares fine across machines; comparability only
+needs the same eval_size.
 
 Exit codes: 0 = no regression, 1 = regression (or malformed input),
-77 = skipped because the reports are not comparable (different host_cores —
-throughput numbers from different machines say nothing about a code change;
-CTest maps 77 to SKIP via SKIP_RETURN_CODE).
+77 = skipped because the reports are not comparable (different host_cores
+for serve — throughput numbers from different machines say nothing about a
+code change — or different eval_size / huffman baseline for coding; CTest
+maps 77 to SKIP via SKIP_RETURN_CODE).
 """
 
 import argparse
@@ -32,27 +47,31 @@ EXIT_REGRESSION = 1
 EXIT_SKIP = 77
 
 
-def load_report(path):
+def load_report(path, bench="serve_workers", body="sweep"):
     try:
         with open(path, "r", encoding="utf-8") as f:
             report = json.load(f)
     except (OSError, ValueError) as e:
         print(f"bench_compare: cannot read {path}: {e}", file=sys.stderr)
         sys.exit(EXIT_REGRESSION)
-    if report.get("bench") != "serve_workers" or "sweep" not in report:
-        print(f"bench_compare: {path} is not a bench_serve report",
+    if report.get("bench") != bench or body not in report:
+        print(f"bench_compare: {path} is not a {bench} report",
               file=sys.stderr)
         sys.exit(EXIT_REGRESSION)
     return report
 
 
 def provenance_line(name, report):
+    if "host_cores" in report:
+        scope = f"host_cores={report.get('host_cores')}"
+    else:
+        scope = f"eval_size={report.get('eval_size')}"
     prov = report.get("provenance")
     if not prov:
-        return f"  {name}: host_cores={report.get('host_cores')} (no provenance; pre-schema report)"
+        return f"  {name}: {scope} (no provenance; pre-schema report)"
     env = prov.get("env") or {}
     env_note = f", {len(env)} DCDIFF_* env override(s)" if env else ""
-    return (f"  {name}: host_cores={report.get('host_cores')} "
+    return (f"  {name}: {scope} "
             f"git_sha={prov.get('git_sha')} build_type={prov.get('build_type')}"
             f"{env_note}")
 
@@ -115,6 +134,59 @@ def compare(baseline, candidate, max_pct):
     return EXIT_OK
 
 
+def compare_coding(baseline, candidate, max_pct):
+    base_recs = {(r["dataset"], r["image"]): r for r in baseline["records"]}
+    cand_recs = {(r["dataset"], r["image"]): r for r in candidate["records"]}
+    shared = sorted(set(base_recs) & set(cand_recs))
+    if not shared:
+        print("bench_compare: no common (dataset, image) records",
+              file=sys.stderr)
+        return EXIT_REGRESSION
+
+    # bpp_huffman is fixed Annex-K tables on the same deterministic inputs:
+    # a mismatch means the eval substrate itself changed, and cm-vs-cm deltas
+    # would be measuring the wrong thing.
+    for key in shared:
+        b, c = base_recs[key], cand_recs[key]
+        if abs(b["bpp_huffman"] - c["bpp_huffman"]) > 1e-9:
+            print(f"bench_compare: SKIP — bpp_huffman differs on "
+                  f"{key[0]} image {key[1]} ({b['bpp_huffman']:.6f} vs "
+                  f"{c['bpp_huffman']:.6f}); eval inputs changed, cm deltas "
+                  f"not comparable", file=sys.stderr)
+            return EXIT_SKIP
+
+    failures = []
+    print(f"{'dataset':>10} {'img':>4} {'bpp_huffman':>12} {'cm_base':>9} "
+          f"{'cm_cand':>9} {'change':>8}")
+    for key in shared:
+        b, c = base_recs[key], cand_recs[key]
+        change = pct_change(b["bpp_cm"], c["bpp_cm"])
+        flag = ""
+        if change > max_pct:
+            flag = "  REGRESSION"
+            failures.append(
+                f"{key[0]} image {key[1]}: bpp_cm {b['bpp_cm']:.4f} -> "
+                f"{c['bpp_cm']:.4f} ({change:+.1f}%, limit +{max_pct:.1f}%)")
+        print(f"{key[0]:>10} {key[1]:>4} {b['bpp_huffman']:>12.4f} "
+              f"{b['bpp_cm']:>9.4f} {c['bpp_cm']:>9.4f} "
+              f"{change:>+7.1f}%{flag}")
+
+    mb = baseline.get("mean_cm_reduction_pct")
+    mc = candidate.get("mean_cm_reduction_pct")
+    if mb is not None and mc is not None:
+        print(f"\nmean cm reduction vs huffman: baseline {mb:.2f}%, "
+              f"candidate {mc:.2f}%")
+
+    if failures:
+        print("\nbench_compare: FAIL", file=sys.stderr)
+        for f in failures:
+            print(f"  {f}", file=sys.stderr)
+        return EXIT_REGRESSION
+    print(f"\nbench_compare: OK ({len(shared)} record(s) within "
+          f"{max_pct:.1f}%)")
+    return EXIT_OK
+
+
 def main():
     ap = argparse.ArgumentParser(
         description=__doc__, formatter_class=argparse.RawDescriptionHelpFormatter)
@@ -122,15 +194,21 @@ def main():
     ap.add_argument("candidate", nargs="?",
                     help="candidate BENCH_*.json (omit with --bench)")
     ap.add_argument("--bench", metavar="BIN",
-                    help="run this bench_serve binary to produce the candidate")
+                    help="run this bench binary to produce the candidate")
+    ap.add_argument("--coding", action="store_true",
+                    help="compare bench_ablation_coding reports (bpp_cm) "
+                         "instead of bench_serve sweeps")
     ap.add_argument("--max-regression-pct", type=float, default=15.0,
-                    help="allowed regression in images_per_sec (drop) or "
-                         "p99_e2e_ms (rise), percent (default 15)")
+                    help="allowed regression in images_per_sec (drop), "
+                         "p99_e2e_ms (rise), or with --coding bpp_cm (rise), "
+                         "percent (default 15; coding_guard passes 2)")
     args = ap.parse_args()
     if bool(args.candidate) == bool(args.bench):
         ap.error("pass exactly one of CANDIDATE or --bench")
 
-    baseline = load_report(args.baseline)
+    kind = ("ablation_coding", "records") if args.coding \
+        else ("serve_workers", "sweep")
+    baseline = load_report(args.baseline, *kind)
 
     tmp = None
     try:
@@ -140,19 +218,29 @@ def main():
             cmd = [args.bench, "--out", tmp]
             print(f"bench_compare: running {' '.join(cmd)}")
             proc = subprocess.run(cmd)
-            # bench_serve exits non-zero when its own speedup win-condition
-            # fails; the comparison below is this script's verdict, so only a
-            # missing report is fatal here.
+            # The bench binaries exit non-zero when their own win-condition
+            # gates fail; the comparison below is this script's verdict, so
+            # only a missing report is fatal here.
             if not os.path.getsize(tmp):
                 print(f"bench_compare: {args.bench} wrote no report "
                       f"(exit {proc.returncode})", file=sys.stderr)
                 return EXIT_REGRESSION
-            candidate = load_report(tmp)
+            candidate = load_report(tmp, *kind)
         else:
-            candidate = load_report(args.candidate)
+            candidate = load_report(args.candidate, *kind)
 
         print(provenance_line("baseline ", baseline))
         print(provenance_line("candidate", candidate))
+
+        if args.coding:
+            if baseline.get("eval_size") != candidate.get("eval_size"):
+                print(f"bench_compare: SKIP — eval_size differs "
+                      f"({baseline.get('eval_size')} vs "
+                      f"{candidate.get('eval_size')}); bpp not comparable",
+                      file=sys.stderr)
+                return EXIT_SKIP
+            return compare_coding(baseline, candidate,
+                                  args.max_regression_pct)
 
         if baseline.get("host_cores") != candidate.get("host_cores"):
             print(f"bench_compare: SKIP — host_cores differ "

@@ -1,9 +1,13 @@
 #!/usr/bin/env bash
 # Sanitizer smoke: configure + build the `sanitize` (ASan+UBSan) and `tsan`
-# presets and run the `concurrency`-labelled tests under each. This is the
-# commit-gate for the threaded serving engine — the labelled suites cover the
-# thread pool (partitioned and global), the sharded ReceiverServer (routing,
-# stealing, shutdown drain), and the serve_tool end-to-end smoke.
+# presets and run the `concurrency`- and `codec`-labelled tests under each.
+# This is the commit-gate for the threaded serving engine — the labelled
+# suites cover the thread pool (partitioned and global), the sharded
+# ReceiverServer (routing, stealing, shutdown drain), and the serve_tool
+# end-to-end smoke — and for the context-mixing entropy coder, whose fuzz
+# suites (truncated / bit-flipped cm streams, random range-coder input) are
+# exactly the kind of parsing code sanitizers are for. A codec_tool transcode
+# round trip runs as an end-to-end smoke under each preset too.
 #
 # Usage: scripts/sanitize_smoke.sh [tsan|sanitize]   (default: both)
 set -euo pipefail
@@ -22,5 +26,19 @@ for preset in "${presets[@]}"; do
   echo "=== ${preset}: ctest -L concurrency ==="
   ctest --test-dir "build-${preset}" -L concurrency \
         --output-on-failure -j 1
+  echo "=== ${preset}: ctest -L codec ==="
+  ctest --test-dir "build-${preset}" -L codec \
+        --output-on-failure -j 1
+  echo "=== ${preset}: codec_tool transcode smoke ==="
+  smoke_dir="build-${preset}/transcode_smoke"
+  rm -rf "${smoke_dir}" && mkdir -p "${smoke_dir}"
+  "build-${preset}/examples/codec_tool" demo "${smoke_dir}"
+  "build-${preset}/examples/codec_tool" encode "${smoke_dir}/demo.ppm" \
+      "${smoke_dir}/huff.jpg" 50
+  "build-${preset}/examples/codec_tool" transcode "${smoke_dir}/huff.jpg" \
+      "${smoke_dir}/cm.jpg"
+  "build-${preset}/examples/codec_tool" transcode "${smoke_dir}/cm.jpg" \
+      "${smoke_dir}/back.jpg" --to-huffman
+  cmp "${smoke_dir}/huff.jpg" "${smoke_dir}/back.jpg"
 done
 echo "sanitize smoke passed: ${presets[*]}"

@@ -1,0 +1,32 @@
+#include "codec/crc32.h"
+
+#include <array>
+
+namespace dcdiff::codec {
+
+namespace {
+
+std::array<uint32_t, 256> make_table() {
+  std::array<uint32_t, 256> t{};
+  for (uint32_t i = 0; i < 256; ++i) {
+    uint32_t c = i;
+    for (int k = 0; k < 8; ++k) {
+      c = (c & 1u) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+    }
+    t[i] = c;
+  }
+  return t;
+}
+
+}  // namespace
+
+uint32_t crc32(const uint8_t* data, size_t size, uint32_t seed) {
+  static const std::array<uint32_t, 256> table = make_table();
+  uint32_t c = seed ^ 0xFFFFFFFFu;
+  for (size_t i = 0; i < size; ++i) {
+    c = table[(c ^ data[i]) & 0xFFu] ^ (c >> 8);
+  }
+  return c ^ 0xFFFFFFFFu;
+}
+
+}  // namespace dcdiff::codec

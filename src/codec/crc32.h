@@ -1,0 +1,15 @@
+// CRC-32 (IEEE 802.3 polynomial, reflected). The cm bitstream framing
+// carries payload length + CRC so that truncation or corruption of the
+// range-coded bytes is detected *before* the model starts decoding — the
+// range coder itself happily decodes garbage into garbage, so integrity is
+// the framing layer's job.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace dcdiff::codec {
+
+uint32_t crc32(const uint8_t* data, size_t size, uint32_t seed = 0);
+
+}  // namespace dcdiff::codec

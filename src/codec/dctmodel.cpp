@@ -1,0 +1,344 @@
+#include "codec/dctmodel.h"
+
+#include <algorithm>
+#include <array>
+#include <cstdlib>
+#include <stdexcept>
+
+#include "codec/predictor.h"
+#include "codec/rangecoder.h"
+
+namespace dcdiff::codec {
+namespace {
+
+constexpr int kBlock = 64;
+// Max magnitude bit-length: DC diffs of int16 values span up to +/-65534.
+constexpr int kMaxLen = 17;
+
+// zigzag[k] = natural index of the k-th zigzag coefficient (same order as
+// the JPEG layer's table; generated, not copied, to keep codec free of jpeg
+// includes).
+const std::array<int, kBlock>& zigzag_order() {
+  static const std::array<int, kBlock> order = [] {
+    std::array<int, kBlock> zz{};
+    int k = 0;
+    for (int s = 0; s < 15; ++s) {
+      if (s % 2 == 0) {  // up-right diagonals
+        for (int y = std::min(s, 7); y >= 0 && s - y <= 7; --y) {
+          zz[k++] = y * 8 + (s - y);
+        }
+      } else {
+        for (int x = std::min(s, 7); x >= 0 && s - x <= 7; --x) {
+          zz[k++] = (s - x) * 8 + x;
+        }
+      }
+    }
+    return zz;
+  }();
+  return order;
+}
+
+// Coarse frequency band of a zigzag position (8 buckets; DC alone in 0).
+int band_of(int k) {
+  if (k == 0) return 0;
+  if (k <= 2) return 1;
+  if (k <= 5) return 2;
+  if (k <= 9) return 3;
+  if (k <= 14) return 4;
+  if (k <= 20) return 5;
+  if (k <= 35) return 6;
+  return 7;
+}
+
+// Log-ish magnitude bucket, 0..7.
+int qmag(int a) {
+  if (a <= 0) return 0;
+  if (a == 1) return 1;
+  if (a == 2) return 2;
+  if (a <= 4) return 3;
+  if (a <= 8) return 4;
+  if (a <= 16) return 5;
+  if (a <= 32) return 6;
+  return 7;
+}
+
+int sign3(int v) { return v < 0 ? 0 : (v == 0 ? 1 : 2); }
+
+// Encoder/decoder switch: one code path for both directions guarantees the
+// model sees the same bit sequence on each side.
+class CmCoder {
+ public:
+  explicit CmCoder(RangeEncoder* enc) : enc_(enc) {}
+  explicit CmCoder(RangeDecoder* dec) : dec_(dec) {}
+
+  int code(int bit, int p1) {
+    if (enc_ != nullptr) {
+      enc_->encode(bit, p1);
+      return bit;
+    }
+    return dec_->decode(p1);
+  }
+
+ private:
+  RangeEncoder* enc_ = nullptr;
+  RangeDecoder* dec_ = nullptr;
+};
+
+class DctModel {
+ public:
+  DctModel()
+      : sm_z1_(2 * 64 * 8),
+        sm_z2_(2 * 64 * 8),
+        sm_z3_(2 * 8 * 8 * 8),
+        sm_sign_(2 * 64 * 9),
+        sm_m1_(2 * 8 * kMaxLen * 8),
+        sm_m2_(2 * 8 * kMaxLen * 8),
+        sm_mant_(2 * 8 * (kMaxLen + 1) * kMaxLen),
+        mix_z_(4, 2 * 8, 14),
+        mix_m_(3, 2 * 8, 14),
+        apm_z_(2 * 64) {
+    // Prior-seed the zero-flag and length maps with generic quantized-DCT
+    // statistics (P(nonzero) decays roughly geometrically along the zigzag;
+    // magnitudes are short). Streams here are small — often a single 64x64
+    // image, a few dozen blocks per plane — so an unseeded model would spend
+    // ~1 bit per early decision while it learns what every JPEG already
+    // knows. Pseudo-counts keep the priors soft: real statistics dominate
+    // after a few visits. Both sides construct the same model, so this is
+    // codec-neutral setup, not side information.
+    //
+    // nzfac/8 modulates P(nonzero) by the neighborhood-energy bucket (nbq or
+    // prevq): a live neighborhood roughly doubles the odds, a dead one
+    // halves them.
+    static const int nzfac[8] = {5, 8, 10, 12, 14, 16, 18, 20};
+    for (int c = 0; c < 2; ++c) {
+      int base = c == 0 ? 2400 : 1700;  // k = 1 starting prior
+      int p = base;
+      for (int k = 0; k < 64; ++k) {
+        const int pk = k == 0 ? (c == 0 ? 3300 : 2200) : p;
+        if (k >= 1) p = std::max(40, p * 15 / 16);
+        for (int q = 0; q < 8; ++q) {
+          const int adj = std::min(4000, pk * nzfac[q] / 8);
+          sm_z1_.preset(static_cast<uint32_t>((c * 64 + k) * 8 + q), adj, 12);
+          sm_z2_.preset(static_cast<uint32_t>((c * 64 + k) * 8 + q), adj, 12);
+        }
+      }
+      // Band-keyed map: prior of the band's representative zigzag position.
+      static const int band_k[8] = {0, 1, 4, 7, 12, 17, 28, 49};
+      for (int b = 0; b < 8; ++b) {
+        int pb = c == 0 ? 3300 : 2200;
+        if (b > 0) {
+          pb = c == 0 ? 2400 : 1700;
+          for (int k = 1; k < band_k[b]; ++k) pb = std::max(40, pb * 15 / 16);
+        }
+        for (int q = 0; q < 8; ++q) {
+          const int adj = std::min(4000, pb * nzfac[q] / 8);
+          for (int z = 0; z < 8; ++z) {
+            sm_z3_.preset(
+                static_cast<uint32_t>(((c * 8 + b) * 8 + q) * 8 + z), adj, 8);
+          }
+        }
+        // "More" flag of the unary magnitude length: mostly short values.
+        for (int len = 1; len < kMaxLen; ++len) {
+          const int pm = std::max(70, 1400 >> (len - 1));
+          for (int q = 0; q < 8; ++q) {
+            sm_m1_.preset(static_cast<uint32_t>(
+                              ((c * 8 + b) * kMaxLen + len) * 8 + q), pm, 8);
+            sm_m2_.preset(static_cast<uint32_t>(
+                              ((c * 8 + b) * kMaxLen + len) * 8 + q), pm, 8);
+          }
+        }
+      }
+    }
+  }
+
+  // Codes (encodes or decodes) one coefficient value. `nb` / `prev_mag` /
+  // `nnz` are context features computed from already-coded data; `sctx` is
+  // the neighbor-sign context. Returns the value.
+  int code_value(CmCoder& coder, int value, bool chroma, int k, int nb,
+                 int prev_mag, int nnz, int sctx) {
+    const int c = chroma ? 1 : 0;
+    const int band = band_of(k);
+    const int nbq = qmag(nb);
+    const int prevq = qmag(prev_mag);
+    const int nnzq = nnz > 7 ? 7 : nnz;
+    const int mcxt = c * 8 + band;
+
+    // --- zero flag ---
+    const int p1 = sm_z1_.predict(
+        static_cast<uint32_t>((c * 64 + k) * 8 + nbq));
+    const int p2 = sm_z2_.predict(
+        static_cast<uint32_t>((c * 64 + k) * 8 + prevq));
+    const int p3 = sm_z3_.predict(
+        static_cast<uint32_t>(((c * 8 + band) * 8 + nbq) * 8 + nnzq));
+    mix_z_.set_context(mcxt);
+    mix_z_.add(stretch(p1));
+    mix_z_.add(stretch(p2));
+    mix_z_.add(stretch(p3));
+    mix_z_.add(128);  // bias input
+    const int pm = mix_z_.mix();
+    const int pa = apm_z_.refine(pm, c * 64 + k);
+    const int nz = coder.code(value != 0 ? 1 : 0, (pm + 3 * pa) >> 2);
+    sm_z1_.update(nz);
+    sm_z2_.update(nz);
+    sm_z3_.update(nz);
+    mix_z_.update(nz);
+    apm_z_.update(nz);
+    if (nz == 0) return 0;
+
+    // --- sign ---
+    const int ps = sm_sign_.predict(
+        static_cast<uint32_t>((c * 64 + k) * 9 + sctx));
+    const int neg = coder.code(value < 0 ? 1 : 0, ps);
+    sm_sign_.update(neg);
+
+    // --- magnitude bit-length, unary ---
+    const int m_in = value == 0 ? 0 : std::abs(value);
+    int len_in = 0;
+    for (int a = m_in; a > 0; a >>= 1) ++len_in;
+    int len = 1;
+    while (len < kMaxLen) {
+      const int q1 = sm_m1_.predict(static_cast<uint32_t>(
+          ((c * 8 + band) * kMaxLen + len) * 8 + nbq));
+      const int q2 = sm_m2_.predict(static_cast<uint32_t>(
+          ((c * 8 + band) * kMaxLen + len) * 8 + prevq));
+      mix_m_.set_context(mcxt);
+      mix_m_.add(stretch(q1));
+      mix_m_.add(stretch(q2));
+      mix_m_.add(128);
+      const int more = coder.code(len_in > len ? 1 : 0, mix_m_.mix());
+      sm_m1_.update(more);
+      sm_m2_.update(more);
+      mix_m_.update(more);
+      if (more == 0) break;
+      ++len;
+    }
+
+    // --- mantissa (below the implicit leading 1) ---
+    int m = 1;
+    for (int j = len - 2; j >= 0; --j) {
+      const int pt = sm_mant_.predict(static_cast<uint32_t>(
+          ((c * 8 + band) * (kMaxLen + 1) + len) * kMaxLen + j));
+      const int b = coder.code((m_in >> j) & 1, pt);
+      sm_mant_.update(b);
+      m = (m << 1) | b;
+    }
+    return neg ? -m : m;
+  }
+
+ private:
+  StateMap sm_z1_, sm_z2_, sm_z3_;
+  StateMap sm_sign_;
+  StateMap sm_m1_, sm_m2_;
+  StateMap sm_mant_;
+  Mixer mix_z_, mix_m_;
+  Apm apm_z_;
+};
+
+void check_planes(const std::vector<PlaneIo>& planes, int ss, int se,
+                  bool encoding) {
+  if (ss < 0 || se > 63 || ss > se) {
+    throw std::invalid_argument("codec: bad zigzag band");
+  }
+  if (planes.empty()) throw std::invalid_argument("codec: no planes");
+  for (const PlaneIo& p : planes) {
+    if (p.blocks_w <= 0 || p.blocks_h <= 0) {
+      throw std::invalid_argument("codec: empty plane");
+    }
+    if (encoding ? p.src == nullptr : p.dst == nullptr) {
+      throw std::invalid_argument("codec: plane buffer not set");
+    }
+  }
+}
+
+// Walks every block of every plane in raster order and codes the band.
+void code_planes(CmCoder& coder, const std::vector<PlaneIo>& planes, int ss,
+                 int se, bool encoding) {
+  const auto& zz = zigzag_order();
+  DctModel model;
+  for (const PlaneIo& plane : planes) {
+    const int bw = plane.blocks_w;
+    const int16_t* r = encoding ? plane.src : plane.dst;
+    int16_t* w = plane.dst;
+    for (int by = 0; by < plane.blocks_h; ++by) {
+      for (int bx = 0; bx < bw; ++bx) {
+        const size_t off = (static_cast<size_t>(by) * bw + bx) *
+                           static_cast<size_t>(kBlock);
+        const int16_t* left = bx > 0 ? r + off - kBlock : nullptr;
+        const int16_t* top =
+            by > 0 ? r + off - static_cast<size_t>(bw) * kBlock : nullptr;
+        int nnz = 0;
+        int prev_mag = 0;
+        for (int k = ss; k <= se; ++k) {
+          const int nat = zz[static_cast<size_t>(k)];
+          const int nl = left != nullptr ? left[nat] : 0;
+          const int nt = top != nullptr ? top[nat] : 0;
+
+          int coded;
+          if (k == 0) {
+            // DC: DPCM against the west (falling back to north) neighbor,
+            // contexts from the neighborhood's DC gradient.
+            const int pred = left != nullptr ? nl : (top != nullptr ? nt : 0);
+            const int grad =
+                left != nullptr && top != nullptr ? nl - nt : nl + nt;
+            const int diff_in =
+                encoding ? r[off + static_cast<size_t>(nat)] - pred : 0;
+            const int diff = model.code_value(
+                coder, diff_in, plane.chroma, 0, std::abs(grad), prev_mag,
+                nnz, sign3(grad));
+            const long dc = static_cast<long>(pred) + diff;
+            if (dc < -32768 || dc > 32767) {
+              throw std::runtime_error("codec: DC out of range");
+            }
+            coded = static_cast<int>(dc);
+          } else {
+            const int v_in =
+                encoding ? r[off + static_cast<size_t>(nat)] : 0;
+            coded = model.code_value(coder, v_in, plane.chroma, k,
+                                     std::abs(nl) + std::abs(nt), prev_mag,
+                                     nnz, sign3(nl + nt));
+            if (coded < -32767 || coded > 32767) {
+              throw std::runtime_error("codec: magnitude overflow");
+            }
+          }
+          if (!encoding) {
+            w[off + static_cast<size_t>(nat)] = static_cast<int16_t>(coded);
+          } else if (r[off + static_cast<size_t>(nat)] != coded) {
+            throw std::logic_error("codec: encoder round-trip mismatch");
+          }
+          const int resid =
+              k == 0 ? coded - (left != nullptr
+                                    ? nl
+                                    : (top != nullptr ? nt : 0))
+                     : coded;
+          prev_mag = std::abs(resid);
+          if (resid != 0) ++nnz;
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+
+std::vector<uint8_t> encode_planes(const std::vector<PlaneIo>& planes,
+                                   int ss, int se) {
+  check_planes(planes, ss, se, /*encoding=*/true);
+  RangeEncoder enc;
+  CmCoder coder(&enc);
+  code_planes(coder, planes, ss, se, /*encoding=*/true);
+  return enc.finish();
+}
+
+void decode_planes(const uint8_t* data, size_t size,
+                   const std::vector<PlaneIo>& planes, int ss, int se) {
+  check_planes(planes, ss, se, /*encoding=*/false);
+  RangeDecoder dec(data, size);
+  CmCoder coder(&dec);
+  code_planes(coder, planes, ss, se, /*encoding=*/false);
+}
+
+size_t encoded_bit_count(const std::vector<PlaneIo>& planes) {
+  return encode_planes(planes, 0, 63).size() * 8;
+}
+
+}  // namespace dcdiff::codec

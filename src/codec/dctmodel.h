@@ -1,0 +1,65 @@
+// Context-mixing model for quantized 8x8 DCT coefficient planes.
+//
+// This is the coder behind `jpeg::EntropyKind::kCm`: an alternate scan coder
+// that re-entropy-codes the exact integer coefficients a JPEG scan carries —
+// losslessly, so reconstruction is bit-identical to the Huffman path — while
+// spending measurably fewer bits than the fixed Annex-K tables.
+//
+// Binarization per coefficient (zigzag order inside each block):
+//   zero flag -> sign -> magnitude bit-length in unary -> mantissa bits.
+// DC (zigzag 0) is coded as the difference from the west (or north) block's
+// DC, mirroring the DPCM structure Huffman exploits.
+//
+// Every binary decision is predicted by several StateMap context models
+// conditioned on
+//   * component kind (luma/chroma) and zigzag position / frequency band,
+//   * magnitudes of the co-located coefficient in the west and north
+//     neighbor blocks,
+//   * already-coded intra-block history (previous zigzag magnitude, count
+//     of nonzeros so far),
+// mixed by a logistic Mixer selected on (component, band) and refined by an
+// Apm — the fpaq/lpaq recipe specialized to the DCT domain.
+//
+// The model is deliberately independent of src/jpeg: it sees coefficient
+// planes through PlaneIo spans (block-major, 64 natural-order int16 per
+// block), so the JPEG container layer adapts to it rather than the other way
+// around. Band coding ([ss, se] zigzag ranges) serves the progressive (SOF2)
+// scans.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace dcdiff::codec {
+
+// One component's quantized coefficients, block-major, 64 natural-order
+// values per block. Exactly one of `src` (encode) / `dst` (decode) is set;
+// during decoding, previously written blocks of `dst` provide the neighbor
+// contexts, keeping encoder and decoder views identical.
+struct PlaneIo {
+  int blocks_w = 0;
+  int blocks_h = 0;
+  bool chroma = false;
+  const int16_t* src = nullptr;
+  int16_t* dst = nullptr;
+};
+
+// Range-codes the zigzag band [ss, se] (inclusive, 0 = DC) of each plane in
+// order. Returns the cm payload bytes. Throws std::invalid_argument on a bad
+// band or plane spec.
+std::vector<uint8_t> encode_planes(const std::vector<PlaneIo>& planes,
+                                   int ss, int se);
+
+// Inverse of encode_planes into preallocated planes (only the coded band's
+// coefficients are written). Throws std::runtime_error when the stream
+// decodes to impossible values (magnitude overflow) — the framing layer's
+// length/CRC check runs first, this is the second tripwire.
+void decode_planes(const uint8_t* data, size_t size,
+                   const std::vector<PlaneIo>& planes, int ss, int se);
+
+// Bits the cm coder spends on the full [0, 63] band of the given planes
+// (encodes and counts; used by the rate benches).
+size_t encoded_bit_count(const std::vector<PlaneIo>& planes);
+
+}  // namespace dcdiff::codec

@@ -1,0 +1,151 @@
+#include "codec/predictor.h"
+
+#include <stdexcept>
+
+namespace dcdiff::codec {
+
+int squash(int x) {
+  // Piecewise-linear logistic on a fixed 33-point table: pure integer, so
+  // encoder and decoder agree bit-for-bit on every platform.
+  static const int t[33] = {1,    2,    3,    6,    10,   16,   27,   45,
+                            73,   120,  194,  310,  488,  747,  1101, 1546,
+                            2047, 2549, 2994, 3348, 3607, 3785, 3901, 3975,
+                            4024, 4050, 4068, 4079, 4085, 4089, 4092, 4093,
+                            4094};
+  if (x > 2047) return 4095;
+  if (x < -2047) return 0;
+  const int w = x & 127;
+  const int i = (x >> 7) + 16;
+  return (t[i] * (128 - w) + t[i + 1] * w + 64) >> 7;
+}
+
+namespace {
+
+struct StretchTable {
+  short t[4096];
+  StretchTable() {
+    int pi = 0;
+    for (int x = -2047; x <= 2047; ++x) {
+      const int v = squash(x);
+      for (int p = pi; p <= v; ++p) t[p] = static_cast<short>(x);
+      pi = v + 1;
+    }
+    for (int p = pi; p < 4096; ++p) t[p] = 2047;
+  }
+};
+
+const StretchTable& stretch_table() {
+  static const StretchTable table;
+  return table;
+}
+
+}  // namespace
+
+int stretch(int p) {
+  if (p < 0) p = 0;
+  if (p > 4095) p = 4095;
+  return stretch_table().t[p];
+}
+
+// ----- StateMap -----
+
+StateMap::StateMap(size_t contexts, int limit)
+    : t_(contexts, (1u << 21) << 10), limit_(limit) {
+  if (limit_ < 1 || limit_ > 1023) {
+    throw std::invalid_argument("StateMap: limit out of range");
+  }
+}
+
+int StateMap::predict(uint32_t cxt) {
+  cxt_ = cxt;
+  return static_cast<int>(t_[cxt_] >> 20);
+}
+
+void StateMap::preset(uint32_t cxt, int p12, int count) {
+  if (p12 < 1) p12 = 1;
+  if (p12 > 4095) p12 = 4095;
+  if (count < 0) count = 0;
+  if (count > limit_) count = limit_;
+  t_[cxt] = (static_cast<uint32_t>(p12) << 20) |
+            static_cast<uint32_t>(count);
+}
+
+void StateMap::update(int bit) {
+  uint32_t& v = t_[cxt_];
+  int count = static_cast<int>(v & 1023);
+  int p22 = static_cast<int>(v >> 10);
+  if (count < limit_) ++count;
+  // Step size 1/(count+2): quick convergence while the context is young,
+  // stability once it has history.
+  p22 += ((bit << 22) - p22) / (count + 2);
+  v = (static_cast<uint32_t>(p22) << 10) | static_cast<uint32_t>(count);
+}
+
+// ----- Mixer -----
+
+Mixer::Mixer(int inputs, int contexts, int learning_rate)
+    : n_inputs_(inputs),
+      lr_(learning_rate),
+      x_(static_cast<size_t>(inputs), 0),
+      w_(static_cast<size_t>(inputs) * static_cast<size_t>(contexts),
+         65536 / (inputs > 0 ? inputs : 1)) {}
+
+void Mixer::add(int stretched) {
+  if (nx_ >= n_inputs_) throw std::logic_error("Mixer: too many inputs");
+  x_[static_cast<size_t>(nx_++)] = stretched;
+}
+
+void Mixer::set_context(int cxt) { cxt_ = cxt; }
+
+int Mixer::mix() {
+  const int* w = &w_[static_cast<size_t>(cxt_) *
+                     static_cast<size_t>(n_inputs_)];
+  int64_t dot = 0;
+  for (int i = 0; i < nx_; ++i) {
+    dot += static_cast<int64_t>(w[i]) * x_[static_cast<size_t>(i)];
+  }
+  int d = static_cast<int>(dot >> 16);
+  if (d > 2047) d = 2047;
+  if (d < -2047) d = -2047;
+  pr_ = squash(d);
+  return pr_;
+}
+
+void Mixer::update(int bit) {
+  const int err = ((bit << 12) - pr_) * lr_;
+  int* w = &w_[static_cast<size_t>(cxt_) * static_cast<size_t>(n_inputs_)];
+  for (int i = 0; i < nx_; ++i) {
+    w[i] += (x_[static_cast<size_t>(i)] * err + 0x8000) >> 16;
+  }
+  nx_ = 0;
+}
+
+// ----- Apm -----
+
+Apm::Apm(int contexts) : t_(static_cast<size_t>(contexts) * 33) {
+  for (int c = 0; c < contexts; ++c) {
+    for (int i = 0; i < 33; ++i) {
+      t_[static_cast<size_t>(c) * 33 + static_cast<size_t>(i)] =
+          static_cast<uint16_t>(squash((i - 16) * 128) * 16);
+    }
+  }
+}
+
+int Apm::refine(int pr, int cxt) {
+  const int s = stretch(pr) + 2048;  // 1..4095
+  const int w = s & 127;
+  const int idx = cxt * 33 + (s >> 7);
+  index_ = idx + (w >= 64 ? 1 : 0);
+  weight_ = w;
+  return (t_[static_cast<size_t>(idx)] * (128 - w) +
+          t_[static_cast<size_t>(idx) + 1] * w) >>
+         11;
+}
+
+void Apm::update(int bit, int rate) {
+  const int g = (bit << 16) + (bit << rate) - bit - bit;
+  uint16_t& v = t_[static_cast<size_t>(index_)];
+  v = static_cast<uint16_t>(v + ((g - v) >> rate));
+}
+
+}  // namespace dcdiff::codec

@@ -1,0 +1,104 @@
+// Bit predictors for the context-mixing coder (lpaq lineage).
+//
+// Three pieces, composed by the model layer (dctmodel.h):
+//   * StateMap  — a table of adaptive probability counters, one per context.
+//     Each counter keeps a 22-bit probability plus a small visit count; the
+//     update step size is 1/(count+2), so fresh contexts adapt fast (vital
+//     on small images, where total stream length is a few kilobits) and
+//     seasoned contexts become stable.
+//   * Mixer    — logistic mixing: inputs are probabilities in the stretch
+//     domain (log-odds), combined by per-context weight vectors trained
+//     online by gradient descent on coding loss. This is the "context
+//     mixing" that lets several weak context models (zigzag band, block
+//     neighbors, intra-block history) outperform any one of them.
+//   * Apm      — adaptive probability map (SSE stage): a final, finely
+//     interpolated correction of the mixed probability, keyed by a coarse
+//     context.
+//
+// Everything is integer arithmetic with fixed tables, so encoder and decoder
+// stay bit-exact across platforms. All probabilities are 12-bit.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace dcdiff::codec {
+
+// squash(x): logistic 4096/(1+e^-x/256) for x in [-2047, 2047] -> (0, 4096).
+int squash(int x);
+
+// stretch(p): inverse of squash, p in [0, 4095] -> [-2047, 2047].
+int stretch(int p);
+
+// Context-indexed adaptive probability counters.
+class StateMap {
+ public:
+  explicit StateMap(size_t contexts, int limit = 1023);
+
+  // Probability (12-bit) that the next bit in context `cxt` is 1.
+  // Remembers `cxt` for the following update().
+  int predict(uint32_t cxt);
+
+  // Trains the counter selected by the last predict() on the coded bit.
+  void update(int bit);
+
+  // Seeds a context with a prior probability backed by `count` pseudo-
+  // observations, so early bits are coded near the prior instead of at 0.5
+  // while real statistics still take over. Deterministic model setup — the
+  // decoder runs the same presets — so streams stay portable.
+  void preset(uint32_t cxt, int p12, int count);
+
+ private:
+  std::vector<uint32_t> t_;  // 22-bit probability << 10 | 10-bit count
+  uint32_t cxt_ = 0;
+  int limit_;
+};
+
+// Logistic mixer with per-context weight sets.
+class Mixer {
+ public:
+  Mixer(int inputs, int contexts, int learning_rate = 6);
+
+  // Adds one input probability, stretch domain [-2047, 2047]. At most
+  // `inputs` adds per mix().
+  void add(int stretched);
+
+  // Selects the weight set for this bit.
+  void set_context(int cxt);
+
+  // Mixed probability (12-bit). Clears the input list for the next bit.
+  int mix();
+
+  // Gradient step on the weights used by the last mix().
+  void update(int bit);
+
+ private:
+  int n_inputs_;
+  int lr_;
+  std::vector<int> x_;       // current inputs (stretch domain)
+  int nx_ = 0;
+  std::vector<int> w_;       // weights, 16.16 fixed point
+  int cxt_ = 0;
+  int pr_ = 2048;
+};
+
+// Adaptive probability map: refines a probability given a context, with
+// interpolation between 33 bins along the stretch axis.
+class Apm {
+ public:
+  explicit Apm(int contexts);
+
+  // Refined probability for input probability `pr` (12-bit) in context
+  // `cxt`; remembers the touched bins for update().
+  int refine(int pr, int cxt);
+
+  void update(int bit, int rate = 7);
+
+ private:
+  std::vector<uint16_t> t_;  // contexts x 33 bins, 16-bit probabilities
+  int index_ = 0;            // low bin touched by the last refine
+  int weight_ = 0;           // interpolation weight of the high bin (0..4095)
+};
+
+}  // namespace dcdiff::codec

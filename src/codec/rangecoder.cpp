@@ -1,0 +1,70 @@
+#include "codec/rangecoder.h"
+
+namespace dcdiff::codec {
+
+namespace {
+
+inline int clamp_p(int p1) {
+  if (p1 < 1) return 1;
+  if (p1 > 4095) return 4095;
+  return p1;
+}
+
+// The interval split both sides share. With p in [1,4095] and x1 <= x2 the
+// midpoint satisfies x1 <= xmid < x2 whenever the interval is non-degenerate;
+// a degenerate (width 0/1) interval still renormalizes correctly because the
+// top bytes of the bounds then agree and get shifted out immediately.
+inline uint32_t split(uint32_t x1, uint32_t x2, int p1) {
+  return x1 + static_cast<uint32_t>(
+                  (static_cast<uint64_t>(x2 - x1) *
+                   static_cast<uint64_t>(p1)) >>
+                  12);
+}
+
+}  // namespace
+
+void RangeEncoder::encode(int bit, int p1) {
+  const uint32_t xmid = split(x1_, x2_, clamp_p(p1));
+  if (bit) {
+    x2_ = xmid;
+  } else {
+    x1_ = xmid + 1;
+  }
+  while (((x1_ ^ x2_) & 0xFF000000u) == 0) {
+    out_.push_back(static_cast<uint8_t>(x1_ >> 24));
+    x1_ <<= 8;
+    x2_ = (x2_ << 8) | 0xFF;
+  }
+}
+
+std::vector<uint8_t> RangeEncoder::finish() {
+  // Emit x1 in full: any 4-byte value inside [x1, x2] pins the decoder to
+  // the encoded path, and x1 itself is always valid.
+  for (int i = 3; i >= 0; --i) {
+    out_.push_back(static_cast<uint8_t>(x1_ >> (8 * i)));
+  }
+  return std::move(out_);
+}
+
+RangeDecoder::RangeDecoder(const uint8_t* data, size_t size)
+    : data_(data), size_(size) {
+  for (int i = 0; i < 4; ++i) x_ = (x_ << 8) | next_byte();
+}
+
+int RangeDecoder::decode(int p1) {
+  const uint32_t xmid = split(x1_, x2_, clamp_p(p1));
+  const int bit = x_ <= xmid ? 1 : 0;
+  if (bit) {
+    x2_ = xmid;
+  } else {
+    x1_ = xmid + 1;
+  }
+  while (((x1_ ^ x2_) & 0xFF000000u) == 0) {
+    x1_ <<= 8;
+    x2_ = (x2_ << 8) | 0xFF;
+    x_ = (x_ << 8) | next_byte();
+  }
+  return bit;
+}
+
+}  // namespace dcdiff::codec

@@ -1,0 +1,65 @@
+// Carry-less adaptive binary range coder (fpaq0 lineage).
+//
+// The coder keeps the live interval as two 32-bit bounds [x1, x2] and emits
+// a byte whenever the top bytes of both bounds agree — so no carry can ever
+// propagate into already-emitted output (the "carry-less" property), and the
+// output is byte-oriented with no bit-level state outside the bounds.
+// Encoder and decoder perform the *identical* interval split for every bit
+// (same integer expression, same renormalization), which is what makes the
+// context-mixing layer above safe: any model whose predictions are a pure
+// function of previously coded bits decodes exactly what it encoded.
+//
+// Probabilities are 12-bit: p1 = P(bit == 1) * 4096, clamped internally to
+// [1, 4095] so neither branch of the split can be empty.
+//
+// The decoder never reads out of bounds: past the end of the buffer it
+// synthesizes zero bytes (the standard convention — truncation detection is
+// the responsibility of the framing layer, which carries an explicit length
+// and checksum; see jpeg's APP9 cm marker).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace dcdiff::codec {
+
+class RangeEncoder {
+ public:
+  // Encodes one bit under P(bit==1) = p1/4096.
+  void encode(int bit, int p1);
+
+  // Flushes the interval state and returns the byte stream. The encoder is
+  // spent afterwards.
+  std::vector<uint8_t> finish();
+
+  size_t byte_count() const { return out_.size(); }
+
+ private:
+  uint32_t x1_ = 0;
+  uint32_t x2_ = 0xFFFFFFFFu;
+  std::vector<uint8_t> out_;
+};
+
+class RangeDecoder {
+ public:
+  RangeDecoder(const uint8_t* data, size_t size);
+
+  // Decodes one bit under the same probability the encoder used.
+  int decode(int p1);
+
+  // Bytes consumed so far (monotone; at most size + 4 synthetic zeros).
+  size_t byte_pos() const { return pos_; }
+
+ private:
+  uint8_t next_byte() { return pos_ < size_ ? data_[pos_++] : (++pos_, 0); }
+
+  const uint8_t* data_;
+  size_t size_;
+  size_t pos_ = 0;
+  uint32_t x1_ = 0;
+  uint32_t x2_ = 0xFFFFFFFFu;
+  uint32_t x_ = 0;
+};
+
+}  // namespace dcdiff::codec

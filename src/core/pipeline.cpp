@@ -596,16 +596,20 @@ Image DCDiffModel::autoencode(const Image& original,
   return rgb;
 }
 
-SenderOutput sender_encode(const Image& rgb, int quality) {
+SenderOutput sender_encode(const Image& rgb, int quality,
+                           jpeg::EntropyKind kind) {
   DCDIFF_TRACE_SPAN("sender_encode");
   static obs::Histogram& lat = obs::histogram("core.sender_encode_seconds");
   obs::ScopedLatency timer(lat);
+  const bool cm = kind == jpeg::EntropyKind::kCm;
   SenderOutput out;
   auto coeffs = jpeg::forward_transform(rgb, quality);
-  out.standard_bits = jpeg::entropy_bit_count(coeffs);
+  out.standard_bits = cm ? jpeg::entropy_bit_count_cm(coeffs)
+                         : jpeg::entropy_bit_count(coeffs);
   jpeg::drop_dc(coeffs);
-  out.dropped_bits = jpeg::entropy_bit_count(coeffs);
-  out.bytes = jpeg::encode_jfif(coeffs);
+  out.dropped_bits = cm ? jpeg::entropy_bit_count_cm(coeffs)
+                        : jpeg::entropy_bit_count(coeffs);
+  out.bytes = jpeg::encode_jfif(coeffs, kind);
   static obs::Counter& images = obs::counter("core.sender.images");
   static obs::Counter& bits_saved = obs::counter("core.sender.bits_saved");
   images.inc();

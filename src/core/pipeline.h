@@ -175,7 +175,11 @@ struct SenderOutput {
 };
 
 // Encodes with the given quality and drops DC (4 corner anchors kept).
-SenderOutput sender_encode(const Image& rgb, int quality = 50);
+// `kind` selects the scan entropy coder (Annex-K Huffman, or the
+// context-mixing range coder — see jpeg/codec.h); receivers auto-detect it,
+// and the reported bit counts use the selected coder.
+SenderOutput sender_encode(const Image& rgb, int quality = 50,
+                           jpeg::EntropyKind kind = jpeg::EntropyKind::kHuffman);
 
 // Decodes the bitstream and runs DCDiff reconstruction.
 Image receiver_reconstruct(const std::vector<uint8_t>& bytes,

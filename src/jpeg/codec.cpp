@@ -6,6 +6,8 @@
 #include <memory>
 #include <stdexcept>
 
+#include "codec/crc32.h"
+#include "codec/dctmodel.h"
 #include "jpeg/bitio.h"
 #include "jpeg/dct.h"
 #include "jpeg/huffman.h"
@@ -211,6 +213,60 @@ void put_dht(std::vector<uint8_t>& out, const HuffSpec& spec, int cls,
   out.insert(out.end(), spec.vals.begin(), spec.vals.end());
 }
 
+// ----- context-mixing (cm) scan support -----
+
+// APP9 marker payload tagging a cm-coded baseline file: magic, version,
+// exact payload byte count (cm bytes may contain 0xFF, so the scan cannot be
+// delimited by marker search), and a CRC-32 over the payload so truncation /
+// corruption is detected before the model decodes garbage.
+constexpr uint8_t kCmMagic[4] = {'D', 'C', 'M', 'C'};
+constexpr uint8_t kCmVersion = 1;
+
+void put_u32(std::vector<uint8_t>& out, uint32_t v) {
+  out.push_back(static_cast<uint8_t>(v >> 24));
+  out.push_back(static_cast<uint8_t>(v >> 16));
+  out.push_back(static_cast<uint8_t>(v >> 8));
+  out.push_back(static_cast<uint8_t>(v));
+}
+
+void put_cm_app9(std::vector<uint8_t>& out,
+                 const std::vector<uint8_t>& payload) {
+  put_marker(out, 0xE9);
+  put_u16(out, 2 + 4 + 1 + 4 + 4);
+  out.insert(out.end(), kCmMagic, kCmMagic + 4);
+  out.push_back(kCmVersion);
+  put_u32(out, static_cast<uint32_t>(payload.size()));
+  put_u32(out, codec::crc32(payload.data(), payload.size()));
+}
+
+// The coefficient planes as codec-layer spans. CoefComponent stores blocks
+// as a contiguous vector of 64-sample arrays, so each plane is one flat
+// block-major buffer.
+std::vector<codec::PlaneIo> cm_planes(const CoeffImage& ci) {
+  std::vector<codec::PlaneIo> planes;
+  for (size_t c = 0; c < ci.comps.size(); ++c) {
+    codec::PlaneIo p;
+    p.blocks_w = ci.comps[c].blocks_w;
+    p.blocks_h = ci.comps[c].blocks_h;
+    p.chroma = c != 0;
+    p.src = ci.comps[c].blocks.empty() ? nullptr
+                                       : ci.comps[c].blocks[0].data();
+    planes.push_back(p);
+  }
+  return planes;
+}
+
+std::vector<codec::PlaneIo> cm_planes_mut(CoeffImage& ci) {
+  std::vector<codec::PlaneIo> planes = cm_planes(ci);
+  for (size_t c = 0; c < ci.comps.size(); ++c) {
+    planes[c].src = nullptr;
+    planes[c].dst = ci.comps[c].blocks.empty()
+                        ? nullptr
+                        : ci.comps[c].blocks[0].data();
+  }
+  return planes;
+}
+
 }  // namespace
 
 CoeffImage forward_transform(const Image& src, int quality,
@@ -343,10 +399,16 @@ Image tilde_image(const CoeffImage& ci) {
   return crop(out, 0, 0, ci.width, ci.height);
 }
 
-std::vector<uint8_t> encode_jfif(const CoeffImage& ci) {
+std::vector<uint8_t> encode_jfif(const CoeffImage& ci, EntropyKind kind) {
   DCDIFF_TRACE_SPAN("jpeg.encode_jfif");
   static obs::Histogram& lat = obs::histogram("jpeg.encode_jfif_seconds");
   obs::ScopedLatency timer(lat);
+  const bool cm = kind == EntropyKind::kCm;
+  // The cm scan is produced up front: its APP9 marker carries the payload
+  // length and CRC, which must precede the scan in the file.
+  std::vector<uint8_t> cm_payload;
+  if (cm) cm_payload = codec::encode_planes(cm_planes(ci), 0, 63);
+
   std::vector<uint8_t> out;
   put_marker(out, 0xD8);  // SOI
   // APP0 / JFIF header.
@@ -361,6 +423,8 @@ std::vector<uint8_t> encode_jfif(const CoeffImage& ci) {
   put_u16(out, 1);
   out.push_back(0);
   out.push_back(0);  // no thumbnail
+
+  if (cm) put_cm_app9(out, cm_payload);
 
   put_dqt(out, ci.qluma, 0);
   if (!ci.gray()) put_dqt(out, ci.qchroma, 1);
@@ -387,11 +451,13 @@ std::vector<uint8_t> encode_jfif(const CoeffImage& ci) {
     out.push_back(static_cast<uint8_t>(c == 0 ? 0 : 1));  // quant table id
   }
 
-  put_dht(out, std_dc_luma(), 0, 0);
-  put_dht(out, std_ac_luma(), 1, 0);
-  if (!ci.gray()) {
-    put_dht(out, std_dc_chroma(), 0, 1);
-    put_dht(out, std_ac_chroma(), 1, 1);
+  if (!cm) {  // cm streams carry no Huffman tables
+    put_dht(out, std_dc_luma(), 0, 0);
+    put_dht(out, std_ac_luma(), 1, 0);
+    if (!ci.gray()) {
+      put_dht(out, std_dc_chroma(), 0, 1);
+      put_dht(out, std_ac_chroma(), 1, 1);
+    }
   }
 
   // SOS.
@@ -400,18 +466,24 @@ std::vector<uint8_t> encode_jfif(const CoeffImage& ci) {
   out.push_back(static_cast<uint8_t>(ncomp));
   for (int c = 0; c < ncomp; ++c) {
     out.push_back(static_cast<uint8_t>(c + 1));
-    out.push_back(static_cast<uint8_t>(c == 0 ? 0x00 : 0x11));
+    out.push_back(static_cast<uint8_t>(cm || c == 0 ? 0x00 : 0x11));
   }
   out.push_back(0);     // spectral start
   out.push_back(63);    // spectral end
   out.push_back(0);     // successive approx
 
-  const std::vector<uint8_t> scan = encode_scan(ci);
-  out.insert(out.end(), scan.begin(), scan.end());
+  if (cm) {
+    out.insert(out.end(), cm_payload.begin(), cm_payload.end());
+  } else {
+    const std::vector<uint8_t> scan = encode_scan(ci);
+    out.insert(out.end(), scan.begin(), scan.end());
+  }
   put_marker(out, 0xD9);  // EOI
   static obs::Counter& images = obs::counter("jpeg.encode.images");
   static obs::Counter& bytes_out = obs::counter("jpeg.encode.bytes_out");
+  static obs::Counter& cm_images = obs::counter("jpeg.encode.cm_images");
   images.inc();
+  if (cm) cm_images.inc();
   bytes_out.inc(out.size());
   return out;
 }
@@ -536,6 +608,11 @@ struct ParsedFrame {
   std::array<bool, 4> ac_seen{};
   bool sof_seen = false;
   int restart_interval = 0;
+  // APP9 "DCMC" (context-mixing scan) metadata; cm==false means Huffman.
+  bool cm = false;
+  uint8_t cm_version = 0;
+  uint32_t cm_len = 0;
+  uint32_t cm_crc = 0;
 };
 
 uint16_t read_u16(const std::vector<uint8_t>& d, size_t& p) {
@@ -655,6 +732,24 @@ CoeffImage decode_jfif(const std::vector<uint8_t>& bytes) {
         (cls == 0 ? fr.dc_specs : fr.ac_specs)[id] = std::move(spec);
         (cls == 0 ? fr.dc_seen : fr.ac_seen)[id] = true;
       }
+    } else if (code == 0xE9) {  // APP9: possibly our "DCMC" cm marker
+      if (seg_end - p >= 13 && bytes[p] == kCmMagic[0] &&
+          bytes[p + 1] == kCmMagic[1] && bytes[p + 2] == kCmMagic[2] &&
+          bytes[p + 3] == kCmMagic[3]) {
+        p += 4;
+        fr.cm_version = next_byte("APP9");
+        if (fr.cm_version != kCmVersion) {
+          throw std::runtime_error("decode_jfif: cm version");
+        }
+        uint32_t v = 0;
+        for (int i = 0; i < 4; ++i) v = (v << 8) | next_byte("APP9");
+        fr.cm_len = v;
+        v = 0;
+        for (int i = 0; i < 4; ++i) v = (v << 8) | next_byte("APP9");
+        fr.cm_crc = v;
+        fr.cm = true;
+      }
+      p = seg_end;  // foreign APP9 payloads are skipped like any APPn
     } else if (code == 0xDA) {  // SOS
       if (!fr.sof_seen) throw std::runtime_error("decode_jfif: SOS pre-SOF");
       const int ns = next_byte("SOS");
@@ -664,8 +759,10 @@ CoeffImage decode_jfif(const std::vector<uint8_t>& bytes) {
         const uint8_t td_ta = next_byte("SOS");
         fr.comp_dc[c] = td_ta >> 4;
         fr.comp_ac[c] = td_ta & 0x0F;
-        if (fr.comp_dc[c] > 3 || fr.comp_ac[c] > 3 ||
-            !fr.dc_seen[fr.comp_dc[c]] || !fr.ac_seen[fr.comp_ac[c]]) {
+        // cm scans carry no Huffman tables; the table ids are placeholders.
+        if (!fr.cm && (fr.comp_dc[c] > 3 || fr.comp_ac[c] > 3 ||
+                       !fr.dc_seen[fr.comp_dc[c]] ||
+                       !fr.ac_seen[fr.comp_ac[c]])) {
           throw std::runtime_error("decode_jfif: SOS table id");
         }
         if (!fr.qtab_seen[fr.comp_qtab[c]]) {
@@ -704,6 +801,22 @@ CoeffImage decode_jfif(const std::vector<uint8_t>& bytes) {
     comp.blocks_h = mcus_h * fac;
     comp.blocks.resize(static_cast<size_t>(comp.blocks_w) * comp.blocks_h);
     ci.comps.push_back(std::move(comp));
+  }
+
+  if (fr.cm) {
+    // Context-mixing scan: raw range-coded bytes delimited by the APP9
+    // length (cm bytes may contain 0xFF, so no marker scanning), guarded by
+    // the APP9 CRC so truncation/corruption is rejected before model decode.
+    ci.restart_interval = fr.restart_interval;
+    if (fr.cm_len > bytes.size() - scan_start) {
+      throw std::runtime_error("decode_jfif: cm payload truncated");
+    }
+    if (codec::crc32(bytes.data() + scan_start, fr.cm_len) != fr.cm_crc) {
+      throw std::runtime_error("decode_jfif: cm payload CRC mismatch");
+    }
+    auto planes = cm_planes_mut(ci);
+    codec::decode_planes(bytes.data() + scan_start, fr.cm_len, planes, 0, 63);
+    return ci;
   }
 
   std::vector<HuffDecoder> dc_dec, ac_dec;
@@ -774,6 +887,37 @@ CoeffImage decode_jfif(const std::vector<uint8_t>& bytes) {
     }
   }
   return ci;
+}
+
+EntropyKind detect_entropy_kind(const std::vector<uint8_t>& bytes) {
+  // Walk the marker stream up to SOS looking for the APP9 "DCMC" tag. Any
+  // malformed prefix is reported as kHuffman: the caller's decoder will then
+  // produce the real (descriptive) parse error.
+  size_t p = 2;
+  if (bytes.size() < 4 || bytes[0] != 0xFF || bytes[1] != 0xD8) {
+    return EntropyKind::kHuffman;
+  }
+  while (p + 4 <= bytes.size()) {
+    if (bytes[p] != 0xFF) return EntropyKind::kHuffman;
+    const uint8_t code = bytes[p + 1];
+    p += 2;
+    if (code == 0xD9 || code == 0xDA) break;
+    const size_t len = (static_cast<size_t>(bytes[p]) << 8) | bytes[p + 1];
+    const size_t seg_end = p + len;
+    if (len < 2 || seg_end > bytes.size()) return EntropyKind::kHuffman;
+    // Matches both the baseline tag "DCMC" and the progressive tag "DCMP".
+    if (code == 0xE9 && seg_end - p >= 6 && bytes[p + 2] == kCmMagic[0] &&
+        bytes[p + 3] == kCmMagic[1] && bytes[p + 4] == kCmMagic[2] &&
+        (bytes[p + 5] == kCmMagic[3] || bytes[p + 5] == 'P')) {
+      return EntropyKind::kCm;
+    }
+    p = seg_end;
+  }
+  return EntropyKind::kHuffman;
+}
+
+size_t entropy_bit_count_cm(const CoeffImage& ci) {
+  return codec::encoded_bit_count(cm_planes(ci));
 }
 
 JpegResult jpeg_encode(const Image& src, int quality, ChromaFormat fmt) {

@@ -1,4 +1,4 @@
-// Baseline JPEG codec (ITU-T T.81, sequential DCT, Huffman entropy coding).
+// Baseline JPEG codec (ITU-T T.81, sequential DCT) with two entropy coders.
 //
 // The codec exposes the coefficient domain explicitly: an image is first
 // transformed to a `CoeffImage` (quantized DCT coefficients per component),
@@ -6,10 +6,26 @@
 // DC-drop transform in dcdrop.h operates on this representation, exactly as
 // the paper's sender does on a standard encoder's output).
 //
+// Entropy coding is selectable per stream (`EntropyKind`):
+//   * kHuffman — standard Annex-K Huffman tables (the interoperable T.81
+//     baseline scan).
+//   * kCm     — the context-mixing range coder from src/codec: the same
+//     integer coefficients, re-entropy-coded with adaptive DCT-domain
+//     context models. Decodes bit-identically, spends measurably fewer bits
+//     (bench_ablation_coding), and is this repo's private format: the file
+//     keeps the JFIF marker skeleton (SOI/APP0/DQT/DRI/SOF0/SOS/EOI) but
+//     carries an APP9 "DCMC" marker — version, payload length, CRC-32 —
+//     in place of DHT tables, and raw range-coded bytes in place of the
+//     Huffman scan. decode_jfif / try_decode_jfif auto-detect the coder
+//     from that marker, so receivers need no out-of-band signal. Lossless
+//     transcoding between the two coders is `codec_tool transcode`.
+//
 // Supported: grayscale and color (4:4:4 and 4:2:0), quality-scaled Annex-K
-// quantization tables, standard Annex-K Huffman tables. Not supported:
-// progressive scans (not needed by any experiment). Restart intervals are
-// supported, including decoder-side error containment.
+// quantization tables, standard Annex-K Huffman tables. Progressive
+// (spectral-selection SOF2) streams live in progressive.h, for both entropy
+// kinds. Restart intervals are supported, including decoder-side error
+// containment (Huffman scans only; cm streams are integrity-checked whole
+// via their CRC instead).
 #pragma once
 
 #include <array>
@@ -77,11 +93,23 @@ Image tilde_image(const CoeffImage& ci);
 
 // ----- Entropy coding / JFIF container -----
 
-// Serializes to a complete JFIF file (SOI..EOI) with standard tables.
-std::vector<uint8_t> encode_jfif(const CoeffImage& ci);
+// Scan entropy coder for encode_jfif / encode_progressive.
+enum class EntropyKind {
+  kHuffman,  // Annex-K Huffman tables (interoperable baseline)
+  kCm,       // context-mixing range coder (src/codec; APP9-tagged)
+};
 
-// Parses a JFIF file produced by encode_jfif (baseline sequential).
-// Malformed input throws std::runtime_error.
+// Serializes to a complete JFIF file (SOI..EOI). With kHuffman the file uses
+// standard tables; with kCm the scan is range-coded (see header comment).
+std::vector<uint8_t> encode_jfif(const CoeffImage& ci,
+                                 EntropyKind kind = EntropyKind::kHuffman);
+
+// The entropy coder a file was written with, detected from the APP9 "DCMC"
+// marker. Files without the marker (any interoperable JPEG) are kHuffman.
+EntropyKind detect_entropy_kind(const std::vector<uint8_t>& bytes);
+
+// Parses a JFIF file produced by encode_jfif (baseline sequential, either
+// entropy kind — auto-detected). Malformed input throws std::runtime_error.
 CoeffImage decode_jfif(const std::vector<uint8_t>& bytes);
 
 // Non-throwing variant for serving boundaries: a malformed bitstream yields
@@ -99,6 +127,10 @@ size_t entropy_bit_count(const CoeffImage& ci);
 // optimization; see huffman.h). Quantifies the "better coding techniques"
 // headroom the paper's Section V notes is orthogonal to DC dropping.
 size_t entropy_bit_count_optimized(const CoeffImage& ci);
+
+// Same quantity for the context-mixing coder: bits of the cm payload for
+// these coefficients (excludes markers/framing, like the two above).
+size_t entropy_bit_count_cm(const CoeffImage& ci);
 
 // ----- Convenience round trips -----
 

@@ -9,12 +9,22 @@
 //
 // The coefficient representation is the same CoeffImage as the baseline
 // codec, so the two formats are freely interconvertible.
+//
+// Like the baseline codec, both entropy coders are supported per stream: the
+// standard Huffman scans, or the context-mixing range coder (EntropyKind::
+// kCm). A cm progressive file carries an APP9 "DCMP" marker and frames each
+// scan's range-coded payload with an explicit u32 length + u32 CRC-32 right
+// after the SOS header (cm bytes may contain unstuffed 0xFF, so scans cannot
+// be delimited by marker scanning). The DC scan is one interleaved stream
+// over all components; each AC band scan is its own stream, so previews and
+// band-progressive delivery work identically to the Huffman form.
 #pragma once
 
 #include <cstdint>
 #include <vector>
 
 #include "jpeg/codec.h"
+#include "support/status.h"
 
 namespace dcdiff::jpeg {
 
@@ -26,10 +36,17 @@ struct ProgressiveConfig {
 
 // Serializes to a progressive JFIF file (SOF2, multiple scans).
 std::vector<uint8_t> encode_progressive(
-    const CoeffImage& ci, const ProgressiveConfig& cfg = ProgressiveConfig());
+    const CoeffImage& ci, const ProgressiveConfig& cfg = ProgressiveConfig(),
+    EntropyKind kind = EntropyKind::kHuffman);
 
-// Parses a progressive file produced by encode_progressive.
+// Parses a progressive file produced by encode_progressive (either entropy
+// kind — auto-detected from the APP9 marker).
 CoeffImage decode_progressive(const std::vector<uint8_t>& bytes);
+
+// Non-throwing variant mirroring try_decode_jfif: malformed bitstreams yield
+// Status{kDataLoss} (kInvalidArgument for an empty buffer). Never throws.
+Status try_decode_progressive(const std::vector<uint8_t>& bytes,
+                              CoeffImage* out) noexcept;
 
 // Decodes only the first (DC) scan: the coarse preview a progressive
 // receiver can show immediately. AC coefficients are zero.

@@ -10,7 +10,12 @@
 //   * try_decode_jfif: arbitrary corruption (truncation, bit flips, garbage)
 //     surfaces as a Status error through the noexcept boundary — the serving
 //     path's "errors are values" guarantee holds for inputs no test author
-//     thought of.
+//     thought of. The same sweeps run over 4:2:0 and progressive (SOF2)
+//     bitstreams, which exercise the subsampled MCU layout and the
+//     multi-scan parser respectively.
+//   * range coder / cm streams: the adaptive range decoder consumes any byte
+//     string in bounded time, and truncated or corrupted cm payloads are
+//     rejected as Status errors by the CRC framing, never a crash.
 #include <gtest/gtest.h>
 
 #include <array>
@@ -19,11 +24,13 @@
 #include <stdexcept>
 #include <vector>
 
+#include "codec/rangecoder.h"
 #include "data/datasets.h"
 #include "jpeg/bitio.h"
 #include "jpeg/codec.h"
 #include "jpeg/dcdrop.h"
 #include "jpeg/huffman.h"
+#include "jpeg/progressive.h"
 #include "support/status.h"
 
 namespace dcdiff::jpeg {
@@ -399,6 +406,256 @@ TEST_F(FuzzCodecRestart, CorruptedRestartMarkersNeverThrow) {
                   st.code() == StatusCode::kInvalidArgument)
           << st.to_string();
     }
+  }
+}
+
+// ---- 4:2:0 bitstreams under corruption ----
+//
+// Subsampled streams use the 16x16 MCU layout (four luma blocks per MCU)
+// that the 4:4:4 sweeps above never touch.
+
+class FuzzCodec420 : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    const Image img = data::dataset_image(data::DatasetId::kKodak, 2, 48);
+    CoeffImage ci = forward_transform(img, 50, ChromaFormat::k420);
+    drop_dc(ci);
+    bytes_ = new std::vector<uint8_t>(encode_jfif(ci));
+  }
+  static void TearDownTestSuite() {
+    delete bytes_;
+    bytes_ = nullptr;
+  }
+  static const std::vector<uint8_t>& bytes() { return *bytes_; }
+
+  static std::vector<uint8_t>* bytes_;
+};
+
+std::vector<uint8_t>* FuzzCodec420::bytes_ = nullptr;
+
+TEST_F(FuzzCodec420, IntactStreamDecodes) {
+  CoeffImage out;
+  const Status st = try_decode_jfif(bytes(), &out);
+  ASSERT_TRUE(st.is_ok()) << st.to_string();
+  EXPECT_EQ(out.format, ChromaFormat::k420);
+}
+
+TEST_F(FuzzCodec420, TruncationsNeverSucceedSilentlyWrong) {
+  CoeffImage full;
+  ASSERT_TRUE(try_decode_jfif(bytes(), &full).is_ok());
+  int errors = 0;
+  for (size_t len = 0; len < bytes().size(); ++len) {
+    std::vector<uint8_t> cut(bytes().begin(),
+                             bytes().begin() + static_cast<long>(len));
+    CoeffImage out;
+    const Status st = try_decode_jfif(cut, &out);
+    if (!st.is_ok()) {
+      ++errors;
+      continue;
+    }
+    ASSERT_EQ(out.comps.size(), full.comps.size()) << "truncation at " << len;
+    for (size_t c = 0; c < full.comps.size(); ++c) {
+      ASSERT_EQ(out.comps[c].blocks, full.comps[c].blocks)
+          << "silently corrupted decode, truncation at " << len;
+    }
+  }
+  EXPECT_GT(errors, static_cast<int>(bytes().size() * 9 / 10));
+}
+
+TEST_F(FuzzCodec420, RandomBitFlipsNeverThrow) {
+  std::mt19937_64 rng(0x420Fu);
+  for (int s = 0; s < 300; ++s) {
+    std::vector<uint8_t> mutated = bytes();
+    const int flips = 1 + static_cast<int>(rng() % 8);
+    for (int f = 0; f < flips; ++f) {
+      mutated[rng() % mutated.size()] ^=
+          static_cast<uint8_t>(1u << (rng() % 8));
+    }
+    CoeffImage out;
+    const Status st = try_decode_jfif(mutated, &out);  // must not throw/hang
+    if (!st.is_ok()) {
+      EXPECT_TRUE(st.code() == StatusCode::kDataLoss ||
+                  st.code() == StatusCode::kInvalidArgument)
+          << st.to_string();
+    }
+  }
+}
+
+// ---- progressive (SOF2) bitstreams under corruption ----
+//
+// The multi-scan parser has its own marker loop, SOS/band validation, and
+// per-scan entropy decode; try_decode_progressive must uphold the same
+// "errors are values" contract as the baseline boundary. Both entropy kinds
+// are swept: Huffman scans and cm-framed (length+CRC) scans.
+
+class FuzzProgressive : public ::testing::TestWithParam<EntropyKind> {
+ protected:
+  std::vector<uint8_t> make_bytes() const {
+    const Image img = data::dataset_image(data::DatasetId::kKodak, 3, 48);
+    CoeffImage ci = forward_transform(img, 50, ChromaFormat::k420);
+    drop_dc(ci);
+    return encode_progressive(ci, ProgressiveConfig(), GetParam());
+  }
+};
+
+TEST_P(FuzzProgressive, IntactStreamDecodes) {
+  const auto bytes = make_bytes();
+  EXPECT_TRUE(is_progressive(bytes));
+  CoeffImage out;
+  const Status st = try_decode_progressive(bytes, &out);
+  ASSERT_TRUE(st.is_ok()) << st.to_string();
+  EXPECT_EQ(out.format, ChromaFormat::k420);
+}
+
+TEST_P(FuzzProgressive, TruncationsNeverCrash) {
+  // try_decode_progressive is noexcept: completing the sweep proves the
+  // no-throw contract under every possible truncation point.
+  const auto bytes = make_bytes();
+  int errors = 0;
+  for (size_t len = 0; len < bytes.size(); ++len) {
+    std::vector<uint8_t> cut(bytes.begin(),
+                             bytes.begin() + static_cast<long>(len));
+    CoeffImage out;
+    if (!try_decode_progressive(cut, &out).is_ok()) ++errors;
+  }
+  EXPECT_GT(errors, static_cast<int>(bytes.size() / 2));
+}
+
+TEST_P(FuzzProgressive, RandomBitFlipsNeverThrow) {
+  const auto bytes = make_bytes();
+  std::mt19937_64 rng(0x50F2u);
+  for (int s = 0; s < 300; ++s) {
+    std::vector<uint8_t> mutated = bytes;
+    const int flips = 1 + static_cast<int>(rng() % 8);
+    for (int f = 0; f < flips; ++f) {
+      mutated[rng() % mutated.size()] ^=
+          static_cast<uint8_t>(1u << (rng() % 8));
+    }
+    CoeffImage out;
+    const Status st = try_decode_progressive(mutated, &out);
+    if (!st.is_ok()) {
+      EXPECT_TRUE(st.code() == StatusCode::kDataLoss ||
+                  st.code() == StatusCode::kInvalidArgument)
+          << st.to_string();
+    }
+  }
+}
+
+TEST_P(FuzzProgressive, RandomGarbageNeverThrows) {
+  std::mt19937_64 rng(0x50F3u);
+  for (int s = 0; s < 300; ++s) {
+    std::vector<uint8_t> garbage(rng() % 512);
+    for (auto& b : garbage) b = static_cast<uint8_t>(rng());
+    CoeffImage out;
+    EXPECT_FALSE(try_decode_progressive(garbage, &out).is_ok());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(EntropyKinds, FuzzProgressive,
+                         ::testing::Values(EntropyKind::kHuffman,
+                                           EntropyKind::kCm),
+                         [](const auto& info) {
+                           return info.param == EntropyKind::kCm ? "Cm"
+                                                                 : "Huffman";
+                         });
+
+// ---- range coder and cm streams under corruption ----
+
+TEST(FuzzRangeCoder, RandomByteStringsDecodeInBoundedTime) {
+  // 10k random "streams": the decoder must hand back *some* bit for every
+  // query — by construction it cannot throw or read out of bounds, and past
+  // the end it synthesizes zero bytes. The model/CRC layers above it are
+  // what reject garbage; this layer just has to be total.
+  std::mt19937_64 rng(0xA41C0DEu);
+  for (int s = 0; s < 10000; ++s) {
+    std::vector<uint8_t> data(rng() % 64);
+    for (auto& b : data) b = static_cast<uint8_t>(rng());
+    codec::RangeDecoder dec(data.data(), data.size());
+    for (int i = 0; i < 128; ++i) {
+      const int bit = dec.decode(static_cast<uint16_t>(1 + rng() % 4095));
+      ASSERT_TRUE(bit == 0 || bit == 1);
+    }
+    // Past the end the decoder synthesizes zeros; renormalization consumes
+    // at most a few bytes per decoded bit, so consumption stays bounded.
+    ASSERT_LE(dec.byte_pos(), data.size() + 4 * 128);
+  }
+}
+
+class FuzzCmCodec : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    const Image img = data::dataset_image(data::DatasetId::kKodak, 4, 48);
+    CoeffImage ci = forward_transform(img, 50);
+    drop_dc(ci);
+    bytes_ = new std::vector<uint8_t>(encode_jfif(ci, EntropyKind::kCm));
+  }
+  static void TearDownTestSuite() {
+    delete bytes_;
+    bytes_ = nullptr;
+  }
+  static const std::vector<uint8_t>& bytes() { return *bytes_; }
+
+  static std::vector<uint8_t>* bytes_;
+};
+
+std::vector<uint8_t>* FuzzCmCodec::bytes_ = nullptr;
+
+TEST_F(FuzzCmCodec, IntactStreamDecodes) {
+  ASSERT_EQ(detect_entropy_kind(bytes()), EntropyKind::kCm);
+  CoeffImage out;
+  const Status st = try_decode_jfif(bytes(), &out);
+  ASSERT_TRUE(st.is_ok()) << st.to_string();
+}
+
+TEST_F(FuzzCmCodec, EveryTruncationIsRejected) {
+  // A cm stream's length+CRC framing makes every truncation that reaches
+  // the payload detectable, so the contract is absolute up to the trailing
+  // EOI marker (whose loss leaves the length-delimited payload intact).
+  for (size_t len = 0; len + 2 < bytes().size(); ++len) {
+    std::vector<uint8_t> cut(bytes().begin(),
+                             bytes().begin() + static_cast<long>(len));
+    CoeffImage out;
+    const Status st = try_decode_jfif(cut, &out);
+    ASSERT_FALSE(st.is_ok()) << "truncation at " << len;
+    EXPECT_TRUE(st.code() == StatusCode::kDataLoss ||
+                st.code() == StatusCode::kInvalidArgument)
+        << st.to_string();
+  }
+}
+
+TEST_F(FuzzCmCodec, RandomBitFlipsNeverThrow) {
+  std::mt19937_64 rng(0xC4C0DEu);
+  for (int s = 0; s < 300; ++s) {
+    std::vector<uint8_t> mutated = bytes();
+    const int flips = 1 + static_cast<int>(rng() % 8);
+    for (int f = 0; f < flips; ++f) {
+      mutated[rng() % mutated.size()] ^=
+          static_cast<uint8_t>(1u << (rng() % 8));
+    }
+    CoeffImage out;
+    const Status st = try_decode_jfif(mutated, &out);  // must not throw/hang
+    if (!st.is_ok()) {
+      EXPECT_TRUE(st.code() == StatusCode::kDataLoss ||
+                  st.code() == StatusCode::kInvalidArgument)
+          << st.to_string();
+    }
+  }
+}
+
+TEST_F(FuzzCmCodec, PayloadFlipsAreCaughtByCrc) {
+  // Flips inside the range-coded payload specifically (past the last
+  // header byte) must always be caught by the CRC — the model never sees
+  // the corrupted bytes.
+  std::mt19937_64 rng(0xC4C0DFu);
+  const size_t payload_region = bytes().size() - 64;  // tail is scan data
+  for (int s = 0; s < 200; ++s) {
+    std::vector<uint8_t> mutated = bytes();
+    mutated[payload_region + rng() % 62] ^=
+        static_cast<uint8_t>(1u << (rng() % 8));
+    CoeffImage out;
+    const Status st = try_decode_jfif(mutated, &out);
+    ASSERT_FALSE(st.is_ok());
+    EXPECT_NE(st.message().find("CRC"), std::string::npos) << st.message();
   }
 }
 
