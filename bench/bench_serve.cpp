@@ -33,6 +33,14 @@
 // >= 2.5x @ 4 workers acceptance gate is enforced only on hosts with >= 4
 // cores; on smaller hosts the sweep still runs and records honest numbers
 // (a 1-core host serializes the partitions, so speedup ~1.0x).
+//
+// Compiled-plan sweep (PR 8): `--plan` measures the compiled static
+// inference plan (core/recon_plan.h + nn/plan/) against the eager tape path
+// at identical inference options, for both the single-image reconstruct()
+// loop and the all-images reconstruct_batch() call. Outputs are verified
+// planned-vs-eager (1e-4; in practice bit-identical on this config) and the
+// sweep is written to BENCH_pr8.json with a >= 1.3x planned-vs-eager gate
+// on the serial path. Diff two runs with scripts/bench_compare.py --plan.
 #include <algorithm>
 #include <chrono>
 #include <cmath>
@@ -52,6 +60,7 @@ extern char** environ;
 #include "image/image.h"
 #include "jpeg/codec.h"
 #include "metrics/metrics.h"
+#include "obs/metrics.h"
 #include "serve/server.h"
 
 using namespace dcdiff;
@@ -293,23 +302,179 @@ SweepPoint run_sweep_point(const std::vector<std::vector<uint8_t>>& bitstreams,
   return p;
 }
 
+// ---- compiled-plan vs eager sweep (PR 8) ----
+
+struct PlanPoint {
+  const char* mode;  // "eager" | "planned"
+  const char* path;  // "serial" | "batch"
+  double total_secs = 0;
+  double images_per_sec = 0;
+};
+
+// Times `reps` runs of `body` (fastest wins) with the plan switch forced to
+// `enabled`; restores the env-default switch before returning.
+template <typename Body>
+double time_plan_mode(int enabled, int reps, Body&& body) {
+  core::set_plan_enabled(enabled);
+  body();  // warm: plan compile (planned mode), workspace/arena growth
+  double best = 0;
+  for (int rep = 0; rep < reps; ++rep) {
+    const double t0 = now_seconds();
+    body();
+    const double secs = now_seconds() - t0;
+    if (rep == 0 || secs < best) best = secs;
+  }
+  core::set_plan_enabled(-1);
+  return best;
+}
+
+int run_plan_bench(const std::string& out_path) {
+  bench::print_header("bench_serve --plan: compiled plan vs eager tape");
+
+  constexpr int kImages = 12;
+  constexpr int kReps = 3;
+  constexpr double kRequiredSpeedup = 1.3;
+
+  auto model = core::ModelPool::instance().get(fast_config());
+  const int size = 2 * model->config().image_size;
+
+  std::vector<jpeg::CoeffImage> coeffs;
+  for (int i = 0; i < kImages; ++i) {
+    const Image img = data::dataset_image(data::DatasetId::kKodak, i, size);
+    coeffs.push_back(jpeg::decode_jfif(core::sender_encode(img).bytes));
+  }
+
+  std::vector<Image> serial_eager(kImages), serial_planned(kImages);
+  std::vector<Image> batch_eager, batch_planned;
+
+  const double t_serial_eager = time_plan_mode(0, kReps, [&] {
+    for (int i = 0; i < kImages; ++i) {
+      serial_eager[static_cast<size_t>(i)] =
+          model->reconstruct(coeffs[static_cast<size_t>(i)]);
+    }
+  });
+  const double t_serial_planned = time_plan_mode(1, kReps, [&] {
+    for (int i = 0; i < kImages; ++i) {
+      serial_planned[static_cast<size_t>(i)] =
+          model->reconstruct(coeffs[static_cast<size_t>(i)]);
+    }
+  });
+  const double t_batch_eager =
+      time_plan_mode(0, kReps, [&] { batch_eager = model->reconstruct_batch(coeffs); });
+  const double t_batch_planned =
+      time_plan_mode(1, kReps, [&] { batch_planned = model->reconstruct_batch(coeffs); });
+
+  // The plan must be a pure performance transform.
+  const double diff_serial = worst_diff(serial_eager, serial_planned);
+  const double diff_batch = worst_diff(batch_eager, batch_planned);
+  if (diff_serial > 1e-4 || diff_batch > 1e-4) {
+    std::fprintf(stderr,
+                 "FAIL: planned output diverges from eager "
+                 "(serial=%.3g batch=%.3g, limit 1e-4)\n",
+                 diff_serial, diff_batch);
+    return 1;
+  }
+
+  const double n = kImages;
+  const PlanPoint sweep[] = {
+      {"eager", "serial", t_serial_eager, n / t_serial_eager},
+      {"planned", "serial", t_serial_planned, n / t_serial_planned},
+      {"eager", "batch", t_batch_eager, n / t_batch_eager},
+      {"planned", "batch", t_batch_planned, n / t_batch_planned},
+  };
+  std::printf("\n%-10s %-8s %10s %12s\n", "mode", "path", "total (s)",
+              "images/sec");
+  for (const PlanPoint& p : sweep) {
+    std::printf("%-10s %-8s %10.3f %12.2f\n", p.mode, p.path, p.total_secs,
+                p.images_per_sec);
+  }
+  const double speedup_serial = t_serial_eager / t_serial_planned;
+  const double speedup_batch = t_batch_eager / t_batch_planned;
+  std::printf(
+      "\nplanned vs eager: serial %.2fx, batch %.2fx "
+      "(max |diff| serial=%.3g batch=%.3g)\n",
+      speedup_serial, speedup_batch, diff_serial, diff_batch);
+  std::printf("plan arena: %.0f bytes, fused ops: %.0f\n",
+              obs::gauge("plan.arena_bytes").value(),
+              obs::gauge("plan.fused_ops").value());
+
+  const int host_cores =
+      std::max(1, static_cast<int>(std::thread::hardware_concurrency()));
+  const bool met = speedup_serial >= kRequiredSpeedup;
+  std::FILE* jf = std::fopen(out_path.c_str(), "w");
+  if (jf == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
+    return 1;
+  }
+#ifndef DCDIFF_GIT_SHA
+#define DCDIFF_GIT_SHA "unknown"
+#endif
+#ifndef DCDIFF_BUILD_TYPE
+#define DCDIFF_BUILD_TYPE "unknown"
+#endif
+  std::fprintf(jf,
+               "{\n  \"bench\": \"plan_modes\",\n"
+               "  \"host_cores\": %d,\n  \"images\": %d,\n  \"reps\": %d,\n"
+               "  \"provenance\": {\"git_sha\": \"%s\", "
+               "\"build_type\": \"%s\", \"env\": {%s}},\n"
+               "  \"sweep\": [\n",
+               host_cores, kImages, kReps, DCDIFF_GIT_SHA, DCDIFF_BUILD_TYPE,
+               dcdiff_env_json().c_str());
+  for (size_t i = 0; i < 4; ++i) {
+    const PlanPoint& p = sweep[i];
+    std::fprintf(jf,
+                 "    {\"mode\": \"%s\", \"path\": \"%s\", "
+                 "\"total_seconds\": %.6f, \"images_per_sec\": %.3f}%s\n",
+                 p.mode, p.path, p.total_secs, p.images_per_sec,
+                 i + 1 < 4 ? "," : "");
+  }
+  std::fprintf(jf,
+               "  ],\n  \"speedup\": {\"serial\": %.3f, \"batch\": %.3f},\n"
+               "  \"max_abs_diff_planned_vs_eager\": %.3g,\n"
+               "  \"plan_arena_bytes\": %.0f,\n  \"plan_fused_ops\": %.0f,\n"
+               "  \"win_condition\": {\"required_speedup\": %.2f, "
+               "\"enforced\": true, \"met\": %s}\n}\n",
+               speedup_serial, speedup_batch,
+               std::max(diff_serial, diff_batch),
+               obs::gauge("plan.arena_bytes").value(),
+               obs::gauge("plan.fused_ops").value(), kRequiredSpeedup,
+               met ? "true" : "false");
+  std::fclose(jf);
+  std::printf("wrote %s\n", out_path.c_str());
+
+  if (!met) {
+    std::fprintf(stderr, "FAIL: planned serial speedup %.2fx below %.2fx\n",
+                 speedup_serial, kRequiredSpeedup);
+    return 1;
+  }
+  std::printf("planned path clears %.1fx over eager\n", kRequiredSpeedup);
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   std::vector<int> worker_sweep = {1, 2, 4};
-  std::string out_path = "BENCH_pr5.json";
+  std::string out_path;
+  bool plan_mode = false;
   for (int a = 1; a < argc; ++a) {
     if (std::strcmp(argv[a], "--workers") == 0 && a + 1 < argc) {
       worker_sweep = parse_worker_list(argv[++a]);
     } else if (std::strcmp(argv[a], "--out") == 0 && a + 1 < argc) {
       out_path = argv[++a];
+    } else if (std::strcmp(argv[a], "--plan") == 0) {
+      plan_mode = true;
     } else {
       std::fprintf(stderr,
-                   "usage: %s [--workers 1,2,4] [--out BENCH_pr5.json]\n",
+                   "usage: %s [--workers 1,2,4] [--plan] [--out BENCH.json]\n",
                    argv[0]);
       return 2;
     }
   }
+  if (plan_mode) {
+    return run_plan_bench(out_path.empty() ? "BENCH_pr8.json" : out_path);
+  }
+  if (out_path.empty()) out_path = "BENCH_pr5.json";
   // Speedups are relative to one worker; make sure the baseline is swept.
   if (worker_sweep.front() != 1) worker_sweep.insert(worker_sweep.begin(), 1);
   bench::print_header("bench_serve: batched serving vs serial reconstruct");

@@ -19,6 +19,13 @@ p99 is only compared when both reports carry it: reports written before the
 provenance/p99 schema (e.g. the checked-in BENCH_pr5.json) lack the field and
 are tolerated.
 
+--plan compares bench_serve --plan reports (compiled plan vs eager tape):
+sweep points are matched by (mode, path). A point regresses when the
+candidate's images_per_sec drops by more than --max-regression-pct relative
+to the baseline; the planned-vs-eager serial speedup of both reports is
+printed, and the candidate failing its own >= 1.3x win condition is a
+regression regardless of the baseline.
+
 --coding compares bench_ablation_coding reports: records are matched by
 (dataset, image). A record regresses when the candidate's bpp_cm rises by
 more than --max-regression-pct relative to the baseline — the context-mixing
@@ -134,6 +141,54 @@ def compare(baseline, candidate, max_pct):
     return EXIT_OK
 
 
+def compare_plan(baseline, candidate, max_pct):
+    base_points = {(p["mode"], p["path"]): p for p in baseline["sweep"]}
+    cand_points = {(p["mode"], p["path"]): p for p in candidate["sweep"]}
+    shared = sorted(set(base_points) & set(cand_points))
+    if not shared:
+        print("bench_compare: no common (mode, path) points between sweeps",
+              file=sys.stderr)
+        return EXIT_REGRESSION
+
+    failures = []
+    print(f"{'mode':>8} {'path':>7} {'metric':>14} {'baseline':>10} "
+          f"{'candidate':>10} {'change':>8}")
+    for key in shared:
+        b, c = base_points[key], cand_points[key]
+        change = pct_change(b["images_per_sec"], c["images_per_sec"])
+        flag = ""
+        if change < -max_pct:
+            flag = "  REGRESSION"
+            failures.append(
+                f"mode={key[0]} path={key[1]}: images_per_sec "
+                f"{b['images_per_sec']:.3f} -> {c['images_per_sec']:.3f} "
+                f"({change:+.1f}%, limit -{max_pct:.1f}%)")
+        print(f"{key[0]:>8} {key[1]:>7} {'images_per_sec':>14} "
+              f"{b['images_per_sec']:>10.3f} {c['images_per_sec']:>10.3f} "
+              f"{change:>+7.1f}%{flag}")
+
+    sb = (baseline.get("speedup") or {}).get("serial")
+    sc = (candidate.get("speedup") or {}).get("serial")
+    if sb is not None and sc is not None:
+        print(f"\nplanned-vs-eager serial speedup: baseline {sb:.2f}x, "
+              f"candidate {sc:.2f}x")
+    win = candidate.get("win_condition") or {}
+    if win.get("enforced") and not win.get("met"):
+        failures.append(
+            f"candidate misses its own win condition "
+            f"(required_speedup={win.get('required_speedup')}, "
+            f"serial speedup={sc})")
+
+    if failures:
+        print("\nbench_compare: FAIL", file=sys.stderr)
+        for f in failures:
+            print(f"  {f}", file=sys.stderr)
+        return EXIT_REGRESSION
+    print(f"\nbench_compare: OK ({len(shared)} point(s) within "
+          f"{max_pct:.1f}%)")
+    return EXIT_OK
+
+
 def compare_coding(baseline, candidate, max_pct):
     base_recs = {(r["dataset"], r["image"]): r for r in baseline["records"]}
     cand_recs = {(r["dataset"], r["image"]): r for r in candidate["records"]}
@@ -198,6 +253,9 @@ def main():
     ap.add_argument("--coding", action="store_true",
                     help="compare bench_ablation_coding reports (bpp_cm) "
                          "instead of bench_serve sweeps")
+    ap.add_argument("--plan", action="store_true",
+                    help="compare bench_serve --plan reports (compiled plan "
+                         "vs eager tape) instead of worker sweeps")
     ap.add_argument("--max-regression-pct", type=float, default=15.0,
                     help="allowed regression in images_per_sec (drop), "
                          "p99_e2e_ms (rise), or with --coding bpp_cm (rise), "
@@ -205,9 +263,15 @@ def main():
     args = ap.parse_args()
     if bool(args.candidate) == bool(args.bench):
         ap.error("pass exactly one of CANDIDATE or --bench")
+    if args.coding and args.plan:
+        ap.error("--coding and --plan are mutually exclusive")
 
-    kind = ("ablation_coding", "records") if args.coding \
-        else ("serve_workers", "sweep")
+    if args.coding:
+        kind = ("ablation_coding", "records")
+    elif args.plan:
+        kind = ("plan_modes", "sweep")
+    else:
+        kind = ("serve_workers", "sweep")
     baseline = load_report(args.baseline, *kind)
 
     tmp = None
@@ -215,7 +279,8 @@ def main():
         if args.bench:
             fd, tmp = tempfile.mkstemp(prefix="bench_compare_", suffix=".json")
             os.close(fd)
-            cmd = [args.bench, "--out", tmp]
+            cmd = [args.bench] + (["--plan"] if args.plan else []) + \
+                ["--out", tmp]
             print(f"bench_compare: running {' '.join(cmd)}")
             proc = subprocess.run(cmd)
             # The bench binaries exit non-zero when their own win-condition
@@ -249,6 +314,8 @@ def main():
                   f"comparable across machines", file=sys.stderr)
             return EXIT_SKIP
 
+        if args.plan:
+            return compare_plan(baseline, candidate, args.max_regression_pct)
         return compare(baseline, candidate, args.max_regression_pct)
     finally:
         if tmp:

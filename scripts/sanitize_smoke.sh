@@ -9,6 +9,11 @@
 # exactly the kind of parsing code sanitizers are for. A codec_tool transcode
 # round trip runs as an end-to-end smoke under each preset too.
 #
+# test_plan rides the `concurrency` label: it exercises the compiled
+# inference plan (arena offsets, fused kernels, per-replica plan caches)
+# under concurrent submits, so ASan/UBSan validate the liveness-assigned
+# arena slicing and TSan the sharded servers' per-replica plan reuse.
+#
 # Usage: scripts/sanitize_smoke.sh [tsan|sanitize]   (default: both)
 set -euo pipefail
 cd "$(dirname "$0")/.."

@@ -4,6 +4,7 @@
 // modulation (per-sample backbone/skip scale factors s and b).
 #pragma once
 
+#include <utility>
 #include <vector>
 
 #include "nn/modules.h"
@@ -43,6 +44,9 @@ class ControlModule {
     nn::Tensor c2;  // (N, 2*base, H/8, W/8)
   };
   Features forward(const nn::Tensor& tilde) const;
+  // Records the control forward into a plan graph; returns {c1, c2}.
+  std::pair<nn::plan::TensorId, nn::plan::TensorId> capture(
+      nn::plan::GraphBuilder& g, nn::plan::TensorId tilde) const;
   std::vector<nn::Tensor> params() const;
 
  private:
@@ -61,6 +65,18 @@ class UNet {
                      const ControlModule::Features& ctrl,
                      const nn::Tensor& s = nn::Tensor(),
                      const nn::Tensor& b = nn::Tensor()) const;
+  // Records one denoising forward for batch `n` at the fixed timestep `t`.
+  // The timestep-embedding MLP and each block's temb projection collapse to
+  // graph constants (computed eagerly here, bit-identical to the eager
+  // recompute), so the planned step runs none of them. `s`/`b` are the
+  // FreeU factors as graph tensors, or plan::kNoTensor when unmodulated.
+  // Throws std::invalid_argument when cfg.mid_attention is set (the plan
+  // path does not capture attention; callers fall back to eager).
+  nn::plan::TensorId capture(nn::plan::GraphBuilder& g, nn::plan::TensorId z_t,
+                             int n, int t, nn::plan::TensorId c1,
+                             nn::plan::TensorId c2,
+                             nn::plan::TensorId s = nn::plan::kNoTensor,
+                             nn::plan::TensorId b = nn::plan::kNoTensor) const;
   std::vector<nn::Tensor> params() const;
   const UNetConfig& config() const { return cfg_; }
 
@@ -93,6 +109,18 @@ nn::Tensor ddim_sample(const UNet& unet, const DiffusionSchedule& sched,
                        const nn::Tensor& s = nn::Tensor(),
                        const nn::Tensor& b = nn::Tensor(),
                        Prediction prediction = Prediction::kEps);
+
+// Plan capture of ddim_sample: unrolls the `steps` DDIM updates into the
+// graph with the same arithmetic as the eager loop. The per-step
+// temporaries the eager path heap-allocates every iteration (pred, z0, eps,
+// the update terms) become liveness-planned slices of the plan arena.
+nn::plan::TensorId capture_ddim(nn::plan::GraphBuilder& g, const UNet& unet,
+                                const DiffusionSchedule& sched,
+                                nn::plan::TensorId c1, nn::plan::TensorId c2,
+                                nn::plan::TensorId noise, int steps,
+                                nn::plan::TensorId s = nn::plan::kNoTensor,
+                                nn::plan::TensorId b = nn::plan::kNoTensor,
+                                Prediction prediction = Prediction::kEps);
 
 // Recovers z0 from (z_t, predicted eps) at timestep t:
 //   z0 = (z_t - sqrt(1-ab_t) eps) / sqrt(ab_t)     (per-sample t)

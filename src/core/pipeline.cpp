@@ -8,8 +8,11 @@
 #include <mutex>
 #include <utility>
 
+#include <atomic>
+
 #include "core/losses.h"
 #include "core/postprocess.h"
+#include "core/recon_plan.h"
 #include "core/tensor_image.h"
 #include "data/datasets.h"
 #include "jpeg/dcdrop.h"
@@ -17,6 +20,7 @@
 #include "nn/optim.h"
 #include "nn/packcache.h"
 #include "nn/serialize.h"
+#include "obs/env.h"
 #include "obs/log.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -24,6 +28,22 @@
 namespace dcdiff::core {
 
 using namespace dcdiff::nn;
+
+namespace {
+std::atomic<int> g_plan_override{-1};  // -1 = follow env, 0/1 = forced
+}  // namespace
+
+bool plan_enabled() {
+  const int o = g_plan_override.load(std::memory_order_relaxed);
+  if (o >= 0) return o != 0;
+  static const bool env = obs::env_int("DCDIFF_PLAN", 1) != 0;
+  return env;
+}
+
+void set_plan_enabled(int v) {
+  g_plan_override.store(v < 0 ? -1 : (v != 0 ? 1 : 0),
+                        std::memory_order_relaxed);
+}
 
 struct DCDiffModel::Sample {
   Tensor x0;     // (1,3,H,W) in [-1,1]
@@ -44,6 +64,7 @@ DCDiffModel::DCDiffModel(const DCDiffConfig& cfg)
   unet_ = std::make_shared<UNet>(cfg.unet, cfg.seed);
   fmpp_ = std::make_shared<FMPP>(cfg.seed);
   packs_ = std::make_shared<nn::PackCache>();
+  plans_ = std::make_shared<ReconPlanner>();
 }
 
 DCDiffModel::~DCDiffModel() = default;
@@ -57,7 +78,10 @@ DCDiffModel::DCDiffModel(const DCDiffModel& src, ReplicaTag)
       control_(src.control_),
       unet_(src.unet_),
       fmpp_(src.fmpp_),
-      packs_(src.packs_) {}
+      packs_(src.packs_),
+      // Plans are per replica: each serving worker compiles its own (the
+      // weights and panels inside them stay shared via the components).
+      plans_(std::make_shared<ReconPlanner>()) {}
 
 std::shared_ptr<const DCDiffModel> DCDiffModel::replicate(
     const std::shared_ptr<const DCDiffModel>& src) {
@@ -369,6 +393,62 @@ void DCDiffModel::train_or_load() {
   set_requires_grad(disc_->params(), false);
 }
 
+Status DCDiffModel::planned_group(const Tensor& tilde_b, int n, int ph,
+                                  int pw, int steps, int ensemble,
+                                  bool use_fmpp, uint64_t noise_seed,
+                                  Tensor* xhat) const {
+  DCDIFF_TRACE_SPAN("planned_group");
+  ReconPlanKey key;
+  key.n = n;
+  key.ensemble = ensemble;
+  key.steps = steps;
+  key.ph = ph;
+  key.pw = pw;
+  key.use_fmpp = use_fmpp;
+  key.prediction = cfg_.prediction;
+  std::shared_ptr<const plan::Plan> p;
+  const Status st = plans_->get(key, *control_, *ae_, *fmpp_, *unet_, sched_,
+                                packs_.get(), &p);
+  if (!st.is_ok()) return st;
+  try {
+    // Noise rows replicate the eager derivation bitwise: per image a fresh
+    // Rng(noise_seed), ensemble members drawn back to back.
+    const size_t per = static_cast<size_t>(cfg_.unet.z_channels) *
+                       static_cast<size_t>(ph / 4) *
+                       static_cast<size_t>(pw / 4);
+    std::vector<float> noise(static_cast<size_t>(n) * ensemble * per);
+    for (int i = 0; i < n; ++i) {
+      Rng rng(noise_seed);
+      float* row = noise.data() + static_cast<size_t>(i) * ensemble * per;
+      const size_t rn = static_cast<size_t>(ensemble) * per;
+      for (size_t j = 0; j < rn; ++j) row[j] = rng.normal();
+    }
+    auto lease = plans_->arena_for(*p);
+    // Steady state is 0: the arena pool hands back an existing buffer.
+    static obs::Gauge& allocs = obs::gauge("plan.allocs_per_forward");
+    allocs.set(lease.allocated() ? 1.0 : 0.0);
+    std::vector<const float*> outs;
+    p->run(lease.arena(), {tilde_b.value().data(), noise.data()}, &outs);
+    std::vector<float> out(outs[0], outs[0] + p->output_numel(0));
+    *xhat = Tensor::from_data(p->output_shape(0), std::move(out));
+  } catch (const std::exception& e) {
+    return Status::internal(std::string("plan run: ") + e.what());
+  }
+  return Status::ok();
+}
+
+namespace {
+
+// Shared eager-fallback bookkeeping for the planned reconstruct paths.
+void note_plan_fallback(const Status& st) {
+  static obs::Counter& fallbacks = obs::counter("plan.eager_fallbacks");
+  fallbacks.inc();
+  DCDIFF_LOG_WARN("core.plan", "eager_fallback",
+                  {{"error", st.to_string()}});
+}
+
+}  // namespace
+
 Image DCDiffModel::reconstruct(const jpeg::CoeffImage& dropped,
                                const ReconstructOptions& opts) const {
   NoGradGuard no_grad;
@@ -383,43 +463,56 @@ Image DCDiffModel::reconstruct(const jpeg::CoeffImage& dropped,
   const Image tilde = pad_to_multiple(tilde_raw, 8);
   const Tensor tilde_t = tilde_to_tensor(tilde);
 
-  ControlModule::Features ctrl;
-  ACFeatures acfeat;
-  Tensor s, b;
-  {
-    DCDIFF_TRACE_SPAN("conditioner");
-    ctrl = control_->forward(tilde_t);
-    acfeat = ae_->encode_ac(tilde_t);
-    if (opts.use_fmpp) {
-      const FMPP::Factors f = fmpp_->forward(tilde_t);
-      s = f.s;
-      b = f.b;
-    }
-  }
-  Rng rng((opts.seed ? opts.seed : cfg_.seed) ^ 0x5A3D1Eull);
   const int steps = opts.ddim_steps > 0 ? opts.ddim_steps : cfg_.ddim_steps;
   // Posterior-mean estimate: average the z0 samples of a small ensemble of
   // independent noise seeds (deterministic: seeds derive from the config).
   const int ensemble =
       opts.ensemble > 0 ? opts.ensemble : std::max(1, cfg_.sample_ensemble);
-  Tensor z0;
-  for (int e = 0; e < ensemble; ++e) {
-    DCDIFF_TRACE_SPAN("ensemble_member");
-    static obs::Histogram& member_lat =
-        obs::histogram("core.ensemble.member_seconds");
-    obs::ScopedLatency member_timer(member_lat);
-    const Tensor noise = randn_like_shape(
-        {1, cfg_.unet.z_channels, tilde.height() / 4, tilde.width() / 4},
-        rng);
-    const Tensor sample = ddim_sample(*unet_, sched_, ctrl, noise, steps, s,
-                                      b, cfg_.prediction);
-    z0 = e == 0 ? sample : add(z0, sample);
-  }
-  if (ensemble > 1) z0 = scale(z0, 1.0f / static_cast<float>(ensemble));
+  const uint64_t noise_seed =
+      (opts.seed ? opts.seed : cfg_.seed) ^ 0x5A3D1Eull;
+
   Tensor xhat_t;
-  {
-    DCDIFF_TRACE_SPAN("decode");
-    xhat_t = ae_->decode(z0, acfeat);
+  bool planned = false;
+  if (plan_enabled()) {
+    const Status st =
+        planned_group(tilde_t, 1, tilde.height(), tilde.width(), steps,
+                      ensemble, opts.use_fmpp, noise_seed, &xhat_t);
+    planned = st.is_ok();
+    if (!planned) note_plan_fallback(st);
+  }
+  if (!planned) {
+    ControlModule::Features ctrl;
+    ACFeatures acfeat;
+    Tensor s, b;
+    {
+      DCDIFF_TRACE_SPAN("conditioner");
+      ctrl = control_->forward(tilde_t);
+      acfeat = ae_->encode_ac(tilde_t);
+      if (opts.use_fmpp) {
+        const FMPP::Factors f = fmpp_->forward(tilde_t);
+        s = f.s;
+        b = f.b;
+      }
+    }
+    Rng rng(noise_seed);
+    Tensor z0;
+    for (int e = 0; e < ensemble; ++e) {
+      DCDIFF_TRACE_SPAN("ensemble_member");
+      static obs::Histogram& member_lat =
+          obs::histogram("core.ensemble.member_seconds");
+      obs::ScopedLatency member_timer(member_lat);
+      const Tensor noise = randn_like_shape(
+          {1, cfg_.unet.z_channels, tilde.height() / 4, tilde.width() / 4},
+          rng);
+      const Tensor sample = ddim_sample(*unet_, sched_, ctrl, noise, steps,
+                                        s, b, cfg_.prediction);
+      z0 = e == 0 ? sample : add(z0, sample);
+    }
+    if (ensemble > 1) z0 = scale(z0, 1.0f / static_cast<float>(ensemble));
+    {
+      DCDIFF_TRACE_SPAN("decode");
+      xhat_t = ae_->decode(z0, acfeat);
+    }
   }
   Image rgb = tensor_to_rgb(xhat_t);
   rgb = anchor_to_corners(rgb, tilde);
@@ -496,67 +589,78 @@ std::vector<Image> DCDiffModel::reconstruct_batch(
     }
     const Tensor tilde_b = n == 1 ? tilde_ts[0] : stack_batch(tilde_ts);
 
-    // Conditioning runs once per image (batch n); sampling runs on the
-    // folded batch axis of n * ensemble rows, each image's members adjacent.
-    ControlModule::Features ctrl;
-    ACFeatures acfeat;
-    Tensor s, b;
-    {
-      DCDIFF_TRACE_SPAN("conditioner");
-      ctrl = control_->forward(tilde_b);
-      acfeat = ae_->encode_ac(tilde_b);
-      if (opts.use_fmpp) {
-        const FMPP::Factors f = fmpp_->forward(tilde_b);
-        s = repeat_batch(f.s, ensemble);
-        b = repeat_batch(f.b, ensemble);
-      }
-      if (ensemble > 1) {
-        ctrl.c1 = repeat_batch(ctrl.c1, ensemble);
-        ctrl.c2 = repeat_batch(ctrl.c2, ensemble);
-      }
-    }
-
-    // Noise rows replicate the single-image derivation exactly: each image
-    // draws its ensemble sequence from a fresh Rng(seed ^ tweak), so row
-    // (i, e) here is bitwise the e-th member noise of a lone reconstruct().
-    const std::vector<int> noise_shape = {1, cfg_.unet.z_channels, ph / 4,
-                                          pw / 4};
-    std::vector<Tensor> noise_rows;
-    noise_rows.reserve(static_cast<size_t>(n) * ensemble);
-    for (int i = 0; i < n; ++i) {
-      Rng rng(noise_seed);
-      for (int e = 0; e < ensemble; ++e) {
-        noise_rows.push_back(randn_like_shape(noise_shape, rng));
-      }
-    }
-    const Tensor noise = noise_rows.size() == 1 ? noise_rows[0]
-                                                : stack_batch(noise_rows);
-
-    const Tensor z_rows = ddim_sample(*unet_, sched_, ctrl, noise, steps, s,
-                                      b, cfg_.prediction);
-
-    // Fold ensemble members back: sequential add then scale, matching the
-    // accumulation order of the single-image loop.
-    Tensor z0;
-    if (ensemble == 1) {
-      z0 = z_rows;
-    } else {
-      std::vector<Tensor> means;
-      means.reserve(idx.size());
-      for (int i = 0; i < n; ++i) {
-        Tensor acc = take_sample(z_rows, i * ensemble);
-        for (int e = 1; e < ensemble; ++e) {
-          acc = add(acc, take_sample(z_rows, i * ensemble + e));
-        }
-        means.push_back(scale(acc, 1.0f / static_cast<float>(ensemble)));
-      }
-      z0 = n == 1 ? means[0] : stack_batch(means);
-    }
-
     Tensor xhat_b;
-    {
-      DCDIFF_TRACE_SPAN("decode");
-      xhat_b = ae_->decode(z0, acfeat);
+    bool planned = false;
+    if (plan_enabled()) {
+      const Status st = planned_group(tilde_b, n, ph, pw, steps, ensemble,
+                                      opts.use_fmpp, noise_seed, &xhat_b);
+      planned = st.is_ok();
+      if (!planned) note_plan_fallback(st);
+    }
+    if (!planned) {
+      // Conditioning runs once per image (batch n); sampling runs on the
+      // folded batch axis of n * ensemble rows, each image's members
+      // adjacent.
+      ControlModule::Features ctrl;
+      ACFeatures acfeat;
+      Tensor s, b;
+      {
+        DCDIFF_TRACE_SPAN("conditioner");
+        ctrl = control_->forward(tilde_b);
+        acfeat = ae_->encode_ac(tilde_b);
+        if (opts.use_fmpp) {
+          const FMPP::Factors f = fmpp_->forward(tilde_b);
+          s = repeat_batch(f.s, ensemble);
+          b = repeat_batch(f.b, ensemble);
+        }
+        if (ensemble > 1) {
+          ctrl.c1 = repeat_batch(ctrl.c1, ensemble);
+          ctrl.c2 = repeat_batch(ctrl.c2, ensemble);
+        }
+      }
+
+      // Noise rows replicate the single-image derivation exactly: each
+      // image draws its ensemble sequence from a fresh Rng(seed ^ tweak),
+      // so row (i, e) here is bitwise the e-th member noise of a lone
+      // reconstruct().
+      const std::vector<int> noise_shape = {1, cfg_.unet.z_channels, ph / 4,
+                                            pw / 4};
+      std::vector<Tensor> noise_rows;
+      noise_rows.reserve(static_cast<size_t>(n) * ensemble);
+      for (int i = 0; i < n; ++i) {
+        Rng rng(noise_seed);
+        for (int e = 0; e < ensemble; ++e) {
+          noise_rows.push_back(randn_like_shape(noise_shape, rng));
+        }
+      }
+      const Tensor noise = noise_rows.size() == 1 ? noise_rows[0]
+                                                  : stack_batch(noise_rows);
+
+      const Tensor z_rows = ddim_sample(*unet_, sched_, ctrl, noise, steps,
+                                        s, b, cfg_.prediction);
+
+      // Fold ensemble members back: sequential add then scale, matching
+      // the accumulation order of the single-image loop.
+      Tensor z0;
+      if (ensemble == 1) {
+        z0 = z_rows;
+      } else {
+        std::vector<Tensor> means;
+        means.reserve(idx.size());
+        for (int i = 0; i < n; ++i) {
+          Tensor acc = take_sample(z_rows, i * ensemble);
+          for (int e = 1; e < ensemble; ++e) {
+            acc = add(acc, take_sample(z_rows, i * ensemble + e));
+          }
+          means.push_back(scale(acc, 1.0f / static_cast<float>(ensemble)));
+        }
+        z0 = n == 1 ? means[0] : stack_batch(means);
+      }
+
+      {
+        DCDIFF_TRACE_SPAN("decode");
+        xhat_b = ae_->decode(z0, acfeat);
+      }
     }
     for (int j = 0; j < n; ++j) {
       const int i = idx[static_cast<size_t>(j)];

@@ -31,6 +31,16 @@ class PackCache;  // packcache.h; held by pointer only
 
 namespace dcdiff::core {
 
+class ReconPlanner;  // recon_plan.h; held by pointer only
+
+// Planned-execution switch. The compiled-graph inference path (see
+// core/recon_plan.h and nn/plan/) is on by default; DCDIFF_PLAN=0 disables
+// it process-wide, leaving the eager tape path (the training-capable escape
+// hatch). set_plan_enabled overrides the env: 1 force-on, 0 force-off, -1
+// return to the env default. Thread-safe.
+bool plan_enabled();
+void set_plan_enabled(int v);
+
 struct DCDiffConfig {
   // Data / JPEG settings.
   int image_size = 64;      // training crop size
@@ -149,6 +159,14 @@ class DCDiffModel {
   DCDiffModel(const DCDiffModel& src, ReplicaTag);
   Sample make_sample(int index) const;
   void check_trainable(const char* what) const;
+  // Planned-execution path for one uniform-size group (`n` images at padded
+  // size ph x pw; `tilde_b` is the stacked (n,3,ph,pw) tilde batch). On
+  // success *xhat holds the decoded (n,3,ph,pw) batch. Any failure — plan
+  // build error, unsupported config — comes back as a typed Status and the
+  // caller falls back to the eager path.
+  Status planned_group(const nn::Tensor& tilde_b, int n, int ph, int pw,
+                       int steps, int ensemble, bool use_fmpp,
+                       uint64_t noise_seed, nn::Tensor* xhat) const;
 
   DCDiffConfig cfg_;
   DiffusionSchedule sched_;
@@ -164,6 +182,10 @@ class DCDiffModel {
   // PackedA weight panels, shared by replicas; bound thread-locally for the
   // duration of each inference call (see nn/packcache.h).
   std::shared_ptr<nn::PackCache> packs_;
+  // Compiled reconstruction plans. Fresh per replica (each serving worker
+  // compiles and owns its plans; the weights and PackedA panels they
+  // reference stay shared through ae_/unet_/.../packs_).
+  std::shared_ptr<ReconPlanner> plans_;
 };
 
 // ----- sender/receiver convenience API -----

@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "nn/plan/builder.h"
+
 namespace dcdiff::nn {
 
 void init_uniform_fan_in(Tensor& t, int fan_in, Rng& rng) {
@@ -23,6 +25,11 @@ void Conv2d::collect(std::vector<Tensor>& out) const {
   out.push_back(b);
 }
 
+plan::TensorId Conv2d::capture(plan::GraphBuilder& g,
+                               plan::TensorId x) const {
+  return g.conv2d(x, w, b, stride, pad);
+}
+
 Linear::Linear(int in, int out_dim, Rng& rng) {
   w = Tensor::zeros({out_dim, in}, /*requires_grad=*/true);
   b = Tensor::zeros({out_dim}, /*requires_grad=*/true);
@@ -35,6 +42,11 @@ void Linear::collect(std::vector<Tensor>& out) const {
   out.push_back(b);
 }
 
+plan::TensorId Linear::capture(plan::GraphBuilder& g,
+                               plan::TensorId x) const {
+  return g.linear(x, w, b);
+}
+
 GroupNorm::GroupNorm(int channels, int groups) : groups(groups) {
   gamma = Tensor::full({channels}, 1.0f, /*requires_grad=*/true);
   beta = Tensor::zeros({channels}, /*requires_grad=*/true);
@@ -43,6 +55,11 @@ GroupNorm::GroupNorm(int channels, int groups) : groups(groups) {
 void GroupNorm::collect(std::vector<Tensor>& out) const {
   out.push_back(gamma);
   out.push_back(beta);
+}
+
+plan::TensorId GroupNorm::capture(plan::GraphBuilder& g,
+                                  plan::TensorId x) const {
+  return g.group_norm(x, gamma, beta, groups);
 }
 
 namespace {
@@ -78,6 +95,20 @@ Tensor ResBlock::operator()(const Tensor& x, const Tensor& temb) const {
   h = conv2(silu(norm2(h)));
   const Tensor skip = has_shortcut ? shortcut(x) : x;
   return add(h, skip);
+}
+
+plan::TensorId ResBlock::capture(plan::GraphBuilder& g, plan::TensorId x,
+                                 plan::TensorId temb_bias) const {
+  plan::TensorId h = conv1.capture(g, g.silu(norm1.capture(g, x)));
+  if (has_temb) {
+    if (temb_bias < 0) {
+      throw std::invalid_argument("ResBlock capture: temb expected");
+    }
+    h = g.add_sample_channel_bias(h, temb_bias);
+  }
+  h = conv2.capture(g, g.silu(norm2.capture(g, h)));
+  const plan::TensorId skip = has_shortcut ? shortcut.capture(g, x) : x;
+  return g.add(h, skip);
 }
 
 void ResBlock::collect(std::vector<Tensor>& out) const {

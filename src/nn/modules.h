@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "nn/ops.h"
+#include "nn/plan/fwd.h"
 #include "nn/rng.h"
 #include "nn/tensor.h"
 
@@ -27,6 +28,8 @@ struct Conv2d {
   Tensor operator()(const Tensor& x) const {
     return conv2d(x, w, b, stride, pad);
   }
+  // Records this layer's forward into a plan graph (see nn/plan/builder.h).
+  plan::TensorId capture(plan::GraphBuilder& g, plan::TensorId x) const;
   void collect(std::vector<Tensor>& out) const;
 };
 
@@ -37,6 +40,7 @@ struct Linear {
   Linear(int in, int out, Rng& rng);
 
   Tensor operator()(const Tensor& x) const { return linear(x, w, b); }
+  plan::TensorId capture(plan::GraphBuilder& g, plan::TensorId x) const;
   void collect(std::vector<Tensor>& out) const;
 };
 
@@ -50,6 +54,7 @@ struct GroupNorm {
   Tensor operator()(const Tensor& x) const {
     return group_norm(x, gamma, beta, groups);
   }
+  plan::TensorId capture(plan::GraphBuilder& g, plan::TensorId x) const;
   void collect(std::vector<Tensor>& out) const;
 };
 
@@ -70,6 +75,11 @@ struct ResBlock {
   // temb: (N, temb_dim) or undefined.
   Tensor operator()(const Tensor& x, const Tensor& temb) const;
   Tensor operator()(const Tensor& x) const { return (*this)(x, Tensor()); }
+  // `temb_bias` is the precomputed temb_proj(silu(temb)) value as a graph
+  // tensor (constant for a fixed timestep), or plan::kNoTensor when the
+  // block has no timestep injection.
+  plan::TensorId capture(plan::GraphBuilder& g, plan::TensorId x,
+                         plan::TensorId temb_bias) const;
   void collect(std::vector<Tensor>& out) const;
 };
 

@@ -1,0 +1,98 @@
+#include "nn/plan/cache.h"
+
+#include <exception>
+#include <utility>
+
+#include "nn/plan/builder.h"
+#include "obs/metrics.h"
+
+namespace dcdiff::nn::plan {
+
+Status PlanCache::get_or_build(const std::string& key,
+                               const CaptureFn& capture, PackCache* packs,
+                               std::shared_ptr<const Plan>* out) {
+  static obs::Counter& hits = obs::counter("plan.cache_hits");
+  static obs::Counter& builds = obs::counter("plan.builds");
+  static obs::Counter& failures = obs::counter("plan.build_failures");
+  static obs::Counter& evictions = obs::counter("plan.evictions");
+  static obs::Gauge& arena_bytes = obs::gauge("plan.arena_bytes");
+  static obs::Gauge& fused = obs::gauge("plan.fused_ops");
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = plans_.find(key);
+    if (it != plans_.end()) {
+      hits.inc();
+      *out = it->second;
+      return Status::ok();
+    }
+  }
+  // Build outside the lock: capture replays the full forward (DDIM steps x
+  // ensemble unrolled) and packs weights, which can take a moment.
+  std::shared_ptr<const Plan> plan;
+  try {
+    Graph g;
+    GraphBuilder builder(&g);
+    capture(builder);
+    plan = std::make_shared<const Plan>(std::move(g), packs);
+  } catch (const std::invalid_argument& e) {
+    failures.inc();
+    return Status::invalid_argument(std::string("plan build: ") + e.what());
+  } catch (const std::exception& e) {
+    failures.inc();
+    return Status::internal(std::string("plan build: ") + e.what());
+  }
+  builds.inc();
+  arena_bytes.set_max(
+      static_cast<double>(plan->arena_floats() * sizeof(float)));
+  fused.set_max(static_cast<double>(plan->fusion_stats().ops_before -
+                                    plan->fusion_stats().ops_after));
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto [it, inserted] = plans_.emplace(key, plan);
+    if (!inserted) {
+      it->second = plan;  // concurrent build of the same key: last wins
+    } else {
+      order_.push_back(key);
+      while (order_.size() > kMaxPlans) {
+        plans_.erase(order_.front());
+        order_.pop_front();
+        evictions.inc();
+      }
+    }
+  }
+  *out = std::move(plan);
+  return Status::ok();
+}
+
+PlanCache::ArenaLease PlanCache::arena_for(const Plan& plan) {
+  static obs::Counter& arena_allocs = obs::counter("plan.arena_allocs");
+  const size_t floats = plan.arena_floats();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = arena_pool_.find(floats);
+    if (it != arena_pool_.end() && !it->second.empty()) {
+      std::unique_ptr<ExecArena> arena = std::move(it->second.back());
+      it->second.pop_back();
+      return ArenaLease(this, std::move(arena), /*allocated=*/false);
+    }
+  }
+  arena_allocs.inc();
+  return ArenaLease(this, std::make_unique<ExecArena>(floats),
+                    /*allocated=*/true);
+}
+
+PlanCache::ArenaLease::~ArenaLease() {
+  if (cache_ && arena_) cache_->release_arena(std::move(arena_));
+}
+
+void PlanCache::release_arena(std::unique_ptr<ExecArena> arena) {
+  std::lock_guard<std::mutex> lock(mu_);
+  arena_pool_[arena->floats()].push_back(std::move(arena));
+}
+
+size_t PlanCache::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return plans_.size();
+}
+
+}  // namespace dcdiff::nn::plan

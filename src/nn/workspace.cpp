@@ -1,6 +1,7 @@
 #include "nn/workspace.h"
 
 #include <algorithm>
+#include <atomic>
 
 #include "obs/metrics.h"
 
@@ -15,7 +16,13 @@ size_t round_up(size_t n, size_t align) {
   return (n + align - 1) / align * align;
 }
 
+std::atomic<size_t> g_total_blocks{0};
+
 }  // namespace
+
+size_t Workspace::total_blocks_allocated() {
+  return g_total_blocks.load(std::memory_order_relaxed);
+}
 
 Workspace& Workspace::tls() {
   thread_local Workspace ws;
@@ -42,9 +49,13 @@ void* Workspace::alloc_bytes(size_t bytes) {
     b.cap = cap;
     blocks_.push_back(std::move(b));
     reserved_ += cap;
+    g_total_blocks.fetch_add(1, std::memory_order_relaxed);
     static obs::Counter& reserved =
         obs::counter("nn.workspace.bytes_reserved");
     reserved.inc(static_cast<uint64_t>(cap));
+    static obs::Counter& block_allocs =
+        obs::counter("nn.workspace.block_allocs");
+    block_allocs.inc();
   }
   Block& blk = blocks_[active_];
   auto base = reinterpret_cast<uintptr_t>(blk.data.get());
