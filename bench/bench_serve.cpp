@@ -41,6 +41,15 @@
 // planned-vs-eager (1e-4; in practice bit-identical on this config) and the
 // sweep is written to BENCH_pr8.json with a >= 1.3x planned-vs-eager gate
 // on the serial path. Diff two runs with scripts/bench_compare.py --plan.
+//
+// Anytime sweep (PR 9): `--anytime` plays a mixed QoS workload (latency-tier
+// requests carrying a per-point deadline, quality-tier requests without)
+// against the degraded-service server (min_steps=1) across deadline
+// tightness levels, recording degraded share and per-tier p99 e2e into
+// BENCH_pr9.json. The enforced gate: every request is answered with a valid
+// image — a deadline firing mid-queue or mid-sampling yields a coarser
+// kDegraded image, never kDeadlineExceeded. Diff runs with
+// scripts/bench_compare.py --anytime.
 #include <algorithm>
 #include <chrono>
 #include <cmath>
@@ -159,11 +168,13 @@ MethodResult run_served(const std::vector<Image>& originals,
   std::vector<std::future<serve::Result>> futs;
   futs.reserve(bitstreams.size());
   for (const auto& bytes : bitstreams) {
-    futs.push_back(session.submit(bytes));
+    serve::ReconstructRequest req;
+    req.jfif = bytes;
+    futs.push_back(session.submit_future(req));
   }
   for (size_t i = 0; i < futs.size(); ++i) {
     serve::Result res = futs[i].get();
-    if (!res.status.is_ok()) {
+    if (res.outcome != serve::Outcome::kComplete) {
       std::fprintf(stderr, "%s: request %zu failed: %s\n", method, i,
                    res.status.to_string().c_str());
       *ok = false;
@@ -276,12 +287,16 @@ SweepPoint run_sweep_point(const std::vector<std::vector<uint8_t>>& bitstreams,
     const double t0 = now_seconds();
     std::vector<std::future<serve::Result>> futs;
     futs.reserve(bitstreams.size());
-    for (const auto& bytes : bitstreams) futs.push_back(session.submit(bytes));
+    for (const auto& bytes : bitstreams) {
+      serve::ReconstructRequest req;
+      req.jfif = bytes;
+      futs.push_back(session.submit_future(req));
+    }
     std::vector<Image> images(bitstreams.size());
     std::vector<double> e2e(bitstreams.size());
     for (size_t i = 0; i < futs.size(); ++i) {
       serve::Result res = futs[i].get();
-      if (!res.status.is_ok()) {
+      if (res.outcome != serve::Outcome::kComplete) {
         std::fprintf(stderr, "workers=%d: request %zu failed: %s\n", workers,
                      i, res.status.to_string().c_str());
         *ok = false;
@@ -451,12 +466,192 @@ int run_plan_bench(const std::string& out_path) {
   return 0;
 }
 
+// ---- anytime / degraded-service sweep (PR 9) ----
+
+struct AnytimePoint {
+  int deadline_ms = 0;  // latency-tier deadline (0 = none)
+  int complete = 0;
+  int degraded = 0;
+  int rejected = 0;
+  double degraded_share = 0;  // degraded / (complete + degraded)
+  double p99_latency_ms = 0;  // e2e p99 over the kLatency tier
+  double p99_quality_ms = 0;  // e2e p99 over the kQuality tier
+};
+
+// One sweep point: all requests in flight at once; even-indexed requests are
+// QosTier::kLatency with `deadline_ms` (the anytime path's customers),
+// odd-indexed are kQuality with no deadline. The server runs with the
+// default min_steps=1 degraded-service floor, so a missed deadline must come
+// back as a valid coarser image — any kDeadlineExceeded clears *ok.
+AnytimePoint run_anytime_point(
+    const std::vector<std::vector<uint8_t>>& bitstreams,
+    std::shared_ptr<const core::DCDiffModel> model,
+    const serve::ServerConfig& cfg, int deadline_ms, bool* ok) {
+  AnytimePoint p;
+  p.deadline_ms = deadline_ms;
+  serve::ReceiverServer server(cfg, std::move(model));
+  serve::Session session = server.open_session();
+  std::vector<std::future<serve::Result>> futs;
+  futs.reserve(bitstreams.size());
+  for (size_t i = 0; i < bitstreams.size(); ++i) {
+    serve::ReconstructRequest req;
+    req.jfif = bitstreams[i];
+    if (i % 2 == 0) {
+      req.tier = serve::QosTier::kLatency;
+      req.deadline_ms = deadline_ms;
+    }
+    futs.push_back(session.submit_future(req));
+  }
+  std::vector<double> e2e_latency, e2e_quality;
+  for (size_t i = 0; i < futs.size(); ++i) {
+    serve::Result res = futs[i].get();
+    switch (res.outcome) {
+      case serve::Outcome::kComplete:
+        ++p.complete;
+        break;
+      case serve::Outcome::kDegraded:
+        ++p.degraded;
+        break;
+      case serve::Outcome::kRejected:
+        ++p.rejected;
+        std::fprintf(stderr, "anytime deadline=%d: request %zu rejected: %s\n",
+                     deadline_ms, i, res.status.to_string().c_str());
+        *ok = false;
+        continue;
+    }
+    if (res.status.code() == StatusCode::kDeadlineExceeded) *ok = false;
+    if (res.image.empty()) {
+      std::fprintf(stderr,
+                   "anytime deadline=%d: request %zu returned no image\n",
+                   deadline_ms, i);
+      *ok = false;
+    }
+    (i % 2 == 0 ? e2e_latency : e2e_quality).push_back(res.e2e_seconds);
+  }
+  const int served = p.complete + p.degraded;
+  p.degraded_share =
+      served > 0 ? static_cast<double>(p.degraded) / served : 0.0;
+  p.p99_latency_ms = exact_percentile_ms(e2e_latency, 0.99);
+  p.p99_quality_ms = exact_percentile_ms(e2e_quality, 0.99);
+  return p;
+}
+
+int run_anytime_bench(const std::string& out_path) {
+  bench::print_header(
+      "bench_serve --anytime: deadline-degraded (anytime) serving");
+
+  constexpr int kImages = 12;
+  constexpr int kMaxBatch = 4;
+
+  auto model = core::ModelPool::instance().get(fast_config());
+  const int size = 2 * model->config().image_size;
+  std::vector<std::vector<uint8_t>> bitstreams;
+  for (int i = 0; i < kImages; ++i) {
+    const Image img = data::dataset_image(data::DatasetId::kKodak, i, size);
+    bitstreams.push_back(core::sender_encode(img).bytes);
+  }
+  (void)core::receiver_reconstruct(bitstreams[0], *model);  // warm
+
+  serve::ServerConfig cfg;
+  cfg.max_batch = kMaxBatch;
+  cfg.batch_timeout_ms = 2;
+  cfg.queue_capacity = kImages;
+  cfg.workers = 1;
+  cfg.min_steps = 1;  // degraded service on (the default, made explicit)
+
+  // Calibrate the "tight" deadline from one warm request so the sweep
+  // stresses the mid-queue/mid-batch expiry paths on fast and slow hosts
+  // alike: full_ms ~ one uncontended reconstruction.
+  double full_ms;
+  {
+    serve::ReceiverServer server(cfg, model);
+    serve::Session session = server.open_session();
+    serve::ReconstructRequest req;
+    req.jfif = bitstreams[0];
+    const serve::Result r = session.reconstruct(req);
+    if (r.outcome != serve::Outcome::kComplete) {
+      std::fprintf(stderr, "anytime: warm request failed: %s\n",
+                   r.status.to_string().c_str());
+      return 1;
+    }
+    full_ms = 1e3 * r.e2e_seconds;
+  }
+  const int tight = std::max(1, static_cast<int>(full_ms / 4));
+  const int loose = std::max(2, static_cast<int>(full_ms * kImages * 4));
+  const int deadlines[] = {0, loose, 4 * tight, tight};
+
+  bool ok = true;
+  std::vector<AnytimePoint> sweep;
+  std::printf("%-12s %9s %9s %9s %15s %13s %13s\n", "deadline_ms", "complete",
+              "degraded", "rejected", "degraded_share", "p99_lat (ms)",
+              "p99_qual (ms)");
+  for (const int d : deadlines) {
+    const AnytimePoint p = run_anytime_point(bitstreams, model, cfg, d, &ok);
+    std::printf("%-12d %9d %9d %9d %14.1f%% %13.1f %13.1f\n", p.deadline_ms,
+                p.complete, p.degraded, p.rejected, 1e2 * p.degraded_share,
+                p.p99_latency_ms, p.p99_quality_ms);
+    sweep.push_back(p);
+  }
+
+  const int host_cores =
+      std::max(1, static_cast<int>(std::thread::hardware_concurrency()));
+  std::FILE* jf = std::fopen(out_path.c_str(), "w");
+  if (jf == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
+    return 1;
+  }
+#ifndef DCDIFF_GIT_SHA
+#define DCDIFF_GIT_SHA "unknown"
+#endif
+#ifndef DCDIFF_BUILD_TYPE
+#define DCDIFF_BUILD_TYPE "unknown"
+#endif
+  std::fprintf(jf,
+               "{\n  \"bench\": \"serve_anytime\",\n"
+               "  \"host_cores\": %d,\n  \"images\": %d,\n"
+               "  \"max_batch\": %d,\n  \"min_steps\": %d,\n"
+               "  \"provenance\": {\"git_sha\": \"%s\", "
+               "\"build_type\": \"%s\", \"env\": {%s}},\n"
+               "  \"sweep\": [\n",
+               host_cores, kImages, kMaxBatch, cfg.min_steps, DCDIFF_GIT_SHA,
+               DCDIFF_BUILD_TYPE, dcdiff_env_json().c_str());
+  for (size_t i = 0; i < sweep.size(); ++i) {
+    const AnytimePoint& p = sweep[i];
+    std::fprintf(jf,
+                 "    {\"deadline_ms\": %d, \"complete\": %d, "
+                 "\"degraded\": %d, \"rejected\": %d, "
+                 "\"degraded_share\": %.4f, \"p99_latency_tier_ms\": %.3f, "
+                 "\"p99_quality_tier_ms\": %.3f}%s\n",
+                 p.deadline_ms, p.complete, p.degraded, p.rejected,
+                 p.degraded_share, p.p99_latency_ms, p.p99_quality_ms,
+                 i + 1 < sweep.size() ? "," : "");
+  }
+  std::fprintf(jf,
+               "  ],\n  \"win_condition\": {\"required\": "
+               "\"every request answered with an image; no "
+               "kDeadlineExceeded\", \"enforced\": true, \"met\": %s}\n}\n",
+               ok ? "true" : "false");
+  std::fclose(jf);
+  std::printf("wrote %s\n", out_path.c_str());
+
+  if (!ok) {
+    std::fprintf(stderr,
+                 "FAIL: a deadlined request was not answered through the "
+                 "degraded path\n");
+    return 1;
+  }
+  std::printf("all deadlined requests answered with valid images "
+              "(degraded service)\n");
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   std::vector<int> worker_sweep = {1, 2, 4};
   std::string out_path;
   bool plan_mode = false;
+  bool anytime_mode = false;
   for (int a = 1; a < argc; ++a) {
     if (std::strcmp(argv[a], "--workers") == 0 && a + 1 < argc) {
       worker_sweep = parse_worker_list(argv[++a]);
@@ -464,15 +659,21 @@ int main(int argc, char** argv) {
       out_path = argv[++a];
     } else if (std::strcmp(argv[a], "--plan") == 0) {
       plan_mode = true;
+    } else if (std::strcmp(argv[a], "--anytime") == 0) {
+      anytime_mode = true;
     } else {
       std::fprintf(stderr,
-                   "usage: %s [--workers 1,2,4] [--plan] [--out BENCH.json]\n",
+                   "usage: %s [--workers 1,2,4] [--plan] [--anytime] "
+                   "[--out BENCH.json]\n",
                    argv[0]);
       return 2;
     }
   }
   if (plan_mode) {
     return run_plan_bench(out_path.empty() ? "BENCH_pr8.json" : out_path);
+  }
+  if (anytime_mode) {
+    return run_anytime_bench(out_path.empty() ? "BENCH_pr9.json" : out_path);
   }
   if (out_path.empty()) out_path = "BENCH_pr5.json";
   // Speedups are relative to one worker; make sure the baseline is swept.

@@ -26,6 +26,15 @@ to the baseline; the planned-vs-eager serial speedup of both reports is
 printed, and the candidate failing its own >= 1.3x win condition is a
 regression regardless of the baseline.
 
+--anytime compares bench_serve --anytime reports (deadline-degraded
+serving): sweep points are matched by deadline_ms. A point regresses when
+either per-tier p99 (p99_latency_tier_ms / p99_quality_tier_ms) rises by
+more than --max-regression-pct relative to the baseline; degraded_share is
+printed for context (it is a policy outcome, not a regression axis). The
+candidate failing its own enforced win condition — every request answered
+with an image, no kDeadlineExceeded — is a regression regardless of the
+baseline.
+
 --coding compares bench_ablation_coding reports: records are matched by
 (dataset, image). A record regresses when the candidate's bpp_cm rises by
 more than --max-regression-pct relative to the baseline — the context-mixing
@@ -189,6 +198,55 @@ def compare_plan(baseline, candidate, max_pct):
     return EXIT_OK
 
 
+def compare_anytime(baseline, candidate, max_pct):
+    base_points = {p["deadline_ms"]: p for p in baseline["sweep"]}
+    cand_points = {p["deadline_ms"]: p for p in candidate["sweep"]}
+    shared = sorted(set(base_points) & set(cand_points))
+    if not shared:
+        # Deadlines are calibrated from a warm request, so a host-speed
+        # change can shift every sweep point; that is a comparability gap,
+        # not a regression.
+        print("bench_compare: SKIP — no common deadline_ms points between "
+              "the sweeps (calibrated deadlines moved)", file=sys.stderr)
+        return EXIT_SKIP
+
+    failures = []
+    print(f"{'deadline_ms':>11} {'metric':>20} {'baseline':>10} "
+          f"{'candidate':>10} {'change':>8}")
+    for d in shared:
+        b, c = base_points[d], cand_points[d]
+        for metric in ("p99_latency_tier_ms", "p99_quality_tier_ms"):
+            mb, mc = b.get(metric), c.get(metric)
+            if mb is None or mc is None:
+                continue
+            change = pct_change(mb, mc)
+            flag = ""
+            if change > max_pct:
+                flag = "  REGRESSION"
+                failures.append(
+                    f"deadline_ms={d}: {metric} {mb:.3f} -> {mc:.3f} "
+                    f"({change:+.1f}%, limit +{max_pct:.1f}%)")
+            print(f"{d:>11} {metric:>20} {mb:>10.3f} {mc:>10.3f} "
+                  f"{change:>+7.1f}%{flag}")
+        print(f"{d:>11} {'degraded_share':>20} "
+              f"{b.get('degraded_share', 0.0):>10.2f} "
+              f"{c.get('degraded_share', 0.0):>10.2f}")
+
+    win = candidate.get("win_condition") or {}
+    if win.get("enforced") and not win.get("met"):
+        failures.append(
+            f"candidate misses its own win condition: {win.get('required')}")
+
+    if failures:
+        print("\nbench_compare: FAIL", file=sys.stderr)
+        for f in failures:
+            print(f"  {f}", file=sys.stderr)
+        return EXIT_REGRESSION
+    print(f"\nbench_compare: OK ({len(shared)} point(s) within "
+          f"{max_pct:.1f}%)")
+    return EXIT_OK
+
+
 def compare_coding(baseline, candidate, max_pct):
     base_recs = {(r["dataset"], r["image"]): r for r in baseline["records"]}
     cand_recs = {(r["dataset"], r["image"]): r for r in candidate["records"]}
@@ -256,6 +314,10 @@ def main():
     ap.add_argument("--plan", action="store_true",
                     help="compare bench_serve --plan reports (compiled plan "
                          "vs eager tape) instead of worker sweeps")
+    ap.add_argument("--anytime", action="store_true",
+                    help="compare bench_serve --anytime reports (deadline "
+                         "sweep: per-tier p99 + degraded_share) instead of "
+                         "worker sweeps")
     ap.add_argument("--max-regression-pct", type=float, default=15.0,
                     help="allowed regression in images_per_sec (drop), "
                          "p99_e2e_ms (rise), or with --coding bpp_cm (rise), "
@@ -263,13 +325,15 @@ def main():
     args = ap.parse_args()
     if bool(args.candidate) == bool(args.bench):
         ap.error("pass exactly one of CANDIDATE or --bench")
-    if args.coding and args.plan:
-        ap.error("--coding and --plan are mutually exclusive")
+    if sum([args.coding, args.plan, args.anytime]) > 1:
+        ap.error("--coding, --plan, and --anytime are mutually exclusive")
 
     if args.coding:
         kind = ("ablation_coding", "records")
     elif args.plan:
         kind = ("plan_modes", "sweep")
+    elif args.anytime:
+        kind = ("serve_anytime", "sweep")
     else:
         kind = ("serve_workers", "sweep")
     baseline = load_report(args.baseline, *kind)
@@ -279,8 +343,9 @@ def main():
         if args.bench:
             fd, tmp = tempfile.mkstemp(prefix="bench_compare_", suffix=".json")
             os.close(fd)
-            cmd = [args.bench] + (["--plan"] if args.plan else []) + \
-                ["--out", tmp]
+            mode = (["--plan"] if args.plan else
+                    ["--anytime"] if args.anytime else [])
+            cmd = [args.bench] + mode + ["--out", tmp]
             print(f"bench_compare: running {' '.join(cmd)}")
             proc = subprocess.run(cmd)
             # The bench binaries exit non-zero when their own win-condition
@@ -316,6 +381,9 @@ def main():
 
         if args.plan:
             return compare_plan(baseline, candidate, args.max_regression_pct)
+        if args.anytime:
+            return compare_anytime(baseline, candidate,
+                                   args.max_regression_pct)
         return compare(baseline, candidate, args.max_regression_pct)
     finally:
         if tmp:

@@ -14,6 +14,12 @@
 # under concurrent submits, so ASan/UBSan validate the liveness-assigned
 # arena slicing and TSan the sharded servers' per-replica plan reuse.
 #
+# test_serve_anytime and test_tiling ride the same label: the first drives
+# the ResultStream channel (bounded drop-oldest buffer, terminal promise)
+# and progressive delivery from 3 workers — the producer/consumer pairing
+# TSan exists for — and the second fans MCU-aligned tile sub-requests out
+# across a 3-worker server and stitches them back under load.
+#
 # Usage: scripts/sanitize_smoke.sh [tsan|sanitize]   (default: both)
 set -euo pipefail
 cd "$(dirname "$0")/.."

@@ -254,6 +254,17 @@ Tensor ddim_sample(const UNet& unet, const DiffusionSchedule& sched,
                    const ControlModule::Features& ctrl, const Tensor& noise,
                    int steps, const Tensor& s, const Tensor& b,
                    Prediction prediction) {
+  return ddim_sample_checkpointed(unet, sched, ctrl, noise, steps, s, b,
+                                  prediction, DdimCheckpointFn());
+}
+
+Tensor ddim_sample_checkpointed(const UNet& unet,
+                                const DiffusionSchedule& sched,
+                                const ControlModule::Features& ctrl,
+                                const Tensor& noise, int steps,
+                                const Tensor& s, const Tensor& b,
+                                Prediction prediction,
+                                const DdimCheckpointFn& on_checkpoint) {
   NoGradGuard no_grad;
   DCDIFF_TRACE_SPAN("ddim_sample");
   const int n = noise.dim(0);
@@ -292,6 +303,9 @@ Tensor ddim_sample(const UNet& unet, const DiffusionSchedule& sched,
     }
     // Latents are tanh-bounded by the DC encoder; clamp the estimate.
     for (float& v : z0.value()) v = std::clamp(v, -1.2f, 1.2f);
+    // The clamped z0 is a valid decodable checkpoint; let the caller look at
+    // it (and possibly stop) before the state update touches anything.
+    if (on_checkpoint && !on_checkpoint(z0, steps - k)) return z0;
     if (prediction == Prediction::kX0) eps = eps_from_z0(z, z0, sched, tvec);
     if (k == 0) {
       z = z0;

@@ -4,6 +4,7 @@
 // modulation (per-sample backbone/skip scale factors s and b).
 #pragma once
 
+#include <functional>
 #include <utility>
 #include <vector>
 
@@ -109,6 +110,27 @@ nn::Tensor ddim_sample(const UNet& unet, const DiffusionSchedule& sched,
                        const nn::Tensor& s = nn::Tensor(),
                        const nn::Tensor& b = nn::Tensor(),
                        Prediction prediction = Prediction::kEps);
+
+// Checkpoint hook for anytime sampling: invoked once per completed DDIM step
+// with the current clamped z0 estimate — a decodable (coarser) latent — and
+// the number of steps finished so far (1..steps). Return true to keep
+// sampling, false to stop early; the sampler then returns that checkpoint
+// as its result. A run whose hook always returns true is bit-identical to
+// ddim_sample: the hook observes z0 between the existing update statements
+// and perturbs no arithmetic.
+using DdimCheckpointFn = std::function<bool(const nn::Tensor& z0,
+                                            int steps_done)>;
+
+// ddim_sample with a per-step checkpoint hook (anytime / early-exit
+// sampling). `on_checkpoint` may be empty, in which case this is exactly
+// ddim_sample.
+nn::Tensor ddim_sample_checkpointed(const UNet& unet,
+                                    const DiffusionSchedule& sched,
+                                    const ControlModule::Features& ctrl,
+                                    const nn::Tensor& noise, int steps,
+                                    const nn::Tensor& s, const nn::Tensor& b,
+                                    Prediction prediction,
+                                    const DdimCheckpointFn& on_checkpoint);
 
 // Plan capture of ddim_sample: unrolls the `steps` DDIM updates into the
 // graph with the same arithmetic as the eager loop. The per-step

@@ -121,6 +121,32 @@ Tensor randn_like_shape(std::vector<int> shape, Rng& rng) {
   return Tensor::from_data(std::move(shape), std::move(data));
 }
 
+// Coordinate-seeded noise field (ReconstructOptions::coord_noise): the
+// sample at absolute latent coordinate (c, y0 + y, x0 + x) for ensemble
+// member `e` depends only on those coordinates and the seed, so the noise
+// of a crop equals the same crop of the full field — the property tiled
+// sampling needs to be comparable with an untiled run.
+Tensor coord_noise_field(uint64_t seed, int e, int ch, int h, int w, int y0,
+                         int x0) {
+  std::vector<float> data(static_cast<size_t>(ch) * static_cast<size_t>(h) *
+                          static_cast<size_t>(w));
+  size_t idx = 0;
+  for (int c = 0; c < ch; ++c) {
+    for (int y = 0; y < h; ++y) {
+      for (int x = 0; x < w; ++x) {
+        const uint64_t key =
+            (static_cast<uint64_t>(static_cast<uint32_t>(e)) << 56) ^
+            (static_cast<uint64_t>(static_cast<uint32_t>(c)) << 48) ^
+            (static_cast<uint64_t>(static_cast<uint32_t>(y0 + y)) << 24) ^
+            static_cast<uint64_t>(static_cast<uint32_t>(x0 + x));
+        Rng rng(seed ^ (key * 0x9E3779B97F4A7C15ull + 0xD6E8FEB86659FD93ull));
+        data[idx++] = rng.normal();
+      }
+    }
+  }
+  return Tensor::from_data({1, ch, h, w}, std::move(data));
+}
+
 void set_requires_grad(const std::vector<Tensor>& params, bool value) {
   for (Tensor p : params) p.set_requires_grad(value);
 }
@@ -473,7 +499,9 @@ Image DCDiffModel::reconstruct(const jpeg::CoeffImage& dropped,
 
   Tensor xhat_t;
   bool planned = false;
-  if (plan_enabled()) {
+  // Plans bake the sequential noise stream; coordinate-seeded noise runs
+  // eagerly.
+  if (plan_enabled() && !opts.coord_noise) {
     const Status st =
         planned_group(tilde_t, 1, tilde.height(), tilde.width(), steps,
                       ensemble, opts.use_fmpp, noise_seed, &xhat_t);
@@ -501,9 +529,13 @@ Image DCDiffModel::reconstruct(const jpeg::CoeffImage& dropped,
       static obs::Histogram& member_lat =
           obs::histogram("core.ensemble.member_seconds");
       obs::ScopedLatency member_timer(member_lat);
-      const Tensor noise = randn_like_shape(
-          {1, cfg_.unet.z_channels, tilde.height() / 4, tilde.width() / 4},
-          rng);
+      const Tensor noise =
+          opts.coord_noise
+              ? coord_noise_field(noise_seed, e, cfg_.unet.z_channels,
+                                  tilde.height() / 4, tilde.width() / 4, 0, 0)
+              : randn_like_shape({1, cfg_.unet.z_channels, tilde.height() / 4,
+                                  tilde.width() / 4},
+                                 rng);
       const Tensor sample = ddim_sample(*unet_, sched_, ctrl, noise, steps,
                                         s, b, cfg_.prediction);
       z0 = e == 0 ? sample : add(z0, sample);
@@ -515,19 +547,11 @@ Image DCDiffModel::reconstruct(const jpeg::CoeffImage& dropped,
     }
   }
   Image rgb = tensor_to_rgb(xhat_t);
-  rgb = anchor_to_corners(rgb, tilde);
+  if (opts.postprocess) rgb = anchor_to_corners(rgb, tilde);
   if (rgb.width() != dropped.width || rgb.height() != dropped.height) {
     rgb = crop(rgb, 0, 0, dropped.width, dropped.height);
   }
-  return project_onto_known_ac(rgb, dropped);
-}
-
-Image DCDiffModel::reconstruct(const jpeg::CoeffImage& dropped, bool use_fmpp,
-                               int ddim_steps) const {
-  ReconstructOptions opts;
-  opts.use_fmpp = use_fmpp;
-  opts.ddim_steps = ddim_steps;
-  return reconstruct(dropped, opts);
+  return opts.postprocess ? project_onto_known_ac(rgb, dropped) : rgb;
 }
 
 std::vector<Image> DCDiffModel::reconstruct_batch(
@@ -591,7 +615,7 @@ std::vector<Image> DCDiffModel::reconstruct_batch(
 
     Tensor xhat_b;
     bool planned = false;
-    if (plan_enabled()) {
+    if (plan_enabled() && !opts.coord_noise) {
       const Status st = planned_group(tilde_b, n, ph, pw, steps, ensemble,
                                       opts.use_fmpp, noise_seed, &xhat_b);
       planned = st.is_ok();
@@ -630,7 +654,11 @@ std::vector<Image> DCDiffModel::reconstruct_batch(
       for (int i = 0; i < n; ++i) {
         Rng rng(noise_seed);
         for (int e = 0; e < ensemble; ++e) {
-          noise_rows.push_back(randn_like_shape(noise_shape, rng));
+          noise_rows.push_back(
+              opts.coord_noise
+                  ? coord_noise_field(noise_seed, e, cfg_.unet.z_channels,
+                                      ph / 4, pw / 4, 0, 0)
+                  : randn_like_shape(noise_shape, rng));
         }
       }
       const Tensor noise = noise_rows.size() == 1 ? noise_rows[0]
@@ -666,11 +694,14 @@ std::vector<Image> DCDiffModel::reconstruct_batch(
       const int i = idx[static_cast<size_t>(j)];
       const jpeg::CoeffImage& ci = *dropped[static_cast<size_t>(i)];
       Image rgb = tensor_to_rgb(n == 1 ? xhat_b : take_sample(xhat_b, j));
-      rgb = anchor_to_corners(rgb, tildes[static_cast<size_t>(i)]);
+      if (opts.postprocess) {
+        rgb = anchor_to_corners(rgb, tildes[static_cast<size_t>(i)]);
+      }
       if (rgb.width() != ci.width || rgb.height() != ci.height) {
         rgb = crop(rgb, 0, 0, ci.width, ci.height);
       }
-      results[static_cast<size_t>(i)] = project_onto_known_ac(rgb, ci);
+      results[static_cast<size_t>(i)] =
+          opts.postprocess ? project_onto_known_ac(rgb, ci) : rgb;
     }
   }
   return results;
@@ -683,6 +714,201 @@ std::vector<Image> DCDiffModel::reconstruct_batch(
   ptrs.reserve(dropped.size());
   for (const auto& d : dropped) ptrs.push_back(&d);
   return reconstruct_batch(ptrs, opts);
+}
+
+AnytimeResult DCDiffModel::reconstruct_batch_anytime(
+    const std::vector<AnytimeItem>& items, const ReconstructOptions& opts,
+    const AnytimeControl& ctrl) const {
+  NoGradGuard no_grad;
+  nn::PackCacheBinding packs(packs_.get());
+  DCDIFF_TRACE_SPAN("reconstruct_anytime");
+  static obs::Histogram& lat = obs::histogram("core.reconstruct_seconds");
+  obs::ScopedLatency timer(lat);
+  static obs::Counter& images_c = obs::counter("core.reconstruct.images");
+  static obs::Counter& checkpoints_c =
+      obs::counter("core.anytime.checkpoints");
+  static obs::Counter& partials_c = obs::counter("core.anytime.partials");
+  static obs::Counter& early_exits_c =
+      obs::counter("core.anytime.early_exits");
+  AnytimeResult out;
+  const int total = static_cast<int>(items.size());
+  if (total == 0) return out;
+  images_c.inc(static_cast<uint64_t>(total));
+  out.images.resize(static_cast<size_t>(total));
+  out.steps_done.assign(static_cast<size_t>(total), 0);
+
+  const int steps = opts.ddim_steps > 0 ? opts.ddim_steps : cfg_.ddim_steps;
+  const int ensemble =
+      opts.ensemble > 0 ? opts.ensemble : std::max(1, cfg_.sample_ensemble);
+  const uint64_t noise_seed = (opts.seed ? opts.seed : cfg_.seed) ^ 0x5A3D1Eull;
+
+  // Same size-grouping as reconstruct_batch: uniform padded shape per group.
+  std::vector<Image> tildes(static_cast<size_t>(total));
+  std::vector<std::pair<int, int>> sizes(static_cast<size_t>(total));
+  for (int i = 0; i < total; ++i) {
+    tildes[static_cast<size_t>(i)] = pad_to_multiple(
+        jpeg::tilde_image(*items[static_cast<size_t>(i)].coeffs), 8);
+    sizes[static_cast<size_t>(i)] = {tildes[static_cast<size_t>(i)].height(),
+                                     tildes[static_cast<size_t>(i)].width()};
+  }
+  std::vector<std::pair<std::pair<int, int>, std::vector<int>>> groups;
+  for (int i = 0; i < total; ++i) {
+    auto it = std::find_if(groups.begin(), groups.end(), [&](const auto& g) {
+      return g.first == sizes[static_cast<size_t>(i)];
+    });
+    if (it == groups.end()) {
+      groups.push_back({sizes[static_cast<size_t>(i)], {i}});
+    } else {
+      it->second.push_back(i);
+    }
+  }
+
+  for (const auto& group : groups) {
+    const std::vector<int>& idx = group.second;
+    const int n = static_cast<int>(idx.size());
+    const int ph = group.first.first, pw = group.first.second;
+
+    std::vector<Tensor> tilde_ts;
+    tilde_ts.reserve(idx.size());
+    for (int i : idx) {
+      tilde_ts.push_back(tilde_to_tensor(tildes[static_cast<size_t>(i)]));
+    }
+    const Tensor tilde_b = n == 1 ? tilde_ts[0] : stack_batch(tilde_ts);
+
+    // Conditioning identical to the eager reconstruct_batch path.
+    ControlModule::Features cond;
+    ACFeatures acfeat;
+    Tensor s, b;
+    {
+      DCDIFF_TRACE_SPAN("conditioner");
+      cond = control_->forward(tilde_b);
+      acfeat = ae_->encode_ac(tilde_b);
+      if (opts.use_fmpp) {
+        const FMPP::Factors f = fmpp_->forward(tilde_b);
+        s = repeat_batch(f.s, ensemble);
+        b = repeat_batch(f.b, ensemble);
+      }
+      if (ensemble > 1) {
+        cond.c1 = repeat_batch(cond.c1, ensemble);
+        cond.c2 = repeat_batch(cond.c2, ensemble);
+      }
+    }
+
+    const std::vector<int> noise_shape = {1, cfg_.unet.z_channels, ph / 4,
+                                          pw / 4};
+    std::vector<Tensor> noise_rows;
+    noise_rows.reserve(static_cast<size_t>(n) * ensemble);
+    for (int j = 0; j < n; ++j) {
+      const AnytimeItem& item = items[static_cast<size_t>(idx[static_cast<size_t>(j)])];
+      Rng rng(noise_seed);
+      for (int e = 0; e < ensemble; ++e) {
+        noise_rows.push_back(
+            opts.coord_noise
+                ? coord_noise_field(noise_seed, e, cfg_.unet.z_channels,
+                                    ph / 4, pw / 4, item.noise_y0,
+                                    item.noise_x0)
+                : randn_like_shape(noise_shape, rng));
+      }
+    }
+    const Tensor noise =
+        noise_rows.size() == 1 ? noise_rows[0] : stack_batch(noise_rows);
+
+    // Folds the (n * ensemble)-row latent back to one row per item, in the
+    // same accumulation order as the terminal fold (bit-compat).
+    auto fold_rows = [&](const Tensor& rows) {
+      if (ensemble == 1) return rows;
+      std::vector<Tensor> means;
+      means.reserve(static_cast<size_t>(n));
+      for (int j = 0; j < n; ++j) {
+        Tensor acc = take_sample(rows, j * ensemble);
+        for (int e = 1; e < ensemble; ++e) {
+          acc = add(acc, take_sample(rows, j * ensemble + e));
+        }
+        means.push_back(scale(acc, 1.0f / static_cast<float>(ensemble)));
+      }
+      return n == 1 ? means[0] : stack_batch(means);
+    };
+
+    // Decodes a folded z0 batch and hands each item's image to `sink`.
+    auto decode_to = [&](const Tensor& z0_b, int done,
+                         const std::function<void(int j, Image img)>& sink) {
+      DCDIFF_TRACE_SPAN("decode");
+      (void)done;
+      const Tensor xhat_b = ae_->decode(z0_b, acfeat);
+      for (int j = 0; j < n; ++j) {
+        const int i = idx[static_cast<size_t>(j)];
+        const jpeg::CoeffImage& ci = *items[static_cast<size_t>(i)].coeffs;
+        Image rgb = tensor_to_rgb(n == 1 ? xhat_b : take_sample(xhat_b, j));
+        if (opts.postprocess) {
+          rgb = anchor_to_corners(rgb, tildes[static_cast<size_t>(i)]);
+        }
+        if (rgb.width() != ci.width || rgb.height() != ci.height) {
+          rgb = crop(rgb, 0, 0, ci.width, ci.height);
+        }
+        sink(j, opts.postprocess ? project_onto_known_ac(rgb, ci) : rgb);
+      }
+    };
+
+    std::vector<Tensor> prev_fold(static_cast<size_t>(n));
+    int group_steps = steps;
+    DdimCheckpointFn hook;
+    if (ctrl.on_step) {
+      hook = [&](const Tensor& z0_rows, int done) -> bool {
+        checkpoints_c.inc();
+        const AnytimeControl::Action action = ctrl.on_step(done, steps);
+        if (action == AnytimeControl::Action::kStop) {
+          group_steps = done;
+          // Stopping on the terminal checkpoint is just completion.
+          if (done < steps) out.early_exit = true;
+          return false;
+        }
+        if (action == AnytimeControl::Action::kEmitPartial &&
+            ctrl.on_partial && done < steps) {
+          DCDIFF_TRACE_SPAN("anytime_partial");
+          const Tensor z0_b = fold_rows(z0_rows);
+          // Convergence proxy: PSNR-style distance to the item's previously
+          // emitted checkpoint over the clamp range [-1.2, 1.2].
+          std::vector<double> proxy(static_cast<size_t>(n), 0.0);
+          for (int j = 0; j < n; ++j) {
+            const Tensor cur = n == 1 ? z0_b : take_sample(z0_b, j);
+            if (prev_fold[static_cast<size_t>(j)].defined()) {
+              const auto& a = cur.value();
+              const auto& p = prev_fold[static_cast<size_t>(j)].value();
+              double mse = 0;
+              for (size_t v = 0; v < a.size(); ++v) {
+                const double d = a[v] - p[v];
+                mse += d * d;
+              }
+              mse /= static_cast<double>(a.size());
+              proxy[static_cast<size_t>(j)] =
+                  mse <= 0 ? 99.0
+                           : std::min(99.0, 10.0 * std::log10(5.76 / mse));
+            }
+            prev_fold[static_cast<size_t>(j)] = cur;
+          }
+          decode_to(z0_b, done, [&](int j, Image img) {
+            partials_c.inc();
+            ctrl.on_partial(idx[static_cast<size_t>(j)], std::move(img), done,
+                            proxy[static_cast<size_t>(j)]);
+          });
+        }
+        return true;
+      };
+    }
+
+    const Tensor z_final = ddim_sample_checkpointed(
+        *unet_, sched_, cond, noise, steps, s, b, cfg_.prediction, hook);
+    decode_to(fold_rows(z_final), group_steps, [&](int j, Image img) {
+      out.images[static_cast<size_t>(idx[static_cast<size_t>(j)])] =
+          std::move(img);
+    });
+    for (int j = 0; j < n; ++j) {
+      out.steps_done[static_cast<size_t>(idx[static_cast<size_t>(j)])] =
+          group_steps;
+    }
+    if (group_steps < steps) early_exits_c.inc(static_cast<uint64_t>(n));
+  }
+  return out;
 }
 
 Image DCDiffModel::autoencode(const Image& original,
@@ -835,10 +1061,6 @@ size_t ModelPool::size() const {
   PoolState& state = pool_state();
   std::lock_guard<std::mutex> lock(state.mu);
   return state.models.size();
-}
-
-const DCDiffModel& shared_model() {
-  return *ModelPool::instance().default_instance();
 }
 
 std::shared_ptr<const DCDiffModel> make_variant_model(bool use_mld,

@@ -85,6 +85,56 @@ struct ReconstructOptions {
   int ddim_steps = 0;    // <= 0: config ddim_steps
   int ensemble = 0;      // <= 0: config sample_ensemble (noise-seed averaging)
   uint64_t seed = 0;     // 0: config seed (sampling stays deterministic)
+  // Coordinate-seeded noise: each latent noise sample derives from
+  // (seed, ensemble member, channel, absolute y, absolute x) instead of the
+  // sequential Rng stream, so a crop's noise field equals the same crop of
+  // the full field. This is what makes tiled reconstruction comparable to
+  // an untiled run (see serve/tiler.h); it changes sampling output, so it is
+  // off by default (the sequential stream stays the bit-compat path) and
+  // forces the eager path (plans bake sequential noise).
+  bool coord_noise = false;
+  // When false, skip corner anchoring and the known-AC projection and
+  // return the raw decoded estimate. Tiling uses this: anchoring and
+  // projection are global transforms, applied once after stitching.
+  bool postprocess = true;
+};
+
+// One image of an anytime (checkpointed / tiled) batch. `noise_x0/noise_y0`
+// give the item's absolute origin in latent units (pixel offset / 4) for
+// coordinate-seeded noise; both 0 for standalone images.
+struct AnytimeItem {
+  const jpeg::CoeffImage* coeffs = nullptr;
+  int noise_x0 = 0;
+  int noise_y0 = 0;
+};
+
+// Caller-side control of an anytime reconstruction. After every completed
+// DDIM step the sampler consults `on_step`; the returned action either
+// continues, decodes the current checkpoint into partial images (delivered
+// through `on_partial`, then sampling continues), or stops sampling early —
+// the final decode then happens on the best checkpoint so the caller still
+// receives valid (coarser) images. An absent on_step means run to
+// completion; the full run is bit-identical to the eager
+// reconstruct_batch path.
+struct AnytimeControl {
+  enum class Action { kContinue, kEmitPartial, kStop };
+  std::function<Action(int steps_done, int total_steps)> on_step;
+  // item: index into the AnytimeItem batch. psnr_proxy is a convergence
+  // proxy: PSNR-style distance between this checkpoint's latent and the
+  // item's previously emitted checkpoint (0 for the first emission, capped
+  // at 99 once converged).
+  std::function<void(int item, Image image, int steps_done,
+                     double psnr_proxy)>
+      on_partial;
+};
+
+struct AnytimeResult {
+  std::vector<Image> images;
+  // DDIM steps actually executed per item (< requested when stopped early;
+  // items are grouped by padded size internally, so counts can differ
+  // across size groups).
+  std::vector<int> steps_done;
+  bool early_exit = false;  // any group stopped before its full step count
 };
 
 class DCDiffModel {
@@ -138,10 +188,15 @@ class DCDiffModel {
       const std::vector<jpeg::CoeffImage>& dropped,
       const ReconstructOptions& opts = ReconstructOptions{}) const;
 
-  // Deprecated pre-options signature; forwards to the options overload.
-  [[deprecated("use reconstruct(dropped, ReconstructOptions{...})")]]
-  Image reconstruct(const jpeg::CoeffImage& dropped, bool use_fmpp,
-                    int ddim_steps = 0) const;
+  // Anytime reconstruction: the eager DDIM chain with a per-step checkpoint
+  // hook (see AnytimeControl). Runs eagerly regardless of the plan switch —
+  // checkpoints need the live per-step z0, which compiled plans do not
+  // expose — and supports per-item noise origins for tiled sampling. With
+  // no hook installed the output is bit-identical to the eager
+  // reconstruct_batch path for the same options.
+  AnytimeResult reconstruct_batch_anytime(const std::vector<AnytimeItem>& items,
+                                          const ReconstructOptions& opts,
+                                          const AnytimeControl& ctrl) const;
 
   // Stage-1-only reconstruction (oracle z0 from the original image); used by
   // tests to bound achievable quality.
@@ -249,11 +304,6 @@ class ModelPool {
  private:
   ModelPool() = default;
 };
-
-// Deprecated: the bare process-wide model global. Use
-// ModelPool::instance().default_instance().
-[[deprecated("use ModelPool::instance().default_instance()")]]
-const DCDiffModel& shared_model();
 
 // Variant helper used by the ablation bench: the pool's model for a stage-2
 // trained with the given MLD setting/threshold. Repeated calls for the same

@@ -89,10 +89,13 @@ std::string request_record_json(const RequestRecord& r) {
                     ",\"done_us\":" + json_number(r.done_us) +
                     ",\"batch_size\":" + std::to_string(r.batch_size) +
                     ",\"ddim_steps\":" + std::to_string(r.ddim_steps) +
+                    ",\"steps_done\":" + std::to_string(r.steps_done) +
                     ",\"ensemble\":" + std::to_string(r.ensemble) +
                     ",\"deadline_ms\":" + std::to_string(r.deadline_ms) +
                     ",\"deadline_missed\":" +
                     (r.deadline_missed ? "true" : "false") +
+                    ",\"degraded\":" + (r.degraded ? "true" : "false") +
+                    ",\"tiled\":" + (r.tiled ? "true" : "false") +
                     ",\"queue_wait_seconds\":" +
                     json_number(r.queue_wait_seconds) +
                     ",\"e2e_seconds\":" + json_number(r.e2e_seconds) +

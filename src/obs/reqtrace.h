@@ -82,10 +82,13 @@ struct RequestRecord {
   double model_us = 0;     // reconstruct_batch entered
   double done_us = 0;      // future fulfilled
   int batch_size = 0;      // live requests sharing the model call
-  int ddim_steps = 0;      // per-request sampling work
+  int ddim_steps = 0;      // per-request sampling target
+  int steps_done = 0;      // DDIM steps actually executed (anytime serving)
   int ensemble = 0;
   int deadline_ms = 0;     // 0 = none
   bool deadline_missed = false;
+  bool degraded = false;   // answered from an early checkpoint
+  bool tiled = false;      // a tile sub-request (or a stitched parent)
   double queue_wait_seconds = 0;
   double e2e_seconds = 0;
   std::string status = "ok";  // StatusCode name for failures

@@ -1,0 +1,19 @@
+#include "serve/governor.h"
+
+#include <algorithm>
+
+namespace dcdiff::serve {
+
+StepGovernor::StepGovernor(const Config& cfg) : cfg_(cfg) {
+  cfg_.full_steps = std::max(1, cfg_.full_steps);
+  cfg_.min_steps = std::min(std::max(1, cfg_.min_steps), cfg_.full_steps);
+}
+
+int StepGovernor::plan_steps(size_t queue_depth) const {
+  if (cfg_.depth_per_step <= 0) return cfg_.full_steps;
+  const int shed =
+      static_cast<int>(queue_depth / static_cast<size_t>(cfg_.depth_per_step));
+  return std::max(cfg_.min_steps, cfg_.full_steps - shed);
+}
+
+}  // namespace dcdiff::serve

@@ -17,12 +17,11 @@
 namespace dcdiff::serve {
 namespace {
 
-Result ready_error(Status st) { return Result{std::move(st), Image{}, 0.0}; }
-
-std::future<Result> ready_future(Result r) {
-  std::promise<Result> p;
-  p.set_value(std::move(r));
-  return p.get_future();
+Result rejected(Status st) {
+  Result r;
+  r.status = std::move(st);
+  r.outcome = Outcome::kRejected;
+  return r;
 }
 
 double elapsed_seconds(std::chrono::steady_clock::time_point from,
@@ -42,6 +41,11 @@ ServerConfig ServerConfig::from_env() {
   cfg.pool_threads =
       obs::env_int("DCDIFF_SERVE_POOL_THREADS", cfg.pool_threads);
   cfg.pin_cpus = obs::env_int("DCDIFF_SERVE_PIN_CPUS", cfg.pin_cpus ? 1 : 0) != 0;
+  cfg.min_steps = obs::env_int("DCDIFF_SERVE_MIN_STEPS", cfg.min_steps);
+  cfg.governor_depth_per_step =
+      obs::env_int("DCDIFF_SERVE_GOVERNOR_DEPTH", cfg.governor_depth_per_step);
+  cfg.partial_interval =
+      obs::env_int("DCDIFF_SERVE_PARTIAL_INTERVAL", cfg.partial_interval);
   cfg.stats_interval_ms =
       obs::env_int("DCDIFF_STATS_INTERVAL_MS", cfg.stats_interval_ms);
   cfg.stats_path = obs::env_str("DCDIFF_STATS_FILE", cfg.stats_path.c_str());
@@ -64,14 +68,16 @@ core::ReconstructOptions ServerConfig::latency_recon(
   return o;
 }
 
-std::future<Result> Session::submit(const std::vector<uint8_t>& jfif,
-                                    const RequestOptions& opts) {
-  return server_->submit(id_, jfif, opts);
+ResultStream Session::submit(const ReconstructRequest& req) {
+  return ResultStream(server_->submit(id_, req));
 }
 
-Result Session::reconstruct(const std::vector<uint8_t>& jfif,
-                            const RequestOptions& opts) {
-  return submit(jfif, opts).get();
+std::future<Result> Session::submit_future(const ReconstructRequest& req) {
+  return server_->submit(id_, req)->terminal.get_future();
+}
+
+Result Session::reconstruct(const ReconstructRequest& req) {
+  return submit(req).wait();
 }
 
 uint64_t Session::submitted() const {
@@ -92,16 +98,27 @@ ReceiverServer::ReceiverServer(const ServerConfig& cfg,
   cfg_.workers = std::max(1, cfg_.workers);
   cfg_.batch_timeout_ms = std::max(0, cfg_.batch_timeout_ms);
   cfg_.pool_threads = std::max(0, cfg_.pool_threads);
+  cfg_.min_steps = std::max(0, cfg_.min_steps);
+  cfg_.governor_depth_per_step = std::max(0, cfg_.governor_depth_per_step);
+  cfg_.partial_interval = std::max(0, cfg_.partial_interval);
   cfg_.stats_interval_ms = std::max(0, cfg_.stats_interval_ms);
   cfg_.flight_recorder_size = std::max(1, cfg_.flight_recorder_size);
   if (!model_) model_ = core::ModelPool::instance().default_instance();
+  full_steps_ = cfg_.recon.ddim_steps > 0 ? cfg_.recon.ddim_steps
+                                          : model_->config().ddim_steps;
+  full_steps_ = std::max(1, full_steps_);
+  cfg_.min_steps = std::min(cfg_.min_steps, full_steps_);
+  governor_ = StepGovernor(StepGovernor::Config{
+      full_steps_, std::max(1, cfg_.min_steps), cfg_.governor_depth_per_step});
   DCDIFF_LOG_INFO("serve", "server_start",
                   {{"max_batch", cfg_.max_batch},
                    {"batch_timeout_ms", cfg_.batch_timeout_ms},
                    {"queue_capacity", cfg_.queue_capacity},
                    {"workers", cfg_.workers},
                    {"pool_threads", cfg_.pool_threads},
-                   {"pin_cpus", cfg_.pin_cpus}});
+                   {"pin_cpus", cfg_.pin_cpus},
+                   {"min_steps", cfg_.min_steps},
+                   {"governor_depth_per_step", cfg_.governor_depth_per_step}});
 
   // A single worker with no explicit pool_threads keeps the global pool (the
   // pre-sharding behaviour); otherwise the machine is carved into one
@@ -172,75 +189,136 @@ int ReceiverServer::route_locked(int hint) const {
   return best;
 }
 
-std::future<Result> ReceiverServer::submit(uint64_t session_id,
-                                           const std::vector<uint8_t>& jfif,
-                                           const RequestOptions& opts) {
+std::shared_ptr<detail::StreamState> ReceiverServer::submit(
+    uint64_t session_id, const ReconstructRequest& req) {
   static obs::Counter& accepted = obs::counter("serve.accepted");
   static obs::Counter& rejected_decode = obs::counter("serve.rejected_decode");
   static obs::Counter& rejected_full = obs::counter("serve.rejected_queue_full");
   static obs::Counter& rejected_shutdown =
       obs::counter("serve.rejected_shutdown");
+  static obs::Counter& tiles_ctr = obs::counter("serve.tiles");
   static obs::Gauge& depth = obs::gauge("serve.queue_depth");
+
+  auto state = std::make_shared<detail::StreamState>();
+  state->want_partials = req.delivery == DeliveryMode::kProgressive;
 
   // Decode on the submitting thread: it is cheap relative to reconstruction,
   // keeps malformed bitstreams out of the queue entirely, and reports the
-  // parse error synchronously through the request's own future.
+  // parse error synchronously through the request's own stream.
   jpeg::CoeffImage coeffs;
-  Status decode_status = jpeg::try_decode_jfif(jfif, &coeffs);
+  Status decode_status = jpeg::try_decode_jfif(req.jfif, &coeffs);
+
+  // Tiling is decided at submit time too: the layout determines how many
+  // queue slots the request needs, and extraction is cheap (block copies).
+  TileLayout layout;
+  if (decode_status.is_ok()) layout = plan_tiles(coeffs, req.tile);
+  const size_t slots = layout.tiled() ? layout.tiles.size() : 1;
 
   const auto now = Clock::now();
-  Request req;
-  req.coeffs = std::move(coeffs);
-  req.enqueued = now;
-  req.deadline = opts.deadline_ms > 0
-                     ? now + std::chrono::milliseconds(opts.deadline_ms)
-                     : Clock::time_point::max();
-  req.session_id = session_id;
-  req.deadline_ms = std::max(0, opts.deadline_ms);
-  req.submit_us = obs::trace_now_us();
-  std::future<Result> fut = req.promise.get_future();
+  const auto deadline = req.deadline_ms > 0
+                            ? now + std::chrono::milliseconds(req.deadline_ms)
+                            : Clock::time_point::max();
+  const double submit_us = obs::trace_now_us();
 
-  {
-    std::lock_guard<std::mutex> lk(mu_);
-    note_session_submit(session_id);
-    if (!decode_status.is_ok()) {
-      stats_.rejected_decode++;
-      rejected_decode.inc();
-      return ready_future(ready_error(std::move(decode_status)));
-    }
-    if (stopping_) {
-      stats_.rejected_shutdown++;
-      rejected_shutdown.inc();
-      return ready_future(
-          ready_error(Status::unavailable("server is shutting down")));
-    }
-    if (total_queued_ >= static_cast<size_t>(cfg_.queue_capacity)) {
-      stats_.rejected_queue_full++;
-      rejected_full.inc();
-      return ready_future(ready_error(Status::resource_exhausted(
-          "request queue full (capacity " +
-          std::to_string(cfg_.queue_capacity) + ")")));
-    }
+  std::lock_guard<std::mutex> lk(mu_);
+  note_session_submit(session_id);
+  if (!decode_status.is_ok()) {
+    stats_.rejected_decode++;
+    rejected_decode.inc();
+    detail::push_result(state, rejected(std::move(decode_status)));
+    return state;
+  }
+  if (stopping_) {
+    stats_.rejected_shutdown++;
+    rejected_shutdown.inc();
+    detail::push_result(state,
+                        rejected(Status::unavailable("server is shutting down")));
+    return state;
+  }
+  if (total_queued_ + slots > static_cast<size_t>(cfg_.queue_capacity)) {
+    stats_.rejected_queue_full++;
+    rejected_full.inc();
+    detail::push_result(state, rejected(Status::resource_exhausted(
+                                   "request queue full (capacity " +
+                                   std::to_string(cfg_.queue_capacity) + ")")));
+    return state;
+  }
+
+  const auto enqueue = [&](Request r, int hint) {
     // Ids are assigned at acceptance, under mu_, so they are process-unique
     // and monotone in acceptance order (rejected submits consume none).
-    req.request_id = next_request_id_++;
-    const int target = route_locked(opts.worker_hint);
-    req.routed_worker = target;
-    req.route_us = obs::trace_now_us();
+    r.request_id = next_request_id_++;
+    const int target = route_locked(hint);
+    r.routed_worker = target;
+    r.route_us = obs::trace_now_us();
     Worker& w = *workers_[static_cast<size_t>(target)];
-    w.queue.push_back(std::move(req));
+    w.queue.push_back(std::move(r));
     ++total_queued_;
-    stats_.accepted++;
-    stats_.queue_depth = total_queued_;
     w.depth_gauge->set(static_cast<double>(w.queue.size()));
-    depth.set(static_cast<double>(total_queued_));
-    depth.set_max(static_cast<double>(total_queued_));
+  };
+
+  if (!layout.tiled()) {
+    Request r;
+    r.coeffs = std::move(coeffs);
+    r.stream = state;
+    r.enqueued = now;
+    r.deadline = deadline;
+    r.session_id = session_id;
+    r.tier = req.tier;
+    r.delivery = req.delivery;
+    r.deadline_ms = std::max(0, req.deadline_ms);
+    r.submit_us = submit_us;
+    enqueue(std::move(r), req.worker_hint);
+  } else {
+    auto job = std::make_shared<TileJob>();
+    job->layout = layout;
+    job->images.resize(layout.tiles.size());
+    job->tile_workers.assign(layout.tiles.size(), -1);
+    job->tile_steps.assign(layout.tiles.size(), 0);
+    job->remaining = layout.tiles.size();
+    job->stream = state;
+    job->session_id = session_id;
+    job->request_id = next_request_id_++;  // the logical request's id
+    job->enqueued = now;
+    job->deadline = deadline;
+    job->deadline_ms = std::max(0, req.deadline_ms);
+    job->submit_us = submit_us;
+    for (size_t i = 0; i < layout.tiles.size(); ++i) {
+      const TileSpec& spec = layout.tiles[i];
+      Request r;
+      r.coeffs = extract_tile(coeffs, spec);
+      r.enqueued = now;
+      r.deadline = deadline;
+      r.session_id = session_id;
+      r.tier = req.tier;
+      // Partials are a whole-image contract; tiles deliver final-only.
+      r.delivery = DeliveryMode::kFinalOnly;
+      r.tile = job;
+      r.tile_index = static_cast<int>(i);
+      // Latent grid is pixel / 4; crop origins are MCU-aligned so this is
+      // exact. Coordinate-seeded noise then reproduces the untiled field.
+      r.noise_x0 = spec.cx0 / 4;
+      r.noise_y0 = spec.cy0 / 4;
+      r.deadline_ms = std::max(0, req.deadline_ms);
+      r.submit_us = submit_us;
+      // Tiles always route least-loaded: the point of the fan-out is to
+      // land siblings on distinct workers.
+      enqueue(std::move(r), -1);
+    }
+    job->full = std::move(coeffs);
+    stats_.tiles += layout.tiles.size();
+    tiles_ctr.inc(static_cast<uint64_t>(layout.tiles.size()));
   }
+
+  stats_.accepted++;
+  stats_.queue_depth = total_queued_;
+  depth.set(static_cast<double>(total_queued_));
+  depth.set_max(static_cast<double>(total_queued_));
   accepted.inc();
   // All workers wake: the routed worker takes its request; an idle worker
   // whose queue stayed empty may steal it if the routed one is busy.
   queue_cv_.notify_all();
-  return fut;
+  return state;
 }
 
 bool ReceiverServer::pop_one_locked(Worker& self, std::vector<Request>& batch,
@@ -282,6 +360,7 @@ void ReceiverServer::worker_loop(int index) {
   for (;;) {
     std::vector<Request> batch;
     uint64_t steals = 0;
+    size_t depth_at_pop = 0;
     {
       std::unique_lock<std::mutex> lk(mu_);
       queue_cv_.wait(lk, [&] { return stopping_ || total_queued_ > 0; });
@@ -304,13 +383,14 @@ void ReceiverServer::worker_loop(int index) {
       self.busy = true;
       self.inflight.clear();
       for (const Request& r : batch) self.inflight.push_back(r.request_id);
+      depth_at_pop = total_queued_;
       stats_.queue_depth = total_queued_;
       depth.set(static_cast<double>(total_queued_));
     }
     // More requests may remain; let another worker pick them up while this
     // batch runs.
     queue_cv_.notify_one();
-    run_batch(self, batch, steals);
+    run_batch(self, batch, steals, depth_at_pop);
     {
       std::lock_guard<std::mutex> lk(mu_);
       self.busy = false;
@@ -320,7 +400,7 @@ void ReceiverServer::worker_loop(int index) {
 }
 
 void ReceiverServer::run_batch(Worker& self, std::vector<Request>& batch,
-                               uint64_t steals) {
+                               uint64_t steals, size_t depth_at_pop) {
   static obs::Histogram& batch_size =
       obs::histogram("serve.batch_size", {1, 2, 4, 8, 16, 32, 64});
   // SLO-resolution buckets (see Histogram::slo_latency_bounds for policy).
@@ -332,15 +412,22 @@ void ReceiverServer::run_batch(Worker& self, std::vector<Request>& batch,
   static obs::Counter& expired = obs::counter("serve.deadline_expired");
   static obs::Counter& internal = obs::counter("serve.internal_errors");
   static obs::Counter& stolen = obs::counter("serve.steals");
+  static obs::Counter& degraded_ctr = obs::counter("serve.degraded");
+  static obs::Counter& partials_ctr = obs::counter("serve.partials");
+  static obs::Counter& governor_sheds = obs::counter("serve.governor.sheds");
+  static obs::Gauge& governor_steps = obs::gauge("serve.governor.steps");
 
   const auto start = Clock::now();
   std::vector<Request*> live;
-  std::vector<Request*> dead;
+  std::vector<Request*> dead;  // min_steps == 0 fail-fast path only
   live.reserve(batch.size());
   for (Request& r : batch) {
-    if (r.deadline < start) {
+    if (r.deadline < start && cfg_.min_steps <= 0) {
       dead.push_back(&r);
     } else {
+      // With min_steps > 0 an already-expired request still joins the model
+      // call: the anytime hook stops it at the quality floor and it degrades
+      // instead of erroring.
       live.push_back(&r);
       queue_wait.observe(elapsed_seconds(r.enqueued, start));
     }
@@ -378,15 +465,12 @@ void ReceiverServer::run_batch(Worker& self, std::vector<Request>& batch,
     rec.route_us = r.route_us;
     rec.batch_us = r.batch_us;
     rec.batch_size = live_count;
-    // <= 0 in the options means "model config default"; record the resolved
-    // values so the flight recorder shows the work actually done.
-    rec.ddim_steps = cfg_.recon.ddim_steps > 0
-                         ? cfg_.recon.ddim_steps
-                         : self.model->config().ddim_steps;
+    rec.ddim_steps = full_steps_;
     rec.ensemble = cfg_.recon.ensemble > 0
                        ? cfg_.recon.ensemble
                        : self.model->config().sample_ensemble;
     rec.deadline_ms = r.deadline_ms;
+    rec.tiled = r.tile != nullptr;
     rec.queue_wait_seconds = elapsed_seconds(r.enqueued, start);
     return rec;
   };
@@ -398,7 +482,7 @@ void ReceiverServer::run_batch(Worker& self, std::vector<Request>& batch,
   stolen.inc(steals);
   self.steal_counter->inc(steals);
   // Account first, fulfil second (here and below): a client that sees its
-  // future ready must also see itself counted in stats().
+  // stream ready must also see itself counted in stats().
   if (live.empty()) {
     {
       std::lock_guard<std::mutex> lk(mu_);
@@ -412,63 +496,241 @@ void ReceiverServer::run_batch(Worker& self, std::vector<Request>& batch,
       rec.status = "deadline_exceeded";
       rec.done_us = obs::trace_now_us();
       rec.e2e_seconds = elapsed_seconds(r->enqueued, start);
-      r->promise.set_value(ready_error(Status::deadline_exceeded(
+      const Status st = Status::deadline_exceeded(
           "deadline expired after " +
-          std::to_string(elapsed_seconds(r->enqueued, start)) +
-          "s in queue")));
+          std::to_string(elapsed_seconds(r->enqueued, start)) + "s in queue");
+      if (r->tile) {
+        finish_tile(self, *r, Image{}, 0, full_steps_, st);
+      } else {
+        detail::push_result(r->stream, rejected(st));
+      }
       records.push_back(std::move(rec));
     }
-    for (obs::RequestRecord& rec : records) finish_request(std::move(rec));
+    for (obs::RequestRecord& rec : records) {
+      const bool slo = !rec.tiled;
+      finish_request(std::move(rec), slo);
+    }
     return;
   }
 
   batch_size.observe(static_cast<double>(live.size()));
   self.batch_counter->inc();
-  std::vector<const jpeg::CoeffImage*> coeffs;
-  coeffs.reserve(live.size());
-  for (Request* r : live) coeffs.push_back(&r->coeffs);
+
+  // Two model calls at most: plain requests (shared noise stream, plan
+  // path when possible) and tile sub-requests (coordinate-seeded noise at
+  // each tile's origin, postprocess deferred to the stitch).
+  std::vector<Request*> plain, tiled;
+  for (Request* r : live) (r->tile ? tiled : plain).push_back(r);
+
+  bool all_latency = true;
+  for (const Request* r : live) {
+    all_latency = all_latency && r->tier == QosTier::kLatency;
+  }
+  // Load shedding: only batches made entirely of latency-tier requests are
+  // governed; a single kQuality request pins the batch at full steps.
+  int planned_steps = full_steps_;
+  if (all_latency && governor_.enabled()) {
+    planned_steps = governor_.plan_steps(depth_at_pop);
+  }
+  governor_steps.set(static_cast<double>(planned_steps));
+  const bool shed = planned_steps < full_steps_;
+  if (shed) governor_sheds.inc();
+
+  const bool degrade_enabled = cfg_.min_steps > 0;
+  const int floor_steps = std::max(1, cfg_.min_steps);
+  const auto all_expired = [](const std::vector<Request*>& g) {
+    const auto now = Clock::now();
+    for (const Request* r : g) {
+      if (r->deadline >= now) return false;
+    }
+    return true;
+  };
 
   const double model_us = obs::trace_now_us();
-  std::vector<Image> images;
-  Status batch_status;
-  try {
-    images = self.model->reconstruct_batch(coeffs, cfg_.recon);
-  } catch (const std::exception& e) {
-    batch_status = Status::internal(e.what());
+  // Per-live-request outputs, filled by the two group runs below.
+  std::vector<Image> out_images(live.size());
+  std::vector<int> out_steps(live.size(), 0);
+  Status batch_status;  // first internal error (shared within a model call)
+  uint64_t n_partials = 0;
+
+  const auto index_of = [&](const Request* r) {
+    for (size_t i = 0; i < live.size(); ++i) {
+      if (live[i] == r) return i;
+    }
+    return live.size();
+  };
+
+  // Split the plain requests by execution needs. A request is "anytime"
+  // when it can diverge from the straight-line compiled run: it streams
+  // partials, or it carries a deadline that (with degraded service on) may
+  // cut sampling short. Keeping the two populations in separate model
+  // calls means quality requests stay on the planned bit-compatible path
+  // AND never pin a doomed sibling to the full step count — each anytime
+  // group stops as soon as all of *its* members have expired. Per-item
+  // noise seeding makes group membership numerically irrelevant.
+  std::vector<Request*> plain_plan, plain_any;
+  for (Request* r : plain) {
+    const bool anytime =
+        shed || r->delivery == DeliveryMode::kProgressive ||
+        (degrade_enabled && r->deadline != Clock::time_point::max());
+    (anytime ? plain_any : plain_plan).push_back(r);
+  }
+  if (!plain_plan.empty()) {
+    try {
+      // Nothing anytime about this group: take the planned (compiled)
+      // path, bit-identical to the pre-anytime server.
+      std::vector<const jpeg::CoeffImage*> coeffs;
+      coeffs.reserve(plain_plan.size());
+      for (Request* r : plain_plan) coeffs.push_back(&r->coeffs);
+      std::vector<Image> images =
+          self.model->reconstruct_batch(coeffs, cfg_.recon);
+      for (size_t i = 0; i < plain_plan.size(); ++i) {
+        out_images[index_of(plain_plan[i])] = std::move(images[i]);
+        out_steps[index_of(plain_plan[i])] = full_steps_;
+      }
+    } catch (const std::exception& e) {
+      batch_status = Status::internal(e.what());
+    }
+  }
+
+  if (!plain_any.empty()) {
+    try {
+      bool group_progressive = false;
+      for (const Request* r : plain_any) {
+        group_progressive =
+            group_progressive || r->delivery == DeliveryMode::kProgressive;
+      }
+      std::vector<core::AnytimeItem> items;
+      items.reserve(plain_any.size());
+      for (Request* r : plain_any) items.push_back({&r->coeffs, 0, 0});
+      core::ReconstructOptions opts = cfg_.recon;
+      opts.ddim_steps = planned_steps;
+      const int interval = cfg_.partial_interval > 0
+                               ? cfg_.partial_interval
+                               : std::max(1, planned_steps / 3);
+      core::AnytimeControl ctrl;
+      ctrl.on_step = [&](int done, int total) {
+        if (degrade_enabled && done >= floor_steps &&
+            all_expired(plain_any)) {
+          return core::AnytimeControl::Action::kStop;
+        }
+        if (group_progressive && done < total && done % interval == 0) {
+          return core::AnytimeControl::Action::kEmitPartial;
+        }
+        return core::AnytimeControl::Action::kContinue;
+      };
+      ctrl.on_partial = [&](int item, Image image, int done,
+                            double psnr_proxy) {
+        Request* r = plain_any[static_cast<size_t>(item)];
+        if (r->delivery != DeliveryMode::kProgressive) return;
+        obs::TraceContext one;
+        one.worker = self.index;
+        one.request_ids.push_back(r->request_id);
+        obs::trace_emit("serve.partial", obs::trace_now_us(), 0,
+                        obs::intern_trace_context(std::move(one)));
+        ++n_partials;
+        detail::push_partial(r->stream,
+                             Partial{std::move(image), done, psnr_proxy});
+      };
+      core::AnytimeResult res =
+          self.model->reconstruct_batch_anytime(items, opts, ctrl);
+      for (size_t i = 0; i < plain_any.size(); ++i) {
+        out_images[index_of(plain_any[i])] = std::move(res.images[i]);
+        out_steps[index_of(plain_any[i])] = res.steps_done[i];
+      }
+    } catch (const std::exception& e) {
+      if (batch_status.is_ok()) batch_status = Status::internal(e.what());
+    }
+  }
+
+  if (!tiled.empty()) {
+    Status tiled_status;
+    try {
+      std::vector<core::AnytimeItem> items;
+      items.reserve(tiled.size());
+      for (Request* r : tiled)
+        items.push_back({&r->coeffs, r->noise_x0, r->noise_y0});
+      core::ReconstructOptions opts = cfg_.recon;
+      opts.ddim_steps = planned_steps;
+      // Crop-consistent noise so tiles match the untiled field; global
+      // postprocess (corner anchoring, AC projection) runs at the stitch.
+      // FMPP's per-sample scalars are ill-defined on crops — off for tiles.
+      opts.coord_noise = true;
+      opts.postprocess = false;
+      opts.use_fmpp = false;
+      core::AnytimeControl ctrl;
+      ctrl.on_step = [&](int done, int) {
+        return degrade_enabled && done >= floor_steps && all_expired(tiled)
+                   ? core::AnytimeControl::Action::kStop
+                   : core::AnytimeControl::Action::kContinue;
+      };
+      core::AnytimeResult res =
+          self.model->reconstruct_batch_anytime(items, opts, ctrl);
+      for (size_t i = 0; i < tiled.size(); ++i) {
+        out_images[index_of(tiled[i])] = std::move(res.images[i]);
+        out_steps[index_of(tiled[i])] = res.steps_done[i];
+      }
+    } catch (const std::exception& e) {
+      tiled_status = Status::internal(e.what());
+    }
+    if (!tiled_status.is_ok() && batch_status.is_ok())
+      batch_status = tiled_status;
+    if (!tiled_status.is_ok()) {
+      for (Request* r : tiled) out_steps[index_of(r)] = 0;
+    }
   }
 
   const auto end = Clock::now();
   const double done_us = obs::trace_now_us();
   std::vector<Result> results(live.size());
-  uint64_t n_completed = 0, n_internal = 0;
+  uint64_t n_completed = 0, n_internal = 0, n_degraded = 0, n_tile_done = 0;
   for (size_t i = 0; i < live.size(); ++i) {
+    Request* r = live[i];
+    const bool group_failed = !batch_status.is_ok() && out_images[i].empty();
     Result& res = results[i];
-    res.e2e_seconds = elapsed_seconds(live[i]->enqueued, end);
-    e2e.observe(res.e2e_seconds);
-    obs::RequestRecord rec = make_record(*live[i],
-                                         static_cast<int>(live.size()));
+    res.e2e_seconds = elapsed_seconds(r->enqueued, end);
+    obs::RequestRecord rec = make_record(*r, static_cast<int>(live.size()));
     rec.model_us = model_us;
     rec.done_us = done_us;
     rec.e2e_seconds = res.e2e_seconds;
     // A live request can still be answered past its deadline (it expired
-    // mid-batch): the client gets the image, the SLO books a miss.
-    rec.deadline_missed = live[i]->deadline < end;
-    if (batch_status.is_ok()) {
+    // mid-batch): the client gets an image — degraded if the anytime hook
+    // cut sampling short — and the SLO books a miss.
+    rec.deadline_missed = r->deadline < end;
+    if (!group_failed) {
       res.status = Status::ok();
-      res.image = std::move(images[i]);
-      ++n_completed;
+      res.outcome = out_steps[i] < full_steps_ ? Outcome::kDegraded
+                                               : Outcome::kComplete;
+      res.image = std::move(out_images[i]);
+      res.steps_done = out_steps[i];
+      res.steps_target = full_steps_;
+      rec.steps_done = out_steps[i];
+      rec.degraded = res.outcome == Outcome::kDegraded;
+      // Tile sub-requests roll up into their stitched parent's outcome
+      // (finish_tile); only logical requests count here.
+      if (r->tile) {
+        ++n_tile_done;
+      } else if (rec.degraded) {
+        ++n_degraded;
+      } else {
+        ++n_completed;
+      }
     } else {
-      res.status = batch_status;
+      res = rejected(batch_status);
+      res.e2e_seconds = elapsed_seconds(r->enqueued, end);
       rec.status = "internal";
-      ++n_internal;
+      if (!r->tile) ++n_internal;
     }
     records.push_back(std::move(rec));
   }
   completed.inc(n_completed);
   internal.inc(n_internal);
+  degraded_ctr.inc(n_degraded);
+  partials_ctr.inc(n_partials);
   DCDIFF_LOG_DEBUG("serve", "batch_done",
                    {{"batch", static_cast<int64_t>(live.size())},
                     {"expired", static_cast<int64_t>(n_expired)},
+                    {"degraded", static_cast<int64_t>(n_degraded)},
                     {"stolen", static_cast<int64_t>(steals)},
                     {"seconds", elapsed_seconds(start, end)}});
 
@@ -476,11 +738,14 @@ void ReceiverServer::run_batch(Worker& self, std::vector<Request>& batch,
     std::lock_guard<std::mutex> lk(mu_);
     stats_.deadline_expired += n_expired;
     stats_.completed += n_completed;
+    stats_.degraded += n_degraded;
+    stats_.partials += n_partials;
     stats_.internal_errors += n_internal;
+    stats_.governor_sheds += shed ? 1 : 0;
     stats_.batches++;
     stats_.steals += steals;
     self.stats.batches++;
-    self.stats.completed += n_completed;
+    self.stats.completed += n_completed + n_tile_done;
     self.stats.steals += steals;
   }
   for (Request* r : dead) {
@@ -489,15 +754,115 @@ void ReceiverServer::run_batch(Worker& self, std::vector<Request>& batch,
     rec.status = "deadline_exceeded";
     rec.done_us = done_us;
     rec.e2e_seconds = elapsed_seconds(r->enqueued, start);
-    r->promise.set_value(ready_error(Status::deadline_exceeded(
+    const Status st = Status::deadline_exceeded(
         "deadline expired after " +
-        std::to_string(elapsed_seconds(r->enqueued, start)) + "s in queue")));
+        std::to_string(elapsed_seconds(r->enqueued, start)) + "s in queue");
+    if (r->tile) {
+      finish_tile(self, *r, Image{}, 0, full_steps_, st);
+    } else {
+      detail::push_result(r->stream, rejected(st));
+    }
     records.push_back(std::move(rec));
   }
+  // e2e is a per-logical-request latency family; tile sub-requests report
+  // through their stitched parent instead (finish_tile observes it there).
   for (size_t i = 0; i < live.size(); ++i) {
-    live[i]->promise.set_value(std::move(results[i]));
+    Request* r = live[i];
+    if (r->tile) {
+      finish_tile(self, *r, std::move(results[i].image), out_steps[i],
+                  full_steps_, results[i].status);
+    } else {
+      e2e.observe(results[i].e2e_seconds);
+      detail::push_result(r->stream, std::move(results[i]));
+    }
   }
-  for (obs::RequestRecord& rec : records) finish_request(std::move(rec));
+  for (obs::RequestRecord& rec : records) {
+    // Tile sub-request records are flight-only; the stitched parent record
+    // (emitted by finish_tile) carries the SLO accounting.
+    const bool slo = !rec.tiled;
+    finish_request(std::move(rec), slo);
+  }
+}
+
+void ReceiverServer::finish_tile(Worker& self, Request& r, Image image,
+                                 int steps_done, int full_steps,
+                                 const Status& status) {
+  static obs::Histogram& e2e = obs::histogram(
+      "serve.e2e_seconds", obs::Histogram::slo_latency_bounds());
+  static obs::Counter& completed_ctr = obs::counter("serve.completed");
+  static obs::Counter& degraded_ctr = obs::counter("serve.degraded");
+  static obs::Counter& internal_ctr = obs::counter("serve.internal_errors");
+  const std::shared_ptr<TileJob>& job = r.tile;
+  bool last = false;
+  {
+    std::lock_guard<std::mutex> lk(job->mu);
+    job->images[static_cast<size_t>(r.tile_index)] = std::move(image);
+    job->tile_workers[static_cast<size_t>(r.tile_index)] = self.index;
+    job->tile_steps[static_cast<size_t>(r.tile_index)] = steps_done;
+    if (!status.is_ok() && job->error.is_ok()) job->error = status;
+    last = --job->remaining == 0;
+  }
+  if (!last) return;
+
+  // Last tile in: stitch on this worker's thread (its pool partition is
+  // bound, so the blend/anchor loops run on this worker's cores too).
+  Result res;
+  res.steps_target = full_steps;
+  if (job->error.is_ok()) {
+    try {
+      DCDIFF_TRACE_SPAN("serve.stitch");
+      res.image = stitch_tiles(job->full, job->layout, job->images);
+      res.status = Status::ok();
+      int min_steps_done = full_steps;
+      for (int s : job->tile_steps) min_steps_done = std::min(min_steps_done, s);
+      res.steps_done = min_steps_done;
+      res.outcome = min_steps_done < full_steps ? Outcome::kDegraded
+                                                : Outcome::kComplete;
+      res.tile_workers = job->tile_workers;
+    } catch (const std::exception& e) {
+      res = rejected(Status::internal(e.what()));
+    }
+  } else {
+    res = rejected(job->error);
+  }
+  const auto end = Clock::now();
+  res.e2e_seconds = elapsed_seconds(job->enqueued, end);
+
+  obs::RequestRecord rec;
+  rec.request_id = job->request_id;
+  rec.session_id = job->session_id;
+  rec.worker = self.index;  // the stitching worker
+  rec.routed_worker = -1;   // fanned out; per-tile records name the queues
+  rec.submit_us = job->submit_us;
+  rec.done_us = obs::trace_now_us();
+  rec.batch_size = static_cast<int>(job->layout.tiles.size());
+  rec.ddim_steps = full_steps;
+  rec.steps_done = res.steps_done;
+  rec.deadline_ms = job->deadline_ms;
+  rec.deadline_missed = job->deadline < end;
+  rec.degraded = res.outcome == Outcome::kDegraded;
+  rec.tiled = true;
+  rec.e2e_seconds = res.e2e_seconds;
+  if (!res.status.is_ok()) rec.status = "internal";
+
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    if (res.outcome == Outcome::kComplete) {
+      stats_.completed++;
+    } else if (res.outcome == Outcome::kDegraded) {
+      stats_.degraded++;
+    } else {
+      stats_.internal_errors++;
+    }
+  }
+  if (res.outcome == Outcome::kComplete) completed_ctr.inc();
+  if (res.outcome == Outcome::kDegraded) degraded_ctr.inc();
+  if (res.outcome == Outcome::kRejected) internal_ctr.inc();
+  e2e.observe(res.e2e_seconds);
+  detail::push_result(job->stream, std::move(res));
+  // Account-then-fulfil already held above; the parent is the SLO-visible
+  // record for the whole tiled request.
+  finish_request(std::move(rec), /*slo_account=*/true);
 }
 
 void ReceiverServer::shutdown() {
@@ -527,6 +892,7 @@ void ReceiverServer::shutdown() {
   }
   DCDIFF_LOG_INFO("serve", "server_stop",
                   {{"completed", static_cast<int64_t>(stats_.completed)},
+                   {"degraded", static_cast<int64_t>(stats_.degraded)},
                    {"batches", static_cast<int64_t>(stats_.batches)},
                    {"steals", static_cast<int64_t>(stats_.steals)}});
 }
@@ -545,14 +911,19 @@ ReceiverServer::Stats ReceiverServer::stats() const {
   return out;
 }
 
-void ReceiverServer::finish_request(obs::RequestRecord rec) {
+void ReceiverServer::finish_request(obs::RequestRecord rec, bool slo_account) {
   static obs::Counter& p99_violations =
       obs::counter("serve.slo.p99_violations");
   static obs::Counter& miss_violations =
       obs::counter("serve.slo.miss_rate_violations");
   const bool missed = rec.deadline_missed;
   const bool internal_error = rec.status == "internal";
-  slo_.record(rec.e2e_seconds, rec.status == "ok" && !missed, missed);
+  if (slo_account) {
+    // Degraded answers are not goodput: the client got an image, but not
+    // the quality it asked for — serve.slo.* is where that shows up.
+    slo_.record(rec.e2e_seconds,
+                rec.status == "ok" && !missed && !rec.degraded, missed);
+  }
   flight_.record(rec);
   // The ring already holds this request, so a dump triggered by it shows
   // the full recent history up to and including the offending record.
@@ -631,6 +1002,10 @@ std::string ReceiverServer::server_state_json() const {
     std::lock_guard<std::mutex> lk(mu_);
     out += "\"accepted\":" + std::to_string(stats_.accepted);
     out += ",\"completed\":" + std::to_string(stats_.completed);
+    out += ",\"degraded\":" + std::to_string(stats_.degraded);
+    out += ",\"partials\":" + std::to_string(stats_.partials);
+    out += ",\"tiles\":" + std::to_string(stats_.tiles);
+    out += ",\"governor_sheds\":" + std::to_string(stats_.governor_sheds);
     out += ",\"deadline_expired\":" + std::to_string(stats_.deadline_expired);
     out += ",\"internal_errors\":" + std::to_string(stats_.internal_errors);
     out += ",\"rejected_queue_full\":" +

@@ -1,4 +1,5 @@
-// Batched receiver serving engine, sharded across cores.
+// Batched receiver serving engine, sharded across cores, with anytime
+// (deadline-degraded) sampling, progressive delivery, and MCU-tiled fan-out.
 //
 // The receiver is the expensive half of DCDiff by design (the paper moves
 // all cost off the low-power sender), and the diffusion sampler only earns
@@ -9,8 +10,8 @@
 //
 // Architecture (workers = 3 shown):
 //
-//   Session::submit(jfif)
-//        |  decode (Status, non-throwing)
+//   Session::submit(ReconstructRequest)
+//        |  decode (Status, non-throwing); oversized images tile here
 //        v
 //   least-loaded router ──> per-worker queue 0 ──> worker 0 (replica 0, pool 0)
 //                      ──> per-worker queue 1 ──> worker 1 (replica 1, pool 1)
@@ -25,7 +26,7 @@
 //   the model's nested parallel loops never contend across workers.
 // * Least-loaded routing: submit() appends to the queue of the worker with
 //   the fewest pending + in-flight requests (ties go to the lowest index);
-//   RequestOptions::worker_hint pins a request to a specific worker.
+//   ReconstructRequest::worker_hint pins a request to a specific worker.
 // * Work stealing: a worker whose own queue is dry steals from the deepest
 //   queue before sleeping on the batch window, so one hot queue cannot
 //   leave other cores idle.
@@ -34,11 +35,30 @@
 //   max_batch requests; partial batches run when the window closes.
 // * Backpressure: submits beyond queue_capacity (total across workers) are
 //   rejected immediately with Status{kResourceExhausted}.
-// * Deadlines: a request whose deadline passes while queued is answered
-//   with Status{kDeadlineExceeded} and never spends model time.
-// * Errors are values: a malformed bitstream yields a per-request Status
-//   (kDataLoss/kInvalidArgument) at submit time; nothing throws across the
-//   serving boundary.
+// * Anytime sampling: every DDIM step yields a decodable checkpoint
+//   (core::DCDiffModel::reconstruct_batch_anytime). With min_steps > 0 a
+//   request whose deadline fires — queued or mid-batch — is answered with
+//   its best checkpoint and Outcome::kDegraded instead of
+//   kDeadlineExceeded, as long as the quality floor of min_steps has run.
+//   min_steps == 0 restores the legacy fail-fast behaviour.
+// * Load shedding: the StepGovernor shaves DDIM steps off batches whose
+//   requests are all QosTier::kLatency as the queue deepens
+//   (governor_depth_per_step), never below min_steps; shed batches complete
+//   as kDegraded.
+// * Progressive delivery: DeliveryMode::kProgressive requests receive
+//   Partial{image, step, psnr_proxy} checkpoints through their ResultStream
+//   every partial_interval steps. Partials are decoded batch-wide, so one
+//   progressive request taxes its whole batch; final-only traffic skips the
+//   cost entirely.
+// * Tiled fan-out: a coefficient image larger than
+//   ReconstructRequest::tile.max_tile_px splits into MCU-aligned tiles
+//   (serve/tiler.h) that enqueue as sibling sub-requests routed
+//   least-loaded across workers; the last tile to finish stitches (DC
+//   offset reconciliation + per-tile corner anchoring + overlap blend) and
+//   fulfils the parent stream. Result::tile_workers records the fan-out.
+// * Errors are values: a malformed bitstream yields Outcome::kRejected with
+//   a per-request Status (kDataLoss/kInvalidArgument) at submit time;
+//   nothing throws across the serving boundary.
 // * Shutdown drains every queue: requests accepted before shutdown() are
 //   reconstructed (deadline rules still apply) before workers exit.
 //
@@ -63,6 +83,9 @@
 #include "nn/threadpool.h"
 #include "obs/reqtrace.h"
 #include "obs/stats.h"
+#include "serve/governor.h"
+#include "serve/stream.h"
+#include "serve/tiler.h"
 #include "support/status.h"
 
 namespace dcdiff::obs {
@@ -71,25 +94,6 @@ class Gauge;
 }  // namespace dcdiff::obs
 
 namespace dcdiff::serve {
-
-// Per-request options.
-struct RequestOptions {
-  // Relative deadline measured from submit(); <= 0 means none. A request
-  // still queued when it expires is failed with kDeadlineExceeded.
-  int deadline_ms = 0;
-  // >= 0 pins the request to that worker's queue (modulo worker count)
-  // instead of least-loaded routing. Tests use this to construct imbalance
-  // deterministically (forcing the work-stealing path); production traffic
-  // should leave it at -1.
-  int worker_hint = -1;
-};
-
-// Outcome of one request. `image` is valid iff status.is_ok().
-struct Result {
-  Status status;
-  Image image;
-  double e2e_seconds = 0;  // submit -> fulfilment wall time
-};
 
 struct ServerConfig {
   int max_batch = 4;         // requests fused into one reconstruct_batch
@@ -104,6 +108,20 @@ struct ServerConfig {
   // when oversubscribed or unsupported).
   bool pin_cpus = false;
   core::ReconstructOptions recon;  // inference options applied to every batch
+
+  // --- anytime serving ---
+  // Quality floor in DDIM steps for degraded service. > 0: a request whose
+  // deadline fires (queued or mid-batch) gets its best checkpoint with
+  // Outcome::kDegraded once this many steps have run — never
+  // kDeadlineExceeded. 0: legacy behaviour, expired requests fail.
+  int min_steps = 1;
+  // > 0 enables the StepGovernor: batches whose requests are all
+  // QosTier::kLatency drop one DDIM step per this many queued requests
+  // (floored at min_steps). 0 disables load shedding.
+  int governor_depth_per_step = 0;
+  // Steps between progressive partial emissions; 0 = auto (about a third of
+  // the batch's step target).
+  int partial_interval = 0;
 
   // --- introspection & SLOs ---
   // > 0 starts a snapshot thread that refreshes the serve.slo.* gauges (and
@@ -126,9 +144,11 @@ struct ServerConfig {
   // Reads DCDIFF_SERVE_MAX_BATCH / DCDIFF_SERVE_BATCH_TIMEOUT_MS /
   // DCDIFF_SERVE_QUEUE_CAP / DCDIFF_SERVE_WORKERS /
   // DCDIFF_SERVE_POOL_THREADS / DCDIFF_SERVE_PIN_CPUS /
-  // DCDIFF_STATS_INTERVAL_MS / DCDIFF_STATS_FILE /
-  // DCDIFF_FLIGHT_RECORDER_SIZE / DCDIFF_FLIGHT_RECORDER_FILE /
-  // DCDIFF_SERVE_SLO_P99_MS / DCDIFF_SERVE_SLO_MISS_PCT over the defaults.
+  // DCDIFF_SERVE_MIN_STEPS / DCDIFF_SERVE_GOVERNOR_DEPTH /
+  // DCDIFF_SERVE_PARTIAL_INTERVAL / DCDIFF_STATS_INTERVAL_MS /
+  // DCDIFF_STATS_FILE / DCDIFF_FLIGHT_RECORDER_SIZE /
+  // DCDIFF_FLIGHT_RECORDER_FILE / DCDIFF_SERVE_SLO_P99_MS /
+  // DCDIFF_SERVE_SLO_MISS_PCT over the defaults.
   static ServerConfig from_env();
 
   // Reduced-latency inference preset for deadline-bound serving: a single
@@ -147,18 +167,23 @@ class ReceiverServer;
 // goes through a session so requests are attributable to a client.
 class Session {
  public:
-  // Decodes the bitstream (non-throwing) and enqueues the reconstruction.
-  // The returned future is always valid; rejection (bad bitstream, queue
-  // full, server shutting down) yields an immediately-ready error Result.
-  std::future<Result> submit(const std::vector<uint8_t>& jfif,
-                             const RequestOptions& opts = RequestOptions{});
+  // Decodes the bitstream (non-throwing) and enqueues the reconstruction
+  // (tiled into sibling sub-requests when the image exceeds the request's
+  // tile policy). The returned stream is always valid; rejection (bad
+  // bitstream, queue full, server shutting down) yields an immediately-
+  // ready terminal Result with Outcome::kRejected.
+  ResultStream submit(const ReconstructRequest& req);
 
-  // Blocking convenience: submit and wait.
-  Result reconstruct(const std::vector<uint8_t>& jfif,
-                     const RequestOptions& opts = RequestOptions{});
+  // Final-only adapter over the same channel: progressive partials (if any)
+  // are buffered-and-dropped, the future resolves with the terminal Result.
+  std::future<Result> submit_future(const ReconstructRequest& req);
+
+  // Blocking convenience: submit and wait for the terminal Result.
+  Result reconstruct(const ReconstructRequest& req);
 
   uint64_t id() const { return id_; }
-  // Requests this session has submitted (accepted or rejected).
+  // Requests this session has submitted (accepted or rejected; a tiled
+  // submission counts once).
   uint64_t submitted() const;
 
  private:
@@ -199,10 +224,14 @@ class ReceiverServer {
     uint64_t sessions_opened = 0;
     uint64_t accepted = 0;
     uint64_t completed = 0;
+    uint64_t degraded = 0;   // answered with an early checkpoint
+    uint64_t partials = 0;   // progressive partials delivered
+    uint64_t tiles = 0;      // tile sub-requests executed
+    uint64_t governor_sheds = 0;  // batches the governor shortened
     uint64_t rejected_queue_full = 0;
     uint64_t rejected_decode = 0;
     uint64_t rejected_shutdown = 0;
-    uint64_t deadline_expired = 0;
+    uint64_t deadline_expired = 0;  // min_steps == 0 (fail-fast) only
     uint64_t internal_errors = 0;
     uint64_t batches = 0;
     uint64_t steals = 0;
@@ -222,7 +251,8 @@ class ReceiverServer {
   // Writes stats_json() to `path` and stats_prometheus() to `path` + ".prom".
   bool dump_stats(const std::string& path) const;
   // Rolling-window outcomes (goodput, p99, deadline-miss rate) over the last
-  // `seconds` (clamped to 60).
+  // `seconds` (clamped to 60). Degraded results are not goodput; a degrade
+  // caused by a deadline counts as a miss.
   obs::SloTracker::Window slo_window(int seconds) const;
   // Ring buffer of the last N completed per-request records.
   const obs::FlightRecorder& flight_recorder() const { return flight_; }
@@ -239,12 +269,42 @@ class ReceiverServer {
   friend class Session;
   using Clock = std::chrono::steady_clock;
 
+  // Shared aggregation state of one tiled submission: tile sub-requests
+  // deposit their reconstructions here; the worker that completes the last
+  // tile stitches and fulfils the parent stream.
+  struct TileJob {
+    std::mutex mu;
+    jpeg::CoeffImage full;
+    TileLayout layout;
+    std::vector<Image> images;     // per tile, crop-sized, raw
+    std::vector<int> tile_workers; // worker index that ran each tile
+    std::vector<int> tile_steps;   // DDIM steps each tile executed
+    size_t remaining = 0;
+    Status error;  // first internal error across tiles (ok = none)
+    std::shared_ptr<detail::StreamState> stream;
+    uint64_t session_id = 0;
+    uint64_t request_id = 0;  // the logical (parent) request id
+    Clock::time_point enqueued;
+    Clock::time_point deadline;
+    int deadline_ms = 0;
+    double submit_us = 0;
+  };
+
   struct Request {
     jpeg::CoeffImage coeffs;
-    std::promise<Result> promise;
+    std::shared_ptr<detail::StreamState> stream;  // null for tile subrequests
     Clock::time_point enqueued;
     Clock::time_point deadline;  // Clock::time_point::max() = none
     uint64_t session_id = 0;
+    QosTier tier = QosTier::kQuality;
+    DeliveryMode delivery = DeliveryMode::kFinalOnly;
+    // Tiled fan-out: sub-requests share the parent TileJob. noise_x0/y0 are
+    // the crop origin in latent units so coordinate-seeded noise matches
+    // the untiled field.
+    std::shared_ptr<TileJob> tile;
+    int tile_index = 0;
+    int noise_x0 = 0;
+    int noise_y0 = 0;
     // Tracing / flight-recorder fields. request_id is process-unique and
     // monotone in acceptance order; the us timestamps share trace_now_us()'s
     // epoch so queue-wait spans can be emitted retroactively.
@@ -278,9 +338,8 @@ class ReceiverServer {
     std::thread thread;
   };
 
-  std::future<Result> submit(uint64_t session_id,
-                             const std::vector<uint8_t>& jfif,
-                             const RequestOptions& opts);
+  std::shared_ptr<detail::StreamState> submit(uint64_t session_id,
+                                              const ReconstructRequest& req);
   void note_session_submit(uint64_t session_id);
   // Least-loaded worker index (queue depth + busy flag, ties to the lowest
   // index); `hint` >= 0 overrides. Caller holds mu_.
@@ -290,10 +349,16 @@ class ReceiverServer {
   bool pop_one_locked(Worker& self, std::vector<Request>& batch,
                       uint64_t* steals);
   void worker_loop(int index);
-  void run_batch(Worker& self, std::vector<Request>& batch, uint64_t steals);
-  // Finalizes one request: flight-recorder + SLO accounting, auto-dump on
-  // deadline miss / internal error, SLO threshold edge checks.
-  void finish_request(obs::RequestRecord rec);
+  void run_batch(Worker& self, std::vector<Request>& batch, uint64_t steals,
+                 size_t depth_at_pop);
+  // Deposits one finished tile; when it was the last, stitches, fulfils the
+  // parent stream, and emits the parent's SLO-accounted record.
+  void finish_tile(Worker& self, Request& r, Image image, int steps_done,
+                   int full_steps, const Status& status);
+  // Finalizes one request: flight-recorder (+ SLO accounting for logical
+  // requests), auto-dump on deadline miss / internal error, SLO threshold
+  // edge checks. Tile sub-requests record flight-only (slo_account=false).
+  void finish_request(obs::RequestRecord rec, bool slo_account = true);
   void snapshot_loop();
   // Refreshes serve.slo.* gauges and per-worker pool_busy_seconds.
   void refresh_slo_gauges() const;
@@ -301,6 +366,8 @@ class ReceiverServer {
 
   ServerConfig cfg_;
   std::shared_ptr<const core::DCDiffModel> model_;
+  StepGovernor governor_{StepGovernor::Config{}};
+  int full_steps_ = 1;  // resolved DDIM step target (recon or model config)
 
   mutable std::mutex mu_;
   std::condition_variable queue_cv_;

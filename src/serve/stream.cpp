@@ -1,0 +1,90 @@
+#include "serve/stream.h"
+
+#include <utility>
+
+namespace dcdiff::serve {
+
+const char* outcome_name(Outcome o) {
+  switch (o) {
+    case Outcome::kComplete:
+      return "complete";
+    case Outcome::kDegraded:
+      return "degraded";
+    case Outcome::kRejected:
+      return "rejected";
+  }
+  return "unknown";
+}
+
+namespace detail {
+
+void push_partial(const std::shared_ptr<StreamState>& s, Partial p) {
+  if (!s) return;
+  {
+    std::lock_guard<std::mutex> lk(s->mu);
+    if (!s->want_partials || s->has_result) return;
+    if (s->partials.size() >= s->capacity) {
+      s->partials.pop_front();
+      ++s->dropped;
+    }
+    s->partials.push_back(std::move(p));
+  }
+  s->cv.notify_all();
+}
+
+void push_result(const std::shared_ptr<StreamState>& s, Result r) {
+  if (!s) return;
+  {
+    std::lock_guard<std::mutex> lk(s->mu);
+    if (s->has_result) return;  // terminal is delivered exactly once
+    s->result = r;
+    s->has_result = true;
+  }
+  // Outside the lock: nothing below touches guarded state, and promise
+  // fulfilment may run continuations.
+  s->terminal.set_value(std::move(r));
+  s->cv.notify_all();
+}
+
+}  // namespace detail
+
+bool ResultStream::next(Event* out) {
+  if (!state_ || out == nullptr) return false;
+  std::unique_lock<std::mutex> lk(state_->mu);
+  state_->cv.wait(
+      lk, [&] { return !state_->partials.empty() || state_->has_result; });
+  // Drain buffered partials before the terminal even if both are ready, so
+  // consumers observe the documented order.
+  if (!state_->partials.empty()) {
+    out->terminal = false;
+    out->partial = std::move(state_->partials.front());
+    state_->partials.pop_front();
+    return true;
+  }
+  if (state_->result_taken) return false;
+  state_->result_taken = true;
+  out->terminal = true;
+  out->result = state_->result;
+  return true;
+}
+
+Result ResultStream::wait() {
+  if (!state_) {
+    Result r;
+    r.status = Status::internal("empty ResultStream");
+    return r;
+  }
+  std::unique_lock<std::mutex> lk(state_->mu);
+  state_->cv.wait(lk, [&] { return state_->has_result; });
+  state_->partials.clear();
+  state_->result_taken = true;
+  return state_->result;
+}
+
+uint64_t ResultStream::dropped_partials() const {
+  if (!state_) return 0;
+  std::lock_guard<std::mutex> lk(state_->mu);
+  return state_->dropped;
+}
+
+}  // namespace dcdiff::serve

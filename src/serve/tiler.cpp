@@ -1,0 +1,241 @@
+#include "serve/tiler.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "core/postprocess.h"
+
+namespace dcdiff::serve {
+
+namespace {
+
+int round_up(int v, int m) { return (v + m - 1) / m * m; }
+
+int mcu_px(const jpeg::CoeffImage& ci) {
+  return (!ci.gray() && ci.format == jpeg::ChromaFormat::k420) ? 16 : 8;
+}
+
+// Linear crossfade weight along one axis: 1 inside the interior [i0, i1),
+// ramping to 0 over `ov` pixels beyond it. Halo pixels past the ramp carry
+// zero weight — they exist only as convolutional context.
+float axis_weight(int p, int i0, int i1, int ov) {
+  if (p < i0) return std::max(0.0f, 1.0f - static_cast<float>(i0 - p) / ov);
+  if (p >= i1)
+    return std::max(0.0f, 1.0f - static_cast<float>(p - i1 + 1) / ov);
+  return 1.0f;
+}
+
+}  // namespace
+
+TileLayout plan_tiles(const jpeg::CoeffImage& full, const TilePolicy& policy) {
+  TileLayout out;
+  out.width = full.width;
+  out.height = full.height;
+  out.overlap_px = std::max(1, policy.overlap_px);
+  if (policy.max_tile_px <= 0) return out;
+  if (full.width <= policy.max_tile_px && full.height <= policy.max_tile_px)
+    return out;
+
+  const int mcu = mcu_px(full);
+  const int side = std::max(mcu, policy.max_tile_px / mcu * mcu);
+  const int tiles_x = (full.width + side - 1) / side;
+  const int tiles_y = (full.height + side - 1) / side;
+  if (tiles_x * tiles_y <= 1) return out;
+
+  const int halo = std::max(mcu, round_up(std::max(0, policy.halo_px), mcu));
+  out.overlap_px = std::min(std::max(1, policy.overlap_px), halo);
+  out.tiles_x = tiles_x;
+  out.tiles_y = tiles_y;
+  out.tiles.reserve(static_cast<size_t>(tiles_x) * tiles_y);
+  for (int ty = 0; ty < tiles_y; ++ty) {
+    for (int tx = 0; tx < tiles_x; ++tx) {
+      TileSpec t;
+      t.x0 = tx * side;
+      t.y0 = ty * side;
+      t.x1 = std::min(full.width, t.x0 + side);
+      t.y1 = std::min(full.height, t.y0 + side);
+      t.cx0 = std::max(0, t.x0 - halo);
+      t.cy0 = std::max(0, t.y0 - halo);
+      t.cx1 = std::min(full.width, t.x1 + halo);
+      t.cy1 = std::min(full.height, t.y1 + halo);
+      out.tiles.push_back(t);
+    }
+  }
+  return out;
+}
+
+jpeg::CoeffImage extract_tile(const jpeg::CoeffImage& full, const TileSpec& t) {
+  jpeg::CoeffImage out;
+  out.width = t.cx1 - t.cx0;
+  out.height = t.cy1 - t.cy0;
+  out.format = full.format;
+  out.quality = full.quality;
+  out.qluma = full.qluma;
+  out.qchroma = full.qchroma;
+  out.restart_interval = full.restart_interval;
+  out.comps.resize(full.comps.size());
+  for (size_t c = 0; c < full.comps.size(); ++c) {
+    const bool sub = c > 0 && full.format == jpeg::ChromaFormat::k420;
+    const int scale = sub ? 2 : 1;
+    const auto& src = full.comps[c];
+    auto& dst = out.comps[c];
+    // MCU-aligned crop origins divide evenly into this component's block
+    // grid; ragged right/bottom crop edges coincide with the image edge, so
+    // the crop's last blocks are exactly the parent's last blocks.
+    const int bx0 = t.cx0 / scale / 8;
+    const int by0 = t.cy0 / scale / 8;
+    dst.blocks_w = ((out.width + scale - 1) / scale + 7) / 8;
+    dst.blocks_h = ((out.height + scale - 1) / scale + 7) / 8;
+    dst.blocks.resize(static_cast<size_t>(dst.blocks_w) * dst.blocks_h);
+    for (int by = 0; by < dst.blocks_h; ++by)
+      for (int bx = 0; bx < dst.blocks_w; ++bx)
+        dst.block(by, bx) = src.block(by0 + by, bx0 + bx);
+  }
+  return out;
+}
+
+Image stitch_tiles(const jpeg::CoeffImage& full, const TileLayout& layout,
+                   const std::vector<Image>& tiles) {
+  const int nt = layout.tiles_x * layout.tiles_y;
+  if (static_cast<int>(tiles.size()) != nt ||
+      static_cast<int>(layout.tiles.size()) != nt || nt <= 0)
+    throw std::invalid_argument("stitch_tiles: tile count mismatch");
+  for (int i = 0; i < nt; ++i) {
+    const TileSpec& s = layout.tiles[static_cast<size_t>(i)];
+    const Image& im = tiles[static_cast<size_t>(i)];
+    if (im.width() != s.cx1 - s.cx0 || im.height() != s.cy1 - s.cy0)
+      throw std::invalid_argument("stitch_tiles: tile size mismatch");
+  }
+  const int C = tiles[0].channels();
+  const int ov = std::max(1, layout.overlap_px);
+  const auto idx = [&](int ty, int tx) {
+    return static_cast<size_t>(ty) * layout.tiles_x + tx;
+  };
+
+  // Mean per-channel delta between two tiles' reconstructions over the
+  // pixel region both crops cover. This is the seam vote: how much brighter
+  // tile a is than tile b where they should agree.
+  const auto pair_delta = [&](int ia, int ib) {
+    const TileSpec& a = layout.tiles[static_cast<size_t>(ia)];
+    const TileSpec& b = layout.tiles[static_cast<size_t>(ib)];
+    const int x0 = std::max(a.cx0, b.cx0), x1 = std::min(a.cx1, b.cx1);
+    const int y0 = std::max(a.cy0, b.cy0), y1 = std::min(a.cy1, b.cy1);
+    std::vector<double> d(static_cast<size_t>(C), 0.0);
+    if (x0 >= x1 || y0 >= y1) return d;
+    const Image& ta = tiles[static_cast<size_t>(ia)];
+    const Image& tb = tiles[static_cast<size_t>(ib)];
+    const double n = static_cast<double>(x1 - x0) * (y1 - y0);
+    for (int c = 0; c < C; ++c) {
+      double acc = 0.0;
+      for (int y = y0; y < y1; ++y)
+        for (int x = x0; x < x1; ++x)
+          acc += ta.at(c, y - a.cy0, x - a.cx0) - tb.at(c, y - b.cy0, x - b.cx0);
+      d[static_cast<size_t>(c)] = acc / n;
+    }
+    return d;
+  };
+
+  // DC offset reconciliation: propagate pairwise seam deltas over a
+  // deterministic spanning tree (first row left-to-right, then each tile
+  // from the tile above), then remove the mean — the absolute level is
+  // re-pinned by the corner anchors below.
+  std::vector<std::vector<double>> off(
+      static_cast<size_t>(nt), std::vector<double>(static_cast<size_t>(C)));
+  for (int ty = 0; ty < layout.tiles_y; ++ty) {
+    for (int tx = 0; tx < layout.tiles_x; ++tx) {
+      if (ty == 0 && tx == 0) continue;
+      const int me = static_cast<int>(idx(ty, tx));
+      const int parent = ty == 0 ? static_cast<int>(idx(ty, tx - 1))
+                                 : static_cast<int>(idx(ty - 1, tx));
+      const std::vector<double> d = pair_delta(parent, me);
+      for (int c = 0; c < C; ++c)
+        off[static_cast<size_t>(me)][static_cast<size_t>(c)] =
+            off[static_cast<size_t>(parent)][static_cast<size_t>(c)] +
+            d[static_cast<size_t>(c)];
+    }
+  }
+  for (int c = 0; c < C; ++c) {
+    double mean = 0.0;
+    for (int i = 0; i < nt; ++i)
+      mean += off[static_cast<size_t>(i)][static_cast<size_t>(c)];
+    mean /= nt;
+    for (int i = 0; i < nt; ++i)
+      off[static_cast<size_t>(i)][static_cast<size_t>(c)] -= mean;
+  }
+
+  // Per-tile 4-corner anchoring: each grid corner takes the average offset
+  // of the tiles meeting there, so adjacent tiles share corner values and
+  // the per-tile bilinear fields are continuous across seams.
+  std::vector<std::vector<double>> grid(
+      static_cast<size_t>((layout.tiles_y + 1) * (layout.tiles_x + 1)),
+      std::vector<double>(static_cast<size_t>(C)));
+  for (int gy = 0; gy <= layout.tiles_y; ++gy) {
+    for (int gx = 0; gx <= layout.tiles_x; ++gx) {
+      auto& g = grid[static_cast<size_t>(gy) * (layout.tiles_x + 1) + gx];
+      int n = 0;
+      for (int ty = gy - 1; ty <= gy; ++ty) {
+        if (ty < 0 || ty >= layout.tiles_y) continue;
+        for (int tx = gx - 1; tx <= gx; ++tx) {
+          if (tx < 0 || tx >= layout.tiles_x) continue;
+          ++n;
+          for (int c = 0; c < C; ++c)
+            g[static_cast<size_t>(c)] +=
+                off[idx(ty, tx)][static_cast<size_t>(c)];
+        }
+      }
+      if (n > 0)
+        for (int c = 0; c < C; ++c) g[static_cast<size_t>(c)] /= n;
+    }
+  }
+
+  Image sum(layout.width, layout.height, tiles[0].color_space(), 0.0f);
+  std::vector<float> wsum(
+      static_cast<size_t>(layout.width) * layout.height, 0.0f);
+  for (int ty = 0; ty < layout.tiles_y; ++ty) {
+    for (int tx = 0; tx < layout.tiles_x; ++tx) {
+      const TileSpec& s = layout.tiles[idx(ty, tx)];
+      const Image& im = tiles[idx(ty, tx)];
+      const auto& g00 = grid[static_cast<size_t>(ty) * (layout.tiles_x + 1) + tx];
+      const auto& g01 =
+          grid[static_cast<size_t>(ty) * (layout.tiles_x + 1) + tx + 1];
+      const auto& g10 =
+          grid[static_cast<size_t>(ty + 1) * (layout.tiles_x + 1) + tx];
+      const auto& g11 =
+          grid[static_cast<size_t>(ty + 1) * (layout.tiles_x + 1) + tx + 1];
+      const double iw = std::max(1, s.x1 - s.x0);
+      const double ih = std::max(1, s.y1 - s.y0);
+      for (int y = s.cy0; y < s.cy1; ++y) {
+        const float wy = axis_weight(y, s.y0, s.y1, ov);
+        if (wy <= 0.0f) continue;
+        // The field is pinned at the interior corners and extended linearly
+        // into the blend ramp (v, u may leave [0, 1] inside the halo).
+        const double v = (y + 0.5 - s.y0) / ih;
+        for (int x = s.cx0; x < s.cx1; ++x) {
+          const float w = wy * axis_weight(x, s.x0, s.x1, ov);
+          if (w <= 0.0f) continue;
+          const double u = (x + 0.5 - s.x0) / iw;
+          wsum[static_cast<size_t>(y) * layout.width + x] += w;
+          for (int c = 0; c < C; ++c) {
+            const auto cc = static_cast<size_t>(c);
+            const double o = (1 - v) * ((1 - u) * g00[cc] + u * g01[cc]) +
+                             v * ((1 - u) * g10[cc] + u * g11[cc]);
+            sum.at(c, y, x) +=
+                w * (im.at(c, y - s.cy0, x - s.cx0) + static_cast<float>(o));
+          }
+        }
+      }
+    }
+  }
+  for (int y = 0; y < layout.height; ++y)
+    for (int x = 0; x < layout.width; ++x) {
+      const float w = wsum[static_cast<size_t>(y) * layout.width + x];
+      for (int c = 0; c < C; ++c) sum.at(c, y, x) /= w;
+    }
+  sum.clamp();
+
+  const Image anchored = core::anchor_to_corners(sum, jpeg::tilde_image(full));
+  return core::project_onto_known_ac(anchored, full);
+}
+
+}  // namespace dcdiff::serve

@@ -1,0 +1,72 @@
+// MCU-aligned tiling of oversized coefficient images for fan-out serving.
+//
+// One huge request becomes a grid of sibling sub-requests, each a
+// self-contained jpeg::CoeffImage carved block-aligned out of the parent
+// (tiles never split an MCU: 8 px grid for 4:4:4, 16 px for 4:2:0). Each
+// tile crop carries a context halo that is reconstructed and then discarded
+// — convolutional context so tile interiors see (nearly) the same
+// neighbourhood the untiled model would. Tiles sample with coordinate-
+// seeded noise (ReconstructOptions::coord_noise) at their absolute latent
+// origin, so the noise field of every tile is exactly the matching crop of
+// the untiled field, and they run with postprocess off: anchoring and AC
+// projection are global transforms applied once after stitching.
+//
+// Stitching (stitch_tiles):
+// 1. Cross-tile DC offset reconciliation: adjacent tiles vote on their
+//    relative brightness offset over the seam neighbourhood; a spanning-
+//    tree walk turns pairwise deltas into per-tile per-channel offsets
+//    (mean-normalized — the global level is owned by the corner anchors).
+// 2. Per-tile 4-corner anchoring: the paper's anchor mechanism reused at
+//    tile granularity — each tile gets a bilinear offset field pinned at
+//    its 4 interior corners, with corner values averaged from the
+//    reconciled offsets of the tiles meeting at that grid corner, so
+//    offsets transition smoothly instead of stepping at seams.
+// 3. One-row overlap blend: contributions crossfade linearly over
+//    overlap_px on each side of every interior seam.
+// 4. Global postprocess: corner anchoring against the parent's 4 retained
+//    DC anchors, then projection onto the parent's known AC.
+#pragma once
+
+#include <vector>
+
+#include "image/image.h"
+#include "jpeg/codec.h"
+#include "serve/stream.h"
+
+namespace dcdiff::serve {
+
+// One tile of the grid. All coordinates are parent-image pixels; interior
+// origins are MCU-aligned, right/bottom edges may be ragged at the image
+// boundary.
+struct TileSpec {
+  int x0 = 0, y0 = 0, x1 = 0, y1 = 0;      // interior (this tile's own area)
+  int cx0 = 0, cy0 = 0, cx1 = 0, cy1 = 0;  // crop including the halo
+};
+
+struct TileLayout {
+  int tiles_x = 0, tiles_y = 0;
+  int width = 0, height = 0;  // parent pixels
+  int overlap_px = 8;
+  std::vector<TileSpec> tiles;  // row-major, tiles_x * tiles_y
+
+  bool tiled() const { return tiles_x * tiles_y > 1; }
+};
+
+// Decides the MCU-aligned tile grid for `full` under `policy`. Returns a
+// layout with tiled() == false when the image fits untiled (policy
+// disabled, image within max_tile_px, or a degenerate 1x1 grid).
+TileLayout plan_tiles(const jpeg::CoeffImage& full, const TilePolicy& policy);
+
+// Carves tile `t`'s crop (halo included) out of the parent as a standalone
+// coefficient image: same format/quant tables, blocks copied verbatim —
+// including any parent corner-anchor DC that falls inside the crop.
+jpeg::CoeffImage extract_tile(const jpeg::CoeffImage& full, const TileSpec& t);
+
+// Reassembles raw tile reconstructions (model output with postprocess off,
+// crop-sized, in layout tile order) into the final full image: offset
+// reconciliation, per-tile corner anchor fields, overlap blend, then the
+// parent-level corner anchor + known-AC projection.
+Image stitch_tiles(const jpeg::CoeffImage& full, const TileLayout& layout,
+                   const std::vector<Image>& tiles);
+
+}  // namespace dcdiff::serve

@@ -388,12 +388,12 @@ TEST_F(ObsStatsServeTest, TraceContextPropagatesAcrossStealingWorkers) {
   {
     serve::ReceiverServer server(cfg, model_);
     serve::Session session = server.open_session();
-    serve::RequestOptions opts;
-    opts.worker_hint = 0;
+    serve::ReconstructRequest req;
+    req.jfif = bitstream(0);
+    req.worker_hint = 0;
     std::vector<std::future<serve::Result>> futs;
-    const auto bytes = bitstream(0);
     for (int i = 0; i < kImages; ++i) {
-      futs.push_back(session.submit(bytes, opts));
+      futs.push_back(session.submit_future(req));
     }
     // Live introspection while workers are mid-batch.
     for (int i = 0; i < 5; ++i) {
@@ -507,17 +507,23 @@ TEST_F(ObsStatsServeTest, DeadlineMissAutoDumpsFlightRecorder) {
   {
     serve::ReceiverServer server(cfg, model_);
     serve::Session session = server.open_session();
-    const auto bytes = bitstream(0);
     // The first request occupies the single worker for tens of ms; the
-    // rest expire on the queue behind it (1ms deadlines).
+    // rest expire on the queue behind it (1ms deadlines) and come back
+    // degraded — the miss is still recorded and still triggers the dump.
+    serve::ReconstructRequest req;
+    req.jfif = bitstream(0);
     std::vector<std::future<serve::Result>> futs;
-    futs.push_back(session.submit(bytes));
-    serve::RequestOptions expired;
+    futs.push_back(session.submit_future(req));
+    serve::ReconstructRequest expired = req;
     expired.deadline_ms = 1;
-    for (int i = 0; i < 4; ++i) futs.push_back(session.submit(bytes, expired));
+    for (int i = 0; i < 4; ++i) {
+      futs.push_back(session.submit_future(expired));
+    }
     int missed = 0;
     for (auto& f : futs) {
-      if (f.get().status.code() == StatusCode::kDeadlineExceeded) ++missed;
+      const serve::Result r = f.get();
+      ASSERT_TRUE(r.status.is_ok()) << r.status.to_string();
+      if (r.outcome == serve::Outcome::kDegraded) ++missed;
     }
     ASSERT_GT(missed, 0) << "test setup failed to expire any request";
     // The dump happens in the worker thread right after the futures are
@@ -556,7 +562,9 @@ TEST_F(ObsStatsServeTest, SnapshotThreadWritesStatsFiles) {
   {
     serve::ReceiverServer server(cfg, model_);
     serve::Session session = server.open_session();
-    ASSERT_TRUE(session.reconstruct(bitstream(0)).status.is_ok());
+    serve::ReconstructRequest req;
+    req.jfif = bitstream(0);
+    ASSERT_TRUE(session.reconstruct(req).status.is_ok());
     bool wrote = false;
     for (int i = 0; i < 200 && !wrote; ++i) {
       std::this_thread::sleep_for(std::chrono::milliseconds(10));

@@ -254,7 +254,9 @@ TEST_F(PlanTest, ShardedServerMatchesSingleWorkerWithPlans) {
     serve::ReceiverServer server(scfg, model_);
     serve::Session session = server.open_session();
     for (int i = 0; i < kImages; ++i) {
-      serve::Result r = session.reconstruct(streams[static_cast<size_t>(i)]);
+      serve::ReconstructRequest req;
+      req.jfif = streams[static_cast<size_t>(i)];
+      serve::Result r = session.reconstruct(req);
       ASSERT_TRUE(r.status.is_ok()) << r.status.to_string();
       reference[static_cast<size_t>(i)] = std::move(r.image);
     }
@@ -264,7 +266,11 @@ TEST_F(PlanTest, ShardedServerMatchesSingleWorkerWithPlans) {
     serve::ReceiverServer server(scfg, model_);
     serve::Session session = server.open_session();
     std::vector<std::future<serve::Result>> futs;
-    for (const auto& bytes : streams) futs.push_back(session.submit(bytes));
+    for (const auto& bytes : streams) {
+      serve::ReconstructRequest req;
+      req.jfif = bytes;
+      futs.push_back(session.submit_future(req));
+    }
     for (int i = 0; i < kImages; ++i) {
       serve::Result r = futs[static_cast<size_t>(i)].get();
       ASSERT_TRUE(r.status.is_ok()) << r.status.to_string();

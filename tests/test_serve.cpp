@@ -5,8 +5,9 @@
 // fused into one batch must produce the same pixels as N independent
 // reconstruct() calls (within 1e-4; in practice bit-identical). The server
 // tests then cover the operational envelope — concurrent sessions,
-// backpressure, deadlines, shutdown, and malformed input — with a tiny model
-// so the whole file runs in seconds on one core.
+// backpressure, deadlines (degraded service and legacy fail-fast), shutdown,
+// and malformed input — with a tiny model so the whole file runs in seconds
+// on one core.
 #include "serve/server.h"
 
 #include <gtest/gtest.h>
@@ -62,6 +63,14 @@ class ServeTest : public ::testing::Test {
   static std::vector<uint8_t> bitstream(int idx) {
     const Image img = data::dataset_image(data::DatasetId::kKodak, idx, 64);
     return core::sender_encode(img).bytes;
+  }
+
+  static ReconstructRequest request(std::vector<uint8_t> bytes,
+                                    int deadline_ms = 0) {
+    ReconstructRequest req;
+    req.jfif = std::move(bytes);
+    req.deadline_ms = deadline_ms;
+    return req;
   }
 
   static double max_abs_diff(const Image& a, const Image& b) {
@@ -129,8 +138,10 @@ TEST_F(ServeTest, ServedResultMatchesDirectReconstruct) {
   ReceiverServer server(cfg, model_);
   Session session = server.open_session();
   const auto bytes = bitstream(0);
-  Result r = session.reconstruct(bytes);
+  Result r = session.reconstruct(request(bytes));
   ASSERT_TRUE(r.status.is_ok()) << r.status.to_string();
+  EXPECT_EQ(r.outcome, Outcome::kComplete);
+  EXPECT_EQ(r.steps_done, r.steps_target);
   EXPECT_GT(r.e2e_seconds, 0);
   const Image direct = core::receiver_reconstruct(bytes, *model_);
   EXPECT_LE(max_abs_diff(direct, r.image), 1e-4);
@@ -159,10 +170,13 @@ TEST_F(ServeTest, ConcurrentSessionsAllComplete) {
     clients.emplace_back([&, c] {
       Session session = server.open_session();
       std::vector<std::future<Result>> futs;
-      for (const auto& bytes : streams) futs.push_back(session.submit(bytes));
+      for (const auto& bytes : streams) {
+        futs.push_back(session.submit_future(request(bytes)));
+      }
       for (size_t i = 0; i < futs.size(); ++i) {
         Result r = futs[i].get();
-        if (!r.status.is_ok() || max_abs_diff(reference[i], r.image) > 1e-4) {
+        if (r.outcome != Outcome::kComplete ||
+            max_abs_diff(reference[i], r.image) > 1e-4) {
           ++failures[static_cast<size_t>(c)];
         }
       }
@@ -192,14 +206,18 @@ TEST_F(ServeTest, QueueFullSubmitsAreRejected) {
   constexpr int kSubmits = 10;
   const auto bytes = bitstream(0);
   std::vector<std::future<Result>> futs;
-  for (int i = 0; i < kSubmits; ++i) futs.push_back(session.submit(bytes));
+  for (int i = 0; i < kSubmits; ++i) {
+    futs.push_back(session.submit_future(request(bytes)));
+  }
 
   int ok = 0, rejected = 0;
   for (auto& f : futs) {
     Result r = f.get();
     if (r.status.is_ok()) {
+      EXPECT_EQ(r.outcome, Outcome::kComplete);
       ++ok;
     } else {
+      EXPECT_EQ(r.outcome, Outcome::kRejected);
       EXPECT_EQ(r.status.code(), StatusCode::kResourceExhausted)
           << r.status.to_string();
       ++rejected;
@@ -212,35 +230,66 @@ TEST_F(ServeTest, QueueFullSubmitsAreRejected) {
   EXPECT_EQ(stats.completed, static_cast<uint64_t>(ok));
 }
 
-TEST_F(ServeTest, ExpiredDeadlineIsReportedWithoutModelTime) {
+// A queued-past-deadline request is answered from the degrade path: a valid
+// (coarser) image with Outcome::kDegraded, counted under serve.degraded —
+// never kDeadlineExceeded (the PR 9 contract).
+TEST_F(ServeTest, ExpiredDeadlineDegradesInsteadOfFailing) {
   ServerConfig cfg;
   cfg.max_batch = 1;
-  cfg.batch_timeout_ms = 0;
+  cfg.batch_timeout_ms = 0;  // min_steps defaults to 1: degraded service on
   ReceiverServer server(cfg, model_);
   Session session = server.open_session();
 
   const auto bytes = bitstream(0);
   // First request occupies the single worker for several milliseconds; the
   // second's 1 ms deadline expires while it waits in the queue.
-  auto busy = session.submit(bytes);
-  RequestOptions opts;
-  opts.deadline_ms = 1;
-  auto doomed = session.submit(bytes, opts);
+  auto busy = session.submit_future(request(bytes));
+  auto doomed = session.submit_future(request(bytes, /*deadline_ms=*/1));
+
+  EXPECT_EQ(busy.get().outcome, Outcome::kComplete);
+  const Result late = doomed.get();
+  ASSERT_TRUE(late.status.is_ok()) << late.status.to_string();
+  EXPECT_EQ(late.outcome, Outcome::kDegraded);
+  EXPECT_GE(late.steps_done, 1);
+  EXPECT_LT(late.steps_done, late.steps_target);
+  EXPECT_FALSE(late.image.empty());  // decodable, just coarser
+  const auto stats = server.stats();
+  EXPECT_EQ(stats.degraded, 1u);
+  EXPECT_EQ(stats.deadline_expired, 0u);  // the legacy counter stays silent
+}
+
+// min_steps == 0 restores the legacy fail-fast contract: an expired queued
+// request is rejected with kDeadlineExceeded without spending model time.
+TEST_F(ServeTest, MinStepsZeroKeepsLegacyDeadlineFailFast) {
+  ServerConfig cfg;
+  cfg.max_batch = 1;
+  cfg.batch_timeout_ms = 0;
+  cfg.min_steps = 0;
+  ReceiverServer server(cfg, model_);
+  Session session = server.open_session();
+
+  const auto bytes = bitstream(0);
+  auto busy = session.submit_future(request(bytes));
+  auto doomed = session.submit_future(request(bytes, /*deadline_ms=*/1));
 
   EXPECT_TRUE(busy.get().status.is_ok());
   const Result late = doomed.get();
+  EXPECT_EQ(late.outcome, Outcome::kRejected);
   EXPECT_EQ(late.status.code(), StatusCode::kDeadlineExceeded)
       << late.status.to_string();
-  EXPECT_EQ(server.stats().deadline_expired, 1u);
+  const auto stats = server.stats();
+  EXPECT_EQ(stats.deadline_expired, 1u);
+  EXPECT_EQ(stats.degraded, 0u);
 }
 
 TEST_F(ServeTest, MalformedBitstreamRejectedAtSubmit) {
   ReceiverServer server(ServerConfig{}, model_);
   Session session = server.open_session();
-  auto fut = session.submit({0xDE, 0xAD, 0xBE, 0xEF});
+  auto fut = session.submit_future(request({0xDE, 0xAD, 0xBE, 0xEF}));
   // Rejection is synchronous: the future is ready without any model work.
   ASSERT_EQ(fut.wait_for(std::chrono::seconds(0)), std::future_status::ready);
   const Result r = fut.get();
+  EXPECT_EQ(r.outcome, Outcome::kRejected);
   EXPECT_FALSE(r.status.is_ok());
   EXPECT_EQ(r.status.code(), StatusCode::kDataLoss) << r.status.to_string();
   EXPECT_EQ(server.stats().rejected_decode, 1u);
@@ -250,7 +299,8 @@ TEST_F(ServeTest, SubmitAfterShutdownIsUnavailable) {
   ReceiverServer server(ServerConfig{}, model_);
   Session session = server.open_session();
   server.shutdown();
-  const Result r = session.reconstruct(bitstream(0));
+  const Result r = session.reconstruct(request(bitstream(0)));
+  EXPECT_EQ(r.outcome, Outcome::kRejected);
   EXPECT_EQ(r.status.code(), StatusCode::kUnavailable) << r.status.to_string();
   EXPECT_EQ(server.stats().rejected_shutdown, 1u);
 }
@@ -261,7 +311,9 @@ TEST_F(ServeTest, ShutdownDrainsQueuedRequests) {
   ReceiverServer server(cfg, model_);
   Session session = server.open_session();
   std::vector<std::future<Result>> futs;
-  for (int i = 0; i < 4; ++i) futs.push_back(session.submit(bitstream(i)));
+  for (int i = 0; i < 4; ++i) {
+    futs.push_back(session.submit_future(request(bitstream(i))));
+  }
   server.shutdown();  // must complete everything already accepted
   for (auto& f : futs) {
     EXPECT_TRUE(f.get().status.is_ok());

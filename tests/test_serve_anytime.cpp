@@ -1,0 +1,453 @@
+// Tests for anytime (checkpointed / early-exit) sampling, the StepGovernor,
+// and the progressive ResultStream channel (PR 9).
+//
+// The load-bearing contracts:
+//   * Determinism: reconstruct_batch_anytime run to its full step count is
+//     bit-identical to the eager reconstruct_batch path — the checkpoint
+//     hook observes z0 between the existing update statements and perturbs
+//     no arithmetic.
+//   * Early exit: stopping after k < N steps still yields valid (coarser)
+//     images, and reports k honestly.
+//   * Degraded service: a request whose deadline fires is answered with its
+//     best checkpoint (Outcome::kDegraded), never kDeadlineExceeded, as
+//     long as min_steps > 0.
+//   * ResultStream: partial steps strictly increasing, terminal Result
+//     always last and exactly once, bounded buffer drops oldest partials
+//     without ever blocking the producer.
+//
+// Runs under the `concurrency` CTest label (3-worker progressive test); a
+// TSan build exercises the same binary for data races.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <cstdlib>
+#include <filesystem>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "core/pipeline.h"
+#include "data/datasets.h"
+#include "jpeg/codec.h"
+#include "serve/governor.h"
+#include "serve/server.h"
+#include "serve/stream.h"
+
+namespace dcdiff::serve {
+namespace {
+
+core::DCDiffConfig tiny_config() {
+  core::DCDiffConfig cfg;
+  cfg.image_size = 32;
+  cfg.stage1_steps = 6;
+  cfg.stage2_steps = 6;
+  cfg.fmpp_steps = 2;
+  cfg.batch = 1;
+  cfg.ddim_steps = 4;
+  cfg.diffusion_T = 50;
+  cfg.ae.base = 8;
+  cfg.ae.ac_channels = 8;
+  cfg.unet.base = 8;
+  cfg.unet.temb_dim = 16;
+  cfg.ae_tag = "test_anytime_ae";
+  cfg.tag = "test_anytime";
+  return cfg;
+}
+
+class ServeAnytimeTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    cache_dir_ =
+        std::filesystem::temp_directory_path() / "dcdiff_anytime_test_cache";
+    std::filesystem::create_directories(cache_dir_);
+    setenv("DCDIFF_CACHE_DIR", cache_dir_.c_str(), 1);
+    model_ = core::ModelPool::instance().get(tiny_config());
+  }
+  static void TearDownTestSuite() {
+    model_.reset();
+    std::error_code ec;
+    std::filesystem::remove_all(cache_dir_, ec);
+  }
+
+  static std::vector<uint8_t> bitstream(int idx) {
+    const Image img = data::dataset_image(data::DatasetId::kKodak, idx, 64);
+    return core::sender_encode(img).bytes;
+  }
+
+  static double max_abs_diff(const Image& a, const Image& b) {
+    if (a.width() != b.width() || a.height() != b.height() ||
+        a.channels() != b.channels()) {
+      return 1e9;
+    }
+    double m = 0;
+    for (int c = 0; c < a.channels(); ++c) {
+      const auto& pa = a.plane(c);
+      const auto& pb = b.plane(c);
+      for (size_t i = 0; i < pa.size(); ++i) {
+        m = std::max(m, static_cast<double>(std::fabs(pa[i] - pb[i])));
+      }
+    }
+    return m;
+  }
+
+  static std::filesystem::path cache_dir_;
+  static std::shared_ptr<const core::DCDiffModel> model_;
+};
+
+std::filesystem::path ServeAnytimeTest::cache_dir_;
+std::shared_ptr<const core::DCDiffModel> ServeAnytimeTest::model_;
+
+// ---- model layer: checkpointed sampling ----
+
+// The asserted acceptance gate: running the anytime path to its full step
+// count — hook installed, never stopping — is bit-identical to today's
+// reconstruct_batch on the eager path.
+TEST_F(ServeAnytimeTest, FullStepAnytimeRunIsBitIdenticalToBatch) {
+  const jpeg::CoeffImage c0 = jpeg::decode_jfif(bitstream(0));
+  const jpeg::CoeffImage c1 = jpeg::decode_jfif(bitstream(1));
+
+  core::set_plan_enabled(0);  // eager both sides; plans have no checkpoints
+  const std::vector<const jpeg::CoeffImage*> batch = {&c0, &c1};
+  const std::vector<Image> reference = model_->reconstruct_batch(batch);
+
+  std::vector<core::AnytimeItem> items(2);
+  items[0].coeffs = &c0;
+  items[1].coeffs = &c1;
+  int observed_steps = 0;
+  core::AnytimeControl ctrl;
+  ctrl.on_step = [&](int done, int total) {
+    EXPECT_GT(done, observed_steps);  // monotone, one call per step
+    EXPECT_LE(done, total);
+    observed_steps = done;
+    return core::AnytimeControl::Action::kContinue;
+  };
+  const core::AnytimeResult res = model_->reconstruct_batch_anytime(
+      items, core::ReconstructOptions{}, ctrl);
+  core::set_plan_enabled(-1);
+
+  ASSERT_EQ(res.images.size(), 2u);
+  EXPECT_FALSE(res.early_exit);
+  EXPECT_GT(observed_steps, 0);
+  for (size_t i = 0; i < res.images.size(); ++i) {
+    EXPECT_EQ(res.steps_done[i], model_->config().ddim_steps);
+    EXPECT_EQ(max_abs_diff(reference[i], res.images[i]), 0.0) << "image " << i;
+  }
+}
+
+TEST_F(ServeAnytimeTest, EarlyStopReturnsValidCoarserImages) {
+  const jpeg::CoeffImage coeffs = jpeg::decode_jfif(bitstream(0));
+  std::vector<core::AnytimeItem> items(1);
+  items[0].coeffs = &coeffs;
+
+  core::AnytimeControl ctrl;
+  ctrl.on_step = [](int done, int) {
+    return done >= 2 ? core::AnytimeControl::Action::kStop
+                     : core::AnytimeControl::Action::kContinue;
+  };
+  const core::AnytimeResult res = model_->reconstruct_batch_anytime(
+      items, core::ReconstructOptions{}, ctrl);
+  ASSERT_EQ(res.images.size(), 1u);
+  EXPECT_TRUE(res.early_exit);
+  EXPECT_EQ(res.steps_done[0], 2);
+  ASSERT_FALSE(res.images[0].empty());
+  const Image full = model_->reconstruct(coeffs);
+  EXPECT_EQ(res.images[0].width(), full.width());
+  EXPECT_EQ(res.images[0].height(), full.height());
+  // Coarser, not garbage: still a plausibly-ranged image.
+  EXPECT_GT(max_abs_diff(res.images[0], full), 0.0);
+}
+
+TEST_F(ServeAnytimeTest, EmitPartialDeliversMidSamplingCheckpoints) {
+  const jpeg::CoeffImage coeffs = jpeg::decode_jfif(bitstream(0));
+  std::vector<core::AnytimeItem> items(1);
+  items[0].coeffs = &coeffs;
+
+  std::vector<int> partial_steps;
+  std::vector<double> proxies;
+  core::AnytimeControl ctrl;
+  ctrl.on_step = [](int done, int total) {
+    return done < total ? core::AnytimeControl::Action::kEmitPartial
+                        : core::AnytimeControl::Action::kContinue;
+  };
+  ctrl.on_partial = [&](int item, Image image, int steps_done,
+                        double psnr_proxy) {
+    EXPECT_EQ(item, 0);
+    EXPECT_FALSE(image.empty());
+    partial_steps.push_back(steps_done);
+    proxies.push_back(psnr_proxy);
+  };
+  const core::AnytimeResult res = model_->reconstruct_batch_anytime(
+      items, core::ReconstructOptions{}, ctrl);
+  EXPECT_FALSE(res.early_exit);
+  const int total = model_->config().ddim_steps;
+  ASSERT_EQ(partial_steps.size(), static_cast<size_t>(total - 1));
+  for (size_t i = 0; i < partial_steps.size(); ++i) {
+    EXPECT_EQ(partial_steps[i], static_cast<int>(i) + 1);
+    EXPECT_GE(proxies[i], 0.0);
+  }
+}
+
+// ---- StepGovernor unit behaviour ----
+
+TEST(StepGovernorTest, DisabledWithoutDepthSlope) {
+  StepGovernor g({/*full_steps=*/8, /*min_steps=*/2, /*depth_per_step=*/0});
+  EXPECT_FALSE(g.enabled());
+  EXPECT_EQ(g.plan_steps(0), 8);
+  EXPECT_EQ(g.plan_steps(1000), 8);
+}
+
+TEST(StepGovernorTest, ShedsOneStepPerDepthUnitDownToFloor) {
+  StepGovernor g({/*full_steps=*/8, /*min_steps=*/2, /*depth_per_step=*/2});
+  EXPECT_TRUE(g.enabled());
+  EXPECT_EQ(g.plan_steps(0), 8);
+  EXPECT_EQ(g.plan_steps(1), 8);   // under one slope unit: no shed
+  EXPECT_EQ(g.plan_steps(2), 7);
+  EXPECT_EQ(g.plan_steps(8), 4);
+  EXPECT_EQ(g.plan_steps(1000), 2);  // floored at min_steps
+}
+
+TEST(StepGovernorTest, ClampsDegenerateConfigs) {
+  StepGovernor g({/*full_steps=*/0, /*min_steps=*/9, /*depth_per_step=*/1});
+  EXPECT_EQ(g.plan_steps(0), 1);    // full clamped up to 1
+  EXPECT_EQ(g.plan_steps(100), 1);  // min clamped into [1, full]
+}
+
+// ---- ResultStream channel semantics ----
+
+TEST(ResultStreamTest, PartialsInOrderThenTerminalExactlyOnce) {
+  auto state = std::make_shared<detail::StreamState>();
+  state->want_partials = true;
+  for (int s = 1; s <= 3; ++s) {
+    Partial p;
+    p.step = s;
+    detail::push_partial(state, std::move(p));
+  }
+  Result r;
+  r.status = Status::ok();
+  r.outcome = Outcome::kComplete;
+  detail::push_result(state, std::move(r));
+
+  ResultStream stream = ResultStream(state);
+  ResultStream::Event ev;
+  int last_step = 0;
+  int partials = 0;
+  bool saw_terminal = false;
+  while (stream.next(&ev)) {
+    if (ev.terminal) {
+      EXPECT_FALSE(saw_terminal);
+      saw_terminal = true;
+      EXPECT_EQ(ev.result.outcome, Outcome::kComplete);
+    } else {
+      EXPECT_FALSE(saw_terminal);  // terminal is always last
+      EXPECT_GT(ev.partial.step, last_step);
+      last_step = ev.partial.step;
+      ++partials;
+    }
+  }
+  EXPECT_TRUE(saw_terminal);
+  EXPECT_EQ(partials, 3);
+  EXPECT_FALSE(stream.next(&ev));  // exhausted stays exhausted
+  // wait() after consumption still returns the same terminal Result.
+  EXPECT_EQ(stream.wait().outcome, Outcome::kComplete);
+}
+
+TEST(ResultStreamTest, BoundedBufferDropsOldestNeverTheResult) {
+  auto state = std::make_shared<detail::StreamState>();
+  state->want_partials = true;
+  state->capacity = 2;
+  for (int s = 1; s <= 5; ++s) {
+    Partial p;
+    p.step = s;
+    detail::push_partial(state, std::move(p));
+  }
+  Result r;
+  r.status = Status::ok();
+  r.outcome = Outcome::kDegraded;
+  detail::push_result(state, std::move(r));
+
+  ResultStream stream = ResultStream(state);
+  EXPECT_EQ(stream.dropped_partials(), 3u);
+  ResultStream::Event ev;
+  ASSERT_TRUE(stream.next(&ev));
+  EXPECT_FALSE(ev.terminal);
+  EXPECT_EQ(ev.partial.step, 4);  // oldest three displaced
+  ASSERT_TRUE(stream.next(&ev));
+  EXPECT_EQ(ev.partial.step, 5);
+  ASSERT_TRUE(stream.next(&ev));
+  EXPECT_TRUE(ev.terminal);
+  EXPECT_EQ(ev.result.outcome, Outcome::kDegraded);
+}
+
+TEST(ResultStreamTest, FinalOnlyStreamsIgnorePartials) {
+  auto state = std::make_shared<detail::StreamState>();
+  ASSERT_FALSE(state->want_partials);  // the kFinalOnly default
+  Partial p;
+  p.step = 1;
+  detail::push_partial(state, std::move(p));
+  Result r;
+  r.status = Status::ok();
+  r.outcome = Outcome::kComplete;
+  detail::push_result(state, std::move(r));
+  ResultStream stream = ResultStream(state);
+  ResultStream::Event ev;
+  ASSERT_TRUE(stream.next(&ev));
+  EXPECT_TRUE(ev.terminal);  // the partial was never buffered
+  EXPECT_EQ(stream.dropped_partials(), 0u);
+}
+
+// ---- served anytime behaviour ----
+
+// A deadline that fires once sampling is underway must still be answered
+// with a decodable image: kDegraded, never kDeadlineExceeded (min_steps >= 1
+// checkpoints exist by the time the hook can stop).
+TEST_F(ServeAnytimeTest, MidSamplingDeadlineYieldsDegradedImage) {
+  ServerConfig cfg;
+  cfg.max_batch = 1;
+  cfg.batch_timeout_ms = 0;
+  ReceiverServer server(cfg, model_);
+  Session session = server.open_session();
+
+  ReconstructRequest req;
+  req.jfif = bitstream(0);
+  req.deadline_ms = 1;  // expires mid-queue or mid-sampling, never met
+  const Result r = session.reconstruct(req);
+  ASSERT_TRUE(r.status.is_ok()) << r.status.to_string();
+  EXPECT_NE(r.status.code(), StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(r.outcome, Outcome::kDegraded);
+  EXPECT_GE(r.steps_done, 1);
+  EXPECT_LT(r.steps_done, r.steps_target);
+  EXPECT_FALSE(r.image.empty());
+  EXPECT_GE(server.stats().degraded, 1u);
+}
+
+// Progressive delivery through a 3-worker server: every stream yields
+// strictly increasing partial steps, then exactly one terminal Result; the
+// producer never blocks on unread partials (bounded drop-oldest buffer).
+TEST_F(ServeAnytimeTest, ProgressiveStreamsOrderedAcrossThreeWorkers) {
+  constexpr int kRequests = 6;
+  ServerConfig cfg;
+  cfg.workers = 3;
+  cfg.max_batch = 2;
+  cfg.queue_capacity = kRequests;
+  cfg.partial_interval = 1;  // a partial after every DDIM step
+  ReceiverServer server(cfg, model_);
+  Session session = server.open_session();
+
+  std::vector<ResultStream> streams;
+  for (int i = 0; i < kRequests; ++i) {
+    ReconstructRequest req;
+    req.jfif = bitstream(i % 3);
+    req.delivery = DeliveryMode::kProgressive;
+    streams.push_back(session.submit(req));
+  }
+
+  std::atomic<int> total_partials{0};
+  std::vector<std::thread> consumers;
+  std::vector<int> failures(kRequests, 0);
+  for (int i = 0; i < kRequests; ++i) {
+    consumers.emplace_back([&, i] {
+      ResultStream::Event ev;
+      int last_step = 0;
+      bool saw_terminal = false;
+      while (streams[static_cast<size_t>(i)].next(&ev)) {
+        if (ev.terminal) {
+          if (saw_terminal || ev.result.outcome != Outcome::kComplete ||
+              ev.result.image.empty()) {
+            ++failures[static_cast<size_t>(i)];
+          }
+          saw_terminal = true;
+        } else {
+          if (saw_terminal || ev.partial.step <= last_step ||
+              ev.partial.image.empty()) {
+            ++failures[static_cast<size_t>(i)];
+          }
+          last_step = ev.partial.step;
+          ++total_partials;
+        }
+      }
+      if (!saw_terminal) ++failures[static_cast<size_t>(i)];
+    });
+  }
+  for (auto& t : consumers) t.join();
+  for (int i = 0; i < kRequests; ++i) {
+    EXPECT_EQ(failures[static_cast<size_t>(i)], 0) << "stream " << i;
+  }
+  // partial_interval=1 over ddim_steps=4: up to 3 partials per request
+  // (dropped ones excluded from delivery but counted by the server).
+  EXPECT_GT(total_partials.load(), 0);
+  const auto stats = server.stats();
+  EXPECT_GE(stats.partials, static_cast<uint64_t>(total_partials.load()));
+  EXPECT_EQ(stats.completed, static_cast<uint64_t>(kRequests));
+}
+
+// Load shedding: with a 1-step-per-queued-request governor slope and a
+// burst of latency-tier requests through one worker, later batches run
+// shortened and complete as kDegraded.
+TEST_F(ServeAnytimeTest, GovernorShedsStepsUnderLatencyTierBurst) {
+  constexpr int kRequests = 8;
+  ServerConfig cfg;
+  cfg.max_batch = 1;
+  cfg.batch_timeout_ms = 0;
+  cfg.queue_capacity = kRequests;
+  cfg.governor_depth_per_step = 1;
+  ReceiverServer server(cfg, model_);
+  Session session = server.open_session();
+
+  std::vector<std::future<Result>> futs;
+  for (int i = 0; i < kRequests; ++i) {
+    ReconstructRequest req;
+    req.jfif = bitstream(0);
+    req.tier = QosTier::kLatency;
+    futs.push_back(session.submit_future(req));
+  }
+  int complete = 0, degraded = 0;
+  for (auto& f : futs) {
+    const Result r = f.get();
+    ASSERT_TRUE(r.status.is_ok()) << r.status.to_string();
+    ASSERT_FALSE(r.image.empty());
+    if (r.outcome == Outcome::kDegraded) {
+      EXPECT_LT(r.steps_done, r.steps_target);
+      ++degraded;
+    } else {
+      ++complete;
+    }
+  }
+  EXPECT_EQ(complete + degraded, kRequests);
+  // The burst outruns the worker, so at least one later batch saw a deep
+  // queue and shed steps.
+  const auto stats = server.stats();
+  EXPECT_GT(stats.governor_sheds, 0u);
+  EXPECT_GT(stats.degraded, 0u);
+  EXPECT_EQ(stats.degraded, static_cast<uint64_t>(degraded));
+}
+
+// Quality-tier requests are never governed: same burst, kQuality tier, all
+// results complete at the full step count.
+TEST_F(ServeAnytimeTest, QualityTierIsNeverGoverned) {
+  constexpr int kRequests = 4;
+  ServerConfig cfg;
+  cfg.max_batch = 1;
+  cfg.batch_timeout_ms = 0;
+  cfg.queue_capacity = kRequests;
+  cfg.governor_depth_per_step = 1;
+  ReceiverServer server(cfg, model_);
+  Session session = server.open_session();
+
+  std::vector<std::future<Result>> futs;
+  for (int i = 0; i < kRequests; ++i) {
+    ReconstructRequest req;
+    req.jfif = bitstream(0);
+    futs.push_back(session.submit_future(req));  // default kQuality
+  }
+  for (auto& f : futs) {
+    const Result r = f.get();
+    EXPECT_EQ(r.outcome, Outcome::kComplete);
+    EXPECT_EQ(r.steps_done, r.steps_target);
+  }
+  EXPECT_EQ(server.stats().governor_sheds, 0u);
+}
+
+}  // namespace
+}  // namespace dcdiff::serve

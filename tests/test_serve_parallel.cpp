@@ -7,8 +7,9 @@
 //     seeded per request, not per worker).
 //   * Replicas genuinely share state: same component instances, O(1)
 //     construction, training refused.
-//   * Work stealing keeps workers busy when routing is skewed (worker_hint
-//     constructs the skew deterministically).
+//   * Work stealing keeps workers busy when routing is skewed
+//     (ReconstructRequest::worker_hint constructs the skew
+//     deterministically).
 //   * Shutdown drains every per-worker queue, not just one.
 //
 // Runs under the `concurrency` CTest label; a TSan build
@@ -69,6 +70,14 @@ class ServeParallelTest : public ::testing::Test {
   static std::vector<uint8_t> bitstream(int idx) {
     const Image img = data::dataset_image(data::DatasetId::kKodak, idx, 64);
     return core::sender_encode(img).bytes;
+  }
+
+  static ReconstructRequest request(std::vector<uint8_t> bytes,
+                                    int worker_hint = -1) {
+    ReconstructRequest req;
+    req.jfif = std::move(bytes);
+    req.worker_hint = worker_hint;
+    return req;
   }
 
   static double max_abs_diff(const Image& a, const Image& b) {
@@ -158,7 +167,7 @@ TEST_F(ServeParallelTest, ThreeWorkerResultsMatchSingleWorker) {
     ReceiverServer server(sharded_config(1), model_);
     Session session = server.open_session();
     for (int i = 0; i < kImages; ++i) {
-      Result r = session.reconstruct(streams[static_cast<size_t>(i)]);
+      Result r = session.reconstruct(request(streams[static_cast<size_t>(i)]));
       ASSERT_TRUE(r.status.is_ok()) << r.status.to_string();
       reference[static_cast<size_t>(i)] = std::move(r.image);
     }
@@ -168,10 +177,13 @@ TEST_F(ServeParallelTest, ThreeWorkerResultsMatchSingleWorker) {
   ASSERT_EQ(server.config().workers, 3);
   Session session = server.open_session();
   std::vector<std::future<Result>> futs;
-  for (const auto& bytes : streams) futs.push_back(session.submit(bytes));
+  for (const auto& bytes : streams) {
+    futs.push_back(session.submit_future(request(bytes)));
+  }
   for (int i = 0; i < kImages; ++i) {
     Result r = futs[static_cast<size_t>(i)].get();
     ASSERT_TRUE(r.status.is_ok()) << r.status.to_string();
+    EXPECT_EQ(r.outcome, Outcome::kComplete);
     EXPECT_LE(max_abs_diff(reference[static_cast<size_t>(i)], r.image), 1e-4)
         << "image " << i;
   }
@@ -203,10 +215,13 @@ TEST_F(ServeParallelTest, ConcurrentSessionsAcrossWorkersAllMatch) {
     clients.emplace_back([&, c] {
       Session session = server.open_session();
       std::vector<std::future<Result>> futs;
-      for (const auto& bytes : streams) futs.push_back(session.submit(bytes));
+      for (const auto& bytes : streams) {
+        futs.push_back(session.submit_future(request(bytes)));
+      }
       for (size_t i = 0; i < futs.size(); ++i) {
         Result r = futs[i].get();
-        if (!r.status.is_ok() || max_abs_diff(reference[i], r.image) > 1e-4) {
+        if (r.outcome != Outcome::kComplete ||
+            max_abs_diff(reference[i], r.image) > 1e-4) {
           ++failures[static_cast<size_t>(c)];
         }
       }
@@ -229,10 +244,10 @@ TEST_F(ServeParallelTest, WorkerHintPinsRouting) {
   cfg.max_batch = 1;
   ReceiverServer server(cfg, model_);
   Session session = server.open_session();
-  RequestOptions opts;
-  opts.worker_hint = 7;  // modulo workers -> worker 1
-  Result r = session.reconstruct(bitstream(0), opts);
+  // hint 7 modulo 3 workers -> worker 1
+  Result r = session.reconstruct(request(bitstream(0), /*worker_hint=*/7));
   ASSERT_TRUE(r.status.is_ok()) << r.status.to_string();
+  EXPECT_EQ(r.outcome, Outcome::kComplete);
 }
 
 TEST_F(ServeParallelTest, DryWorkersStealFromHintedQueue) {
@@ -250,10 +265,10 @@ TEST_F(ServeParallelTest, DryWorkersStealFromHintedQueue) {
   // Pin every request to worker 0: workers 1 and 2 only ever see work by
   // stealing, so a drained queue with steals == 0 would mean the stealing
   // path never ran.
-  RequestOptions opts;
-  opts.worker_hint = 0;
   std::vector<std::future<Result>> futs;
-  for (int i = 0; i < kImages; ++i) futs.push_back(session.submit(bytes, opts));
+  for (int i = 0; i < kImages; ++i) {
+    futs.push_back(session.submit_future(request(bytes, /*worker_hint=*/0)));
+  }
   for (auto& f : futs) {
     Result r = f.get();
     ASSERT_TRUE(r.status.is_ok()) << r.status.to_string();
@@ -276,12 +291,11 @@ TEST_F(ServeParallelTest, ShutdownDrainsEveryWorkerQueue) {
   ReceiverServer server(cfg, model_);
   Session session = server.open_session();
   std::vector<std::future<Result>> futs;
-  RequestOptions opts;
   for (int i = 0; i < kImages; ++i) {
     // Spread deliberately unevenly: worker 0 gets 2x the share, so the drain
     // must cross queues to finish.
-    opts.worker_hint = i % 4 == 3 ? 1 : i % 4 == 2 ? 2 : 0;
-    futs.push_back(session.submit(bitstream(i % 3), opts));
+    const int hint = i % 4 == 3 ? 1 : i % 4 == 2 ? 2 : 0;
+    futs.push_back(session.submit_future(request(bitstream(i % 3), hint)));
   }
   server.shutdown();  // must complete everything accepted, on all queues
   for (auto& f : futs) {
