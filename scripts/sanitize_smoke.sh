@@ -20,6 +20,11 @@
 # TSan exists for — and the second fans MCU-aligned tile sub-requests out
 # across a 3-worker server and stitches them back under load.
 #
+# Both presets compile the fault-injection sites in (DCDIFF_FAULT_INJECTION),
+# so the `fault`-labelled stage runs the full scenario suites (injected
+# stalls, throws, corruption, clock skew — see DESIGN.md §15) plus the
+# soak_serve seed sweep under each sanitizer.
+#
 # Usage: scripts/sanitize_smoke.sh [tsan|sanitize]   (default: both)
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -39,6 +44,9 @@ for preset in "${presets[@]}"; do
         --output-on-failure -j 1
   echo "=== ${preset}: ctest -L codec ==="
   ctest --test-dir "build-${preset}" -L codec \
+        --output-on-failure -j 1
+  echo "=== ${preset}: ctest -L fault ==="
+  ctest --test-dir "build-${preset}" -L fault \
         --output-on-failure -j 1
   echo "=== ${preset}: codec_tool transcode smoke ==="
   smoke_dir="build-${preset}/transcode_smoke"

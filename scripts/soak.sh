@@ -1,0 +1,55 @@
+#!/usr/bin/env bash
+# Schedule-perturbation soak for the serving stack (DESIGN.md §15).
+#
+# Builds the `fault` preset (Release + DCDIFF_FAULT_INJECTION=ON; override
+# with --preset tsan / --preset sanitize to soak under a sanitizer) and runs
+# bench/soak_serve over a seed sweep within a wall-clock budget. Every
+# (seed, plan) cell plays a mixed workload — progressive, deadline-bound,
+# tiled, abandoned streams — against a 3-worker server while named fault
+# sites fire, and asserts the serving invariants (exactly one terminal
+# Result per stream, typed outcomes, balanced accounting).
+#
+# On a violation soak_serve prints the failing plan string and the complete
+# fault-event log, and this script preserves the JSON log; re-running with
+#   DCDIFF_FAULT_PLAN='<printed plan>'
+# reproduces the identical fault schedule (the whole point of seeding).
+#
+# Usage: scripts/soak.sh [--preset fault|tsan|sanitize] [--seeds N]
+#                        [--requests N] [--budget-s S]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+preset=fault
+seeds="${DCDIFF_SOAK_SEEDS:-8}"
+requests="${DCDIFF_SOAK_REQUESTS:-12}"
+budget_s="${DCDIFF_SOAK_BUDGET_S:-600}"
+while [[ $# -gt 0 ]]; do
+  case "$1" in
+    --preset)   preset="$2"; shift 2 ;;
+    --seeds)    seeds="$2"; shift 2 ;;
+    --requests) requests="$2"; shift 2 ;;
+    --budget-s) budget_s="$2"; shift 2 ;;
+    *) echo "unknown arg: $1" >&2; exit 2 ;;
+  esac
+done
+
+jobs=$(nproc 2>/dev/null || echo 2)
+echo "=== soak: configure + build (${preset}) ==="
+cmake --preset "${preset}"
+cmake --build --preset "${preset}" -j "${jobs}" --target soak_serve
+
+log="build-${preset}/soak_fault_log.json"
+echo "=== soak: ${seeds} seeds x 4 plans, ${requests} req/cell, \
+budget ${budget_s}s ==="
+status=0
+"build-${preset}/bench/soak_serve" --seeds "${seeds}" \
+    --requests "${requests}" --budget-s "${budget_s}" --log "${log}" \
+    || status=$?
+if [[ ${status} -eq 77 ]]; then
+  echo "soak: binary built without fault injection (skip)" >&2
+  exit 77
+elif [[ ${status} -ne 0 ]]; then
+  echo "soak: FAILED (status ${status}); fault log at ${log}" >&2
+  exit "${status}"
+fi
+echo "soak passed (${preset})"

@@ -24,6 +24,7 @@
 #include "obs/log.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "testing/fault.h"
 
 namespace dcdiff::core {
 
@@ -855,6 +856,13 @@ AnytimeResult DCDiffModel::reconstruct_batch_anytime(
     if (ctrl.on_step) {
       hook = [&](const Tensor& z0_rows, int done) -> bool {
         checkpoints_c.inc();
+        // Fault site: a checkpoint callback that throws. The exception must
+        // surface as a typed internal error at the caller's API boundary,
+        // never corrupt sampler state or strand the batch.
+        if (DCDIFF_FAULT_POINT("core.anytime.checkpoint_throw")) {
+          throw std::runtime_error(
+              "injected fault: core.anytime.checkpoint_throw");
+        }
         const AnytimeControl::Action action = ctrl.on_step(done, steps);
         if (action == AnytimeControl::Action::kStop) {
           group_steps = done;

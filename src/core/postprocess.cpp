@@ -3,11 +3,20 @@
 #include <algorithm>
 #include <cmath>
 
+#include <stdexcept>
+
 #include "jpeg/dcdrop.h"
+#include "testing/fault.h"
 
 namespace dcdiff::core {
 
 Image anchor_to_corners(const Image& reconstructed_rgb, const Image& tilde) {
+  // Fault site: postprocess failure. Both consumers (the reconstruction
+  // pipelines and the tile stitcher) must catch this and answer with a
+  // typed internal Status rather than crash or hang the request.
+  if (DCDIFF_FAULT_POINT("core.postprocess.fail")) {
+    throw std::runtime_error("injected fault: core.postprocess.fail");
+  }
   Image ycc = rgb_to_ycbcr(reconstructed_rgb);
   const int h = ycc.height(), w = ycc.width();
   const int last_by = ((h + 7) / 8 - 1) * 8;

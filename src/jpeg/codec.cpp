@@ -7,6 +7,7 @@
 #include <stdexcept>
 
 #include "codec/crc32.h"
+#include "testing/fault.h"
 #include "codec/dctmodel.h"
 #include "jpeg/bitio.h"
 #include "jpeg/dct.h"
@@ -236,7 +237,11 @@ void put_cm_app9(std::vector<uint8_t>& out,
   out.insert(out.end(), kCmMagic, kCmMagic + 4);
   out.push_back(kCmVersion);
   put_u32(out, static_cast<uint32_t>(payload.size()));
-  put_u32(out, codec::crc32(payload.data(), payload.size()));
+  uint32_t crc = codec::crc32(payload.data(), payload.size());
+  // Fault site: a corrupted CRC word must make the decoder reject the cm
+  // payload with a typed Status, never decode garbage coefficients.
+  if (DCDIFF_FAULT_POINT("codec.crc.corrupt")) crc ^= 0xDEADBEEFu;
+  put_u32(out, crc);
 }
 
 // The coefficient planes as codec-layer spans. CoefComponent stores blocks
@@ -472,11 +477,32 @@ std::vector<uint8_t> encode_jfif(const CoeffImage& ci, EntropyKind kind) {
   out.push_back(63);    // spectral end
   out.push_back(0);     // successive approx
 
+  const size_t scan_begin = out.size();
   if (cm) {
     out.insert(out.end(), cm_payload.begin(), cm_payload.end());
   } else {
     const std::vector<uint8_t> scan = encode_scan(ci);
     out.insert(out.end(), scan.begin(), scan.end());
+  }
+  // Fault sites at the encode boundary: flip one seeded bit inside the
+  // entropy-coded scan, or truncate the scan to a seeded fraction (param in
+  // (0,1), default half). Decoding the result must yield either a valid
+  // image or a typed Status — anything else is a robustness bug.
+  if (out.size() > scan_begin) {
+    if (DCDIFF_FAULT_POINT("codec.encode.bitflip")) {
+      const size_t off =
+          scan_begin + static_cast<size_t>(DCDIFF_FAULT_RAND(
+                           "codec.encode.bitflip", out.size() - scan_begin));
+      out[off] ^= static_cast<uint8_t>(
+          1u << DCDIFF_FAULT_RAND("codec.encode.bitflip", 8));
+    }
+    double keep = 0;
+    if (DCDIFF_FAULT_POINT_P("codec.encode.truncate", &keep)) {
+      if (keep <= 0.0 || keep >= 1.0) keep = 0.5;
+      out.resize(scan_begin +
+                 static_cast<size_t>(
+                     static_cast<double>(out.size() - scan_begin) * keep));
+    }
   }
   put_marker(out, 0xD9);  // EOI
   static obs::Counter& images = obs::counter("jpeg.encode.images");

@@ -3,7 +3,10 @@
 #include <exception>
 #include <utility>
 
+#include <new>
+
 #include "nn/plan/builder.h"
+#include "testing/fault.h"
 #include "obs/metrics.h"
 
 namespace dcdiff::nn::plan {
@@ -66,6 +69,12 @@ Status PlanCache::get_or_build(const std::string& key,
 
 PlanCache::ArenaLease PlanCache::arena_for(const Plan& plan) {
   static obs::Counter& arena_allocs = obs::counter("plan.arena_allocs");
+  // Fault site: arena acquisition fails as an allocation would. The caller
+  // (planned_group) must convert this to Status::internal and fall back to
+  // the eager tape — the request still completes, plan.eager_fallbacks
+  // ticks. Sits before the pool lookup so repeated runs keep faulting
+  // deterministically instead of being masked by a pooled arena.
+  if (DCDIFF_FAULT_POINT("nn.plan.arena_fail")) throw std::bad_alloc();
   const size_t floats = plan.arena_floats();
   {
     std::lock_guard<std::mutex> lock(mu_);

@@ -5,6 +5,7 @@
 #include <exception>
 #include <fstream>
 #include <limits>
+#include <thread>
 #include <utility>
 
 #include "jpeg/codec.h"
@@ -13,6 +14,7 @@
 #include "obs/log.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "testing/fault.h"
 
 namespace dcdiff::serve {
 namespace {
@@ -235,7 +237,10 @@ std::shared_ptr<detail::StreamState> ReceiverServer::submit(
                         rejected(Status::unavailable("server is shutting down")));
     return state;
   }
-  if (total_queued_ + slots > static_cast<size_t>(cfg_.queue_capacity)) {
+  // Fault site: force the capacity check to fail as if the queue were full,
+  // so overload rejection is testable without actually racing the workers.
+  if (DCDIFF_FAULT_POINT("serve.submit.queue_full") ||
+      total_queued_ + slots > static_cast<size_t>(cfg_.queue_capacity)) {
     stats_.rejected_queue_full++;
     rejected_full.inc();
     detail::push_result(state, rejected(Status::resource_exhausted(
@@ -365,6 +370,17 @@ void ReceiverServer::worker_loop(int index) {
       std::unique_lock<std::mutex> lk(mu_);
       queue_cv_.wait(lk, [&] { return stopping_ || total_queued_ > 0; });
       if (total_queued_ == 0) return;  // stopping_ and every queue drained
+      // Fault site: widen the wake->pop race. Dropping the lock here lets
+      // a sibling worker steal the request this thread was woken for, the
+      // interleaving the steal path exists to survive.
+      double race_ms = 0;
+      if (DCDIFF_FAULT_POINT_P("serve.steal_race.delay", &race_ms)) {
+        lk.unlock();
+        std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(
+            race_ms > 0 ? race_ms : 1.0));
+        lk.lock();
+        continue;  // re-evaluate: the queues may have drained meanwhile
+      }
       if (!pop_one_locked(self, batch, &steals)) continue;
       // Microbatch window: hold the batch open briefly so concurrent
       // submitters coalesce into one reconstruct_batch call. Own queue
@@ -414,10 +430,54 @@ void ReceiverServer::run_batch(Worker& self, std::vector<Request>& batch,
   static obs::Counter& stolen = obs::counter("serve.steals");
   static obs::Counter& degraded_ctr = obs::counter("serve.degraded");
   static obs::Counter& partials_ctr = obs::counter("serve.partials");
+  static obs::Counter& suppressed_ctr =
+      obs::counter("serve.partials_suppressed");
   static obs::Counter& governor_sheds = obs::counter("serve.governor.sheds");
   static obs::Gauge& governor_steps = obs::gauge("serve.governor.steps");
 
-  const auto start = Clock::now();
+  // Bind the batch's identity to this thread for the rest of the call:
+  // every span that closes on it — serve.batch below, and the model's own
+  // conditioner / ddim_step / decode spans — is stamped with the batch's
+  // request ids and this worker's index, whether the requests were routed
+  // here or stolen. Expired requests are included: being declared dead in
+  // this batch is the last step of their path, and the trace should show
+  // where they died. Queue-wait spans are emitted retroactively per request
+  // (the wait happened in the queue, not on any thread) under a context of
+  // that one id plus the executing worker.
+  obs::TraceContext batch_ctx;
+  batch_ctx.worker = self.index;
+  for (const Request& r : batch) batch_ctx.request_ids.push_back(r.request_id);
+  DCDIFF_FAULT_CONTEXT(batch_ctx.request_ids, self.index);
+  obs::ScopedTraceContext trace_ctx(std::move(batch_ctx));
+  DCDIFF_TRACE_SPAN("serve.batch");
+  for (const Request& r : batch) {
+    obs::TraceContext one;
+    one.worker = self.index;
+    one.request_ids.push_back(r.request_id);
+    obs::trace_emit("serve.queue_wait", r.route_us, r.batch_us - r.route_us,
+                    obs::intern_trace_context(std::move(one)));
+  }
+
+  // Fault site: stall this worker with the batch already claimed (busy is
+  // set, the requests are out of every queue). Sleeping here pushes the
+  // batch toward its deadlines and leaves siblings to absorb the backlog —
+  // the "one slow replica" failure mode.
+  double stall_ms = 0;
+  if (DCDIFF_FAULT_POINT_P("serve.worker.stall", &stall_ms)) {
+    std::this_thread::sleep_for(
+        std::chrono::duration<double, std::milli>(stall_ms > 0 ? stall_ms : 5.0));
+  }
+  // Fault site: skew the clock this batch uses to judge deadline expiry
+  // (positive param = milliseconds into the future), the way a stale or
+  // stepped clock would. Zero when injection is off or the site is silent.
+  Clock::duration skew{};
+  double skew_ms = 0;
+  if (DCDIFF_FAULT_POINT_P("serve.deadline.skew", &skew_ms)) {
+    skew = std::chrono::duration_cast<Clock::duration>(
+        std::chrono::duration<double, std::milli>(skew_ms));
+  }
+
+  const auto start = Clock::now() + skew;
   std::vector<Request*> live;
   std::vector<Request*> dead;  // min_steps == 0 fail-fast path only
   live.reserve(batch.size());
@@ -431,27 +491,6 @@ void ReceiverServer::run_batch(Worker& self, std::vector<Request>& batch,
       live.push_back(&r);
       queue_wait.observe(elapsed_seconds(r.enqueued, start));
     }
-  }
-  // Bind the batch's identity to this thread for the rest of the call:
-  // every span that closes on it — serve.batch below, and the model's own
-  // conditioner / ddim_step / decode spans — is stamped with the batch's
-  // request ids and this worker's index, whether the requests were routed
-  // here or stolen. Expired requests are included: being declared dead in
-  // this batch is the last step of their path, and the trace should show
-  // where they died. Queue-wait spans are emitted retroactively per request
-  // (the wait happened in the queue, not on any thread) under a context of
-  // that one id plus the executing worker.
-  obs::TraceContext batch_ctx;
-  batch_ctx.worker = self.index;
-  for (const Request& r : batch) batch_ctx.request_ids.push_back(r.request_id);
-  obs::ScopedTraceContext trace_ctx(std::move(batch_ctx));
-  DCDIFF_TRACE_SPAN("serve.batch");
-  for (const Request& r : batch) {
-    obs::TraceContext one;
-    one.worker = self.index;
-    one.request_ids.push_back(r.request_id);
-    obs::trace_emit("serve.queue_wait", r.route_us, r.batch_us - r.route_us,
-                    obs::intern_trace_context(std::move(one)));
   }
 
   const auto make_record = [&](const Request& r, int live_count) {
@@ -538,8 +577,8 @@ void ReceiverServer::run_batch(Worker& self, std::vector<Request>& batch,
 
   const bool degrade_enabled = cfg_.min_steps > 0;
   const int floor_steps = std::max(1, cfg_.min_steps);
-  const auto all_expired = [](const std::vector<Request*>& g) {
-    const auto now = Clock::now();
+  const auto all_expired = [skew](const std::vector<Request*>& g) {
+    const auto now = Clock::now() + skew;
     for (const Request* r : g) {
       if (r->deadline >= now) return false;
     }
@@ -593,12 +632,29 @@ void ReceiverServer::run_batch(Worker& self, std::vector<Request>& batch,
     }
   }
 
+  uint64_t n_suppressed = 0;
   if (!plain_any.empty()) {
     try {
+      // A progressive request whose consumer already destroyed its
+      // ResultStream has nobody left to deliver partials to: the Request
+      // here holds the channel's only reference. Such requests neither
+      // justify checkpoint decodes for the group nor receive pushes — the
+      // terminal Result still goes through push_result (it fulfils the
+      // submit_future promise and the accounting contract). use_count is
+      // advisory under concurrency, but the only other owner is the
+      // consumer handle, and a stale read costs one harmless partial.
+      const auto abandoned =
+          [](const std::shared_ptr<detail::StreamState>& s) {
+            return s.use_count() <= 1;
+          };
       bool group_progressive = false;
       for (const Request* r : plain_any) {
-        group_progressive =
-            group_progressive || r->delivery == DeliveryMode::kProgressive;
+        if (r->delivery != DeliveryMode::kProgressive) continue;
+        if (abandoned(r->stream)) {
+          ++n_suppressed;
+          continue;
+        }
+        group_progressive = true;
       }
       std::vector<core::AnytimeItem> items;
       items.reserve(plain_any.size());
@@ -623,6 +679,7 @@ void ReceiverServer::run_batch(Worker& self, std::vector<Request>& batch,
                             double psnr_proxy) {
         Request* r = plain_any[static_cast<size_t>(item)];
         if (r->delivery != DeliveryMode::kProgressive) return;
+        if (abandoned(r->stream)) return;  // consumer vanished mid-batch
         obs::TraceContext one;
         one.worker = self.index;
         one.request_ids.push_back(r->request_id);
@@ -727,6 +784,7 @@ void ReceiverServer::run_batch(Worker& self, std::vector<Request>& batch,
   internal.inc(n_internal);
   degraded_ctr.inc(n_degraded);
   partials_ctr.inc(n_partials);
+  suppressed_ctr.inc(n_suppressed);
   DCDIFF_LOG_DEBUG("serve", "batch_done",
                    {{"batch", static_cast<int64_t>(live.size())},
                     {"expired", static_cast<int64_t>(n_expired)},
@@ -740,6 +798,7 @@ void ReceiverServer::run_batch(Worker& self, std::vector<Request>& batch,
     stats_.completed += n_completed;
     stats_.degraded += n_degraded;
     stats_.partials += n_partials;
+    stats_.partials_suppressed += n_suppressed;
     stats_.internal_errors += n_internal;
     stats_.governor_sheds += shed ? 1 : 0;
     stats_.batches++;
@@ -1004,6 +1063,8 @@ std::string ReceiverServer::server_state_json() const {
     out += ",\"completed\":" + std::to_string(stats_.completed);
     out += ",\"degraded\":" + std::to_string(stats_.degraded);
     out += ",\"partials\":" + std::to_string(stats_.partials);
+    out += ",\"partials_suppressed\":" +
+           std::to_string(stats_.partials_suppressed);
     out += ",\"tiles\":" + std::to_string(stats_.tiles);
     out += ",\"governor_sheds\":" + std::to_string(stats_.governor_sheds);
     out += ",\"deadline_expired\":" + std::to_string(stats_.deadline_expired);

@@ -226,6 +226,9 @@ class ReceiverServer {
     uint64_t completed = 0;
     uint64_t degraded = 0;   // answered with an early checkpoint
     uint64_t partials = 0;   // progressive partials delivered
+    // Progressive requests whose partial delivery was skipped because the
+    // consumer destroyed its ResultStream (server held the only reference).
+    uint64_t partials_suppressed = 0;
     uint64_t tiles = 0;      // tile sub-requests executed
     uint64_t governor_sheds = 0;  // batches the governor shortened
     uint64_t rejected_queue_full = 0;

@@ -1,0 +1,419 @@
+#include "testing/fault.h"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <map>
+#include <mutex>
+#include <sstream>
+
+#include "obs/env.h"
+#include "obs/log.h"
+#include "obs/metrics.h"
+
+namespace dcdiff::testing {
+namespace {
+
+// Bound on the retained event log; a runaway soak plan must not turn the
+// harness into a memory leak of its own.
+constexpr size_t kMaxLogEvents = 1 << 16;
+
+uint64_t splitmix64(uint64_t* s) {
+  *s += 0x9E3779B97F4A7C15ull;
+  uint64_t z = *s;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return z ^ (z >> 31);
+}
+
+double next_unit(uint64_t* s) {
+  // 53 mantissa bits -> uniform in [0, 1).
+  return static_cast<double>(splitmix64(s) >> 11) * 0x1.0p-53;
+}
+
+uint64_t fnv1a(const std::string& s) {
+  uint64_t h = 0xCBF29CE484222325ull;
+  for (const char c : s) {
+    h ^= static_cast<uint8_t>(c);
+    h *= 0x100000001B3ull;
+  }
+  return h;
+}
+
+struct SiteState {
+  SiteSpec spec;
+  uint64_t rng = 0;
+  uint64_t hits = 0;
+  uint64_t fires = 0;
+};
+
+struct Registry {
+  std::mutex mu;
+  bool installed = false;
+  FaultPlan plan;
+  std::map<std::string, SiteState> sites;
+  std::vector<FaultEvent> log;
+  uint64_t total_fires = 0;
+  uint64_t dropped_events = 0;
+};
+
+Registry& reg() {
+  static Registry* r = new Registry();  // leaked: outlives static teardown
+  return *r;
+}
+
+// Fast path: instrumented code pays one relaxed load when no plan exists.
+std::atomic<bool> g_installed{false};
+std::once_flag g_env_once;
+
+struct ThreadContext {
+  uint64_t request_id = 0;
+  int worker = -1;
+};
+thread_local ThreadContext t_ctx;
+
+uint64_t site_stream_seed(uint64_t master, const std::string& site) {
+  uint64_t s = master ^ fnv1a(site);
+  // One warm-up mix so adjacent master seeds decorrelate.
+  splitmix64(&s);
+  return s;
+}
+
+void install_locked(Registry& r, const FaultPlan& plan) {
+  r.plan = plan;
+  r.sites.clear();
+  r.log.clear();
+  r.total_fires = 0;
+  r.dropped_events = 0;
+  for (const auto& [site, spec] : plan.sites) {
+    SiteState st;
+    st.spec = spec;
+    st.rng = site_stream_seed(plan.seed, site);
+    r.sites[site] = st;
+  }
+  r.installed = true;
+  g_installed.store(true, std::memory_order_release);
+}
+
+void maybe_install_from_env() {
+  std::call_once(g_env_once, [] {
+    Registry& r = reg();
+    std::lock_guard<std::mutex> lk(r.mu);
+    if (r.installed) return;  // programmatic install won the race
+    const std::string text = obs::env_str("DCDIFF_FAULT_PLAN");
+    if (text.empty()) return;
+    FaultPlan plan;
+    std::string err;
+    if (!FaultPlan::parse(text, &plan, &err)) {
+      DCDIFF_LOG_WARN("fault", "bad_env_plan",
+                      {{"error", err}, {"value", text}});
+      return;
+    }
+    install_locked(r, plan);
+    DCDIFF_LOG_INFO("fault", "env_plan_installed", {{"plan", plan.str()}});
+    // Env-driven runs are the replay workflow: if DCDIFF_FAULT_LOG names a
+    // file, the event log is written there automatically at process exit.
+    const std::string log_path = obs::env_str("DCDIFF_FAULT_LOG");
+    if (!log_path.empty()) {
+      static std::string* path = new std::string(log_path);
+      std::atexit([] { write_fault_log(*path); });
+    }
+  });
+}
+
+std::string format_double(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%g", v);
+  return buf;
+}
+
+}  // namespace
+
+std::string SiteSpec::str() const {
+  std::string out;
+  switch (mode) {
+    case Mode::kProbability:
+      out = "p" + format_double(probability);
+      break;
+    case Mode::kNth:
+      out = "n" + std::to_string(n);
+      break;
+    case Mode::kFirst:
+      out = "c" + std::to_string(n);
+      break;
+  }
+  if (param != 0.0) out += "@" + format_double(param);
+  return out;
+}
+
+void FaultPlan::set(const std::string& site, SiteSpec spec) {
+  for (auto& [name, s] : sites) {
+    if (name == site) {
+      s = spec;
+      return;
+    }
+  }
+  sites.emplace_back(site, spec);
+}
+
+const SiteSpec* FaultPlan::find(const std::string& site) const {
+  for (const auto& [name, s] : sites) {
+    if (name == site) return &s;
+  }
+  return nullptr;
+}
+
+bool FaultPlan::parse(const std::string& text, FaultPlan* out,
+                      std::string* error) {
+  const auto fail = [&](const std::string& msg) {
+    if (error) *error = msg;
+    return false;
+  };
+  FaultPlan plan;
+  std::stringstream ss(text);
+  std::string item;
+  while (std::getline(ss, item, ';')) {
+    // Trim surrounding whitespace.
+    const size_t b = item.find_first_not_of(" \t\r\n");
+    if (b == std::string::npos) continue;
+    const size_t e = item.find_last_not_of(" \t\r\n");
+    item = item.substr(b, e - b + 1);
+    const size_t eq = item.find('=');
+    if (eq == std::string::npos || eq == 0 || eq + 1 >= item.size()) {
+      return fail("expected <key>=<value>, got '" + item + "'");
+    }
+    const std::string key = item.substr(0, eq);
+    std::string val = item.substr(eq + 1);
+    if (key == "seed") {
+      try {
+        size_t used = 0;
+        plan.seed = std::stoull(val, &used);
+        if (used != val.size()) return fail("bad seed '" + val + "'");
+      } catch (const std::exception&) {
+        return fail("bad seed '" + val + "'");
+      }
+      continue;
+    }
+    SiteSpec spec;
+    const size_t at = val.find('@');
+    if (at != std::string::npos) {
+      const std::string p = val.substr(at + 1);
+      try {
+        size_t used = 0;
+        spec.param = std::stod(p, &used);
+        if (used != p.size()) return fail("bad param '" + p + "'");
+      } catch (const std::exception&) {
+        return fail("bad param '" + p + "'");
+      }
+      val = val.substr(0, at);
+    }
+    if (val.empty()) return fail("empty trigger for site '" + key + "'");
+    const char mode = val[0];
+    const std::string num = val.substr(1);
+    if (num.empty()) return fail("bad trigger '" + val + "'");
+    try {
+      size_t used = 0;
+      if (mode == 'p') {
+        spec.mode = SiteSpec::Mode::kProbability;
+        spec.probability = std::stod(num, &used);
+        if (used != num.size() || spec.probability < 0.0 ||
+            spec.probability > 1.0) {
+          return fail("probability out of [0,1]: '" + val + "'");
+        }
+      } else if (mode == 'n' || mode == 'c') {
+        spec.mode =
+            mode == 'n' ? SiteSpec::Mode::kNth : SiteSpec::Mode::kFirst;
+        spec.n = std::stoull(num, &used);
+        if (used != num.size() || spec.n == 0) {
+          return fail("bad trigger count '" + val + "'");
+        }
+      } else {
+        return fail("unknown trigger mode '" + val + "' (want p/n/c)");
+      }
+    } catch (const std::exception&) {
+      return fail("bad trigger '" + val + "'");
+    }
+    plan.set(key, spec);
+  }
+  *out = std::move(plan);
+  return true;
+}
+
+std::string FaultPlan::str() const {
+  std::string out = "seed=" + std::to_string(seed);
+  for (const auto& [site, spec] : sites) out += ";" + site + "=" + spec.str();
+  return out;
+}
+
+void install_plan(const FaultPlan& plan) {
+  Registry& r = reg();
+  std::lock_guard<std::mutex> lk(r.mu);
+  install_locked(r, plan);
+}
+
+bool install_plan_from_env() {
+  maybe_install_from_env();
+  return plan_installed();
+}
+
+void clear_plan() {
+  Registry& r = reg();
+  std::lock_guard<std::mutex> lk(r.mu);
+  g_installed.store(false, std::memory_order_release);
+  r.installed = false;
+  r.plan = FaultPlan{};
+  r.sites.clear();
+  r.log.clear();
+  r.total_fires = 0;
+  r.dropped_events = 0;
+}
+
+bool plan_installed() {
+  Registry& r = reg();
+  std::lock_guard<std::mutex> lk(r.mu);
+  return r.installed;
+}
+
+FaultPlan installed_plan() {
+  Registry& r = reg();
+  std::lock_guard<std::mutex> lk(r.mu);
+  return r.plan;
+}
+
+bool fault_point(const char* site, double* param) {
+  maybe_install_from_env();
+  if (!g_installed.load(std::memory_order_acquire)) return false;
+  static obs::Counter& fires_total = obs::counter("fault.fires");
+  Registry& r = reg();
+  uint64_t hit = 0, fire_idx = 0;
+  double p = 0.0;
+  {
+    std::lock_guard<std::mutex> lk(r.mu);
+    if (!r.installed) return false;
+    auto it = r.sites.find(site);
+    if (it == r.sites.end()) return false;
+    SiteState& s = it->second;
+    hit = ++s.hits;
+    bool fire = false;
+    switch (s.spec.mode) {
+      case SiteSpec::Mode::kProbability:
+        // The draw happens on every hit so the decision for hit k is a
+        // function of (seed, site, k) regardless of earlier outcomes.
+        fire = next_unit(&s.rng) < s.spec.probability;
+        break;
+      case SiteSpec::Mode::kNth:
+        fire = hit == s.spec.n;
+        break;
+      case SiteSpec::Mode::kFirst:
+        fire = hit <= s.spec.n;
+        break;
+    }
+    if (!fire) return false;
+    ++s.fires;
+    fire_idx = ++r.total_fires;
+    p = s.spec.param;
+    FaultEvent ev;
+    ev.site = site;
+    ev.hit = hit;
+    ev.fire = fire_idx;
+    ev.request_id = t_ctx.request_id;
+    ev.worker = t_ctx.worker;
+    ev.param = p;
+    if (r.log.size() < kMaxLogEvents) {
+      r.log.push_back(std::move(ev));
+    } else {
+      ++r.dropped_events;
+    }
+  }
+  if (param) *param = p;
+  fires_total.inc();
+  obs::counter(std::string("fault.fires.") + site).inc();
+  DCDIFF_LOG_WARN("fault", "inject",
+                  {{"site", site},
+                   {"hit", static_cast<int64_t>(hit)},
+                   {"fire", static_cast<int64_t>(fire_idx)},
+                   {"request_id", static_cast<int64_t>(t_ctx.request_id)},
+                   {"worker", t_ctx.worker},
+                   {"param", p}});
+  return true;
+}
+
+uint64_t fault_rand(const char* site, uint64_t bound) {
+  if (bound == 0) return 0;
+  Registry& r = reg();
+  std::lock_guard<std::mutex> lk(r.mu);
+  auto it = r.sites.find(site);
+  if (it == r.sites.end()) return 0;
+  return splitmix64(&it->second.rng) % bound;
+}
+
+uint64_t fault_hits(const std::string& site) {
+  Registry& r = reg();
+  std::lock_guard<std::mutex> lk(r.mu);
+  auto it = r.sites.find(site);
+  return it == r.sites.end() ? 0 : it->second.hits;
+}
+
+uint64_t fault_fires(const std::string& site) {
+  Registry& r = reg();
+  std::lock_guard<std::mutex> lk(r.mu);
+  auto it = r.sites.find(site);
+  return it == r.sites.end() ? 0 : it->second.fires;
+}
+
+uint64_t total_fires() {
+  Registry& r = reg();
+  std::lock_guard<std::mutex> lk(r.mu);
+  return r.total_fires;
+}
+
+std::vector<FaultEvent> fault_events() {
+  Registry& r = reg();
+  std::lock_guard<std::mutex> lk(r.mu);
+  return r.log;
+}
+
+std::string fault_log_json() {
+  Registry& r = reg();
+  std::lock_guard<std::mutex> lk(r.mu);
+  std::string out = "{\"plan\":\"" + r.plan.str() + "\"";
+  out += ",\"total_fires\":" + std::to_string(r.total_fires);
+  out += ",\"dropped_events\":" + std::to_string(r.dropped_events);
+  out += ",\"events\":[";
+  for (size_t i = 0; i < r.log.size(); ++i) {
+    const FaultEvent& ev = r.log[i];
+    if (i > 0) out += ',';
+    out += "{\"site\":\"" + ev.site + "\"";
+    out += ",\"hit\":" + std::to_string(ev.hit);
+    out += ",\"fire\":" + std::to_string(ev.fire);
+    out += ",\"request_id\":" + std::to_string(ev.request_id);
+    out += ",\"worker\":" + std::to_string(ev.worker);
+    out += ",\"param\":" + format_double(ev.param);
+    out += "}";
+  }
+  out += "]}";
+  return out;
+}
+
+bool write_fault_log(const std::string& path) {
+  const std::string json = fault_log_json();
+  std::ofstream f(path, std::ios::trunc);
+  if (!f) return false;
+  f << json << "\n";
+  return static_cast<bool>(f);
+}
+
+ScopedFaultContext::ScopedFaultContext(const std::vector<uint64_t>& ids,
+                                       int worker)
+    : prev_id_(t_ctx.request_id), prev_worker_(t_ctx.worker) {
+  t_ctx.request_id = ids.empty() ? 0 : ids.front();
+  t_ctx.worker = worker;
+}
+
+ScopedFaultContext::~ScopedFaultContext() {
+  t_ctx.request_id = prev_id_;
+  t_ctx.worker = prev_worker_;
+}
+
+}  // namespace dcdiff::testing

@@ -1,0 +1,161 @@
+// Deterministic fault injection for the serving stack.
+//
+// A fault *site* is a named point in production code (e.g.
+// "serve.worker.stall", "codec.crc.corrupt") guarded by the
+// DCDIFF_FAULT_POINT macros below. In ordinary builds the macros expand to
+// a compile-time `false`, so instrumented code carries zero runtime cost
+// and no reference to this library. Configuring a build with
+// -DDCDIFF_FAULT_INJECTION=ON defines the macro guard globally and turns
+// every site into a call to fault_point().
+//
+// A FaultPlan decides which sites fire and when. Each site gets a trigger
+// mode — probability p per hit, exactly the nth hit, or the first c hits —
+// plus an optional magnitude parameter (stall milliseconds, clock-skew
+// milliseconds, truncation fraction; the site decides the unit). All
+// randomness derives from the plan's master seed: every site owns a
+// splitmix64 stream seeded by hash(master_seed, site name), so the fire
+// decision for hit k at a site is a pure function of (seed, site, k) — it
+// does not depend on which thread got there or on what other sites did.
+// Rerunning the same plan against the same request sequence replays the
+// same faults; a failing soak run is reproducible from its logged
+// (seed, plan) pair alone.
+//
+// Plans install programmatically (install_plan) or from the environment:
+//
+//   DCDIFF_FAULT_PLAN="seed=42;serve.worker.stall=p0.3@50;codec.crc.corrupt=n2"
+//
+// Grammar: `seed=<u64>` then `;`-separated `<site>=<mode>[@<param>]` where
+// mode is `p<float>` (per-hit probability), `n<k>` (exactly the k-th hit,
+// 1-based), or `c<k>` (the first k hits). FaultPlan::str() round-trips.
+// With an env-installed plan, DCDIFF_FAULT_LOG=<path> additionally writes
+// the event log there at process exit (the replay/postmortem workflow).
+//
+// Every triggered fault is appended to an in-process log (site, hit index,
+// request id / worker from the innermost ScopedFaultContext) and mirrored
+// into the obs layer: a `fault.fires` counter, a per-site
+// `fault.fires.<site>` counter, and one structured warn line per fire.
+// The log is bounded (kMaxLogEvents); overflow is counted, not silently
+// dropped.
+//
+// Thread-safe throughout; fault_point() takes one mutex, which is fine for
+// test builds (sites sit outside per-request hot loops).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace dcdiff::testing {
+
+// Trigger rule for one site.
+struct SiteSpec {
+  enum class Mode {
+    kProbability,  // fires each hit with `probability`
+    kNth,          // fires on exactly hit `n` (1-based)
+    kFirst,        // fires on hits 1..n
+  };
+  Mode mode = Mode::kFirst;
+  double probability = 0.0;
+  uint64_t n = 1;
+  double param = 0.0;  // site-specific magnitude (ms, fraction, ...)
+
+  std::string str() const;  // "p0.3@50" / "n2" / "c4@0.5"
+};
+
+// A complete injection schedule: master seed + per-site trigger rules.
+struct FaultPlan {
+  uint64_t seed = 0;
+  // Insertion-ordered so str() is stable.
+  std::vector<std::pair<std::string, SiteSpec>> sites;
+
+  void set(const std::string& site, SiteSpec spec);
+  const SiteSpec* find(const std::string& site) const;
+
+  // Parses the DCDIFF_FAULT_PLAN grammar documented above. On failure
+  // returns false and (optionally) an error message; *out is untouched.
+  static bool parse(const std::string& text, FaultPlan* out,
+                    std::string* error = nullptr);
+  std::string str() const;
+};
+
+// One triggered fault, in fire order.
+struct FaultEvent {
+  std::string site;
+  uint64_t hit = 0;         // 1-based hit index at the site when it fired
+  uint64_t fire = 0;        // 1-based global fire index
+  uint64_t request_id = 0;  // first id of the enclosing ScopedFaultContext
+  int worker = -1;          // executing worker, -1 outside one
+  double param = 0.0;       // the spec's magnitude as handed to the site
+};
+
+// Installs `plan`, resetting all per-site counters and the event log.
+void install_plan(const FaultPlan& plan);
+// Installs from DCDIFF_FAULT_PLAN if set and parseable; returns whether a
+// plan was installed. A malformed value logs a warning and installs
+// nothing (the run proceeds fault-free rather than half-configured).
+bool install_plan_from_env();
+// Uninstalls any plan and clears counters + log.
+void clear_plan();
+bool plan_installed();
+FaultPlan installed_plan();
+
+// The instrumentation entry point (call through the macros). Counts a hit
+// at `site`; returns true when the installed plan says this hit fires, in
+// which case *param (if non-null) receives the site's magnitude. Always
+// false with no plan installed or the site unconfigured. The first call
+// auto-installs from DCDIFF_FAULT_PLAN when nothing was installed
+// programmatically, so any binary can run under an env-supplied plan.
+bool fault_point(const char* site, double* param = nullptr);
+
+// Deterministic per-site uniform draw in [0, bound) from the same seeded
+// stream (sites use it to pick e.g. which byte to corrupt). Draws advance
+// the stream, so they are part of the replayable state.
+uint64_t fault_rand(const char* site, uint64_t bound);
+
+// --- introspection / replay support ---
+uint64_t fault_hits(const std::string& site);   // hits, fired or not
+uint64_t fault_fires(const std::string& site);  // fires only
+uint64_t total_fires();
+std::vector<FaultEvent> fault_events();
+// {"plan":"...","total_fires":N,"dropped_events":D,"events":[...]}
+std::string fault_log_json();
+bool write_fault_log(const std::string& path);
+
+// Stamps the calling thread with the request ids / worker index of the
+// work it is executing, so fires inside the scope are attributed. Nests;
+// each scope restores the previous binding.
+class ScopedFaultContext {
+ public:
+  ScopedFaultContext(const std::vector<uint64_t>& request_ids, int worker);
+  ~ScopedFaultContext();
+  ScopedFaultContext(const ScopedFaultContext&) = delete;
+  ScopedFaultContext& operator=(const ScopedFaultContext&) = delete;
+
+ private:
+  uint64_t prev_id_;
+  int prev_worker_;
+};
+
+}  // namespace dcdiff::testing
+
+// Site guards. Instrumented code uses only these macros, never the
+// functions above, so a build without DCDIFF_FAULT_INJECTION compiles the
+// fault branches away entirely.
+#if defined(DCDIFF_FAULT_INJECTION)
+#define DCDIFF_FAULT_POINT(site) (::dcdiff::testing::fault_point((site)))
+#define DCDIFF_FAULT_POINT_P(site, param_out) \
+  (::dcdiff::testing::fault_point((site), (param_out)))
+#define DCDIFF_FAULT_RAND(site, bound) \
+  (::dcdiff::testing::fault_rand((site), (bound)))
+#define DCDIFF_FAULT_CONTEXT(request_ids, worker)              \
+  ::dcdiff::testing::ScopedFaultContext dcdiff_fault_context_( \
+      (request_ids), (worker))
+#else
+#define DCDIFF_FAULT_POINT(site) (false)
+#define DCDIFF_FAULT_POINT_P(site, param_out) (false)
+#define DCDIFF_FAULT_RAND(site, bound) (static_cast<uint64_t>(0))
+#define DCDIFF_FAULT_CONTEXT(request_ids, worker) \
+  do {                                            \
+  } while (0)
+#endif

@@ -1,0 +1,298 @@
+// Tests for the deterministic fault-injection harness (src/testing) and the
+// codec-layer fault sites.
+//
+// Two populations of tests:
+//   * FaultPlan / trigger / log unit tests run in every build — the plan
+//     machinery itself is not gated by DCDIFF_FAULT_INJECTION, only the
+//     macro-guarded sites in production code are.
+//   * Corruption-at-encode sweeps (bit flips, truncation, CRC damage) need
+//     the sites compiled in; they GTEST_SKIP in ordinary builds.
+//
+// The corruption invariant under test: whatever a fault does to the bytes
+// between encode and decode, try_decode_jfif returns — either ok or a typed
+// Status. Never a crash, never UB (the sanitize preset runs this suite),
+// and a corrupted cm CRC is always a typed rejection.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "data/datasets.h"
+#include "jpeg/codec.h"
+#include "support/status.h"
+#include "testing/fault.h"
+
+namespace dcdiff {
+namespace {
+
+Image test_image(int size = 64) {
+  return data::dataset_image(data::DatasetId::kKodak, 0, size);
+}
+
+class FaultRegistry : public ::testing::Test {
+ protected:
+  void TearDown() override { dcdiff::testing::clear_plan(); }
+};
+
+// ----- FaultPlan grammar -----
+
+TEST_F(FaultRegistry, ParsesFullGrammarAndRoundTrips) {
+  dcdiff::testing::FaultPlan plan;
+  std::string err;
+  ASSERT_TRUE(dcdiff::testing::FaultPlan::parse(
+      "seed=42; serve.worker.stall=p0.25@12.5 ;codec.crc.corrupt=n3;"
+      "nn.plan.arena_fail=c2@0.5",
+      &plan, &err))
+      << err;
+  EXPECT_EQ(plan.seed, 42u);
+  ASSERT_EQ(plan.sites.size(), 3u);
+  const auto* stall = plan.find("serve.worker.stall");
+  ASSERT_NE(stall, nullptr);
+  EXPECT_EQ(stall->mode, dcdiff::testing::SiteSpec::Mode::kProbability);
+  EXPECT_DOUBLE_EQ(stall->probability, 0.25);
+  EXPECT_DOUBLE_EQ(stall->param, 12.5);
+  const auto* crc = plan.find("codec.crc.corrupt");
+  ASSERT_NE(crc, nullptr);
+  EXPECT_EQ(crc->mode, dcdiff::testing::SiteSpec::Mode::kNth);
+  EXPECT_EQ(crc->n, 3u);
+  const auto* arena = plan.find("nn.plan.arena_fail");
+  ASSERT_NE(arena, nullptr);
+  EXPECT_EQ(arena->mode, dcdiff::testing::SiteSpec::Mode::kFirst);
+  EXPECT_EQ(arena->n, 2u);
+  EXPECT_DOUBLE_EQ(arena->param, 0.5);
+
+  // str() -> parse() is the identity on the structure.
+  dcdiff::testing::FaultPlan again;
+  ASSERT_TRUE(dcdiff::testing::FaultPlan::parse(plan.str(), &again, &err))
+      << err;
+  EXPECT_EQ(again.str(), plan.str());
+  EXPECT_EQ(again.seed, plan.seed);
+  EXPECT_EQ(again.sites.size(), plan.sites.size());
+}
+
+TEST_F(FaultRegistry, RejectsMalformedPlans) {
+  dcdiff::testing::FaultPlan plan;
+  std::string err;
+  EXPECT_FALSE(dcdiff::testing::FaultPlan::parse("seed=abc", &plan, &err));
+  EXPECT_FALSE(dcdiff::testing::FaultPlan::parse("a.b=x3", &plan, &err));
+  EXPECT_FALSE(dcdiff::testing::FaultPlan::parse("a.b=p1.5", &plan, &err));
+  EXPECT_FALSE(dcdiff::testing::FaultPlan::parse("a.b=n0", &plan, &err));
+  EXPECT_FALSE(dcdiff::testing::FaultPlan::parse("a.b=", &plan, &err));
+  EXPECT_FALSE(dcdiff::testing::FaultPlan::parse("a.b=p0.5@zz", &plan, &err));
+  EXPECT_FALSE(err.empty());
+}
+
+// ----- trigger semantics -----
+
+TEST_F(FaultRegistry, NthFiresExactlyOnce) {
+  dcdiff::testing::FaultPlan plan;
+  plan.seed = 1;
+  dcdiff::testing::SiteSpec spec;
+  spec.mode = dcdiff::testing::SiteSpec::Mode::kNth;
+  spec.n = 3;
+  plan.set("t.site", spec);
+  dcdiff::testing::install_plan(plan);
+  std::vector<bool> fired;
+  for (int i = 0; i < 6; ++i) {
+    fired.push_back(dcdiff::testing::fault_point("t.site"));
+  }
+  EXPECT_EQ(fired, (std::vector<bool>{false, false, true, false, false,
+                                      false}));
+  EXPECT_EQ(dcdiff::testing::fault_hits("t.site"), 6u);
+  EXPECT_EQ(dcdiff::testing::fault_fires("t.site"), 1u);
+}
+
+TEST_F(FaultRegistry, FirstCountFiresLeadingHits) {
+  dcdiff::testing::FaultPlan plan;
+  dcdiff::testing::SiteSpec spec;
+  spec.mode = dcdiff::testing::SiteSpec::Mode::kFirst;
+  spec.n = 2;
+  spec.param = 7.5;
+  plan.set("t.site", spec);
+  dcdiff::testing::install_plan(plan);
+  double param = 0;
+  EXPECT_TRUE(dcdiff::testing::fault_point("t.site", &param));
+  EXPECT_DOUBLE_EQ(param, 7.5);
+  EXPECT_TRUE(dcdiff::testing::fault_point("t.site"));
+  EXPECT_FALSE(dcdiff::testing::fault_point("t.site"));
+  EXPECT_EQ(dcdiff::testing::total_fires(), 2u);
+}
+
+TEST_F(FaultRegistry, UnconfiguredSiteAndNoPlanNeverFire) {
+  EXPECT_FALSE(dcdiff::testing::fault_point("no.plan.site"));
+  dcdiff::testing::FaultPlan plan;
+  dcdiff::testing::SiteSpec spec;
+  spec.mode = dcdiff::testing::SiteSpec::Mode::kFirst;
+  spec.n = 1000;
+  plan.set("other.site", spec);
+  dcdiff::testing::install_plan(plan);
+  EXPECT_FALSE(dcdiff::testing::fault_point("not.other.site"));
+  EXPECT_EQ(dcdiff::testing::fault_fires("other.site"), 0u);
+}
+
+TEST_F(FaultRegistry, ProbabilityStreamIsSeedDeterministic) {
+  const auto pattern = [](uint64_t seed) {
+    dcdiff::testing::FaultPlan plan;
+    plan.seed = seed;
+    dcdiff::testing::SiteSpec spec;
+    spec.mode = dcdiff::testing::SiteSpec::Mode::kProbability;
+    spec.probability = 0.5;
+    plan.set("t.coin", spec);
+    dcdiff::testing::install_plan(plan);
+    std::vector<bool> fires;
+    for (int i = 0; i < 128; ++i) {
+      fires.push_back(dcdiff::testing::fault_point("t.coin"));
+    }
+    return fires;
+  };
+  const auto a1 = pattern(42);
+  const auto a2 = pattern(42);
+  const auto b = pattern(43);
+  EXPECT_EQ(a1, a2);  // replay: same seed, same decisions, hit by hit
+  EXPECT_NE(a1, b);   // different seed, different schedule
+}
+
+TEST_F(FaultRegistry, EventLogRecordsContextAndSerializes) {
+  dcdiff::testing::FaultPlan plan;
+  plan.seed = 9;
+  dcdiff::testing::SiteSpec spec;
+  spec.mode = dcdiff::testing::SiteSpec::Mode::kFirst;
+  spec.n = 2;
+  spec.param = 3.0;
+  plan.set("t.logged", spec);
+  dcdiff::testing::install_plan(plan);
+  {
+    dcdiff::testing::ScopedFaultContext ctx({77, 78}, 1);
+    dcdiff::testing::fault_point("t.logged");
+  }
+  dcdiff::testing::fault_point("t.logged");  // outside any context
+  const auto events = dcdiff::testing::fault_events();
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0].site, "t.logged");
+  EXPECT_EQ(events[0].hit, 1u);
+  EXPECT_EQ(events[0].fire, 1u);
+  EXPECT_EQ(events[0].request_id, 77u);
+  EXPECT_EQ(events[0].worker, 1);
+  EXPECT_DOUBLE_EQ(events[0].param, 3.0);
+  EXPECT_EQ(events[1].request_id, 0u);
+  EXPECT_EQ(events[1].worker, -1);
+  const std::string json = dcdiff::testing::fault_log_json();
+  EXPECT_NE(json.find("\"site\":\"t.logged\""), std::string::npos);
+  EXPECT_NE(json.find("\"request_id\":77"), std::string::npos);
+  EXPECT_NE(json.find(plan.str()), std::string::npos);
+}
+
+TEST_F(FaultRegistry, FaultRandIsDeterministicPerSeed) {
+  const auto draws = [](uint64_t seed) {
+    dcdiff::testing::FaultPlan plan;
+    plan.seed = seed;
+    dcdiff::testing::SiteSpec spec;
+    spec.mode = dcdiff::testing::SiteSpec::Mode::kFirst;
+    spec.n = 1;
+    plan.set("t.rand", spec);
+    dcdiff::testing::install_plan(plan);
+    std::vector<uint64_t> out;
+    for (int i = 0; i < 16; ++i) {
+      out.push_back(dcdiff::testing::fault_rand("t.rand", 1000));
+    }
+    return out;
+  };
+  EXPECT_EQ(draws(5), draws(5));
+  EXPECT_NE(draws(5), draws(6));
+}
+
+// ----- codec-layer sites (need the sites compiled in) -----
+
+class FaultCodec : public ::testing::Test {
+ protected:
+  void SetUp() override {
+#if !defined(DCDIFF_FAULT_INJECTION)
+    GTEST_SKIP() << "built without DCDIFF_FAULT_INJECTION";
+#endif
+  }
+  void TearDown() override { dcdiff::testing::clear_plan(); }
+
+  static void install_every_encode(const std::string& site, uint64_t seed,
+                                   double param = 0.0) {
+    dcdiff::testing::FaultPlan plan;
+    plan.seed = seed;
+    dcdiff::testing::SiteSpec spec;
+    spec.mode = dcdiff::testing::SiteSpec::Mode::kFirst;
+    spec.n = 1u << 20;
+    spec.param = param;
+    plan.set(site, spec);
+    dcdiff::testing::install_plan(plan);
+  }
+};
+
+TEST_F(FaultCodec, CorruptCmCrcIsAlwaysTypedRejection) {
+  const jpeg::CoeffImage ci = jpeg::forward_transform(test_image(64), 50);
+  install_every_encode("codec.crc.corrupt", 7);
+  const auto bytes = jpeg::encode_jfif(ci, jpeg::EntropyKind::kCm);
+  EXPECT_GE(dcdiff::testing::fault_fires("codec.crc.corrupt"), 1u);
+  dcdiff::testing::clear_plan();  // corruption already baked into bytes
+  jpeg::CoeffImage out;
+  const Status st = jpeg::try_decode_jfif(bytes, &out);
+  ASSERT_FALSE(st.is_ok());
+  EXPECT_NE(st.to_string().find("CRC"), std::string::npos) << st.to_string();
+}
+
+TEST_F(FaultCodec, BitflipSweepNeverCrashesDecode) {
+  const jpeg::CoeffImage ci = jpeg::forward_transform(test_image(64), 50);
+  for (const jpeg::EntropyKind kind :
+       {jpeg::EntropyKind::kHuffman, jpeg::EntropyKind::kCm}) {
+    for (uint64_t seed = 1; seed <= 12; ++seed) {
+      install_every_encode("codec.encode.bitflip", seed);
+      const auto bytes = jpeg::encode_jfif(ci, kind);
+      ASSERT_GE(dcdiff::testing::fault_fires("codec.encode.bitflip"), 1u);
+      dcdiff::testing::clear_plan();
+      jpeg::CoeffImage out;
+      // The invariant is typed-or-ok: a single flipped bit may still decode
+      // (Huffman streams are not self-checking) but must never crash, hang,
+      // or trip the sanitizers.
+      const Status st = jpeg::try_decode_jfif(bytes, &out);
+      if (st.is_ok()) {
+        EXPECT_EQ(out.width, ci.width);
+        EXPECT_EQ(out.height, ci.height);
+      } else {
+        EXPECT_FALSE(st.to_string().empty());
+      }
+    }
+  }
+}
+
+TEST_F(FaultCodec, TruncationSweepNeverCrashesDecode) {
+  const jpeg::CoeffImage ci = jpeg::forward_transform(test_image(64), 50);
+  for (const jpeg::EntropyKind kind :
+       {jpeg::EntropyKind::kHuffman, jpeg::EntropyKind::kCm}) {
+    for (const double keep : {0.1, 0.5, 0.9}) {
+      install_every_encode("codec.encode.truncate", 11, keep);
+      const auto full = jpeg::encode_jfif(ci, jpeg::EntropyKind::kHuffman);
+      dcdiff::testing::clear_plan();
+      install_every_encode("codec.encode.truncate", 11, keep);
+      const auto bytes = jpeg::encode_jfif(ci, kind);
+      ASSERT_GE(dcdiff::testing::fault_fires("codec.encode.truncate"), 1u);
+      dcdiff::testing::clear_plan();
+      EXPECT_LT(bytes.size(), full.size() + bytes.size());  // sanity
+      jpeg::CoeffImage out;
+      const Status st = jpeg::try_decode_jfif(bytes, &out);
+      if (!st.is_ok()) EXPECT_FALSE(st.to_string().empty());
+    }
+  }
+}
+
+TEST_F(FaultCodec, TruncatedCmPayloadIsTypedRejection) {
+  // cm framing carries an explicit payload length + CRC, so unlike Huffman
+  // a truncated cm scan must always be detected.
+  const jpeg::CoeffImage ci = jpeg::forward_transform(test_image(64), 50);
+  install_every_encode("codec.encode.truncate", 3, 0.5);
+  const auto bytes = jpeg::encode_jfif(ci, jpeg::EntropyKind::kCm);
+  dcdiff::testing::clear_plan();
+  jpeg::CoeffImage out;
+  const Status st = jpeg::try_decode_jfif(bytes, &out);
+  EXPECT_FALSE(st.is_ok());
+}
+
+}  // namespace
+}  // namespace dcdiff

@@ -214,6 +214,53 @@ TEST(StepGovernorTest, ClampsDegenerateConfigs) {
   EXPECT_EQ(g.plan_steps(100), 1);  // min clamped into [1, full]
 }
 
+// The floor boundary exactly: at the depth where the shed count reaches
+// full - min the governor lands on min_steps precisely, one unit shallower
+// it is one step above, and any deeper depth stays pinned at min — never
+// below.
+TEST(StepGovernorTest, LandsOnMinStepsExactlyAtThresholdDepth) {
+  StepGovernor g({/*full_steps=*/8, /*min_steps=*/2, /*depth_per_step=*/2});
+  // (full - min) * depth_per_step = 12 is the first depth that reaches min.
+  EXPECT_EQ(g.plan_steps(11), 3);
+  EXPECT_EQ(g.plan_steps(12), 2);
+  EXPECT_EQ(g.plan_steps(13), 2);
+  EXPECT_EQ(g.plan_steps(1u << 20), 2);
+  for (size_t d = 0; d <= 64; ++d) {
+    EXPECT_GE(g.plan_steps(d), 2) << "depth " << d;
+  }
+}
+
+TEST(StepGovernorTest, PlanStepsIsMonotoneNonIncreasingWithinBounds) {
+  StepGovernor g({/*full_steps=*/10, /*min_steps=*/3, /*depth_per_step=*/3});
+  int prev = g.plan_steps(0);
+  EXPECT_EQ(prev, 10);
+  for (size_t d = 1; d <= 128; ++d) {
+    const int s = g.plan_steps(d);
+    EXPECT_LE(s, prev) << "depth " << d;
+    EXPECT_GE(s, 3);
+    EXPECT_LE(s, 10);
+    prev = s;
+  }
+  EXPECT_EQ(prev, 3);  // deep enough to have reached the floor
+}
+
+// min_steps == full_steps means the governor is a no-op even when enabled:
+// there is nothing between the ceiling and the floor to shed.
+TEST(StepGovernorTest, MinEqualToFullNeverSheds) {
+  StepGovernor g({/*full_steps=*/6, /*min_steps=*/6, /*depth_per_step=*/1});
+  EXPECT_TRUE(g.enabled());
+  EXPECT_EQ(g.plan_steps(0), 6);
+  EXPECT_EQ(g.plan_steps(1), 6);
+  EXPECT_EQ(g.plan_steps(1u << 20), 6);
+}
+
+// A min_steps of 0 in the raw config clamps to 1: the governor never plans
+// a zero-step batch no matter the depth.
+TEST(StepGovernorTest, ZeroMinStepsClampsToOneStepFloor) {
+  StepGovernor g({/*full_steps=*/4, /*min_steps=*/0, /*depth_per_step=*/1});
+  EXPECT_EQ(g.plan_steps(1u << 20), 1);
+}
+
 // ---- ResultStream channel semantics ----
 
 TEST(ResultStreamTest, PartialsInOrderThenTerminalExactlyOnce) {
@@ -392,6 +439,7 @@ TEST_F(ServeAnytimeTest, GovernorShedsStepsUnderLatencyTierBurst) {
   cfg.batch_timeout_ms = 0;
   cfg.queue_capacity = kRequests;
   cfg.governor_depth_per_step = 1;
+  cfg.min_steps = 2;  // shed batches must stop at this floor, never below
   ReceiverServer server(cfg, model_);
   Session session = server.open_session();
 
@@ -407,6 +455,7 @@ TEST_F(ServeAnytimeTest, GovernorShedsStepsUnderLatencyTierBurst) {
     const Result r = f.get();
     ASSERT_TRUE(r.status.is_ok()) << r.status.to_string();
     ASSERT_FALSE(r.image.empty());
+    EXPECT_GE(r.steps_done, cfg.min_steps);  // the floor holds under load
     if (r.outcome == Outcome::kDegraded) {
       EXPECT_LT(r.steps_done, r.steps_target);
       ++degraded;

@@ -198,6 +198,124 @@ TEST_F(TilingTest, StitchingExactCropsIsIdentityModuloPostprocess) {
   EXPECT_LE(max_abs_diff(stitched, expected), 1e-4);
 }
 
+// ---- edge geometry ----
+
+// An image smaller than one MCU can never split: even a policy demanding
+// tiles smaller than the MCU yields the untiled layout (side is floored at
+// one MCU, and a single-tile grid is not a fan-out). A slightly larger
+// image may tile at a sub-16 MCU (a crop this small is not 4:2:0), but its
+// interiors must still partition the image exactly.
+TEST_F(TilingTest, SubMcuImageNeverTiles) {
+  const Image tiny = crop(big_image(), 0, 0, 6, 7);
+  const jpeg::CoeffImage coeffs =
+      jpeg::decode_jfif(core::sender_encode(tiny).bytes);
+  EXPECT_EQ(coeffs.width, 6);
+  EXPECT_EQ(coeffs.height, 7);
+  TilePolicy policy = test_policy();
+  policy.max_tile_px = 4;  // smaller than any MCU: floored at one MCU
+  const TileLayout layout = plan_tiles(coeffs, policy);
+  EXPECT_FALSE(layout.tiled());
+  EXPECT_EQ(layout.width, 6);
+  EXPECT_EQ(layout.height, 7);
+
+  const Image small = crop(big_image(), 0, 0, 12, 10);
+  const jpeg::CoeffImage scoeffs =
+      jpeg::decode_jfif(core::sender_encode(small).bytes);
+  policy.max_tile_px = 8;
+  const TileLayout slayout = plan_tiles(scoeffs, policy);
+  long long area = 0;
+  for (const TileSpec& t : slayout.tiles) {
+    EXPECT_GE(t.cx0, 0);
+    EXPECT_GE(t.cy0, 0);
+    EXPECT_LE(t.cx1, 12);
+    EXPECT_LE(t.cy1, 10);
+    area += static_cast<long long>(t.x1 - t.x0) * (t.y1 - t.y0);
+  }
+  if (slayout.tiled()) EXPECT_EQ(area, 12ll * 10ll);
+}
+
+// A wide strip one tile tall must produce a 1xN grid whose interiors span
+// the full height and partition the strip exactly — and stitching exact
+// crops of it must still reduce to the shared postprocess.
+TEST_F(TilingTest, StripImageYieldsOneByNGridAndStitches) {
+  const Image strip = crop(big_image(), 0, 0, 128, 16);
+  const jpeg::CoeffImage coeffs =
+      jpeg::decode_jfif(core::sender_encode(strip).bytes);
+  const TileLayout layout = plan_tiles(coeffs, test_policy());
+  ASSERT_TRUE(layout.tiled());
+  EXPECT_EQ(layout.tiles_x, 4);
+  EXPECT_EQ(layout.tiles_y, 1);
+  long long area = 0;
+  for (const TileSpec& t : layout.tiles) {
+    EXPECT_EQ(t.y0, 0);
+    EXPECT_EQ(t.y1, 16);  // full height, no vertical cuts
+    EXPECT_EQ(t.cy0, 0);
+    EXPECT_EQ(t.cy1, 16);  // vertical halo clamps to the strip
+    area += static_cast<long long>(t.x1 - t.x0) * (t.y1 - t.y0);
+  }
+  EXPECT_EQ(area, 128ll * 16ll);
+
+  std::vector<Image> tiles;
+  for (const TileSpec& t : layout.tiles) {
+    tiles.push_back(crop(strip, t.cx0, t.cy0, t.cx1 - t.cx0, t.cy1 - t.cy0));
+  }
+  const Image stitched = stitch_tiles(coeffs, layout, tiles);
+  const Image anchored =
+      core::anchor_to_corners(strip, jpeg::tilde_image(coeffs));
+  const Image expected = core::project_onto_known_ac(anchored, coeffs);
+  EXPECT_LE(max_abs_diff(stitched, expected), 1e-4);
+}
+
+// Dimensions that are neither a tile-side nor a halo multiple: the last
+// row/column of tiles is ragged but still covers the image exactly, crop
+// origins stay MCU-aligned, and extraction + identity stitching hold.
+TEST_F(TilingTest, RaggedNonHaloMultipleDimsCoverExactly) {
+  const Image odd = crop(big_image(), 0, 0, 104, 88);
+  const jpeg::CoeffImage coeffs =
+      jpeg::decode_jfif(core::sender_encode(odd).bytes);
+  TilePolicy policy = test_policy();
+  policy.halo_px = 12;  // not an MCU multiple: must round up to 16
+  const TileLayout layout = plan_tiles(coeffs, policy);
+  ASSERT_TRUE(layout.tiled());
+  EXPECT_EQ(layout.tiles_x, 4);  // ceil(104 / 32)
+  EXPECT_EQ(layout.tiles_y, 3);  // ceil(88 / 32)
+
+  const int mcu = 16;
+  long long area = 0;
+  for (const TileSpec& t : layout.tiles) {
+    EXPECT_EQ(t.x0 % mcu, 0);
+    EXPECT_EQ(t.y0 % mcu, 0);
+    EXPECT_EQ(t.cx0 % mcu, 0);
+    EXPECT_EQ(t.cy0 % mcu, 0);
+    EXPECT_LE(t.x1, 104);
+    EXPECT_LE(t.y1, 88);
+    EXPECT_LE(t.cx1, 104);
+    EXPECT_LE(t.cy1, 88);
+    // The rounded halo is visible on interior-left crops: exactly 16 px.
+    if (t.x0 > 0) EXPECT_EQ(t.x0 - t.cx0, 16);
+    area += static_cast<long long>(t.x1 - t.x0) * (t.y1 - t.y0);
+  }
+  EXPECT_EQ(area, 104ll * 88ll);  // exact cover despite ragged edges
+
+  // Extraction at the ragged bottom-right corner matches the parent crop.
+  const TileSpec& last = layout.tiles.back();
+  const jpeg::CoeffImage tile = extract_tile(coeffs, last);
+  const Image tile_tilde = jpeg::tilde_image(tile);
+  const Image ref = crop(jpeg::tilde_image(coeffs), last.cx0, last.cy0,
+                         last.cx1 - last.cx0, last.cy1 - last.cy0);
+  EXPECT_EQ(max_abs_diff(tile_tilde, ref), 0.0);
+
+  std::vector<Image> tiles;
+  for (const TileSpec& t : layout.tiles) {
+    tiles.push_back(crop(odd, t.cx0, t.cy0, t.cx1 - t.cx0, t.cy1 - t.cy0));
+  }
+  const Image stitched = stitch_tiles(coeffs, layout, tiles);
+  const Image anchored =
+      core::anchor_to_corners(odd, jpeg::tilde_image(coeffs));
+  const Image expected = core::project_onto_known_ac(anchored, coeffs);
+  EXPECT_LE(max_abs_diff(stitched, expected), 1e-4);
+}
+
 TEST_F(TilingTest, StitchRejectsMismatchedTileCount) {
   const jpeg::CoeffImage coeffs =
       jpeg::decode_jfif(core::sender_encode(big_image()).bytes);
